@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation (Section 4.1.4 claim): the MPU's truncated-mergesort TopK
+ * is ~1.18x faster than SpAtten's quick-selection top-k engine at the
+ * same parallelism.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/rng.hpp"
+#include "mpu/alt_engines.hpp"
+#include "mpu/mpu.hpp"
+
+using namespace pointacc;
+
+namespace {
+
+ElementVec
+randomDistances(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ElementVec v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v.push_back(distanceElement(
+            static_cast<std::int64_t>(rng.range(1 << 20)),
+            static_cast<std::int32_t>(i)));
+    }
+    return v;
+}
+
+void
+BM_MpuTopK(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto data = randomDistances(n, n);
+    MappingUnit mpu(MpuConfig{64, 64, 13});
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        MpuStats stats;
+        auto out = mpu.topK(data, k, stats);
+        cycles = stats.cycles;
+        benchmark::DoNotOptimize(out.size());
+    }
+    state.counters["model_cycles"] = static_cast<double>(cycles);
+}
+
+void
+BM_QuickSelectTopK(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto k = static_cast<std::size_t>(state.range(1));
+    const auto data = randomDistances(n, n);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        QuickSelectStats stats;
+        auto out = quickSelectTopK(data, k, 64, stats);
+        cycles = stats.cycles;
+        benchmark::DoNotOptimize(out.size());
+    }
+    state.counters["model_cycles"] = static_cast<double>(cycles);
+}
+
+} // namespace
+
+BENCHMARK(BM_MpuTopK)
+    ->Args({8192, 16})
+    ->Args({8192, 32})
+    ->Args({8192, 64})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_QuickSelectTopK)
+    ->Args({8192, 16})
+    ->Args({8192, 32})
+    ->Args({8192, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("bench_abl_topk",
+                  "Section 4.1.4 ablation (MPU TopK vs quick-selection "
+                  "engine, equal parallelism)");
+
+    std::vector<double> ratios;
+    std::printf("%-10s %-6s %16s %16s %8s\n", "n", "k", "MPU cycles",
+                "quick-sel cycles", "speedup");
+    for (std::size_t k : {16u, 32u, 64u}) {
+        const auto data = randomDistances(8192, k);
+        MappingUnit mpu(MpuConfig{64, 64, 13});
+        MpuStats mpuStats;
+        mpu.topK(data, k, mpuStats);
+        QuickSelectStats qsStats;
+        quickSelectTopK(data, k, 64, qsStats);
+        const double ratio = static_cast<double>(qsStats.cycles) /
+                             static_cast<double>(mpuStats.cycles);
+        ratios.push_back(ratio);
+        std::printf("%-10d %-6zu %16llu %16llu %7.2fx\n", 8192, k,
+                    static_cast<unsigned long long>(mpuStats.cycles),
+                    static_cast<unsigned long long>(qsStats.cycles),
+                    ratio);
+    }
+    std::printf("average speedup: %.2fx (paper: 1.18x)\n\n",
+                geomean(ratios));
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 13: speedup and energy savings of PointAcc over server-class
+ * platforms (RTX 2080Ti, CPU+TPU-v3, Xeon Gold 6130) on all 8
+ * benchmarks, with geometric means.
+ *
+ * Paper reference points (geomean): 3.7x / 53x / 90x speedup and
+ * 22x / 210x / 176x energy savings respectively.
+ */
+
+#include "baselines/platform.hpp"
+#include "bench_util.hpp"
+#include "nn/zoo.hpp"
+#include "sim/accelerator.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    bench::banner("bench_fig13_server",
+                  "Fig. 13 (speedup + energy vs RTX 2080Ti / CPU+TPU / "
+                  "Xeon 6130)");
+
+    Accelerator accel(pointAccConfig());
+    const std::vector<const PlatformSpec *> platforms = {
+        &rtx2080Ti(), &tpuV3(), &xeonGold6130()};
+
+    std::printf("%-15s", "network");
+    for (const auto *p : platforms)
+        std::printf(" | %-9.9s  su    es", p->name.c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> speedups(platforms.size());
+    std::vector<std::vector<double>> energies(platforms.size());
+
+    for (const auto &net : allBenchmarks()) {
+        const auto cloud = bench::benchCloud(net);
+        const auto ours = accel.run(net, cloud);
+        const auto w = summarizeWorkload(net, cloud);
+
+        std::printf("%-15s", net.notation.c_str());
+        for (std::size_t i = 0; i < platforms.size(); ++i) {
+            const auto r =
+                estimatePlatform(*platforms[i], net.notation, w);
+            const double su = r.totalMs() / ours.latencyMs();
+            const double es = r.energyMJ / ours.energyMJ();
+            speedups[i].push_back(su);
+            energies[i].push_back(es);
+            std::printf(" | %9.1f %9.0f", su, es);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-15s", "geomean");
+    for (std::size_t i = 0; i < platforms.size(); ++i)
+        std::printf(" | %9.1f %9.0f", geomean(speedups[i]),
+                    geomean(energies[i]));
+    std::printf("\n\nPaper geomeans: GPU 3.7x/22x, CPU+TPU 53x/210x, "
+                "CPU 90x/176x.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 14: speedup and energy savings of PointAcc.Edge over Jetson
+ * Xavier NX, Jetson Nano and Raspberry Pi 4B on all 8 benchmarks.
+ *
+ * Paper reference points (geomean): 2.5x / 9.8x / 141x speedup and
+ * 7.8x / 16x / 127x energy savings respectively.
+ */
+
+#include "baselines/platform.hpp"
+#include "bench_util.hpp"
+#include "nn/zoo.hpp"
+#include "sim/accelerator.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    bench::banner("bench_fig14_edge",
+                  "Fig. 14 (speedup + energy vs Jetson NX / Nano / "
+                  "Raspberry Pi 4B)");
+
+    Accelerator accel(pointAccEdgeConfig());
+    const std::vector<const PlatformSpec *> platforms = {
+        &jetsonXavierNX(), &jetsonNano(), &raspberryPi4()};
+
+    std::printf("%-15s", "network");
+    for (const auto *p : platforms)
+        std::printf(" | %-9.9s  su    es", p->name.c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> speedups(platforms.size());
+    std::vector<std::vector<double>> energies(platforms.size());
+
+    for (const auto &net : allBenchmarks()) {
+        const auto cloud = bench::benchCloud(net);
+        const auto ours = accel.run(net, cloud);
+        const auto w = summarizeWorkload(net, cloud);
+
+        std::printf("%-15s", net.notation.c_str());
+        for (std::size_t i = 0; i < platforms.size(); ++i) {
+            const auto r =
+                estimatePlatform(*platforms[i], net.notation, w);
+            const double su = r.totalMs() / ours.latencyMs();
+            const double es = r.energyMJ / ours.energyMJ();
+            speedups[i].push_back(su);
+            energies[i].push_back(es);
+            std::printf(" | %9.1f %9.1f", su, es);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-15s", "geomean");
+    for (std::size_t i = 0; i < platforms.size(); ++i)
+        std::printf(" | %9.1f %9.1f", geomean(speedups[i]),
+                    geomean(energies[i]));
+    std::printf("\n\nPaper geomeans: NX 2.5x/7.8x, Nano 9.8x/16x, "
+                "RPi4 141x/127x.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 15: PointAcc.Edge vs Mesorasi (SW on Jetson Nano, SW on
+ * Raspberry Pi 4B, and the Mesorasi HW design) on the four
+ * PointNet++-based benchmarks.
+ *
+ * Paper reference points (geomean speedups): 14x over Mesorasi-SW on
+ * Nano, 128x over Mesorasi-SW on RPi4, 4.3x over Mesorasi-HW; energy
+ * savings 15x / 110x / 11x.
+ */
+
+#include "baselines/mesorasi.hpp"
+#include "bench_util.hpp"
+#include "nn/zoo.hpp"
+#include "sim/accelerator.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    bench::banner("bench_fig15_mesorasi",
+                  "Fig. 15 (PointAcc.Edge vs Mesorasi SW/HW)");
+
+    Accelerator edge(pointAccEdgeConfig());
+    const std::vector<Network> nets = {pointNetPPClass(),
+                                       pointNetPPPartSeg(), fPointNetPP(),
+                                       pointNetPPSemSeg()};
+
+    std::printf("%-15s | %-17s | %-17s | %-17s\n", "network",
+                "vs SW(Nano) su/es", "vs SW(RPi4) su/es",
+                "vs Mesorasi-HW su/es");
+    std::vector<double> suNano, suRpi, suHw, esNano, esRpi, esHw;
+
+    for (const auto &net : nets) {
+        const auto cloud = bench::benchCloud(net);
+        const auto ours = edge.run(net, cloud);
+        const auto swNano = runMesorasiSW(jetsonNano(), net, cloud);
+        const auto swRpi = runMesorasiSW(raspberryPi4(), net, cloud);
+        const auto hw = runMesorasi(net, cloud);
+
+        const double sn = swNano.totalMs() / ours.latencyMs();
+        const double sr = swRpi.totalMs() / ours.latencyMs();
+        const double sh = hw.totalMs() / ours.latencyMs();
+        const double en = swNano.energyMJ / ours.energyMJ();
+        const double er = swRpi.energyMJ / ours.energyMJ();
+        const double eh = hw.energyMJ / ours.energyMJ();
+        suNano.push_back(sn);
+        suRpi.push_back(sr);
+        suHw.push_back(sh);
+        esNano.push_back(en);
+        esRpi.push_back(er);
+        esHw.push_back(eh);
+        std::printf("%-15s | %7.1f / %7.1f | %7.1f / %7.1f | "
+                    "%7.1f / %7.1f\n",
+                    net.notation.c_str(), sn, en, sr, er, sh, eh);
+    }
+    std::printf("%-15s | %7.1f / %7.1f | %7.1f / %7.1f | "
+                "%7.1f / %7.1f\n",
+                "geomean", geomean(suNano), geomean(esNano),
+                geomean(suRpi), geomean(esRpi), geomean(suHw),
+                geomean(esHw));
+    std::printf("\nPaper geomeans: 14x/15x (SW Nano), 128x/110x (SW "
+                "RPi4), 4.3x/11x (HW).\n");
+    return 0;
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Figure 17: operation-level latency breakdown of a SparseConv block
+ * (1st downsampling block of MinkowskiUNet on SemanticKITTI).
+ *
+ * Left: kernel mapping — the mergesort-based algorithm loses to the
+ * hash table on CPU (measured wall clock of the two reference
+ * implementations) but wins ~1.4x after circuit specialization
+ * (hardware-model cycles at equal parallelism).
+ *
+ * Right: convolution — Fetch-on-Demand saves DRAM traffic but
+ * fragments the GPU's MatMul into matrix-vector products; on PointAcc
+ * the systolic array absorbs it and the whole layer costs about as
+ * much as the Gather-MatMul-Scatter flow's MatMul alone.
+ */
+
+#include <algorithm>
+#include <chrono>
+
+#include <functional>
+
+#include "bench_util.hpp"
+#include "mapping/kernel_map.hpp"
+#include "mapping/quantize.hpp"
+#include "memory/flows.hpp"
+#include "mpu/alt_engines.hpp"
+#include "mpu/mpu.hpp"
+#include "mxu/systolic.hpp"
+#include "sim/accel_config.hpp"
+
+using namespace pointacc;
+
+namespace {
+
+std::size_t benchmarkSink = 0;
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("bench_fig17_kernel_flow",
+                  "Fig. 17 (kernel mapping: mergesort vs hash; conv: "
+                  "Fetch-on-Demand vs Gather-MatMul-Scatter)");
+
+    const auto cloud =
+        generate(DatasetKind::SemanticKITTI, 20211018,
+                 bench::datasetScale(DatasetKind::SemanticKITTI));
+    const auto output = quantizeDownsample(cloud, 2);
+    KernelMapConfig kcfg;
+    kcfg.kernelSize = 2;
+    kcfg.outStride = 2;
+
+    // ---- Left: kernel mapping ------------------------------------ //
+    std::printf("\n[kernel mapping] input %zu -> output %zu points, "
+                "k=2 (8 offsets)\n", cloud.size(), output.size());
+
+    MapSet sink;
+    const double cpuHashMs =
+        wallMs([&] { sink = hashKernelMap(cloud, output, kcfg); });
+    const double cpuSortMs =
+        wallMs([&] { sink = sortKernelMap(cloud, output, kcfg); });
+    // The paper's software mergesort baseline re-sorts the merged
+    // stream per offset instead of exploiting pre-sorted inputs; that
+    // is what loses to the hash table on CPU/GPU (Fig. 17 left).
+    const double cpuResortMs = wallMs([&] {
+        const auto offsets = kernelOffsets(kcfg.kernelSize,
+                                           kcfg.inStride);
+        std::size_t found = 0;
+        std::vector<std::pair<std::uint64_t, std::int32_t>> merged;
+        for (const auto &delta : offsets) {
+            merged.clear();
+            merged.reserve(cloud.size() + output.size());
+            for (std::size_t i = 0; i < cloud.size(); ++i) {
+                merged.emplace_back(
+                    packCoord(cloud.coord(static_cast<PointIndex>(i)) -
+                              delta),
+                    static_cast<std::int32_t>(i));
+            }
+            for (std::size_t q = 0; q < output.size(); ++q) {
+                merged.emplace_back(
+                    packCoord(output.coord(static_cast<PointIndex>(q))),
+                    ~static_cast<std::int32_t>(q));
+            }
+            std::sort(merged.begin(), merged.end());
+            for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+                if (merged[i].first == merged[i + 1].first &&
+                    (merged[i].second < 0) !=
+                        (merged[i + 1].second < 0)) {
+                    ++found;
+                }
+            }
+        }
+        benchmarkSink += found;
+    });
+
+    const auto accel = pointAccConfig();
+    MappingUnit mpu(accel.mpu);
+    const auto hwSort = mpu.kernelMap(cloud, output, kcfg);
+    HashKernelMapper hashUnit(accel.mpu.mergerWidth);
+    HashEngineStats hashStats;
+    hashUnit.map(cloud, output, kcfg, hashStats);
+
+    const double hwSortMs =
+        static_cast<double>(hwSort.stats.cycles) / 1e6;
+    const double hwHashMs = static_cast<double>(hashStats.cycles) / 1e6;
+
+    std::printf("%-34s %12s\n", "implementation", "latency ms");
+    std::printf("%-34s %12.2f\n", "CPU, hash-based (measured)",
+                cpuHashMs);
+    std::printf("%-34s %12.2f\n",
+                "CPU, mergesort (pre-sorted walk)", cpuSortMs);
+    std::printf("%-34s %12.2f\n", "CPU, mergesort (full re-sort)",
+                cpuResortMs);
+    std::printf("%-34s %12.3f\n", "PointAcc MPU, hash unit (model)",
+                hwHashMs);
+    std::printf("%-34s %12.3f\n", "PointAcc MPU, mergesort (model)",
+                hwSortMs);
+    std::printf("mergesort vs hash on specialized hardware: %.2fx "
+                "speedup, %.1fx smaller area\n",
+                hwHashMs / hwSortMs,
+                hashUnit.areaUnits(65536) /
+                    mergeSorterAreaUnits(accel.mpu.mergerWidth));
+
+    // ---- Right: convolution flows --------------------------------- //
+    const auto maps = sortKernelMap(cloud, output, kcfg);
+    SparseLayerShape shape;
+    shape.numInputs = static_cast<std::uint32_t>(cloud.size());
+    shape.numOutputs = static_cast<std::uint32_t>(output.size());
+    shape.inChannels = 32;
+    shape.outChannels = 64;
+
+    const auto gs = gatherMatMulScatterTraffic(maps, shape);
+    const auto fod =
+        fetchOnDemandTraffic(maps, shape, accel.cacheConfig(16));
+
+    MatrixUnit mxu(accel.mxu);
+    const auto mm = mxu.sparseConv(maps, shape.inChannels,
+                                   shape.outChannels);
+
+    std::printf("\n[convolution] %zu maps, c=32->64\n", maps.size());
+    std::printf("%-34s %14s %14s\n", "flow", "DRAM MB", "PointAcc ms");
+    std::printf("%-34s %14.2f %14.3f\n", "Gather-MatMul-Scatter",
+                static_cast<double>(gs.totalBytes()) / 1e6,
+                (static_cast<double>(mm.cycles) +
+                 static_cast<double>(gs.totalBytes()) /
+                     accel.dram.bandwidthGBps) /
+                    1e6);
+    std::printf("%-34s %14.2f %14.3f\n", "Fetch-on-Demand (cached)",
+                static_cast<double>(fod.traffic.totalBytes()) / 1e6,
+                (static_cast<double>(mm.cycles) +
+                 std::max(0.0,
+                          static_cast<double>(fod.traffic.totalBytes()) /
+                                  accel.dram.bandwidthGBps -
+                              static_cast<double>(mm.cycles))) /
+                    1e6);
+    std::printf("\nExpected shape: mergesort slower than hash in "
+                "software but ~1.4x faster\nand ~14x smaller in "
+                "hardware; Fetch-on-Demand cuts DRAM by >= 3x.\n");
+    return 0;
+}

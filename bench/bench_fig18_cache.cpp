@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 18: cache miss rate of the fetch-on-demand flow vs software-
+ * controlled block size, for kernel size k in {2, 3} and channels c in
+ * {64, 128}. Miss rate must fall monotonically with block size, kernel
+ * size and channel count.
+ */
+
+#include "bench_util.hpp"
+#include "mapping/kernel_map.hpp"
+#include "memory/flows.hpp"
+#include "sim/accel_config.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    bench::banner("bench_fig18_cache",
+                  "Fig. 18 (cache miss rate vs block size, k, c)");
+
+    const auto cloud =
+        generate(DatasetKind::SemanticKITTI, 20211018, 0.15);
+    const auto accel = pointAccConfig();
+
+    struct Config
+    {
+        int k;
+        std::uint32_t c;
+        MapSet maps;
+    };
+    std::vector<Config> configs;
+    for (int k : {2, 3}) {
+        KernelMapConfig kcfg;
+        kcfg.kernelSize = k;
+        for (std::uint32_t c : {64u, 128u}) {
+            Config cfgRow;
+            cfgRow.k = k;
+            cfgRow.c = c;
+            cfgRow.maps = sortKernelMap(cloud, cloud, kcfg);
+            configs.push_back(std::move(cfgRow));
+        }
+    }
+
+    std::printf("%zu points; input buffer %u KB\n\n", cloud.size(),
+                accel.inputBufferKB);
+    std::printf("%-10s", "block");
+    for (const auto &cf : configs)
+        std::printf("  k=%d,c=%-4u", cf.k, cf.c);
+    std::printf("\n");
+
+    for (std::uint32_t block : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        std::printf("%-10u", block);
+        for (const auto &cf : configs) {
+            SparseLayerShape shape;
+            shape.numInputs = static_cast<std::uint32_t>(cloud.size());
+            shape.numOutputs = static_cast<std::uint32_t>(cloud.size());
+            shape.inChannels = cf.c;
+            shape.outChannels = cf.c;
+            const auto fod = fetchOnDemandTraffic(
+                cf.maps, shape, accel.cacheConfig(block));
+            std::printf("  %8.2f%%", 100.0 * fod.cache.missRate());
+        }
+        std::printf("\n");
+    }
+    std::printf("\nExpected shape: miss rate decreases with block size "
+                "and saturates;\nlarger k and c lower the curve.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 21: overall performance breakdown of PointAcc running
+ * MinkowskiUNet on SemanticKITTI — (a) latency breakdown vs CPU+TPU
+ * and GPU, (b) PointAcc energy split across compute / SRAM / DRAM.
+ *
+ * Paper reference: on PointAcc, MatMul dominates latency (mapping and
+ * data movement mostly hidden); energy is ~74% compute, ~6% SRAM,
+ * ~20% DRAM.
+ */
+
+#include "baselines/platform.hpp"
+#include "bench_util.hpp"
+#include "nn/zoo.hpp"
+#include "sim/accelerator.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    bench::banner("bench_fig21_overall",
+                  "Fig. 21 (PointAcc latency + energy breakdown on "
+                  "MinkNet(o))");
+
+    const auto net = minkowskiUNetOutdoor();
+    const auto cloud = bench::benchCloud(net);
+    const auto w = summarizeWorkload(net, cloud);
+
+    std::printf("\n[latency breakdown] %s, %zu points\n",
+                net.notation.c_str(), cloud.size());
+    std::printf("%-16s %10s %10s %10s %10s\n", "platform", "total ms",
+                "data-mv", "matmul", "mapping");
+
+    const auto tpu = estimatePlatform(tpuV3(), net.notation, w);
+    std::printf("%-16s %10.2f %10.2f %10.2f %10.2f\n", "CPU+TPU",
+                tpu.totalMs(), tpu.dataMovementMs, tpu.matmulMs,
+                tpu.mappingMs);
+    const auto gpu = estimatePlatform(rtx2080Ti(), net.notation, w);
+    std::printf("%-16s %10.2f %10.2f %10.2f %10.2f\n", "GPU",
+                gpu.totalMs(), gpu.dataMovementMs, gpu.matmulMs,
+                gpu.mappingMs);
+
+    Accelerator accel(pointAccConfig());
+    const auto ours = accel.run(net, cloud);
+    std::printf("%-16s %10.2f %10.2f %10.2f %10.2f\n", "PointAcc",
+                ours.latencyMs(),
+                static_cast<double>(ours.exposedDramCycles) / 1e6,
+                static_cast<double>(ours.computeCycles) / 1e6,
+                static_cast<double>(ours.mappingCycles) / 1e6);
+
+    std::printf("\n[energy breakdown] PointAcc total %.3f mJ\n",
+                ours.energyMJ());
+    const double total = ours.energy.totalPJ();
+    std::printf("  compute: %5.1f%%\n",
+                100.0 * ours.energy.computePJ / total);
+    std::printf("  SRAM:    %5.1f%%\n",
+                100.0 * ours.energy.sramPJ / total);
+    std::printf("  DRAM:    %5.1f%%\n",
+                100.0 * ours.energy.dramPJ / total);
+    std::printf("\nPaper reference: MatMul-dominated latency; energy "
+                "~74%% compute / 6%% SRAM / 20%% DRAM.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 5: dataset density, #MACs per point and feature bytes per
+ * point — point clouds are ultra sparse and point cloud networks have
+ * large per-point compute and memory footprints compared to 2-D CNNs.
+ */
+
+#include "bench_util.hpp"
+#include "nn/executor.hpp"
+#include "nn/zoo.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    bench::banner("bench_fig5_characterization",
+                  "Fig. 5 (dataset density / MACs per point / feature "
+                  "size per point)");
+
+    std::printf("\n[Fig. 5 left] dataset occupancy density\n");
+    std::printf("%-16s %12s %14s\n", "dataset", "#points", "density");
+    std::printf("%-16s %12s %14s\n", "ImageNet (ref)", "50176", "1.0");
+    for (const auto &spec : allDatasetSpecs()) {
+        const auto cloud = generate(spec.kind, 1);
+        std::printf("%-16s %12zu %14.3e\n", spec.name.c_str(),
+                    cloud.size(), cloud.density());
+    }
+
+    std::printf("\n[Fig. 5 middle+right] per-point compute & memory\n");
+    std::printf("%-16s %14s %18s %12s\n", "network", "MACs/point",
+                "feature B/point", "params (M)");
+    for (const auto &ref : cnnReferences()) {
+        std::printf("%-16s %14.0f %18.1f %12.1f   (2-D CNN, per pixel)\n",
+                    ref.name.c_str(), ref.gmacs * 1e9 / ref.pixels,
+                    ref.featureKB * 1024.0, ref.mparams);
+    }
+    for (const auto &net : allBenchmarks()) {
+        const auto cloud = bench::benchCloud(net);
+        const auto c = characterize(net, cloud);
+        std::printf("%-16s %14llu %18.1f %12.2f\n", net.notation.c_str(),
+                    static_cast<unsigned long long>(c.macsPerPoint),
+                    c.featureBytesPerPoint,
+                    static_cast<double>(c.params) / 1e6);
+    }
+    std::printf("\nExpected shape: point cloud datasets 1e2-1e6x sparser "
+                "than images;\nfeature footprint per point up to ~100x a "
+                "CNN's per-pixel footprint.\n");
+    return 0;
+}

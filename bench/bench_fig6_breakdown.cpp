@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 6: latency breakdown (data movement / mapping / matmul) of
+ * PointNet++(s) on S3DIS and MinkowskiUNet on SemanticKITTI across
+ * CPU, GPU, mobile GPU and CPU+TPU.
+ */
+
+#include "baselines/platform.hpp"
+#include "bench_util.hpp"
+#include "nn/zoo.hpp"
+
+using namespace pointacc;
+
+namespace {
+
+void
+breakdownTable(const Network &net)
+{
+    const auto cloud = bench::benchCloud(net);
+    const auto w = summarizeWorkload(net, cloud);
+    std::printf("\n%s on %s (%zu points)\n", net.name.c_str(),
+                toString(net.dataset).c_str(), cloud.size());
+    std::printf("%-18s %10s %10s %10s %10s\n", "platform", "data-mv %",
+                "mapping %", "matmul %", "total ms");
+    const std::vector<const PlatformSpec *> platforms = {
+        &xeonGold6130(), &rtx2080Ti(), &mobileGpu(), &tpuV3()};
+    for (const auto *p : platforms) {
+        const auto r = estimatePlatform(*p, net.notation, w);
+        const double t = r.totalMs();
+        std::printf("%-18s %9.1f%% %9.1f%% %9.1f%% %10.2f\n",
+                    p->name.c_str(), 100.0 * r.dataMovementMs / t,
+                    100.0 * r.mappingMs / t, 100.0 * r.matmulMs / t, t);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("bench_fig6_breakdown",
+                  "Fig. 6 (latency breakdown on CPU/GPU/mGPU/CPU+TPU)");
+    breakdownTable(pointNetPPSemSeg());
+    breakdownTable(minkowskiUNetOutdoor());
+    std::printf("\nExpected shape: PointNet++-based nets spend > 50%% on "
+                "mapping ops on\ngeneral-purpose hardware; CPU+TPU is "
+                "dominated (60-90%%) by data movement.\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 3: evaluated ASIC platforms (Mesorasi, PointAcc,
+ * PointAcc.Edge).
+ */
+
+#include "baselines/mesorasi.hpp"
+#include "bench_util.hpp"
+#include "sim/accel_config.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    bench::banner("bench_tab3_configs", "Table 3 (ASIC configurations)");
+    const auto full = pointAccConfig();
+    const auto edge = pointAccEdgeConfig();
+    const MesorasiConfig mesorasi;
+
+    std::printf("%-18s %14s %14s %14s\n", "", "Mesorasi", "PointAcc",
+                "PointAcc.Edge");
+    std::printf("%-18s %14s %14s %14s\n", "cores", "16x16=256",
+                "64x64=4096", "16x16=256");
+    std::printf("%-18s %14s %14u %14u\n", "SRAM (KB)", "1624",
+                full.totalSramKB(), edge.totalSramKB());
+    std::printf("%-18s %14s %14.1f %14.1f\n", "area (mm^2)", "-",
+                full.areaMm2, edge.areaMm2);
+    std::printf("%-18s %14.1f %14.1f %14.1f\n", "freq (GHz)",
+                mesorasi.freqGHz, full.freqGHz, edge.freqGHz);
+    std::printf("%-18s %14s %14s %14s\n", "DRAM", "LPDDR3-1600",
+                full.dram.name.c_str(), edge.dram.name.c_str());
+    std::printf("%-18s %14.1f %14.1f %14.1f\n", "bandwidth (GB/s)",
+                mesorasi.dramBwGBps, full.dram.bandwidthGBps,
+                edge.dram.bandwidthGBps);
+    std::printf("%-18s %14s %14s %14s\n", "peak perf", "512 GOPS",
+                "8 TOPS", "512 GOPS");
+    return 0;
+}

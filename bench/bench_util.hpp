@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Every bench prints the rows/series of one paper table or figure.
+ * Clouds are generated at a per-dataset scale factor chosen so the
+ * full suite completes in well under a minute; scales are reported in
+ * each table header so absolute numbers are interpretable.
+ */
+
+#ifndef POINTACC_BENCH_BENCH_UTIL_HPP
+#define POINTACC_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/network.hpp"
+
+namespace pointacc::bench {
+
+/** Workload scale per dataset (fraction of the paper's input size). */
+inline double
+datasetScale(DatasetKind kind)
+{
+    switch (kind) {
+      case DatasetKind::ModelNet40:
+      case DatasetKind::ShapeNet:
+        return 1.0;   // full object clouds
+      case DatasetKind::KITTI:
+        return 0.5;
+      case DatasetKind::S3DIS:
+        return 0.5;
+      case DatasetKind::SemanticKITTI:
+        return 0.25;  // ~24k of ~98k points
+    }
+    return 1.0;
+}
+
+/** Deterministic benchmark cloud for one network. */
+inline PointCloud
+benchCloud(const Network &net, std::uint64_t seed = 20211018)
+{
+    return generate(net.dataset, seed, datasetScale(net.dataset));
+}
+
+/** Print a rule line. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    rule();
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    rule();
+}
+
+} // namespace pointacc::bench
+
+#endif // POINTACC_BENCH_BENCH_UTIL_HPP

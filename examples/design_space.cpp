@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scenario: design-space exploration with the simulator.
+ *
+ * The AcceleratorConfig struct exposes every sizing knob of the
+ * architecture. This example sweeps the systolic-array size, the
+ * Mapping Unit merger width and the cache block size on a fixed
+ * workload, printing latency / energy / area-proxy trade-offs — the
+ * workflow an architect would use to size a derivative of PointAcc.
+ */
+
+#include <cstdio>
+
+#include "datasets/synthetic.hpp"
+#include "mpu/alt_engines.hpp"
+#include "nn/zoo.hpp"
+#include "sim/accelerator.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    const auto net = minkowskiUNetIndoor();
+    const auto cloud = generate(DatasetKind::S3DIS, 11, 0.25);
+    std::printf("workload: %s on %zu points\n\n", net.notation.c_str(),
+                cloud.size());
+
+    std::printf("[systolic array sweep]\n%8s %14s %12s %10s\n", "PEs",
+                "latency ms", "energy mJ", "EDP");
+    for (std::uint32_t dim : {16u, 32u, 64u, 128u}) {
+        auto cfg = pointAccConfig();
+        cfg.mxu = MxuConfig{dim, dim};
+        // Scale static power with the array area.
+        cfg.energy.staticPowerW =
+            10.0 * static_cast<double>(dim) * dim / (64.0 * 64.0);
+        Accelerator accel(cfg);
+        const auto r = accel.run(net, cloud);
+        std::printf("%5ux%-3u %14.2f %12.2f %10.1f\n", dim, dim,
+                    r.latencyMs(), r.energyMJ(),
+                    r.latencyMs() * r.energyMJ());
+    }
+
+    std::printf("\n[MPU merger width sweep] (mapping cycles only)\n");
+    std::printf("%8s %16s %14s\n", "width", "mapping Mcycles",
+                "sorter area");
+    for (std::size_t width : {16u, 32u, 64u, 128u}) {
+        auto cfg = pointAccConfig();
+        cfg.mpu = MpuConfig{width, width, 13};
+        Accelerator accel(cfg);
+        const auto r = accel.run(net, cloud);
+        std::printf("%8zu %16.2f %14.0f\n", width,
+                    static_cast<double>(r.mappingCycles) / 1e6,
+                    mergeSorterAreaUnits(width));
+    }
+
+    std::printf("\n[cache block size sweep]\n%8s %14s %14s\n", "block",
+                "DRAM MB", "latency ms");
+    for (std::uint32_t block : {1u, 4u, 16u, 64u}) {
+        Accelerator accel(pointAccConfig());
+        RunOptions opt;
+        opt.cacheBlockPoints = block;
+        const auto r = accel.run(net, cloud, opt);
+        std::printf("%8u %14.2f %14.2f\n", block,
+                    static_cast<double>(r.dramReadBytes +
+                                        r.dramWriteBytes) /
+                        1e6,
+                    r.latencyMs());
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+#include "baselines/mesorasi.hpp"
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+namespace {
+
+/**
+ * Workload after the delayed-aggregation rewrite: map-driven MLPs
+ * (maps x cin x cout MACs) become per-point MLPs (numIn x cin x cout),
+ * and each original map contributes one AU reduction element.
+ */
+struct DelayedWorkload
+{
+    std::uint64_t npuMacs = 0;
+    std::uint64_t auElements = 0;  ///< neighbor features reduced
+    std::uint64_t mappingWork = 0; ///< host distance evals
+    std::uint64_t trafficBytes = 0;
+};
+
+DelayedWorkload
+delayedAggregationWorkload(const Network &net, const PointCloud &input)
+{
+    DelayedWorkload d;
+    executeNetwork(net, input, [&](const LayerWork &w) {
+        if (w.maps != nullptr) {
+            // Delayed aggregation: MLP on the input points once.
+            d.npuMacs += w.numIn * static_cast<std::uint64_t>(w.cin) *
+                         w.cout;
+            d.auElements += w.maps->size() * w.cout;
+            // Neighbor features still gather once for the reduction.
+            d.trafficBytes += w.maps->size() * 2ULL * w.cout;
+        } else {
+            d.npuMacs += w.macs;
+            d.trafficBytes += w.numIn * 2ULL * (w.cin + w.cout);
+        }
+        for (const auto &op : w.mappingOps) {
+            switch (op.kind) {
+              case MappingOpKind::Fps:
+              case MappingOpKind::BallQuery:
+              case MappingOpKind::Knn:
+                d.mappingWork += op.inputPoints * op.outputPoints;
+                break;
+              default:
+                break;
+            }
+        }
+    });
+    return d;
+}
+
+} // namespace
+
+MesorasiResult
+runMesorasi(const Network &net, const PointCloud &input,
+            const MesorasiConfig &cfg)
+{
+    MesorasiResult r;
+    r.network = net.notation;
+    if (!net.mesorasiCompatible) {
+        r.supported = false;
+        return r;
+    }
+    r.supported = true;
+
+    const auto d = delayedAggregationWorkload(net, input);
+
+    const double npuMacsPerSec = static_cast<double>(cfg.npuRows) *
+                                 cfg.npuCols * cfg.freqGHz * 1e9;
+    // NPU utilization on small point-cloud MLP matrices (~70%,
+    // delayed aggregation feeds it contiguous per-point matrices).
+    r.matmulMs = static_cast<double>(d.npuMacs) /
+                 (npuMacsPerSec * 0.70) * 1e3;
+    r.aggregationMs = static_cast<double>(d.auElements) /
+                      (static_cast<double>(cfg.auLanes) * cfg.freqGHz *
+                       1e9) *
+                      1e3;
+    r.mappingMs = static_cast<double>(d.mappingWork) /
+                  (cfg.hostMappingGops * 1e6);
+    r.dataMovementMs = static_cast<double>(d.trafficBytes) /
+                       (cfg.dramBwGBps * 1e6);
+    r.energyMJ = cfg.powerW * r.totalMs();
+    return r;
+}
+
+PlatformResult
+runMesorasiSW(const PlatformSpec &platform, const Network &net,
+              const PointCloud &input)
+{
+    simAssert(net.mesorasiCompatible,
+              "Mesorasi-SW requires a PointNet++-based network");
+    const auto d = delayedAggregationWorkload(net, input);
+
+    PlatformResult r;
+    r.platform = platform.name + " (Mesorasi-SW)";
+    r.network = net.notation;
+    r.matmulMs = static_cast<double>(d.npuMacs + d.auElements) /
+                 (platform.matmulGmacs * 1e6);
+    r.mappingMs = static_cast<double>(d.mappingWork) /
+                  (platform.mappingGops * 1e6);
+    r.dataMovementMs = static_cast<double>(d.trafficBytes) /
+                       (platform.memBwGBps * 1e6);
+    r.energyMJ = platform.powerW * r.totalMs();
+    return r;
+}
+
+} // namespace pointacc

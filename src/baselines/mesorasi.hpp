@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Mesorasi accelerator model (Feng et al., MICRO 2020) — the prior
+ * point cloud accelerator PointAcc compares against (Section 5.2.2).
+ *
+ * Mesorasi's delayed aggregation rewrites PointNet++-style blocks so
+ * the MLP runs once per *point* instead of once per *neighbor*; an
+ * Aggregation Unit (AU) then max-reduces neighbor features. This works
+ * only when every neighbor shares the same weights — SparseConv-based
+ * networks (and PointNet++ variants with per-neighbor weights) are
+ * unsupported, which is the co-design argument of Fig. 16.
+ *
+ * Hardware: a 16x16 systolic NPU (512 GOPS) plus the AU, backed by
+ * LPDDR3-1600 (Table 3). Neighbor search (FPS + kNN/ball query) is not
+ * accelerated; it runs on the host mobile SoC.
+ */
+
+#ifndef POINTACC_BASELINES_MESORASI_HPP
+#define POINTACC_BASELINES_MESORASI_HPP
+
+#include "baselines/platform.hpp"
+#include "nn/network.hpp"
+
+namespace pointacc {
+
+/** Mesorasi hardware parameters (Table 3 column 1). */
+struct MesorasiConfig
+{
+    std::uint32_t npuRows = 16;
+    std::uint32_t npuCols = 16;
+    double freqGHz = 1.0;
+    double dramBwGBps = 12.8;  ///< LPDDR3-1600
+    /** Host mapping throughput (mobile SoC, Gops). */
+    double hostMappingGops = 1.0;
+    /** AU reduction throughput (elements/cycle). */
+    std::uint32_t auLanes = 64;
+    double powerW = 6.0;
+};
+
+/** Result of running a network on the Mesorasi model. */
+struct MesorasiResult
+{
+    std::string network;
+    bool supported = false; ///< false for SparseConv-based networks
+    double mappingMs = 0.0;
+    double matmulMs = 0.0;       ///< delayed-aggregation MLPs on NPU
+    double aggregationMs = 0.0;  ///< AU reductions
+    double dataMovementMs = 0.0;
+    double energyMJ = 0.0;
+
+    double
+    totalMs() const
+    {
+        return mappingMs + matmulMs + aggregationMs + dataMovementMs;
+    }
+};
+
+/**
+ * Simulate one inference on the Mesorasi model. For unsupported
+ * networks the result has supported == false and zero times.
+ */
+MesorasiResult runMesorasi(const Network &net, const PointCloud &input,
+                           const MesorasiConfig &cfg = {});
+
+/**
+ * Mesorasi-SW: the delayed-aggregation *algorithm* on a general
+ * platform (Fig. 15's Mesorasi-SW bars): same MAC reduction, no AU,
+ * platform-rate mapping.
+ */
+PlatformResult runMesorasiSW(const PlatformSpec &platform,
+                             const Network &net, const PointCloud &input);
+
+} // namespace pointacc
+
+#endif // POINTACC_BASELINES_MESORASI_HPP

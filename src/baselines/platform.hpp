@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytical performance models of the baseline hardware platforms
+ * (Section 5.1): server products (Xeon 6130, RTX 2080Ti, TPU-v3) and
+ * edge devices (Jetson Xavier NX, Jetson Nano, Raspberry Pi 4).
+ *
+ * Each platform is described by its *achieved* throughputs on point
+ * cloud workloads — effective matmul rate, effective memory bandwidth
+ * for the gather-matmul-scatter flow, and mapping-operation throughput
+ * — calibrated once against the paper's measured breakdowns (Fig. 6)
+ * and then held fixed for every experiment. The TPU additionally pays
+ * the host round trip of Section 3, Bottleneck I: mapping runs on the
+ * host CPU and gathered matrices cross PCIe in both directions.
+ */
+
+#ifndef POINTACC_BASELINES_PLATFORM_HPP
+#define POINTACC_BASELINES_PLATFORM_HPP
+
+#include <string>
+#include <vector>
+
+#include "nn/executor.hpp"
+
+namespace pointacc {
+
+/** Calibrated description of one baseline platform. */
+struct PlatformSpec
+{
+    std::string name;
+    /** Achieved matmul throughput on point-cloud matrices (GMAC/s). */
+    double matmulGmacs = 0.0;
+    /** Effective DRAM bandwidth for gather/scatter traffic (GB/s). */
+    double memBwGBps = 0.0;
+    /** Mapping-op throughput: distance evals / probes per second (G). */
+    double mappingGops = 0.0;
+    /** Host link bandwidth for co-processor round trips (GB/s);
+     *  0 = unified memory, no round trip. */
+    double hostLinkGBps = 0.0;
+    /** Mapping executes on the host CPU (TPU case). */
+    bool mappingOnHost = false;
+    /** Host CPU mapping throughput when mappingOnHost (Gops). */
+    double hostMappingGops = 0.0;
+    /** Average board power while busy (W). */
+    double powerW = 0.0;
+    /** Fixed per-kernel dispatch overhead (us): point cloud layers
+     *  fragment into hundreds of small kernels, so launch/dispatch
+     *  overhead is a first-order cost on real devices. */
+    double launchOverheadUs = 0.0;
+};
+
+/** Latency breakdown in the Fig. 6 categories. */
+struct PlatformResult
+{
+    std::string platform;
+    std::string network;
+    double matmulMs = 0.0;
+    double mappingMs = 0.0;
+    double dataMovementMs = 0.0;
+
+    double
+    totalMs() const
+    {
+        return matmulMs + mappingMs + dataMovementMs;
+    }
+
+    double energyMJ = 0.0;
+};
+
+// Server-class platforms (Fig. 13 baselines).
+const PlatformSpec &rtx2080Ti();
+const PlatformSpec &xeonGold6130();
+const PlatformSpec &tpuV3();
+
+// Edge platforms (Fig. 14 baselines).
+const PlatformSpec &jetsonXavierNX();
+const PlatformSpec &jetsonNano();
+const PlatformSpec &raspberryPi4();
+
+/** Mobile GPU used in the Fig. 6 motivation breakdown. */
+const PlatformSpec &mobileGpu();
+
+/** Estimate one network inference on `spec`. */
+PlatformResult estimatePlatform(const PlatformSpec &spec,
+                                const std::string &network_name,
+                                const WorkloadSummary &workload);
+
+} // namespace pointacc
+
+#endif // POINTACC_BASELINES_PLATFORM_HPP

@@ -1,0 +1,96 @@
+#include "core/point_cloud.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+BoundingBox
+PointCloud::boundingBox() const
+{
+    BoundingBox box;
+    if (coords.empty())
+        return box;
+    box.lo = box.hi = coords.front();
+    for (const auto &c : coords) {
+        box.lo.x = std::min(box.lo.x, c.x);
+        box.lo.y = std::min(box.lo.y, c.y);
+        box.lo.z = std::min(box.lo.z, c.z);
+        box.hi.x = std::max(box.hi.x, c.x);
+        box.hi.y = std::max(box.hi.y, c.y);
+        box.hi.z = std::max(box.hi.z, c.z);
+    }
+    return box;
+}
+
+double
+PointCloud::density() const
+{
+    if (coords.empty())
+        return 0.0;
+    const auto box = boundingBox();
+    return static_cast<double>(coords.size()) /
+           static_cast<double>(box.volume());
+}
+
+void
+PointCloud::sortByCoord()
+{
+    std::vector<std::size_t> perm(coords.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+        return coords[a] < coords[b];
+    });
+
+    std::vector<Coord3> newCoords(coords.size());
+    std::vector<float> newFeatures(features.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        newCoords[i] = coords[perm[i]];
+        if (numChannels > 0) {
+            std::copy_n(features.begin() +
+                            static_cast<std::ptrdiff_t>(perm[i]) * numChannels,
+                        numChannels,
+                        newFeatures.begin() +
+                            static_cast<std::ptrdiff_t>(i) * numChannels);
+        }
+    }
+    coords = std::move(newCoords);
+    features = std::move(newFeatures);
+}
+
+bool
+PointCloud::isSorted() const
+{
+    return std::is_sorted(coords.begin(), coords.end());
+}
+
+std::size_t
+PointCloud::dedupSorted()
+{
+    simAssert(isSorted(), "dedupSorted requires a sorted cloud");
+    if (coords.empty())
+        return 0;
+
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < coords.size(); ++read) {
+        if (read > 0 && coords[read] == coords[write - 1])
+            continue;
+        coords[write] = coords[read];
+        if (numChannels > 0 && write != read) {
+            std::copy_n(features.begin() +
+                            static_cast<std::ptrdiff_t>(read) * numChannels,
+                        numChannels,
+                        features.begin() +
+                            static_cast<std::ptrdiff_t>(write) * numChannels);
+        }
+        ++write;
+    }
+    const std::size_t removed = coords.size() - write;
+    coords.resize(write);
+    features.resize(write * static_cast<std::size_t>(numChannels));
+    return removed;
+}
+
+} // namespace pointacc

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Everything in the repository that needs randomness takes an explicit
+ * seed and goes through Xoshiro256** so results are identical across
+ * standard libraries and platforms (std::mt19937 distributions are not
+ * portable). This matters: every benchmark table must be reproducible
+ * run-to-run and machine-to-machine.
+ */
+
+#ifndef POINTACC_CORE_RNG_HPP
+#define POINTACC_CORE_RNG_HPP
+
+#include <cstdint>
+
+namespace pointacc {
+
+/** SplitMix64: seeds the main generator, one 64-bit state word. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** deterministic generator.
+ *
+ * Satisfies UniformRandomBitGenerator, but prefer the member helpers
+ * (uniform / range / gauss) which are themselves portable.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9d1acc0ULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &w : s)
+            w = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint64_t
+    range(std::uint64_t n)
+    {
+        // Lemire's nearly-divisionless method, biased by < 2^-64.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>((*this)()) * n;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Standard normal via Box-Muller (portable, no std::distribution). */
+    double
+    gauss()
+    {
+        if (hasSpare) {
+            hasSpare = false;
+            return spare;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+        const double theta = 2.0 * 3.14159265358979323846 * u2;
+        spare = r * __builtin_sin(theta);
+        hasSpare = true;
+        return r * __builtin_cos(theta);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t s[4] = {};
+    bool hasSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_CORE_RNG_HPP

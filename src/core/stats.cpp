@@ -1,0 +1,32 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pointacc {
+
+double
+Summary::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(p, 0.0, 1.0);
+    const auto rank = static_cast<std::size_t>(
+        clamped * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[rank];
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+} // namespace pointacc

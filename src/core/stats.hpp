@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Lightweight counter/accumulator statistics used by every hardware model.
+ *
+ * Each unit owns its own stats struct; this header only provides the
+ * shared primitives (a named-counter registry used by integration tests
+ * and a streaming histogram used by the DRAM-distribution experiment,
+ * Fig. 19).
+ */
+
+#ifndef POINTACC_CORE_STATS_HPP
+#define POINTACC_CORE_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pointacc {
+
+/** A simple named 64-bit counter registry. */
+class StatRegistry
+{
+  public:
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        const auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    void clear() { counters.clear(); }
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/**
+ * Streaming scalar summary: count / sum / min / max / mean, plus the raw
+ * samples so distribution plots (violin-style, Fig. 19) can be rebuilt.
+ */
+class Summary
+{
+  public:
+    void
+    record(double v)
+    {
+        samples.push_back(v);
+        total += v;
+        if (samples.size() == 1) {
+            lo = hi = v;
+        } else {
+            if (v < lo) lo = v;
+            if (v > hi) hi = v;
+        }
+    }
+
+    std::size_t count() const { return samples.size(); }
+    double sum() const { return total; }
+    double min() const { return lo; }
+    double max() const { return hi; }
+
+    double
+    mean() const
+    {
+        return samples.empty() ? 0.0
+                               : total / static_cast<double>(samples.size());
+    }
+
+    /** p in [0,1]; nearest-rank percentile over recorded samples. */
+    double percentile(double p) const;
+
+    const std::vector<double> &data() const { return samples; }
+
+  private:
+    std::vector<double> samples;
+    double total = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Geometric mean of a vector of positive values (0 when empty). */
+double geomean(const std::vector<double> &values);
+
+} // namespace pointacc
+
+#endif // POINTACC_CORE_STATS_HPP

@@ -1,0 +1,310 @@
+#include "datasets/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace pointacc {
+
+namespace {
+
+const std::vector<DatasetSpec> specs = {
+    {DatasetKind::ModelNet40, "ModelNet40", 1024, 0.02, 2.0, true},
+    {DatasetKind::ShapeNet, "ShapeNet", 2048, 0.02, 2.0, true},
+    {DatasetKind::KITTI, "KITTI", 16384, 0.05, 80.0, false},
+    {DatasetKind::S3DIS, "S3DIS", 32768, 0.05, 20.0, false},
+    {DatasetKind::SemanticKITTI, "SemanticKITTI", 98304, 0.05, 160.0, false},
+};
+
+/** Quantize float coordinates in [-1,1]^3 onto a grid of +-extent/2. */
+Coord3
+quantizeUnit(double x, double y, double z, std::int32_t extent)
+{
+    const double half = extent / 2.0;
+    const auto q = [&](double v) {
+        return static_cast<std::int32_t>(std::lround(v * half));
+    };
+    return {q(x), q(y), q(z)};
+}
+
+void
+finalize(PointCloud &cloud)
+{
+    cloud.sortByCoord();
+    cloud.dedupSorted();
+    cloud.setTensorStride(1);
+}
+
+/** Sample a point on the surface of a unit sphere. */
+void
+sampleSphere(Rng &rng, double &x, double &y, double &z)
+{
+    const double u = rng.uniform(-1.0, 1.0);
+    const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double r = std::sqrt(std::max(0.0, 1.0 - u * u));
+    x = r * std::cos(theta);
+    y = r * std::sin(theta);
+    z = u;
+}
+
+/** Sample a point on the surface of an axis-aligned box. */
+void
+sampleBox(Rng &rng, double cx, double cy, double cz, double sx, double sy,
+          double sz, double &x, double &y, double &z)
+{
+    // Pick a face proportional to its area.
+    const double ax = sy * sz, ay = sx * sz, az = sx * sy;
+    const double pick = rng.uniform(0.0, 2.0 * (ax + ay + az));
+    x = cx + rng.uniform(-sx / 2, sx / 2);
+    y = cy + rng.uniform(-sy / 2, sy / 2);
+    z = cz + rng.uniform(-sz / 2, sz / 2);
+    if (pick < 2 * ax) {
+        x = cx + (pick < ax ? -sx / 2 : sx / 2);
+    } else if (pick < 2 * ax + 2 * ay) {
+        y = cy + (pick < 2 * ax + ay ? -sy / 2 : sy / 2);
+    } else {
+        z = cz + (pick < 2 * ax + 2 * ay + az ? -sz / 2 : sz / 2);
+    }
+}
+
+} // namespace
+
+const DatasetSpec &
+datasetSpec(DatasetKind kind)
+{
+    for (const auto &s : specs) {
+        if (s.kind == kind)
+            return s;
+    }
+    panic("unknown dataset kind");
+}
+
+const std::vector<DatasetSpec> &
+allDatasetSpecs()
+{
+    return specs;
+}
+
+std::string
+toString(DatasetKind kind)
+{
+    return datasetSpec(kind).name;
+}
+
+PointCloud
+makeObjectCloud(std::uint64_t seed, std::size_t points, std::int32_t gridExtent)
+{
+    Rng rng(seed);
+    std::vector<Coord3> coords;
+    coords.reserve(points);
+
+    // An object is a union of 2-4 primitives (spheres + boxes), like the
+    // chairs/tables/planes of ModelNet: thin surfaces, no volume fill.
+    const int numParts = 2 + static_cast<int>(rng.range(3));
+    struct Part
+    {
+        bool isBox;
+        double cx, cy, cz, sx, sy, sz;
+    };
+    std::vector<Part> parts;
+    for (int p = 0; p < numParts; ++p) {
+        Part part;
+        part.isBox = rng.uniform() < 0.5;
+        part.cx = rng.uniform(-0.4, 0.4);
+        part.cy = rng.uniform(-0.4, 0.4);
+        part.cz = rng.uniform(-0.4, 0.4);
+        part.sx = rng.uniform(0.2, 0.9);
+        part.sy = rng.uniform(0.2, 0.9);
+        part.sz = rng.uniform(0.2, 0.9);
+        parts.push_back(part);
+    }
+
+    while (coords.size() < points) {
+        const auto &part = parts[rng.range(parts.size())];
+        double x, y, z;
+        if (part.isBox) {
+            sampleBox(rng, part.cx, part.cy, part.cz, part.sx, part.sy,
+                      part.sz, x, y, z);
+        } else {
+            sampleSphere(rng, x, y, z);
+            x = part.cx + x * part.sx / 2;
+            y = part.cy + y * part.sy / 2;
+            z = part.cz + z * part.sz / 2;
+        }
+        coords.push_back(quantizeUnit(std::clamp(x, -1.0, 1.0),
+                                      std::clamp(y, -1.0, 1.0),
+                                      std::clamp(z, -1.0, 1.0), gridExtent));
+    }
+
+    PointCloud cloud(std::move(coords));
+    finalize(cloud);
+    return cloud;
+}
+
+PointCloud
+makeIndoorScene(std::uint64_t seed, std::size_t points, std::int32_t gridExtent)
+{
+    Rng rng(seed);
+    std::vector<Coord3> coords;
+    coords.reserve(points);
+
+    // Room: floor + ceiling + 4 walls, plus furniture boxes. Coordinates
+    // are expressed in the unit cube then scaled onto the grid.
+    struct Box
+    {
+        double cx, cy, cz, sx, sy, sz;
+    };
+    std::vector<Box> furniture;
+    const int numFurniture = 6 + static_cast<int>(rng.range(7));
+    for (int i = 0; i < numFurniture; ++i) {
+        furniture.push_back({rng.uniform(-0.7, 0.7), rng.uniform(-0.7, 0.7),
+                             rng.uniform(-0.9, -0.4), rng.uniform(0.1, 0.4),
+                             rng.uniform(0.1, 0.4), rng.uniform(0.1, 0.5)});
+    }
+
+    while (coords.size() < points) {
+        double x, y, z;
+        const double pick = rng.uniform();
+        if (pick < 0.30) { // floor (densest surface in indoor scans)
+            x = rng.uniform(-1.0, 1.0);
+            y = rng.uniform(-1.0, 1.0);
+            z = -1.0;
+        } else if (pick < 0.40) { // ceiling
+            x = rng.uniform(-1.0, 1.0);
+            y = rng.uniform(-1.0, 1.0);
+            z = 1.0;
+        } else if (pick < 0.70) { // walls
+            const bool onX = rng.uniform() < 0.5;
+            const double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+            if (onX) {
+                x = sign;
+                y = rng.uniform(-1.0, 1.0);
+            } else {
+                y = sign;
+                x = rng.uniform(-1.0, 1.0);
+            }
+            z = rng.uniform(-1.0, 1.0);
+        } else { // furniture
+            const auto &b = furniture[rng.range(furniture.size())];
+            sampleBox(rng, b.cx, b.cy, b.cz, b.sx, b.sy, b.sz, x, y, z);
+        }
+        coords.push_back(quantizeUnit(x, y, std::clamp(z, -1.0, 1.0),
+                                      gridExtent));
+    }
+
+    PointCloud cloud(std::move(coords));
+    finalize(cloud);
+    return cloud;
+}
+
+PointCloud
+makeOutdoorScene(std::uint64_t seed, std::size_t points,
+                 std::int32_t gridExtent)
+{
+    Rng rng(seed);
+    std::vector<Coord3> coords;
+    coords.reserve(points);
+
+    // Spinning LiDAR model: 64 beams with fixed elevation angles hit the
+    // ground plane or vertical obstacles (building facades, cars). Range
+    // samples follow an exponential-ish distribution so density falls
+    // off with distance exactly as in KITTI sweeps.
+    const double half = gridExtent / 2.0;
+    const int numBuildings = 8 + static_cast<int>(rng.range(8));
+    struct Facade
+    {
+        double angle, dist, width, height;
+    };
+    std::vector<Facade> facades;
+    for (int i = 0; i < numBuildings; ++i) {
+        facades.push_back({rng.uniform(0.0, 2 * 3.14159265358979323846),
+                           rng.uniform(0.2, 0.9), rng.uniform(0.05, 0.3),
+                           rng.uniform(0.05, 0.25)});
+    }
+
+    while (coords.size() < points) {
+        const double azimuth =
+            rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+        // Beam elevation: mostly near-horizontal (ground far away),
+        // matching the -25..+3 degree fan of automotive LiDARs.
+        const double elev = rng.uniform(-0.45, 0.05);
+        double x, y, z;
+
+        // Check facade hits first (closest object along the ray wins).
+        double hitDist = 1.0; // normalized max range
+        double hitHeight = -1.0;
+        bool facadeHit = false;
+        for (const auto &f : facades) {
+            double dAng = std::abs(
+                std::remainder(azimuth - f.angle,
+                               2.0 * 3.14159265358979323846));
+            if (dAng < f.width && f.dist < hitDist) {
+                const double zAtHit = f.dist * std::tan(elev) + 0.02;
+                if (zAtHit < f.height) {
+                    hitDist = f.dist;
+                    hitHeight = zAtHit;
+                    facadeHit = true;
+                }
+            }
+        }
+
+        if (!facadeHit && elev < -0.01) {
+            // Ray hits the ground plane (sensor at normalized height .02)
+            hitDist = std::min(1.0, 0.02 / std::tan(-elev));
+            hitHeight = -0.02;
+        } else if (!facadeHit) {
+            continue; // upward ray escapes the scene
+        }
+
+        // Range noise.
+        hitDist *= 1.0 + 0.01 * rng.gauss();
+        x = hitDist * std::cos(azimuth);
+        y = hitDist * std::sin(azimuth);
+        z = hitHeight;
+        if (std::abs(x) > 1 || std::abs(y) > 1)
+            continue;
+        coords.push_back({static_cast<std::int32_t>(std::lround(x * half)),
+                          static_cast<std::int32_t>(std::lround(y * half)),
+                          static_cast<std::int32_t>(
+                              std::lround(z * half * 0.12))});
+    }
+
+    PointCloud cloud(std::move(coords));
+    finalize(cloud);
+    return cloud;
+}
+
+PointCloud
+generate(DatasetKind kind, std::uint64_t seed, double scale)
+{
+    const auto &spec = datasetSpec(kind);
+    const auto target = static_cast<std::size_t>(
+        std::max(16.0, static_cast<double>(spec.numPoints) * scale));
+    const auto extent = static_cast<std::int32_t>(spec.extentM /
+                                                  spec.voxelSizeM);
+    switch (kind) {
+      case DatasetKind::ModelNet40:
+      case DatasetKind::ShapeNet:
+        return makeObjectCloud(seed, target, extent);
+      case DatasetKind::S3DIS:
+        return makeIndoorScene(seed, target, extent);
+      case DatasetKind::KITTI:
+      case DatasetKind::SemanticKITTI:
+        return makeOutdoorScene(seed, target, extent);
+    }
+    panic("unreachable dataset kind");
+}
+
+void
+randomizeFeatures(PointCloud &cloud, int channels, std::uint64_t seed)
+{
+    cloud.setChannels(channels);
+    Rng rng(seed);
+    auto &data = cloud.featureData();
+    for (auto &v : data)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+} // namespace pointacc

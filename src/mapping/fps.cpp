@@ -1,0 +1,90 @@
+#include "mapping/fps.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace pointacc {
+
+std::vector<PointIndex>
+farthestPointSampling(const PointCloud &cloud, std::size_t num_samples,
+                      PointIndex first)
+{
+    const std::size_t n = cloud.size();
+    num_samples = std::min(num_samples, n);
+    std::vector<PointIndex> selected;
+    if (num_samples == 0)
+        return selected;
+    simAssert(first >= 0 && static_cast<std::size_t>(first) < n,
+              "FPS seed point out of range");
+
+    selected.reserve(num_samples);
+    selected.push_back(first);
+
+    // minDist[i] = squared distance from point i to the selected set.
+    std::vector<std::int64_t> minDist(
+        n, std::numeric_limits<std::int64_t>::max());
+
+    PointIndex last = first;
+    while (selected.size() < num_samples) {
+        std::int64_t best = -1;
+        PointIndex bestIdx = 0;
+        const Coord3 &lastCoord = cloud.coord(last);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto d = cloud.coord(static_cast<PointIndex>(i))
+                               .distance2(lastCoord);
+            if (d < minDist[i])
+                minDist[i] = d;
+            // Ties break toward the lower index, matching the hardware
+            // comparator which keeps the earlier element on equality.
+            if (minDist[i] > best) {
+                best = minDist[i];
+                bestIdx = static_cast<PointIndex>(i);
+            }
+        }
+        selected.push_back(bestIdx);
+        last = bestIdx;
+    }
+    return selected;
+}
+
+std::vector<PointIndex>
+randomSampling(const PointCloud &cloud, std::size_t num_samples,
+               std::uint64_t seed)
+{
+    const std::size_t n = cloud.size();
+    num_samples = std::min(num_samples, n);
+    std::vector<PointIndex> indices(n);
+    std::iota(indices.begin(), indices.end(), 0);
+    Rng rng(seed);
+    // Fisher-Yates prefix shuffle: only the first num_samples slots.
+    for (std::size_t i = 0; i < num_samples; ++i) {
+        const std::size_t j = i + rng.range(n - i);
+        std::swap(indices[i], indices[j]);
+    }
+    indices.resize(num_samples);
+    return indices;
+}
+
+PointCloud
+gatherPoints(const PointCloud &cloud, const std::vector<PointIndex> &indices)
+{
+    std::vector<Coord3> coords;
+    coords.reserve(indices.size());
+    for (const auto idx : indices)
+        coords.push_back(cloud.coord(idx));
+    PointCloud out(std::move(coords), cloud.channels());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        for (int c = 0; c < cloud.channels(); ++c) {
+            out.setFeature(static_cast<PointIndex>(i), c,
+                           cloud.feature(indices[i], c));
+        }
+    }
+    out.setTensorStride(cloud.tensorStride());
+    return out;
+}
+
+} // namespace pointacc

@@ -1,0 +1,93 @@
+#include "mapping/kernel_map.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+MapSet
+hashKernelMap(const PointCloud &input, const PointCloud &output,
+              const KernelMapConfig &cfg)
+{
+    const auto offsets = kernelOffsets(cfg.kernelSize, cfg.inStride);
+    MapSet maps(static_cast<std::int32_t>(offsets.size()));
+
+    std::unordered_map<Coord3, PointIndex, Coord3Hash> table;
+    table.reserve(input.size() * 2);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        table.emplace(input.coord(static_cast<PointIndex>(i)),
+                      static_cast<PointIndex>(i));
+
+    for (std::int32_t w = 0; w < maps.numWeights(); ++w) {
+        const Coord3 &delta = offsets[w];
+        for (std::size_t q = 0; q < output.size(); ++q) {
+            const Coord3 probe =
+                output.coord(static_cast<PointIndex>(q)) + delta;
+            const auto it = table.find(probe);
+            if (it != table.end()) {
+                maps.add(Map{it->second, static_cast<PointIndex>(q), w});
+            }
+        }
+    }
+    return maps;
+}
+
+MapSet
+sortKernelMap(const PointCloud &input, const PointCloud &output,
+              const KernelMapConfig &cfg)
+{
+    simAssert(input.isSorted(), "sortKernelMap requires sorted input");
+    simAssert(output.isSorted(), "sortKernelMap requires sorted output");
+
+    const auto offsets = kernelOffsets(cfg.kernelSize, cfg.inStride);
+    MapSet maps(static_cast<std::int32_t>(offsets.size()));
+
+    // For each weight: shift input by -delta, then walk both sorted
+    // sequences simultaneously (the software analogue of the hardware
+    // mergesort + intersection detection, Fig. 9). Because shifting by
+    // a constant preserves lexicographic order, no re-sort is needed in
+    // the functional model; the hardware model pays the merge cycles.
+    for (std::int32_t w = 0; w < maps.numWeights(); ++w) {
+        const Coord3 &delta = offsets[w];
+        std::size_t i = 0, q = 0;
+        while (i < input.size() && q < output.size()) {
+            const Coord3 shifted =
+                input.coord(static_cast<PointIndex>(i)) - delta;
+            const Coord3 &qc = output.coord(static_cast<PointIndex>(q));
+            if (shifted == qc) {
+                maps.add(Map{static_cast<PointIndex>(i),
+                             static_cast<PointIndex>(q), w});
+                ++i;
+                ++q;
+            } else if (shifted < qc) {
+                ++i;
+            } else {
+                ++q;
+            }
+        }
+    }
+    return maps;
+}
+
+MapSet
+transposeMaps(const MapSet &maps, int kernel_size)
+{
+    const std::int32_t volume = maps.numWeights();
+    MapSet out(volume);
+    // Odd cubic kernels are centro-symmetric: weight w's offset delta
+    // maps to volume-1-w's offset -delta. For even kernels the offsets
+    // {0..k-1}^3 have no mirror inside the set, so the transposed layer
+    // keeps the same weight index (the upsampling layer owns its own
+    // weights anyway; only grouping matters for the simulator).
+    const bool odd = kernel_size % 2 == 1;
+    for (std::int32_t w = 0; w < volume; ++w) {
+        const std::int32_t tw = odd ? volume - 1 - w : w;
+        for (const auto &m : maps.forWeight(w))
+            out.add(Map{m.out, m.in, tw});
+    }
+    return out;
+}
+
+} // namespace pointacc

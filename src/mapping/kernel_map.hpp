@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Kernel mapping: neighbor search for SparseConv-based convolutions.
+ *
+ * For each kernel offset delta, find every (input p, output q) pair
+ * with p == q + delta (Section 2.1.2). Two reference implementations
+ * are provided:
+ *
+ *  - hashKernelMap:  the state-of-the-art software approach
+ *    (MinkowskiEngine): hash all input coordinates, then probe
+ *    q + delta for every output q and offset delta.
+ *  - sortKernelMap:  PointAcc's approach (Fig. 9): shift the input
+ *    cloud by -delta, mergesort it with the output cloud, and detect
+ *    coordinate intersections between adjacent elements.
+ *
+ * Both must produce identical MapSets; tests enforce this, and the MPU
+ * hardware model is checked against sortKernelMap.
+ */
+
+#ifndef POINTACC_MAPPING_KERNEL_MAP_HPP
+#define POINTACC_MAPPING_KERNEL_MAP_HPP
+
+#include "core/point_cloud.hpp"
+#include "mapping/maps.hpp"
+
+namespace pointacc {
+
+/** Parameters of one sparse convolution's kernel mapping. */
+struct KernelMapConfig
+{
+    int kernelSize = 3;  ///< cubic kernel edge (2 for strided downsample)
+    int inStride = 1;    ///< input tensor stride
+    int outStride = 1;   ///< output tensor stride (= inStride, or 2x)
+};
+
+/** Hash-table-based kernel mapping (software baseline). */
+MapSet hashKernelMap(const PointCloud &input, const PointCloud &output,
+                     const KernelMapConfig &cfg);
+
+/** Mergesort-based kernel mapping (PointAcc algorithm). Requires both
+ *  clouds sorted and duplicate-free. */
+MapSet sortKernelMap(const PointCloud &input, const PointCloud &output,
+                     const KernelMapConfig &cfg);
+
+/**
+ * Inverse maps for transposed (upsampling) convolution: swap in/out of
+ * the corresponding downsampling layer's maps and mirror the weight
+ * index (delta -> -delta).
+ */
+MapSet transposeMaps(const MapSet &maps, int kernel_size);
+
+} // namespace pointacc
+
+#endif // POINTACC_MAPPING_KERNEL_MAP_HPP

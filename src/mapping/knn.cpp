@@ -1,0 +1,98 @@
+#include "mapping/knn.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+namespace {
+
+/**
+ * Select the k smallest (distance, index) pairs with stable tie-break
+ * on index. Partial sort keeps this O(n log k).
+ */
+NeighborList
+selectK(std::vector<std::pair<std::int64_t, PointIndex>> &cands,
+        std::size_t k)
+{
+    k = std::min(k, cands.size());
+    std::partial_sort(cands.begin(),
+                      cands.begin() + static_cast<std::ptrdiff_t>(k),
+                      cands.end());
+    NeighborList list;
+    list.indices.reserve(k);
+    list.distances2.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        list.distances2.push_back(cands[i].first);
+        list.indices.push_back(cands[i].second);
+    }
+    return list;
+}
+
+} // namespace
+
+std::vector<NeighborList>
+kNearestNeighbors(const PointCloud &input, const PointCloud &queries, int k)
+{
+    simAssert(k >= 1, "kNN requires k >= 1");
+    std::vector<NeighborList> result;
+    result.reserve(queries.size());
+
+    std::vector<std::pair<std::int64_t, PointIndex>> cands;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const Coord3 &qc = queries.coord(static_cast<PointIndex>(q));
+        cands.clear();
+        cands.reserve(input.size());
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            cands.emplace_back(
+                input.coord(static_cast<PointIndex>(i)).distance2(qc),
+                static_cast<PointIndex>(i));
+        }
+        auto list = selectK(cands, static_cast<std::size_t>(k));
+        list.candidates = cands.size();
+        result.push_back(std::move(list));
+    }
+    return result;
+}
+
+std::vector<NeighborList>
+ballQuery(const PointCloud &input, const PointCloud &queries, int k,
+          std::int64_t radius2)
+{
+    simAssert(k >= 1, "ball query requires k >= 1");
+    std::vector<NeighborList> result;
+    result.reserve(queries.size());
+
+    std::vector<std::pair<std::int64_t, PointIndex>> cands;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const Coord3 &qc = queries.coord(static_cast<PointIndex>(q));
+        cands.clear();
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            const auto d = input.coord(static_cast<PointIndex>(i))
+                               .distance2(qc);
+            if (d <= radius2)
+                cands.emplace_back(d, static_cast<PointIndex>(i));
+        }
+        auto list = selectK(cands, static_cast<std::size_t>(k));
+        list.candidates = cands.size();
+        result.push_back(std::move(list));
+    }
+    return result;
+}
+
+MapSet
+neighborsToMaps(const std::vector<NeighborList> &lists, int k)
+{
+    MapSet maps(k);
+    for (std::size_t q = 0; q < lists.size(); ++q) {
+        const auto &list = lists[q];
+        for (std::size_t n = 0; n < list.indices.size(); ++n) {
+            maps.add(Map{list.indices[n], static_cast<PointIndex>(q),
+                         static_cast<std::int32_t>(n)});
+        }
+    }
+    return maps;
+}
+
+} // namespace pointacc

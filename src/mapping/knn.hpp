@@ -1,0 +1,63 @@
+/**
+ * @file
+ * k-nearest-neighbors and ball query: neighbor search for
+ * PointNet++-based convolutions (Section 2.1.2).
+ *
+ * For every output (query) point, the k closest input points are
+ * selected; ball query additionally requires them to lie inside a
+ * sphere of radius r. Weight index n is the neighbor's rank (0..k-1),
+ * since PointNet++-style aggregation treats each neighbor slot
+ * uniformly but the MapSet still needs a stable grouping.
+ */
+
+#ifndef POINTACC_MAPPING_KNN_HPP
+#define POINTACC_MAPPING_KNN_HPP
+
+#include <vector>
+
+#include "core/point_cloud.hpp"
+#include "mapping/maps.hpp"
+
+namespace pointacc {
+
+/** One query's neighbor list: input indices sorted by distance. */
+struct NeighborList
+{
+    std::vector<PointIndex> indices;
+    std::vector<std::int64_t> distances2;
+    /** Candidates examined by the selection (before top-k truncation):
+     *  the whole cloud for kNN, the in-radius subset for ball query.
+     *  Drives the hardware TopK cost model. */
+    std::uint64_t candidates = 0;
+};
+
+/**
+ * Brute-force kNN of each `queries` point in `input`.
+ *
+ * Ties on distance break toward the lower input index so results are
+ * bit-identical to the hardware sorter (stable comparisons).
+ *
+ * @param input    searched cloud
+ * @param queries  query cloud
+ * @param k        neighbors per query (clamped to input size)
+ */
+std::vector<NeighborList> kNearestNeighbors(const PointCloud &input,
+                                            const PointCloud &queries,
+                                            int k);
+
+/**
+ * Ball query: kNN constrained to squared radius `radius2`. Queries with
+ * fewer than k in-ball neighbors return short lists (the functional
+ * convolution layers then re-use the closest neighbor for padding, as
+ * PointNet++ does).
+ */
+std::vector<NeighborList> ballQuery(const PointCloud &input,
+                                    const PointCloud &queries, int k,
+                                    std::int64_t radius2);
+
+/** Convert neighbor lists to a MapSet with weight = neighbor rank. */
+MapSet neighborsToMaps(const std::vector<NeighborList> &lists, int k);
+
+} // namespace pointacc
+
+#endif // POINTACC_MAPPING_KNN_HPP

@@ -1,0 +1,48 @@
+#include "mapping/maps.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+std::vector<Map>
+MapSet::flattened() const
+{
+    std::vector<Map> flat;
+    flat.reserve(count);
+    for (const auto &g : groups)
+        flat.insert(flat.end(), g.begin(), g.end());
+    return flat;
+}
+
+void
+MapSet::sortGroups()
+{
+    for (auto &g : groups)
+        std::sort(g.begin(), g.end());
+}
+
+std::vector<Coord3>
+kernelOffsets(int kernel_size, int tensor_stride)
+{
+    simAssert(kernel_size >= 1, "kernel size must be positive");
+    simAssert(tensor_stride >= 1, "tensor stride must be positive");
+
+    const int lo = kernel_size % 2 == 1 ? -(kernel_size - 1) / 2 : 0;
+    const int hi = kernel_size % 2 == 1 ? (kernel_size - 1) / 2
+                                        : kernel_size - 1;
+    std::vector<Coord3> offsets;
+    offsets.reserve(static_cast<std::size_t>(kernel_size) * kernel_size *
+                    kernel_size);
+    for (int dx = lo; dx <= hi; ++dx) {
+        for (int dy = lo; dy <= hi; ++dy) {
+            for (int dz = lo; dz <= hi; ++dz) {
+                offsets.push_back(Coord3{dx, dy, dz} * tensor_stride);
+            }
+        }
+    }
+    return offsets;
+}
+
+} // namespace pointacc

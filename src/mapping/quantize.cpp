@@ -1,0 +1,30 @@
+#include "mapping/quantize.hpp"
+
+#include <bit>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+PointCloud
+quantizeDownsample(const PointCloud &input, std::int32_t out_stride)
+{
+    simAssert(out_stride >= 1, "output stride must be positive");
+    simAssert(std::has_single_bit(static_cast<std::uint32_t>(out_stride)),
+              "tensor stride must be a power of two");
+    simAssert(out_stride % input.tensorStride() == 0,
+              "output stride must be a multiple of the input stride");
+
+    std::vector<Coord3> coords;
+    coords.reserve(input.size());
+    for (const auto &p : input.coordinates())
+        coords.push_back(quantizeCoord(p, out_stride));
+
+    PointCloud out(std::move(coords));
+    out.sortByCoord();
+    out.dedupSorted();
+    out.setTensorStride(out_stride);
+    return out;
+}
+
+} // namespace pointacc

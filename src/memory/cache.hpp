@@ -1,0 +1,92 @@
+/**
+ * @file
+ * FeatureCache: the input buffers configured as a direct-mapped cache.
+ *
+ * Section 4.2.3: under the fetch-on-demand flow the MMU reuses the MIR
+ * Container as a shared Tag Array over the input feature buffers.
+ * Unlike a conventional cache, the *block size is software
+ * controllable*: a block holds `blockPoints` consecutive points by
+ * `blockChannels` consecutive channels, and the tag is the (point,
+ * channel) index of the block's first feature. Larger blocks exploit
+ * the spatial locality of sorted point clouds but raise the miss
+ * penalty — Fig. 18 sweeps this trade-off, and the compiler picks a
+ * block size per layer.
+ */
+
+#ifndef POINTACC_MEMORY_CACHE_HPP
+#define POINTACC_MEMORY_CACHE_HPP
+
+#include <cstdint>
+
+#include "memory/mir.hpp"
+
+namespace pointacc {
+
+/** Configuration of the input-buffer cache. */
+struct CacheConfig
+{
+    std::uint32_t capacityBytes = 64 * 1024; ///< input buffer size
+    std::uint32_t blockPoints = 16;     ///< points per cache block
+    std::uint32_t blockChannels = 64;   ///< channels per cache block
+    std::uint32_t bytesPerFeature = 2;  ///< fp16 features
+};
+
+/** Hit/miss statistics of one layer's execution. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t missBytes = 0; ///< DRAM fill traffic
+
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+};
+
+/**
+ * Direct-mapped feature cache over (point, channel) blocks, tags held
+ * in a MirContainer operating as Tag Array.
+ */
+class FeatureCache
+{
+  public:
+    /**
+     * @param cfg           geometry of the cache
+     * @param num_points    points in the input feature map
+     * @param num_channels  channels in the input feature map
+     */
+    FeatureCache(const CacheConfig &cfg, std::uint32_t num_points,
+                 std::uint32_t num_channels);
+
+    /**
+     * Access the features of `point` for channel tile `channel_base`
+     * (one map-driven fetch of blockChannels channels). Updates stats
+     * and fills on miss.
+     *
+     * @return true on hit
+     */
+    bool access(std::uint32_t point, std::uint32_t channel_base);
+
+    const CacheStats &stats() const { return cacheStats; }
+    std::uint32_t blockBytes() const { return bytesPerBlock; }
+    std::uint32_t numBlocks() const { return blockCount; }
+
+    void resetStats() { cacheStats = {}; }
+
+  private:
+    CacheConfig cfg;
+    std::uint32_t channelBlocks; ///< channel tiles per point
+    std::uint32_t bytesPerBlock;
+    std::uint32_t blockCount;
+    MirContainer tags;
+    CacheStats cacheStats;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_MEMORY_CACHE_HPP

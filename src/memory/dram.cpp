@@ -1,0 +1,85 @@
+#include "memory/dram.hpp"
+
+namespace pointacc {
+
+namespace {
+
+/** Requests whose latency overlaps thanks to bank-level parallelism. */
+constexpr std::uint64_t kLatencyBatch = 16;
+
+const DramSpec kHbm2{"HBM2", 256.0, 100.0, 4.0, 64};
+const DramSpec kDdr4{"DDR4-2133", 17.0, 80.0, 15.0, 64};
+const DramSpec kLpddr3{"LPDDR3-1600", 12.8, 90.0, 22.0, 64};
+
+} // namespace
+
+const DramSpec &hbm2Spec() { return kHbm2; }
+const DramSpec &ddr4Spec() { return kDdr4; }
+const DramSpec &lpddr3Spec() { return kLpddr3; }
+
+DramModel::DramModel(const DramSpec &spec) : dramSpec(spec) {}
+
+void
+DramModel::charge(std::uint64_t bytes, bool sequential,
+                  std::uint64_t requests)
+{
+    ns += static_cast<double>(bytes) / dramSpec.bandwidthGBps;
+    if (!sequential) {
+        const std::uint64_t stalls =
+            (requests + kLatencyBatch - 1) / kLatencyBatch;
+        ns += static_cast<double>(stalls) * dramSpec.latencyNs;
+    }
+}
+
+void
+DramModel::readSequential(std::uint64_t bytes)
+{
+    reads += bytes;
+    charge(bytes, true, 1);
+}
+
+void
+DramModel::writeSequential(std::uint64_t bytes)
+{
+    writes += bytes;
+    charge(bytes, true, 1);
+}
+
+void
+DramModel::readRandom(std::uint64_t count, std::uint32_t bytes_each)
+{
+    const std::uint32_t padded =
+        (bytes_each + dramSpec.burstBytes - 1) / dramSpec.burstBytes *
+        dramSpec.burstBytes;
+    const std::uint64_t bytes = count * padded;
+    reads += bytes;
+    charge(bytes, false, count);
+}
+
+void
+DramModel::writeRandom(std::uint64_t count, std::uint32_t bytes_each)
+{
+    const std::uint32_t padded =
+        (bytes_each + dramSpec.burstBytes - 1) / dramSpec.burstBytes *
+        dramSpec.burstBytes;
+    const std::uint64_t bytes = count * padded;
+    writes += bytes;
+    charge(bytes, false, count);
+}
+
+double
+DramModel::energyPJ() const
+{
+    return static_cast<double>(reads + writes) * 8.0 *
+           dramSpec.energyPerBitPJ;
+}
+
+void
+DramModel::reset()
+{
+    reads = 0;
+    writes = 0;
+    ns = 0.0;
+}
+
+} // namespace pointacc

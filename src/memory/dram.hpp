@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DRAM model (Ramulator substitute).
+ *
+ * The paper integrates its cycle simulator with Ramulator and derives
+ * DRAM energy from the dumped command trace. Every quantity the
+ * evaluation actually consumes is an aggregate: total bytes moved,
+ * transfer time against peak bandwidth, and pJ/bit. This model
+ * reproduces those aggregates for the three memory systems of Table 3
+ * (HBM2 for PointAcc, DDR4-2133 for PointAcc.Edge, LPDDR3-1600 for
+ * Mesorasi) plus a row-granularity inefficiency factor for small
+ * random accesses.
+ */
+
+#ifndef POINTACC_MEMORY_DRAM_HPP
+#define POINTACC_MEMORY_DRAM_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace pointacc {
+
+/** Static parameters of one DRAM technology. */
+struct DramSpec
+{
+    std::string name;
+    double bandwidthGBps = 0.0; ///< peak sequential bandwidth
+    double latencyNs = 0.0;     ///< first-word access latency
+    double energyPerBitPJ = 0.0;///< access energy per bit
+    std::uint32_t burstBytes = 64; ///< minimum transfer granularity
+};
+
+/** Table 3 memory systems. */
+const DramSpec &hbm2Spec();       ///< 256 GB/s (PointAcc)
+const DramSpec &ddr4Spec();       ///< 17 GB/s (PointAcc.Edge)
+const DramSpec &lpddr3Spec();     ///< 12.8 GB/s (Mesorasi)
+
+/**
+ * Accumulating DRAM traffic/energy/time model.
+ *
+ * Sequential accesses run at peak bandwidth; random accesses are
+ * rounded up to bursts and charged one latency per `latencyBatch`
+ * outstanding requests (modeling the bank-level parallelism that hides
+ * most but not all of the access latency).
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramSpec &spec);
+
+    const DramSpec &spec() const { return dramSpec; }
+
+    /** Sequential (streaming) read of `bytes`. */
+    void readSequential(std::uint64_t bytes);
+    /** Sequential (streaming) write of `bytes`. */
+    void writeSequential(std::uint64_t bytes);
+    /** Random read of `count` requests of `bytes_each` (burst-padded). */
+    void readRandom(std::uint64_t count, std::uint32_t bytes_each);
+    /** Random write of `count` requests of `bytes_each`. */
+    void writeRandom(std::uint64_t count, std::uint32_t bytes_each);
+
+    std::uint64_t readBytes() const { return reads; }
+    std::uint64_t writeBytes() const { return writes; }
+    std::uint64_t totalBytes() const { return reads + writes; }
+
+    /** Total transfer time in nanoseconds. */
+    double timeNs() const { return ns; }
+    /** Total cycles at `freq_ghz`. */
+    std::uint64_t
+    cycles(double freq_ghz) const
+    {
+        return static_cast<std::uint64_t>(ns * freq_ghz);
+    }
+    /** Total access energy in picojoules. */
+    double energyPJ() const;
+
+    void reset();
+
+  private:
+    void charge(std::uint64_t bytes, bool sequential,
+                std::uint64_t requests);
+
+    DramSpec dramSpec;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double ns = 0.0;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_MEMORY_DRAM_HPP

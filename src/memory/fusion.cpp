@@ -1,0 +1,155 @@
+#include "memory/fusion.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+namespace {
+
+/**
+ * On-chip bytes needed to fuse layers [first, first+count) with point
+ * tile T: every fused layer's input tile plus the last output tile are
+ * simultaneously live in the worst case (stage 2 of Fig. 12b).
+ */
+std::uint64_t
+fusedFootprint(const std::vector<std::uint32_t> &channels,
+               std::size_t first, std::size_t count, std::uint32_t tile,
+               std::uint32_t bytes_per_feature)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t l = first; l <= first + count; ++l)
+        sum += channels[l];
+    return sum * static_cast<std::uint64_t>(tile) * bytes_per_feature;
+}
+
+} // namespace
+
+FusionPlan
+planFusion(const std::vector<std::uint32_t> &channels,
+           std::uint32_t num_points, std::uint64_t buffer_bytes,
+           std::uint32_t bytes_per_feature, std::uint32_t min_tile)
+{
+    simAssert(channels.size() >= 2, "FC chain needs at least one layer");
+    const std::size_t numLayers = channels.size() - 1;
+
+    FusionPlan plan;
+    std::size_t next = 0;
+    while (next < numLayers) {
+        // Greedy: try to fuse all remaining layers; on overflow for
+        // every tiling, drop the last layer and retry (Section 4.2.4).
+        std::size_t count = numLayers - next;
+        std::uint32_t chosenTile = 0;
+        while (count >= 1) {
+            // Largest power-of-two tile that fits (capped at #points).
+            std::uint32_t tile = 1;
+            while (tile < num_points)
+                tile *= 2;
+            tile = std::min<std::uint32_t>(tile, num_points);
+            while (tile >= min_tile &&
+                   fusedFootprint(channels, next, count, tile,
+                                  bytes_per_feature) > buffer_bytes) {
+                tile /= 2;
+            }
+            if (tile >= min_tile || count == 1) {
+                chosenTile = std::max(tile, 1u);
+                break;
+            }
+            --count;
+        }
+        plan.groups.push_back({next, count, chosenTile});
+        next += count;
+    }
+    return plan;
+}
+
+std::uint64_t
+layerByLayerTraffic(const std::vector<std::uint32_t> &channels,
+                    std::uint32_t num_points,
+                    std::uint32_t bytes_per_feature)
+{
+    std::uint64_t bytes = 0;
+    for (std::size_t l = 0; l + 1 < channels.size(); ++l) {
+        bytes += static_cast<std::uint64_t>(num_points) * channels[l] *
+                 bytes_per_feature;       // read inputs
+        bytes += static_cast<std::uint64_t>(num_points) *
+                 channels[l + 1] * bytes_per_feature; // write outputs
+    }
+    return bytes;
+}
+
+std::uint64_t
+fusedTraffic(const std::vector<std::uint32_t> &channels,
+             std::uint32_t num_points, const FusionPlan &plan,
+             std::uint32_t bytes_per_feature)
+{
+    std::uint64_t bytes = 0;
+    for (const auto &g : plan.groups) {
+        bytes += static_cast<std::uint64_t>(num_points) *
+                 channels[g.firstLayer] * bytes_per_feature;
+        bytes += static_cast<std::uint64_t>(num_points) *
+                 channels[g.firstLayer + g.numLayers] * bytes_per_feature;
+    }
+    return bytes;
+}
+
+std::uint64_t
+simulateFusedExecution(const std::vector<std::uint32_t> &channels,
+                       const FusionGroup &group, std::uint32_t num_points,
+                       std::uint32_t bytes_per_feature)
+{
+    simAssert(group.numLayers >= 1, "empty fusion group");
+    simAssert(group.firstLayer + group.numLayers < channels.size(),
+              "fusion group out of range");
+
+    // MIR stack: one entry per live layer tile. Depth-first recursion
+    // over layers reproduces Fig. 12b's stage order: compute a tile of
+    // layer l, push layer l+1's tile, descend; when the deepest fused
+    // layer finishes, pop back to the shallowest layer with remaining
+    // capacity.
+    MirContainer stack(group.numLayers + 1, MirMode::Stack);
+    std::uint64_t peakBytes = 0;
+    std::uint64_t liveBytes = 0;
+
+    const std::uint32_t tile = std::max(group.tilePoints, 1u);
+    const auto layerTileBytes = [&](std::size_t level,
+                                    std::uint32_t points) {
+        return static_cast<std::uint64_t>(points) *
+               channels[group.firstLayer + level] * bytes_per_feature;
+    };
+
+    // Recursive tile walk. `level` 0 is the group's first layer input.
+    const std::function<void(std::size_t, std::uint32_t)> run =
+        [&](std::size_t level, std::uint32_t points) {
+            Mir mir;
+            mir.tileId = static_cast<std::int32_t>(level);
+            mir.capacity =
+                static_cast<std::uint32_t>(layerTileBytes(level, points));
+            mir.occupancy = mir.capacity;
+            stack.push(mir);
+            liveBytes += mir.capacity;
+            peakBytes = std::max(peakBytes, liveBytes);
+
+            if (level < group.numLayers) {
+                // Each consumed tile of this layer produces the next
+                // layer's input tile; process in halves like Fig. 12b
+                // when the tile is divisible, else as one chunk.
+                const std::uint32_t childPoints = points;
+                run(level + 1, childPoints);
+            }
+            const Mir popped = stack.pop();
+            liveBytes -= popped.capacity;
+        };
+
+    for (std::uint32_t base = 0; base < num_points; base += tile) {
+        const std::uint32_t points =
+            std::min<std::uint32_t>(tile, num_points - base);
+        run(0, points);
+        simAssert(stack.empty(), "fusion stack must drain per tile");
+    }
+    return peakBytes;
+}
+
+} // namespace pointacc

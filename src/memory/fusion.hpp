@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Temporal layer fusion of consecutive dense (FC) layers.
+ *
+ * Section 4.2.4 / Fig. 12: instead of spatially pipelining fused
+ * layers (which fixes their number and requires matched throughput),
+ * PointAcc fuses *temporally*: the MIR Container becomes a stack whose
+ * top entry is the layer currently computing; intermediate features
+ * never travel to DRAM. The point dimension acts as batch, so tiles
+ * need no halo. The fusion plan — how many consecutive FCs fuse, and
+ * the point-tile size — is decided at compile time with the greedy
+ * shrink-until-it-fits algorithm the paper describes.
+ */
+
+#ifndef POINTACC_MEMORY_FUSION_HPP
+#define POINTACC_MEMORY_FUSION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/mir.hpp"
+
+namespace pointacc {
+
+/** One group of fused FC layers. */
+struct FusionGroup
+{
+    std::size_t firstLayer = 0; ///< index into the chain's FC list
+    std::size_t numLayers = 0;  ///< layers fused together (>= 1)
+    std::uint32_t tilePoints = 0; ///< point-tile size chosen
+};
+
+/** Complete fusion plan over a chain of consecutive FCs. */
+struct FusionPlan
+{
+    std::vector<FusionGroup> groups;
+
+    std::size_t
+    maxGroupSize() const
+    {
+        std::size_t best = 0;
+        for (const auto &g : groups)
+            best = std::max(best, g.numLayers);
+        return best;
+    }
+};
+
+/**
+ * Plan fusion for a chain of consecutive FC layers.
+ *
+ * @param channels     channel dims c0..cL: layer l maps c_{l}
+ *                     -> c_{l+1}; channels.size() == #layers + 1
+ * @param num_points   points flowing through the chain
+ * @param buffer_bytes on-chip feature buffer capacity
+ * @param bytes_per_feature feature element size
+ * @param min_tile     smallest point tile worth scheduling
+ */
+FusionPlan planFusion(const std::vector<std::uint32_t> &channels,
+                      std::uint32_t num_points, std::uint64_t buffer_bytes,
+                      std::uint32_t bytes_per_feature = 2,
+                      std::uint32_t min_tile = 32);
+
+/** DRAM bytes when running the chain layer by layer (no fusion). */
+std::uint64_t
+layerByLayerTraffic(const std::vector<std::uint32_t> &channels,
+                    std::uint32_t num_points,
+                    std::uint32_t bytes_per_feature = 2);
+
+/** DRAM bytes under `plan`: intermediates inside a group stay on chip. */
+std::uint64_t fusedTraffic(const std::vector<std::uint32_t> &channels,
+                           std::uint32_t num_points, const FusionPlan &plan,
+                           std::uint32_t bytes_per_feature = 2);
+
+/**
+ * Event-level simulation of one fused group through the MIR stack
+ * (Fig. 12b): verifies that tiles push/pop in the documented order and
+ * that the stack never exceeds the planned footprint. Returns the peak
+ * on-chip bytes observed.
+ */
+std::uint64_t
+simulateFusedExecution(const std::vector<std::uint32_t> &channels,
+                       const FusionGroup &group, std::uint32_t num_points,
+                       std::uint32_t bytes_per_feature = 2);
+
+} // namespace pointacc
+
+#endif // POINTACC_MEMORY_FUSION_HPP

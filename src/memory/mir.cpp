@@ -1,0 +1,94 @@
+#include "memory/mir.hpp"
+
+namespace pointacc {
+
+MirContainer::MirContainer(std::size_t num_entries, MirMode mode)
+    : entries(num_entries), containerMode(mode), slots(num_entries)
+{
+    simAssert(num_entries > 0, "MIR container needs at least one entry");
+}
+
+void
+MirContainer::setMode(MirMode mode)
+{
+    simAssert(live.empty(), "cannot switch MIR mode with live tiles");
+    containerMode = mode;
+    slots.assign(entries, std::nullopt);
+}
+
+std::optional<std::size_t>
+MirContainer::lookup(std::int32_t tag) const
+{
+    simAssert(containerMode == MirMode::TagArray,
+              "lookup requires TagArray mode");
+    const std::size_t slot = static_cast<std::size_t>(
+        static_cast<std::uint32_t>(tag)) % entries;
+    if (slots[slot] && slots[slot]->tileId == tag)
+        return slot;
+    return std::nullopt;
+}
+
+std::size_t
+MirContainer::install(const Mir &mir)
+{
+    simAssert(containerMode == MirMode::TagArray,
+              "install requires TagArray mode");
+    const std::size_t slot = static_cast<std::size_t>(
+        static_cast<std::uint32_t>(mir.tileId)) % entries;
+    slots[slot] = mir;
+    return slot;
+}
+
+void
+MirContainer::pushBack(const Mir &mir)
+{
+    simAssert(containerMode == MirMode::Fifo, "pushBack requires Fifo");
+    simAssert(!full(), "MIR FIFO overflow");
+    live.push_back(mir);
+}
+
+Mir
+MirContainer::popFront()
+{
+    simAssert(containerMode == MirMode::Fifo, "popFront requires Fifo");
+    simAssert(!live.empty(), "MIR FIFO underflow");
+    Mir mir = live.front();
+    live.pop_front();
+    return mir;
+}
+
+void
+MirContainer::push(const Mir &mir)
+{
+    simAssert(containerMode == MirMode::Stack, "push requires Stack");
+    simAssert(!full(), "MIR stack overflow");
+    live.push_back(mir);
+}
+
+Mir
+MirContainer::pop()
+{
+    simAssert(containerMode == MirMode::Stack, "pop requires Stack");
+    simAssert(!live.empty(), "MIR stack underflow");
+    Mir mir = live.back();
+    live.pop_back();
+    return mir;
+}
+
+Mir &
+MirContainer::top()
+{
+    simAssert(containerMode == MirMode::Stack, "top requires Stack");
+    simAssert(!live.empty(), "MIR stack empty");
+    return live.back();
+}
+
+const Mir &
+MirContainer::top() const
+{
+    simAssert(containerMode == MirMode::Stack, "top requires Stack");
+    simAssert(!live.empty(), "MIR stack empty");
+    return live.back();
+}
+
+} // namespace pointacc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Rival mapping engines used by the paper's ablations.
+ *
+ * Section 4.1.1 compares the mergesort-based kernel mapping against a
+ * specialized *hash-table* unit ("1.4x speedup while saving up to 14x
+ * area with the same parallelism"), and Section 4.1.4 compares the
+ * MPU's TopK against the *quick-selection* top-k engine of SpAtten
+ * ("on average 1.18x faster with the same parallelism"). Both rivals
+ * are modeled here so the ablation benches regenerate those numbers.
+ */
+
+#ifndef POINTACC_MPU_ALT_ENGINES_HPP
+#define POINTACC_MPU_ALT_ENGINES_HPP
+
+#include "core/point_cloud.hpp"
+#include "mapping/kernel_map.hpp"
+#include "mpu/comparator.hpp"
+
+namespace pointacc {
+
+/** Statistics of the hash-table kernel-mapping engine. */
+struct HashEngineStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t bankConflicts = 0;
+    std::uint64_t sramReadBytes = 0;
+    std::uint64_t sramWriteBytes = 0;
+};
+
+/**
+ * Hardware model of a parallel on-chip hash-table kernel mapper.
+ *
+ * `lanes` parallel probe units share a banked SRAM hash table. Banking
+ * causes conflicts: two probes landing in the same bank in the same
+ * cycle serialize. A parallel random read network across `lanes` banks
+ * needs an lanes-by-lanes crossbar, which is where the O(N^2) area goes
+ * (Section 4.1.1).
+ */
+class HashKernelMapper
+{
+  public:
+    /**
+     * @param lanes      parallel probe lanes (same parallelism as the
+     *                   MPU merger width for fair comparison)
+     * @param num_banks  SRAM banks backing the table
+     * @param load_factor table occupancy target (entries / slots)
+     */
+    explicit HashKernelMapper(std::size_t lanes, std::size_t num_banks = 0,
+                              double load_factor = 0.5);
+
+    /** Run kernel mapping; results must equal the reference MapSet. */
+    MapSet map(const PointCloud &input, const PointCloud &output,
+               const KernelMapConfig &kcfg, HashEngineStats &stats) const;
+
+    /**
+     * Area estimate in comparator-equivalents. The hash unit pays for
+     * (a) the table SRAM sized for the largest supported cloud and
+     * (b) the lanes^2 crossbar; the merge-based MPU pays only for
+     * N log N comparators plus small stream buffers. The ratio of the
+     * two is the paper's ~14x claim.
+     */
+    double areaUnits(std::size_t max_cloud_points) const;
+
+    std::size_t lanes() const { return numLanes; }
+
+  private:
+    std::size_t numLanes;
+    std::size_t numBanks;
+    double loadFactor;
+};
+
+/** Area of the merge-based mapping pipeline, in the same units. */
+double mergeSorterAreaUnits(std::size_t merger_width);
+
+/** Statistics of the quick-selection top-k engine. */
+struct QuickSelectStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t comparisons = 0;
+    std::uint64_t passes = 0;
+};
+
+/**
+ * Model of SpAtten's quick-selection top-k engine: repeatedly pick a
+ * pivot, partition the survivors with `lanes` parallel comparators, and
+ * recurse into the side containing the k-th element. Expected work is
+ * ~2n comparisons but needs a full pass (with buffer write-back) per
+ * recursion level.
+ */
+ElementVec quickSelectTopK(ElementVec data, std::size_t k,
+                           std::size_t lanes, QuickSelectStats &stats);
+
+} // namespace pointacc
+
+#endif // POINTACC_MPU_ALT_ENGINES_HPP

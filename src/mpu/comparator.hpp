@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ComparatorStruct: the element type flowing through the Mapping Unit.
+ *
+ * Section 4.1.2: "the comparator input element contains the comparator
+ * key (coordinates or distance) and the payload (e.g., the point
+ * index)." Coordinates are packed into one 64-bit word (packCoord) so a
+ * single integer comparison reproduces the hardware's lexicographic
+ * comparator tree; distances use the raw 64-bit squared value.
+ */
+
+#ifndef POINTACC_MPU_COMPARATOR_HPP
+#define POINTACC_MPU_COMPARATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace pointacc {
+
+/** One element in a sorting/merging network. */
+struct ComparatorStruct
+{
+    std::uint64_t key = 0;     ///< packed coordinate or distance
+    std::int32_t payload = 0;  ///< point index (or any tag)
+    /** Secondary tag: 0 = "input cloud", 1 = "output cloud" during
+     *  kernel mapping; unused otherwise. */
+    std::uint8_t source = 0;
+
+    friend constexpr bool
+    operator<(const ComparatorStruct &a, const ComparatorStruct &b)
+    {
+        // Stable tie-break: source then payload, mirroring the hardware
+        // comparator which preserves arrival order on key equality.
+        if (a.key != b.key)
+            return a.key < b.key;
+        if (a.source != b.source)
+            return a.source < b.source;
+        return a.payload < b.payload;
+    }
+
+    friend constexpr bool
+    operator==(const ComparatorStruct &a, const ComparatorStruct &b)
+    {
+        return a.key == b.key && a.payload == b.payload &&
+               a.source == b.source;
+    }
+};
+
+using ElementVec = std::vector<ComparatorStruct>;
+
+/** Build a ComparatorStruct keyed by packed coordinate. */
+inline ComparatorStruct
+coordElement(const Coord3 &c, std::int32_t payload, std::uint8_t source = 0)
+{
+    return {packCoord(c), payload, source};
+}
+
+/** Build a ComparatorStruct keyed by squared distance. */
+inline ComparatorStruct
+distanceElement(std::int64_t dist2, std::int32_t payload)
+{
+    return {static_cast<std::uint64_t>(dist2), payload, 0};
+}
+
+} // namespace pointacc
+
+#endif // POINTACC_MPU_COMPARATOR_HPP

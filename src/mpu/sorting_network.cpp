@@ -1,0 +1,82 @@
+#include "mpu/sorting_network.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+namespace {
+
+/**
+ * One compare-exchange. The hardware comparator keeps the smaller
+ * element on the low wire; ties keep arrival order (stability comes
+ * from the source/payload tie-break in operator<).
+ */
+inline void
+compareExchange(ComparatorStruct &lo, ComparatorStruct &hi,
+                NetworkStats &stats)
+{
+    ++stats.compareExchanges;
+    if (hi < lo)
+        std::swap(lo, hi);
+}
+
+} // namespace
+
+NetworkStats
+bitonicSort(ElementVec &data)
+{
+    const std::size_t n = data.size();
+    simAssert(std::has_single_bit(n), "bitonic sort needs power-of-two size");
+    NetworkStats stats;
+    if (n <= 1)
+        return stats;
+
+    // Classic iterative bitonic sorter (ascending). k = size of the
+    // bitonic sequences being merged, j = comparator span.
+    for (std::size_t k = 2; k <= n; k *= 2) {
+        for (std::size_t j = k / 2; j > 0; j /= 2) {
+            ++stats.stages;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t partner = i ^ j;
+                if (partner <= i)
+                    continue;
+                const bool ascending = (i & k) == 0;
+                if (ascending)
+                    compareExchange(data[i], data[partner], stats);
+                else
+                    compareExchange(data[partner], data[i], stats);
+            }
+        }
+    }
+    return stats;
+}
+
+NetworkStats
+bitonicMerge(ElementVec &data)
+{
+    const std::size_t n = data.size();
+    simAssert(std::has_single_bit(n), "bitonic merge needs power-of-two size");
+    NetworkStats stats;
+    if (n <= 1)
+        return stats;
+
+    // The hardware wires the second (ascending) half in reverse into
+    // the merge network, forming a single bitonic sequence.
+    std::reverse(data.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                 data.end());
+
+    for (std::size_t j = n / 2; j > 0; j /= 2) {
+        ++stats.stages;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t partner = i ^ j;
+            if (partner > i)
+                compareExchange(data[i], data[partner], stats);
+        }
+    }
+    return stats;
+}
+
+} // namespace pointacc

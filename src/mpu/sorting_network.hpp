@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bitonic sorting/merging networks, modeled structurally.
+ *
+ * These functions execute the exact compare-exchange schedule of the
+ * hardware networks so that (a) outputs are bit-identical to silicon
+ * and (b) comparator counts — the MPU's energy/area driver — fall out
+ * of structure instead of curve fits.
+ *
+ * Sizes must be powers of two; callers pad with +inf sentinels exactly
+ * as the hardware feeds N/A elements (Fig. 10a).
+ */
+
+#ifndef POINTACC_MPU_SORTING_NETWORK_HPP
+#define POINTACC_MPU_SORTING_NETWORK_HPP
+
+#include <cstddef>
+
+#include "mpu/comparator.hpp"
+
+namespace pointacc {
+
+/** Counters accumulated by network executions. */
+struct NetworkStats
+{
+    std::uint64_t compareExchanges = 0; ///< comparator activations
+    std::uint64_t stages = 0;           ///< pipeline stages traversed
+
+    NetworkStats &
+    operator+=(const NetworkStats &o)
+    {
+        compareExchanges += o.compareExchanges;
+        stages += o.stages;
+        return *this;
+    }
+};
+
+/**
+ * Full bitonic sort of `data` (size must be a power of two).
+ * For N inputs the network has log N * (log N + 1) / 2 stages of N/2
+ * comparators.
+ */
+NetworkStats bitonicSort(ElementVec &data);
+
+/**
+ * Bitonic merge of two sorted halves already concatenated in `data`
+ * (size power of two). log N stages of N/2 comparators. The first half
+ * must be ascending and the second half ascending as well; the network
+ * internally reverses the second half to form the bitonic sequence, as
+ * hardware wires do.
+ */
+NetworkStats bitonicMerge(ElementVec &data);
+
+/** The comparator count of one N-input merge network (static). */
+inline std::uint64_t
+mergeNetworkComparators(std::size_t n)
+{
+    std::uint64_t stages = 0;
+    for (std::size_t s = n; s > 1; s /= 2)
+        ++stages;
+    return stages * (n / 2);
+}
+
+/** Padding sentinel: sorts after every real key. */
+inline ComparatorStruct
+padElement()
+{
+    return {~0ULL, kInvalidIndex, 0xff};
+}
+
+/** True if an element is a padding sentinel. */
+inline bool
+isPad(const ComparatorStruct &e)
+{
+    return e.payload == kInvalidIndex && e.key == ~0ULL;
+}
+
+} // namespace pointacc
+
+#endif // POINTACC_MPU_SORTING_NETWORK_HPP

@@ -1,0 +1,175 @@
+#include "mpu/stream_merger.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+StreamMerger::StreamMerger(std::size_t width) : mergerWidth(width)
+{
+    simAssert(width >= 2 && std::has_single_bit(width),
+              "merger width must be a power of two >= 2");
+}
+
+ElementVec
+StreamMerger::merge(const ElementVec &a, const ElementVec &b,
+                    MergeStats &stats) const
+{
+    const std::size_t half = windowSize();
+    ElementVec out;
+    out.reserve(a.size() + b.size());
+
+    std::size_t posA = 0, posB = 0;
+    while (posA < a.size() || posB < b.size()) {
+        // Present one window per stream (short/empty windows are padded
+        // with N/A sentinels in hardware; the sentinel key is +inf so
+        // the real last element still decides the threshold).
+        const std::size_t endA = std::min(posA + half, a.size());
+        const std::size_t endB = std::min(posB + half, b.size());
+        const bool hasA = posA < a.size();
+        const bool hasB = posB < b.size();
+
+        ++stats.cycles;
+        // Each cycle activates the full merge network once.
+        stats.comparisons += mergeNetworkComparators(mergerWidth);
+
+        // Window-last comparison decides which stream advances; the
+        // smaller last element is also the validity threshold.
+        ComparatorStruct lastA = hasA ? a[endA - 1] : padElement();
+        ComparatorStruct lastB = hasB ? b[endB - 1] : padElement();
+        const bool advanceA = hasA && (!hasB || !(lastB < lastA));
+        const ComparatorStruct &threshold = advanceA ? lastA : lastB;
+
+        if (advanceA) {
+            // All of window A is <= threshold (it is sorted and the
+            // threshold is its own last element): emit it fully,
+            // interleaved with the prefix of B's window that is also
+            // below the threshold. Those B elements are marked invalid
+            // in B's *next* presentation by the replay register; the
+            // software equivalent is to advance posB past them.
+            std::size_t bCursor = posB;
+            for (std::size_t i = posA; i < endA; ++i) {
+                while (bCursor < endB && b[bCursor] < a[i]) {
+                    out.push_back(b[bCursor]);
+                    ++bCursor;
+                }
+                out.push_back(a[i]);
+            }
+            while (bCursor < endB && !(threshold < b[bCursor])) {
+                out.push_back(b[bCursor]);
+                ++bCursor;
+            }
+            posA = endA;
+            posB = bCursor;
+        } else {
+            std::size_t aCursor = posA;
+            for (std::size_t i = posB; i < endB; ++i) {
+                while (aCursor < endA && a[aCursor] < b[i]) {
+                    out.push_back(a[aCursor]);
+                    ++aCursor;
+                }
+                out.push_back(b[i]);
+            }
+            while (aCursor < endA && !(threshold < a[aCursor])) {
+                out.push_back(a[aCursor]);
+                ++aCursor;
+            }
+            posB = endB;
+            posA = aCursor;
+        }
+    }
+    stats.elementsOut += out.size();
+    return out;
+}
+
+ElementVec
+StreamMerger::sort(ElementVec data, MergeStats &stats, std::size_t k) const
+{
+    const std::size_t half = windowSize();
+    if (data.empty())
+        return data;
+
+    // Stage ST: split into N/2-wide windows and sort each with the
+    // bitonic sorter (one window per cycle through the pipeline).
+    std::vector<ElementVec> runs;
+    for (std::size_t start = 0; start < data.size(); start += half) {
+        const std::size_t end = std::min(start + half, data.size());
+        ElementVec run(data.begin() + static_cast<std::ptrdiff_t>(start),
+                       data.begin() + static_cast<std::ptrdiff_t>(end));
+        // Pad to the window size for the sorting network, then strip.
+        const std::size_t orig = run.size();
+        while (std::popcount(run.size()) != 1 || run.size() < 2)
+            run.push_back(padElement());
+        const auto net = bitonicSort(run);
+        stats.comparisons += net.compareExchanges;
+        ++stats.cycles;
+        run.resize(std::max<std::size_t>(orig, 1));
+        while (!run.empty() && isPad(run.back()))
+            run.pop_back();
+        if (k > 0 && run.size() > k)
+            run.resize(k);
+        runs.push_back(std::move(run));
+    }
+
+    // Stages BF + MS: iteratively merge pairs of runs (classical merge
+    // sort in a tree), truncating to k for TopK (Fig. 10c). Runs
+    // shorter than a window are packed back-to-back by the BF stage,
+    // so merge cycles are charged at element granularity rather than
+    // one window per (possibly tiny) run.
+    while (runs.size() > 1) {
+        std::vector<ElementVec> next;
+        for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+            MergeStats local;
+            ElementVec merged = merge(runs[i], runs[i + 1], local);
+            stats.comparisons += local.comparisons;
+            stats.elementsOut += local.elementsOut;
+            // A truncating merge (TopK) discards the upper half of
+            // the merge network's output, so both input windows are
+            // consumed per cycle; a full merge emits N/2 per cycle.
+            const std::size_t perCycle = k > 0 ? mergerWidth : half;
+            stats.cycles +=
+                (runs[i].size() + runs[i + 1].size() + perCycle - 1) /
+                perCycle;
+            if (k > 0 && merged.size() > k)
+                merged.resize(k);
+            next.push_back(std::move(merged));
+        }
+        if (runs.size() % 2 == 1)
+            next.push_back(std::move(runs.back()));
+        runs = std::move(next);
+    }
+    return std::move(runs.front());
+}
+
+std::vector<std::pair<std::int32_t, std::int32_t>>
+detectIntersection(const ElementVec &merged, std::size_t width,
+                   MergeStats &stats)
+{
+    std::vector<std::pair<std::int32_t, std::int32_t>> matches;
+    // The detector is spatially pipelined after the merger (no extra
+    // cycles); it activates log N comparator stages per window of N
+    // elements plus the shift-compaction logic (Fig. 10d).
+    if (!merged.empty()) {
+        std::uint64_t stages = 0;
+        for (std::size_t s = width; s > 1; s /= 2)
+            ++stages;
+        const std::uint64_t windows =
+            (merged.size() + width - 1) / width;
+        stats.comparisons += windows * stages * width;
+    }
+
+    for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+        const auto &a = merged[i];
+        const auto &b = merged[i + 1];
+        if (a.key == b.key && a.source != b.source) {
+            const auto &inElem = a.source == 0 ? a : b;
+            const auto &outElem = a.source == 0 ? b : a;
+            matches.emplace_back(inElem.payload, outElem.payload);
+        }
+    }
+    return matches;
+}
+
+} // namespace pointacc

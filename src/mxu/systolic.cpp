@@ -1,0 +1,77 @@
+#include "mxu/systolic.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+MatrixUnit::MatrixUnit(const MxuConfig &cfg_) : cfg(cfg_)
+{
+    simAssert(cfg.rows > 0 && cfg.cols > 0, "MXU needs a non-empty array");
+}
+
+MxuStats
+MatrixUnit::tiledPass(std::uint64_t stream_len, std::uint32_t in_ch,
+                      std::uint32_t out_ch,
+                      std::uint32_t bytes_per_feature) const
+{
+    MxuStats s;
+    if (stream_len == 0 || in_ch == 0 || out_ch == 0)
+        return s;
+
+    const std::uint32_t icTiles = (in_ch + cfg.rows - 1) / cfg.rows;
+    const std::uint32_t ocTiles = (out_ch + cfg.cols - 1) / cfg.cols;
+
+    for (std::uint32_t it = 0; it < icTiles; ++it) {
+        const std::uint32_t icw =
+            std::min<std::uint32_t>(cfg.rows, in_ch - it * cfg.rows);
+        for (std::uint32_t ot = 0; ot < ocTiles; ++ot) {
+            const std::uint32_t ocw =
+                std::min<std::uint32_t>(cfg.cols, out_ch - ot * cfg.cols);
+
+            // Weight fill: one column per cycle (rows deep).
+            s.cycles += cfg.rows;
+            s.weightSramBytes += static_cast<std::uint64_t>(icw) * ocw *
+                                 bytes_per_feature;
+
+            // Stream: one point per cycle, plus array drain.
+            s.cycles += stream_len + cfg.rows + cfg.cols;
+            s.peActivations +=
+                (stream_len + cfg.rows + cfg.cols) * peakMacsPerCycle();
+            s.macs += stream_len * icw * ocw;
+            s.inputSramBytes +=
+                stream_len * icw * bytes_per_feature;
+            // Each streamed point updates one psum row in the output
+            // buffer (read-modify-write).
+            s.outputSramBytes +=
+                2 * stream_len * ocw * bytes_per_feature;
+        }
+    }
+    return s;
+}
+
+MxuStats
+MatrixUnit::denseMatmul(std::uint64_t points, std::uint32_t in_ch,
+                        std::uint32_t out_ch,
+                        std::uint32_t bytes_per_feature) const
+{
+    return tiledPass(points, in_ch, out_ch, bytes_per_feature);
+}
+
+MxuStats
+MatrixUnit::sparseConv(const MapSet &maps, std::uint32_t in_ch,
+                       std::uint32_t out_ch,
+                       std::uint32_t bytes_per_feature) const
+{
+    MxuStats s;
+    for (std::int32_t w = 0; w < maps.numWeights(); ++w) {
+        const auto &group = maps.forWeight(w);
+        if (group.empty())
+            continue;
+        s += tiledPass(group.size(), in_ch, out_ch, bytes_per_feature);
+    }
+    return s;
+}
+
+} // namespace pointacc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Matrix Unit (MXU): systolic-array cycle model.
+ *
+ * Section 4.3: a classic systolic array parallelized over input
+ * channels (rows) and output channels (columns). Because each cycle
+ * touches the features of exactly *one* point (one map), partial sums
+ * for one output accumulate inside the array / output buffer and no
+ * on-chip scatter crossbar is needed.
+ *
+ * Dataflow (Section 4.2.2): weight-stationary inner loops — weights
+ * for one (ic-tile, oc-tile, kernel-offset) stay in the array while
+ * all points stream through — and output-stationary outer loops, so
+ * partial sums never spill to DRAM.
+ */
+
+#ifndef POINTACC_MXU_SYSTOLIC_HPP
+#define POINTACC_MXU_SYSTOLIC_HPP
+
+#include <cstdint>
+
+#include "mapping/maps.hpp"
+
+namespace pointacc {
+
+/** Static configuration of the Matrix Unit. */
+struct MxuConfig
+{
+    std::uint32_t rows = 64; ///< PEs along input channels
+    std::uint32_t cols = 64; ///< PEs along output channels
+};
+
+/** Cycle/energy statistics of matrix computations. */
+struct MxuStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t macs = 0;           ///< useful multiply-accumulates
+    std::uint64_t peActivations = 0;  ///< rows*cols per active cycle
+    std::uint64_t inputSramBytes = 0; ///< feature reads into the array
+    std::uint64_t weightSramBytes = 0;///< weight loads into the array
+    std::uint64_t outputSramBytes = 0;///< psum/output buffer traffic
+
+    /** Fraction of PE activations doing useful MACs. */
+    double
+    utilization() const
+    {
+        return peActivations == 0
+                   ? 0.0
+                   : static_cast<double>(macs) /
+                         static_cast<double>(peActivations);
+    }
+
+    MxuStats &
+    operator+=(const MxuStats &o)
+    {
+        cycles += o.cycles;
+        macs += o.macs;
+        peActivations += o.peActivations;
+        inputSramBytes += o.inputSramBytes;
+        weightSramBytes += o.weightSramBytes;
+        outputSramBytes += o.outputSramBytes;
+        return *this;
+    }
+};
+
+/** The systolic-array hardware model. */
+class MatrixUnit
+{
+  public:
+    explicit MatrixUnit(const MxuConfig &cfg = {});
+
+    const MxuConfig &config() const { return cfg; }
+
+    /** Peak MACs per cycle. */
+    std::uint64_t
+    peakMacsPerCycle() const
+    {
+        return static_cast<std::uint64_t>(cfg.rows) * cfg.cols;
+    }
+
+    /**
+     * Dense matrix multiply: (points x in_ch) * (in_ch x out_ch).
+     * Weight-stationary: each (rows x cols) weight tile is loaded once
+     * (rows cycles of fill) and all points stream through it.
+     */
+    MxuStats denseMatmul(std::uint64_t points, std::uint32_t in_ch,
+                         std::uint32_t out_ch,
+                         std::uint32_t bytes_per_feature = 2) const;
+
+    /**
+     * Sparse convolution compute: for each kernel offset w, the maps of
+     * w stream through the array with w's weight tile resident. One map
+     * (one input point's feature row) enters per cycle per ic-tile.
+     */
+    MxuStats sparseConv(const MapSet &maps, std::uint32_t in_ch,
+                        std::uint32_t out_ch,
+                        std::uint32_t bytes_per_feature = 2) const;
+
+  private:
+    MxuStats tiledPass(std::uint64_t stream_len, std::uint32_t in_ch,
+                       std::uint32_t out_ch,
+                       std::uint32_t bytes_per_feature) const;
+
+    MxuConfig cfg;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_MXU_SYSTOLIC_HPP

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Functional (value-level) layer computation.
+ *
+ * The performance models only need shapes, but the library also
+ * computes real feature values for the layers that define point cloud
+ * convolution semantics: map-driven sparse convolution (gather by
+ * weight -> matmul -> scatter-accumulate, Fig. 4) and per-point dense
+ * layers. Tests use these to pin down the convolution semantics the
+ * hardware accelerates; examples use them to show end-to-end results.
+ */
+
+#ifndef POINTACC_NN_FUNCTIONAL_HPP
+#define POINTACC_NN_FUNCTIONAL_HPP
+
+#include <vector>
+
+#include "core/point_cloud.hpp"
+#include "mapping/maps.hpp"
+
+namespace pointacc {
+
+/**
+ * Weights of one sparse convolution: numWeights matrices of
+ * cin x cout, row-major (weights[w][ci * cout + co]).
+ */
+struct ConvWeights
+{
+    std::int32_t numWeights = 0;
+    std::uint32_t cin = 0;
+    std::uint32_t cout = 0;
+    std::vector<float> data; ///< numWeights * cin * cout
+
+    float
+    at(std::int32_t w, std::uint32_t ci, std::uint32_t co) const
+    {
+        return data[(static_cast<std::size_t>(w) * cin + ci) * cout + co];
+    }
+};
+
+/** Deterministic pseudo-random weights in [-s, s]. */
+ConvWeights randomWeights(std::int32_t num_weights, std::uint32_t cin,
+                          std::uint32_t cout, std::uint64_t seed,
+                          float s = 0.1f);
+
+/** Identity weights: center weight = I, the rest zero (odd kernels). */
+ConvWeights identityWeights(std::int32_t num_weights, std::uint32_t ch);
+
+/**
+ * Map-driven sparse convolution: for every map (p, q, w), accumulate
+ * f_out[q] += f_in[p] * W_w. Input features come from `input`; output
+ * has `num_outputs` points and weights.cout channels.
+ */
+std::vector<float> sparseConvForward(const PointCloud &input,
+                                     const MapSet &maps,
+                                     const ConvWeights &weights,
+                                     std::size_t num_outputs);
+
+/** Per-point dense layer: out[i] = relu? no — plain linear transform. */
+std::vector<float> denseForward(const std::vector<float> &features,
+                                std::size_t num_points,
+                                const ConvWeights &weights);
+
+/** Elementwise ReLU in place. */
+void reluInPlace(std::vector<float> &features);
+
+/** Per-output max-pool over maps (PointNet++ aggregation). */
+std::vector<float> maxPoolByOutput(const std::vector<float> &edge_features,
+                                   const MapSet &maps,
+                                   std::uint32_t channels,
+                                   std::size_t num_outputs);
+
+} // namespace pointacc
+
+#endif // POINTACC_NN_FUNCTIONAL_HPP

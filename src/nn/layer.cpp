@@ -1,0 +1,78 @@
+#include "nn/layer.hpp"
+
+namespace pointacc {
+
+LayerDesc
+makeDense(const std::string &name, std::uint32_t in, std::uint32_t out)
+{
+    return {name, DenseDesc{in, out}};
+}
+
+LayerDesc
+makeSparseConv(const std::string &name, std::uint32_t in, std::uint32_t out,
+               int kernel, int stride_mult, bool transposed, bool residual,
+               std::uint32_t skip_channels)
+{
+    SparseConvDesc d;
+    d.inChannels = in;
+    d.outChannels = out;
+    d.kernelSize = kernel;
+    d.strideMultiplier = stride_mult;
+    d.transposed = transposed;
+    d.residual = residual;
+    d.skipChannels = skip_channels;
+    return {name, d};
+}
+
+LayerDesc
+makeSetAbstraction(const std::string &name, std::uint32_t centers,
+                   std::uint32_t in, std::vector<SaScale> scales)
+{
+    SetAbstractionDesc d;
+    d.numCenters = centers;
+    d.inChannels = in;
+    d.scales = std::move(scales);
+    return {name, d};
+}
+
+LayerDesc
+makeFeaturePropagation(const std::string &name, std::uint32_t in,
+                       std::vector<std::uint32_t> mlp)
+{
+    FeaturePropagationDesc d;
+    d.inChannels = in;
+    d.mlp = std::move(mlp);
+    return {name, d};
+}
+
+LayerDesc
+makeEdgeConv(const std::string &name, std::uint32_t in, int k,
+             std::vector<std::uint32_t> mlp)
+{
+    EdgeConvDesc d;
+    d.inChannels = in;
+    d.k = k;
+    d.mlp = std::move(mlp);
+    return {name, d};
+}
+
+LayerDesc
+makeGlobalPool(const std::string &name, std::uint32_t channels,
+               bool broadcast)
+{
+    return {name, GlobalPoolDesc{channels, broadcast}};
+}
+
+LayerDesc
+makeConcat(const std::string &name, std::uint32_t extra_channels)
+{
+    return {name, ConcatDesc{extra_channels}};
+}
+
+LayerDesc
+makeReset(const std::string &name, std::uint32_t channels)
+{
+    return {name, ResetDesc{channels}};
+}
+
+} // namespace pointacc

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Layer descriptors for point cloud networks.
+ *
+ * Networks are described as lists of layer descriptors (a static graph
+ * in execution order, with U-Net skip connections expressed by level
+ * tags). Table 1 of the paper dictates the taxonomy:
+ *
+ *  - PointNet++-based convolution = output construction (FPS) +
+ *    neighbor search (ball query / kNN) + per-neighbor MLPs + max-pool;
+ *  - SparseConv-based convolution = coordinate quantization + kernel
+ *    mapping + per-weight accumulation;
+ *  - dense layers (FC / 1x1 conv) act per point.
+ */
+
+#ifndef POINTACC_NN_LAYER_HPP
+#define POINTACC_NN_LAYER_HPP
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pointacc {
+
+/** Fully-connected layer applied per point (also 1x1x1 SparseConv). */
+struct DenseDesc
+{
+    std::uint32_t inChannels = 0;
+    std::uint32_t outChannels = 0;
+};
+
+/** Sparse 3-D convolution (MinkowskiNet style). */
+struct SparseConvDesc
+{
+    std::uint32_t inChannels = 0;
+    std::uint32_t outChannels = 0;
+    int kernelSize = 3;
+    /** Output stride multiplier: 1 = same resolution, 2 = downsample. */
+    int strideMultiplier = 1;
+    /** Transposed (upsampling) convolution: inverse of a downsample. */
+    bool transposed = false;
+    /** Residual skip from this layer's input added to its output. */
+    bool residual = false;
+    /** Channels concatenated from a U-Net encoder skip before this
+     *  layer (inChannels already includes them). */
+    std::uint32_t skipChannels = 0;
+};
+
+/** One scale of a PointNet++ set-abstraction (grouping) layer. */
+struct SaScale
+{
+    std::int32_t radiusGrid = 0; ///< ball radius in grid units (0=kNN)
+    int k = 32;                  ///< neighbors per center
+    std::vector<std::uint32_t> mlp; ///< MLP channel dims after grouping
+};
+
+/** PointNet++ set abstraction: FPS + grouping + MLP + max-pool. */
+struct SetAbstractionDesc
+{
+    std::uint32_t numCenters = 0; ///< FPS sample count (0 = group all)
+    std::uint32_t inChannels = 0;
+    std::vector<SaScale> scales;  ///< >1 scale = MSG
+};
+
+/** PointNet++ feature propagation: 3-NN interpolation + unit MLP. */
+struct FeaturePropagationDesc
+{
+    std::uint32_t inChannels = 0;  ///< coarse features + skip features
+    std::vector<std::uint32_t> mlp;
+};
+
+/** DGCNN edge convolution: feature-space kNN + edge MLP + max-pool. */
+struct EdgeConvDesc
+{
+    std::uint32_t inChannels = 0;
+    int k = 20;
+    std::vector<std::uint32_t> mlp;
+};
+
+/** Global max-pool collapsing the cloud to one feature vector. */
+struct GlobalPoolDesc
+{
+    std::uint32_t channels = 0;
+    /** Broadcast the pooled vector back to every point (segmentation
+     *  heads) instead of collapsing the cloud. */
+    bool broadcast = false;
+};
+
+/** Restart the feature stream from raw per-point inputs (cascaded
+ *  networks, e.g. Frustum PointNet's T-Net consuming masked xyz). */
+struct ResetDesc
+{
+    std::uint32_t channels = 0;
+};
+
+/** Concatenate previously-saved features: widens the channel count
+ *  without a matrix op (DGCNN multi-layer aggregation, global-feature
+ *  broadcast in segmentation heads). */
+struct ConcatDesc
+{
+    std::uint32_t extraChannels = 0;
+};
+
+/** One layer: a tagged union of the descriptor kinds. */
+struct LayerDesc
+{
+    std::string name;
+    std::variant<DenseDesc, SparseConvDesc, SetAbstractionDesc,
+                 FeaturePropagationDesc, EdgeConvDesc, GlobalPoolDesc,
+                 ConcatDesc, ResetDesc>
+        desc;
+};
+
+/** Convenience constructors used by the network zoo. */
+LayerDesc makeDense(const std::string &name, std::uint32_t in,
+                    std::uint32_t out);
+LayerDesc makeSparseConv(const std::string &name, std::uint32_t in,
+                         std::uint32_t out, int kernel = 3,
+                         int stride_mult = 1, bool transposed = false,
+                         bool residual = false,
+                         std::uint32_t skip_channels = 0);
+LayerDesc makeSetAbstraction(const std::string &name,
+                             std::uint32_t centers, std::uint32_t in,
+                             std::vector<SaScale> scales);
+LayerDesc makeFeaturePropagation(const std::string &name, std::uint32_t in,
+                                 std::vector<std::uint32_t> mlp);
+LayerDesc makeEdgeConv(const std::string &name, std::uint32_t in, int k,
+                       std::vector<std::uint32_t> mlp);
+LayerDesc makeGlobalPool(const std::string &name, std::uint32_t channels,
+                         bool broadcast = false);
+LayerDesc makeConcat(const std::string &name, std::uint32_t extra_channels);
+LayerDesc makeReset(const std::string &name, std::uint32_t channels);
+
+} // namespace pointacc
+
+#endif // POINTACC_NN_LAYER_HPP

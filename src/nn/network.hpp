@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Network: a named sequence of layers plus benchmark metadata.
+ */
+
+#ifndef POINTACC_NN_NETWORK_HPP
+#define POINTACC_NN_NETWORK_HPP
+
+#include <string>
+#include <vector>
+
+#include "datasets/synthetic.hpp"
+#include "nn/layer.hpp"
+
+namespace pointacc {
+
+/** Table 1 taxonomy of point cloud convolutions. */
+enum class ConvClass
+{
+    PointNetPP, ///< FPS + ball query / kNN (incl. graph-based)
+    SparseConv, ///< quantization + kernel mapping
+    PointMlp,   ///< per-point MLPs only (PointNet)
+};
+
+/** A point cloud network benchmark (Table 2 row). */
+struct Network
+{
+    std::string name;       ///< full name, e.g. "MinkowskiUNet"
+    std::string notation;   ///< paper notation, e.g. "MinkNet(o)"
+    DatasetKind dataset = DatasetKind::ModelNet40;
+    ConvClass convClass = ConvClass::PointNetPP;
+    std::uint32_t inputChannels = 3;
+    std::vector<LayerDesc> layers;
+    /** Paper-reported accuracy (mIoU or overall accuracy, %): carried
+     *  as metadata for the co-design experiment (Fig. 16). */
+    double paperAccuracy = 0.0;
+    /** True when every neighbor shares one weight (Mesorasi's
+     *  delayed-aggregation requirement, Section 5.2.2). */
+    bool mesorasiCompatible = false;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_NN_NETWORK_HPP

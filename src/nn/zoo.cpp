@@ -1,0 +1,325 @@
+#include "nn/zoo.hpp"
+
+namespace pointacc {
+
+namespace {
+
+/** Append a per-point MLP as a chain of dense layers. */
+void
+appendMlp(std::vector<LayerDesc> &layers, const std::string &prefix,
+          std::uint32_t in, const std::vector<std::uint32_t> &dims)
+{
+    std::uint32_t cur = in;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        layers.push_back(makeDense(prefix + ".fc" + std::to_string(i),
+                                   cur, dims[i]));
+        cur = dims[i];
+    }
+}
+
+/**
+ * Append one MinkowskiUNet residual stage: an optional strided conv
+ * (k=2, stride 2) followed by `blocks` residual blocks of two k=3
+ * convolutions each.
+ */
+void
+appendMinkStage(std::vector<LayerDesc> &layers, const std::string &prefix,
+                std::uint32_t in, std::uint32_t out, int blocks,
+                bool downsample)
+{
+    std::uint32_t cur = in;
+    if (downsample) {
+        layers.push_back(makeSparseConv(prefix + ".down", cur, out, 2, 2));
+        cur = out;
+    } else if (cur != out) {
+        layers.push_back(makeSparseConv(prefix + ".proj", cur, out, 3, 1));
+        cur = out;
+    }
+    for (int b = 0; b < blocks; ++b) {
+        const std::string blk = prefix + ".block" + std::to_string(b);
+        layers.push_back(makeSparseConv(blk + ".conv0", cur, out, 3, 1));
+        layers.push_back(
+            makeSparseConv(blk + ".conv1", out, out, 3, 1, false, true));
+    }
+}
+
+/** Append one MinkowskiUNet decoder stage: transposed conv + blocks. */
+void
+appendMinkUpStage(std::vector<LayerDesc> &layers, const std::string &prefix,
+                  std::uint32_t in, std::uint32_t skip, std::uint32_t out,
+                  int blocks)
+{
+    layers.push_back(makeSparseConv(prefix + ".up", in, out, 2, 2, true));
+    // Concatenated skip features enter the first block.
+    std::uint32_t cur = out + skip;
+    std::uint32_t pendingSkip = skip;
+    for (int b = 0; b < blocks; ++b) {
+        const std::string blk = prefix + ".block" + std::to_string(b);
+        layers.push_back(makeSparseConv(blk + ".conv0", cur, out, 3, 1,
+                                        false, false, pendingSkip));
+        layers.push_back(
+            makeSparseConv(blk + ".conv1", out, out, 3, 1, false, true));
+        cur = out;
+        pendingSkip = 0;
+    }
+}
+
+Network
+minkowskiUNet(const std::string &notation, DatasetKind dataset,
+              std::uint32_t classes, double accuracy)
+{
+    Network net;
+    net.name = "MinkowskiUNet";
+    net.notation = notation;
+    net.dataset = dataset;
+    net.convClass = ConvClass::SparseConv;
+    net.inputChannels = 4;
+    net.paperAccuracy = accuracy;
+    net.mesorasiCompatible = false;
+
+    auto &L = net.layers;
+    // Stem at full resolution.
+    L.push_back(makeSparseConv("stem.conv0", 4, 32, 3, 1));
+    L.push_back(makeSparseConv("stem.conv1", 32, 32, 3, 1));
+    // Encoder: 4 downsampling stages (MinkUNet-34 style widths).
+    appendMinkStage(L, "enc1", 32, 32, 2, true);
+    appendMinkStage(L, "enc2", 32, 64, 2, true);
+    appendMinkStage(L, "enc3", 64, 128, 2, true);
+    appendMinkStage(L, "enc4", 128, 256, 2, true);
+    // Decoder: 4 upsampling stages with encoder skips.
+    appendMinkUpStage(L, "dec1", 256, 128, 256, 2);
+    appendMinkUpStage(L, "dec2", 256, 64, 128, 2);
+    appendMinkUpStage(L, "dec3", 128, 32, 96, 2);
+    appendMinkUpStage(L, "dec4", 96, 32, 96, 2);
+    // Classifier head (1x1 conv == dense).
+    L.push_back(makeDense("head.fc", 96, classes));
+    return net;
+}
+
+} // namespace
+
+Network
+pointNet()
+{
+    Network net;
+    net.name = "PointNet";
+    net.notation = "PointNet";
+    net.dataset = DatasetKind::ModelNet40;
+    net.convClass = ConvClass::PointMlp;
+    net.inputChannels = 3;
+    net.paperAccuracy = 89.2;
+    net.mesorasiCompatible = true;
+
+    auto &L = net.layers;
+    appendMlp(L, "mlp1", 3, {64, 64});
+    appendMlp(L, "mlp2", 64, {64, 128, 1024});
+    L.push_back(makeGlobalPool("gpool", 1024));
+    appendMlp(L, "cls", 1024, {512, 256, 40});
+    return net;
+}
+
+Network
+pointNetPPClass()
+{
+    Network net;
+    net.name = "PointNet++ (SSG)";
+    net.notation = "PointNet++(c)";
+    net.dataset = DatasetKind::ModelNet40;
+    net.convClass = ConvClass::PointNetPP;
+    net.inputChannels = 3;
+    net.paperAccuracy = 90.7;
+    net.mesorasiCompatible = true;
+
+    auto &L = net.layers;
+    // Object grid extent is 128 (2 m at 2 cm voxels): radii 0.2 / 0.4
+    // of the normalized object map to 13 / 26 grid units.
+    L.push_back(makeSetAbstraction("sa1", 512, 3,
+                                   {SaScale{13, 32, {64, 64, 128}}}));
+    L.push_back(makeSetAbstraction("sa2", 128, 128,
+                                   {SaScale{26, 64, {128, 128, 256}}}));
+    L.push_back(makeSetAbstraction("sa3", 0, 256,
+                                   {SaScale{0, 128, {256, 512, 1024}}}));
+    appendMlp(L, "cls", 1024, {512, 256, 40});
+    return net;
+}
+
+Network
+pointNetPPPartSeg()
+{
+    Network net;
+    net.name = "PointNet++ (MSG)";
+    net.notation = "PointNet++(ps)";
+    net.dataset = DatasetKind::ShapeNet;
+    net.convClass = ConvClass::PointNetPP;
+    net.inputChannels = 3;
+    net.paperAccuracy = 85.1;
+    net.mesorasiCompatible = true;
+
+    auto &L = net.layers;
+    L.push_back(makeSetAbstraction(
+        "sa1", 512, 3,
+        {SaScale{7, 16, {32, 32, 64}}, SaScale{13, 32, {64, 64, 128}},
+         SaScale{26, 64, {64, 96, 128}}}));
+    L.push_back(makeSetAbstraction(
+        "sa2", 128, 320,
+        {SaScale{26, 32, {128, 128, 256}},
+         SaScale{51, 64, {128, 196, 256}}}));
+    L.push_back(makeSetAbstraction("sa3", 0, 512,
+                                   {SaScale{0, 128, {256, 512, 1024}}}));
+    L.push_back(makeFeaturePropagation("fp3", 1024 + 512, {256, 256}));
+    L.push_back(makeFeaturePropagation("fp2", 256 + 320, {256, 128}));
+    L.push_back(makeFeaturePropagation("fp1", 128 + 3, {128, 128}));
+    appendMlp(L, "seg", 128, {128, 50});
+    return net;
+}
+
+Network
+dgcnn()
+{
+    Network net;
+    net.name = "DGCNN";
+    net.notation = "DGCNN";
+    net.dataset = DatasetKind::ShapeNet;
+    net.convClass = ConvClass::PointNetPP; // graph-based special case
+    net.inputChannels = 3;
+    net.paperAccuracy = 85.2;
+    net.mesorasiCompatible = true;
+
+    auto &L = net.layers;
+    L.push_back(makeEdgeConv("edge1", 3, 20, {64}));
+    L.push_back(makeEdgeConv("edge2", 64, 20, {64}));
+    L.push_back(makeEdgeConv("edge3", 64, 20, {64}));
+    L.push_back(makeConcat("cat123", 128)); // edge1 + edge2 outputs
+    L.push_back(makeDense("agg", 192, 1024));
+    L.push_back(makeGlobalPool("gpool", 1024, true));
+    // Per-point 192-ch stack concatenated under the global feature.
+    L.push_back(makeConcat("catseg", 192));
+    appendMlp(L, "seg", 1024 + 192, {256, 256, 128, 50});
+    return net;
+}
+
+Network
+fPointNetPP()
+{
+    Network net;
+    net.name = "Frustum PointNet++";
+    net.notation = "F-PointNet++";
+    net.dataset = DatasetKind::KITTI;
+    net.convClass = ConvClass::PointNetPP;
+    net.inputChannels = 4;
+    net.paperAccuracy = 70.9;
+    net.mesorasiCompatible = true;
+
+    // Instance segmentation net on the frustum points (KITTI grid is
+    // 5 cm voxels: radii 0.2/0.4/0.8 m -> 4/8/16 units), followed by
+    // the box-estimation PointNet.
+    auto &L = net.layers;
+    L.push_back(makeSetAbstraction("seg.sa1", 2048, 4,
+                                   {SaScale{4, 32, {32, 32, 64}}}));
+    L.push_back(makeSetAbstraction("seg.sa2", 512, 64,
+                                   {SaScale{8, 32, {64, 64, 128}}}));
+    L.push_back(makeSetAbstraction("seg.sa3", 128, 128,
+                                   {SaScale{16, 32, {128, 128, 256}}}));
+    L.push_back(makeFeaturePropagation("seg.fp2", 256 + 128, {128, 128}));
+    L.push_back(makeFeaturePropagation("seg.fp1", 128 + 64, {128, 128}));
+    appendMlp(L, "seg.head", 128, {128, 2});
+    // T-Net + box net restart from the masked object points' xyz.
+    L.push_back(makeReset("tnet.input", 3));
+    appendMlp(L, "tnet", 3, {128, 256, 512});
+    L.push_back(makeGlobalPool("tnet.pool", 512));
+    appendMlp(L, "tnet.fc", 512, {256, 128, 3});
+    L.push_back(makeReset("box.input", 3));
+    appendMlp(L, "box", 3, {128, 128, 256, 512});
+    L.push_back(makeGlobalPool("box.pool", 512));
+    appendMlp(L, "box.fc", 512, {512, 256, 59});
+    return net;
+}
+
+Network
+pointNetPPSemSeg()
+{
+    Network net;
+    net.name = "PointNet++ (SSG)";
+    net.notation = "PointNet++(s)";
+    net.dataset = DatasetKind::S3DIS;
+    net.convClass = ConvClass::PointNetPP;
+    net.inputChannels = 6; // xyz + rgb
+    net.paperAccuracy = 53.5;
+    net.mesorasiCompatible = true;
+
+    // S3DIS grid: 5 cm voxels, radii 0.1/0.2/0.4/0.8 m -> 2/4/8/16.
+    auto &L = net.layers;
+    L.push_back(makeSetAbstraction("sa1", 1024, 6,
+                                   {SaScale{2, 32, {32, 32, 64}}}));
+    L.push_back(makeSetAbstraction("sa2", 256, 64,
+                                   {SaScale{4, 32, {64, 64, 128}}}));
+    L.push_back(makeSetAbstraction("sa3", 64, 128,
+                                   {SaScale{8, 32, {128, 128, 256}}}));
+    L.push_back(makeSetAbstraction("sa4", 16, 256,
+                                   {SaScale{16, 32, {256, 256, 512}}}));
+    L.push_back(makeFeaturePropagation("fp4", 512 + 256, {256, 256}));
+    L.push_back(makeFeaturePropagation("fp3", 256 + 128, {256, 256}));
+    L.push_back(makeFeaturePropagation("fp2", 256 + 64, {256, 128}));
+    L.push_back(makeFeaturePropagation("fp1", 128 + 6, {128, 128, 128}));
+    appendMlp(L, "seg", 128, {128, 13});
+    return net;
+}
+
+Network
+minkowskiUNetIndoor()
+{
+    return minkowskiUNet("MinkNet(i)", DatasetKind::S3DIS, 13, 65.4);
+}
+
+Network
+minkowskiUNetOutdoor()
+{
+    return minkowskiUNet("MinkNet(o)", DatasetKind::SemanticKITTI, 19,
+                         61.1);
+}
+
+Network
+miniMinkowskiUNet()
+{
+    Network net;
+    net.name = "Mini-MinkowskiUNet";
+    net.notation = "Mini-MinkNet";
+    net.dataset = DatasetKind::S3DIS;
+    net.convClass = ConvClass::SparseConv;
+    net.inputChannels = 4;
+    // Paper Fig. 16: 9.1% higher mIoU than Mesorasi's PointNet++SSG
+    // (53.5 + 9.1).
+    net.paperAccuracy = 62.6;
+    net.mesorasiCompatible = false;
+
+    auto &L = net.layers;
+    L.push_back(makeSparseConv("stem.conv0", 4, 16, 3, 1));
+    appendMinkStage(L, "enc1", 16, 16, 1, true);
+    appendMinkStage(L, "enc2", 16, 32, 1, true);
+    appendMinkStage(L, "enc3", 32, 64, 1, true);
+    appendMinkUpStage(L, "dec3", 64, 32, 48, 1);
+    appendMinkUpStage(L, "dec2", 48, 16, 32, 1);
+    appendMinkUpStage(L, "dec1", 32, 16, 24, 1);
+    L.push_back(makeDense("head.fc", 24, 13));
+    return net;
+}
+
+std::vector<Network>
+allBenchmarks()
+{
+    return {pointNet(),       pointNetPPClass(), pointNetPPPartSeg(),
+            dgcnn(),          fPointNetPP(),     pointNetPPSemSeg(),
+            minkowskiUNetIndoor(), minkowskiUNetOutdoor()};
+}
+
+const std::vector<CnnReference> &
+cnnReferences()
+{
+    static const std::vector<CnnReference> refs = {
+        {"MobileNetV2", 0.30, 3.5, 224 * 224, 0.15},
+        {"ResNet50", 4.1, 25.6, 224 * 224, 0.16},
+    };
+    return refs;
+}
+
+} // namespace pointacc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The network zoo: the paper's 8 benchmarks (Table 2), the co-designed
+ * Mini-MinkowskiUNet (Fig. 16), and 2-D CNN reference points (Fig. 5).
+ */
+
+#ifndef POINTACC_NN_ZOO_HPP
+#define POINTACC_NN_ZOO_HPP
+
+#include "nn/network.hpp"
+
+namespace pointacc {
+
+Network pointNet();          ///< PointNet, ModelNet40 classification
+Network pointNetPPClass();   ///< PointNet++ SSG, ModelNet40 — (c)
+Network pointNetPPPartSeg(); ///< PointNet++ MSG, ShapeNet — (ps)
+Network dgcnn();             ///< DGCNN, ShapeNet part segmentation
+Network fPointNetPP();       ///< Frustum PointNet++, KITTI detection
+Network pointNetPPSemSeg();  ///< PointNet++ SSG, S3DIS — (s)
+Network minkowskiUNetIndoor();  ///< MinkowskiUNet, S3DIS — MinkNet(i)
+Network minkowskiUNetOutdoor(); ///< MinkowskiUNet, SemKITTI — MinkNet(o)
+
+/** Co-designed shallow/narrow MinkowskiUNet for S3DIS (Fig. 16). */
+Network miniMinkowskiUNet();
+
+/** All 8 paper benchmarks, in Figure 13/14 order. */
+std::vector<Network> allBenchmarks();
+
+/** Static reference numbers for 2-D CNNs (Fig. 5 comparison). */
+struct CnnReference
+{
+    std::string name;
+    double gmacs;          ///< forward pass multiply-accumulates (G)
+    double mparams;        ///< parameters (M)
+    std::uint32_t pixels;  ///< input resolution (elements)
+    double featureKB;      ///< peak feature bytes per pixel / 1024
+};
+
+const std::vector<CnnReference> &cnnReferences();
+
+} // namespace pointacc
+
+#endif // POINTACC_NN_ZOO_HPP

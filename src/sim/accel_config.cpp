@@ -1,0 +1,42 @@
+#include "sim/accel_config.hpp"
+
+namespace pointacc {
+
+AcceleratorConfig
+pointAccConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "PointAcc";
+    cfg.freqGHz = 1.0;
+    cfg.mxu = MxuConfig{64, 64};
+    cfg.mpu = MpuConfig{64, 64, 13};
+    cfg.inputBufferKB = 256;
+    cfg.weightBufferKB = 128;
+    cfg.outputBufferKB = 256;
+    cfg.sorterBufferKB = 136;
+    cfg.dram = hbm2Spec();
+    cfg.areaMm2 = 15.7;
+    // Leakage + clock tree + HBM2 PHY static power.
+    cfg.energy.staticPowerW = 10.0;
+    return cfg;
+}
+
+AcceleratorConfig
+pointAccEdgeConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "PointAcc.Edge";
+    cfg.freqGHz = 1.0;
+    cfg.mxu = MxuConfig{16, 16};
+    cfg.mpu = MpuConfig{32, 32, 13};
+    cfg.inputBufferKB = 96;
+    cfg.weightBufferKB = 32;
+    cfg.outputBufferKB = 96;
+    cfg.sorterBufferKB = 50;
+    cfg.dram = ddr4Spec();
+    cfg.areaMm2 = 3.9;
+    cfg.energy.staticPowerW = 1.2;
+    return cfg;
+}
+
+} // namespace pointacc

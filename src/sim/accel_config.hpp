@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Accelerator configurations (paper Table 3).
+ *
+ *            PointAcc          PointAcc.Edge
+ *  cores     64 x 64 = 4096    16 x 16 = 256
+ *  SRAM      776 KB            274 KB
+ *  DRAM      HBM2 256 GB/s     DDR4-2133 17 GB/s
+ *  freq      1 GHz             1 GHz
+ *  peak      8 TOPS            512 GOPS
+ */
+
+#ifndef POINTACC_SIM_ACCEL_CONFIG_HPP
+#define POINTACC_SIM_ACCEL_CONFIG_HPP
+
+#include <string>
+
+#include "memory/cache.hpp"
+#include "memory/dram.hpp"
+#include "mpu/mpu.hpp"
+#include "mxu/systolic.hpp"
+#include "sim/energy_model.hpp"
+
+namespace pointacc {
+
+/** Full static configuration of one PointAcc instance. */
+struct AcceleratorConfig
+{
+    std::string name;
+    double freqGHz = 1.0;
+    MxuConfig mxu;
+    MpuConfig mpu;
+    /** On-chip buffer budget split (KB). */
+    std::uint32_t inputBufferKB = 256;
+    std::uint32_t weightBufferKB = 128;
+    std::uint32_t outputBufferKB = 256;
+    std::uint32_t sorterBufferKB = 136;
+    DramSpec dram;
+    EnergyModel energy;
+    double areaMm2 = 0.0;
+
+    std::uint32_t
+    totalSramKB() const
+    {
+        return inputBufferKB + weightBufferKB + outputBufferKB +
+               sorterBufferKB;
+    }
+
+    /** Peak matrix throughput in GOPS (2 ops per MAC). */
+    double
+    peakGops() const
+    {
+        return 2.0 * static_cast<double>(mxu.rows) * mxu.cols * freqGHz;
+    }
+
+    /** Input-buffer cache geometry for a given block size. */
+    CacheConfig
+    cacheConfig(std::uint32_t block_points) const
+    {
+        CacheConfig c;
+        c.capacityBytes = inputBufferKB * 1024;
+        c.blockPoints = block_points;
+        return c;
+    }
+
+    /** Feature-buffer budget available to the temporal fusion stack. */
+    std::uint64_t
+    fusionBufferBytes() const
+    {
+        return static_cast<std::uint64_t>(inputBufferKB +
+                                          outputBufferKB) *
+               1024;
+    }
+};
+
+/** Full-size PointAcc (server class, Table 3). */
+AcceleratorConfig pointAccConfig();
+
+/** PointAcc.Edge (edge class, Table 3). */
+AcceleratorConfig pointAccEdgeConfig();
+
+} // namespace pointacc
+
+#endif // POINTACC_SIM_ACCEL_CONFIG_HPP

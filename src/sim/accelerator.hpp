@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Accelerator: the top-level PointAcc performance/energy simulator.
+ *
+ * Orchestrates the three units over a network execution:
+ *  - Mapping Unit cost per mapping operation (analytic, validated
+ *    against the executed hardware model);
+ *  - Memory Management Unit: fetch-on-demand cache for sparse layers,
+ *    temporal fusion for dense chains, DRAM timing/energy;
+ *  - Matrix Unit: systolic-array cycles for every matrix op.
+ *
+ * Per layer, DRAM transfers overlap matrix compute (decoupled
+ * orchestration); mapping runs ahead of the consuming layer. The
+ * result carries the same breakdowns the paper reports (Fig. 21).
+ */
+
+#ifndef POINTACC_SIM_ACCELERATOR_HPP
+#define POINTACC_SIM_ACCELERATOR_HPP
+
+#include <string>
+#include <vector>
+
+#include "nn/executor.hpp"
+#include "sim/accel_config.hpp"
+#include "sim/energy_model.hpp"
+
+namespace pointacc {
+
+/** Per-layer simulation record. */
+struct LayerStats
+{
+    std::string name;
+    bool isDense = false;
+    std::uint64_t mappingCycles = 0;
+    std::uint64_t computeCycles = 0;
+    std::uint64_t dramCycles = 0;   ///< DRAM transfer time (overlapped)
+    std::uint64_t totalCycles = 0;  ///< mapping + max(compute, dram)
+    std::uint64_t dramReadBytes = 0;
+    std::uint64_t dramWriteBytes = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t maps = 0;
+    double cacheMissRate = 0.0;
+    EnergyBreakdown energy;
+};
+
+/** Whole-network simulation result. */
+struct RunResult
+{
+    std::string network;
+    std::string accelerator;
+    std::vector<LayerStats> layers;
+
+    std::uint64_t totalCycles = 0;
+    std::uint64_t mappingCycles = 0;
+    std::uint64_t computeCycles = 0;
+    std::uint64_t exposedDramCycles = 0; ///< stalls not hidden by compute
+    std::uint64_t dramReadBytes = 0;
+    std::uint64_t dramWriteBytes = 0;
+    std::uint64_t totalMacs = 0;
+    EnergyBreakdown energy;
+    double freqGHz = 1.0;
+
+    double latencyMs() const
+    {
+        return static_cast<double>(totalCycles) / (freqGHz * 1e6);
+    }
+
+    double energyMJ() const { return energy.totalMJ(); }
+
+    /** Average power in watts (dynamic only). */
+    double
+    powerW() const
+    {
+        const double ms = latencyMs();
+        return ms > 0.0 ? energyMJ() / ms : 0.0;
+    }
+};
+
+/** Simulation knobs (ablation switches). */
+struct RunOptions
+{
+    bool useCache = true;    ///< fetch-on-demand with cached inputs
+    bool useFusion = true;   ///< temporal fusion of dense chains
+    /** Software-controlled cache block size; 0 = auto-tune per layer
+     *  (the compiler behavior of Section 4.2.3: candidate block sizes
+     *  are simulated and the one minimizing DRAM fills wins). */
+    std::uint32_t cacheBlockPoints = 16;
+};
+
+/** The PointAcc simulator. */
+class Accelerator
+{
+  public:
+    explicit Accelerator(const AcceleratorConfig &cfg);
+
+    const AcceleratorConfig &config() const { return cfg; }
+
+    /** Simulate one inference of `net` on `input`. */
+    RunResult run(const Network &net, const PointCloud &input,
+                  const RunOptions &options = {}) const;
+
+  private:
+    AcceleratorConfig cfg;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_SIM_ACCELERATOR_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Energy model (CACTI substitute), 40 nm technology node.
+ *
+ * The paper derives SRAM energy from CACTI and DRAM energy from the
+ * Ramulator command trace; compute energy comes from synthesized-gate
+ * switching activity. Here each primitive has a per-operation energy
+ * constant at 40 nm, and unit statistics (MAC counts, comparator
+ * activations, SRAM/DRAM bytes) multiply through. Constants follow the
+ * published 40/45 nm numbers (Horowitz ISSCC'14 scaling): a 16-bit MAC
+ * ~1 pJ, small-SRAM access ~0.6 pJ/B, large-SRAM ~1.4 pJ/B.
+ */
+
+#ifndef POINTACC_SIM_ENERGY_MODEL_HPP
+#define POINTACC_SIM_ENERGY_MODEL_HPP
+
+#include <cstdint>
+
+namespace pointacc {
+
+/** Per-operation energy constants (picojoules). */
+struct EnergyModel
+{
+    double macPJ = 1.0;             ///< 16-bit multiply-accumulate
+    double comparatorPJ = 0.15;     ///< 64-bit compare-exchange
+    double distancePJ = 3.0;        ///< 3-D squared distance (3 MACs)
+    double sramSmallPJPerByte = 0.6;///< <= 64 KB arrays (unit buffers)
+    double sramLargePJPerByte = 1.4;///< global buffer
+    double staticPowerW = 0.25;     ///< leakage + clock tree
+};
+
+/** Fig. 21(b) energy buckets. */
+struct EnergyBreakdown
+{
+    double computePJ = 0.0;
+    double sramPJ = 0.0;
+    double dramPJ = 0.0;
+
+    double totalPJ() const { return computePJ + sramPJ + dramPJ; }
+
+    double totalMJ() const { return totalPJ() * 1e-9; }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        computePJ += o.computePJ;
+        sramPJ += o.sramPJ;
+        dramPJ += o.dramPJ;
+        return *this;
+    }
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_SIM_ENERGY_MODEL_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytic Mapping Unit cost functions.
+ *
+ * The MappingUnit class (src/mpu) executes the hardware dataflow
+ * element by element, which is exact but too slow to re-run for every
+ * layer of every network on every platform sweep. These functions
+ * compute the same cycle counts from the structural parameters alone
+ * (window counts, merge-tree shapes, pass counts); tests check them
+ * against the executed model.
+ */
+
+#ifndef POINTACC_SIM_MAPPING_COST_HPP
+#define POINTACC_SIM_MAPPING_COST_HPP
+
+#include "mpu/mpu.hpp"
+#include "nn/executor.hpp"
+
+namespace pointacc {
+
+/** Cycle and activity estimate for one mapping operation. */
+struct MappingCost
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t comparisons = 0;
+    std::uint64_t distanceOps = 0;
+    std::uint64_t sramBytes = 0;
+
+    MappingCost &
+    operator+=(const MappingCost &o)
+    {
+        cycles += o.cycles;
+        comparisons += o.comparisons;
+        distanceOps += o.distanceOps;
+        sramBytes += o.sramBytes;
+        return *this;
+    }
+};
+
+/** Kernel mapping: one merge pass (+DI) per kernel offset. */
+MappingCost kernelMapCost(std::uint64_t num_in, std::uint64_t num_out,
+                          int kernel_volume, const MpuConfig &cfg);
+
+/** Farthest point sampling: one CD pass per selected point. */
+MappingCost fpsCost(std::uint64_t num_points, std::uint64_t num_samples,
+                    const MpuConfig &cfg);
+
+/** kNN / ball query: distance pass pipelined with a truncated
+ *  merge-sort per query. `survivors` (total across queries) bounds the
+ *  sorted set for radius-filtered ball query; 0 = sort everything. */
+MappingCost knnCost(std::uint64_t num_inputs, std::uint64_t num_queries,
+                    int k, const MpuConfig &cfg,
+                    std::uint64_t survivors = 0,
+                    std::uint32_t distance_dims = 3);
+
+/** Coordinate quantization: bit-clear pass + dedup sort. */
+MappingCost quantizeCost(std::uint64_t num_points, const MpuConfig &cfg);
+
+/** Dispatch on a MappingOpInfo emitted by the network executor. */
+MappingCost mappingOpCost(const MappingOpInfo &op, const MpuConfig &cfg);
+
+} // namespace pointacc
+
+#endif // POINTACC_SIM_MAPPING_COST_HPP

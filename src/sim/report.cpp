@@ -1,0 +1,59 @@
+#include "sim/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace pointacc {
+
+std::string
+summaryText(const RunResult &result)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    os << result.network << " on " << result.accelerator << ": "
+       << result.latencyMs() << " ms, " << result.energyMJ() << " mJ";
+    const auto total = static_cast<double>(result.totalCycles);
+    if (total > 0) {
+        os << std::setprecision(1) << " (matmul "
+           << 100.0 * static_cast<double>(result.computeCycles) / total
+           << "%, mapping "
+           << 100.0 * static_cast<double>(result.mappingCycles) / total
+           << "%, exposed DRAM "
+           << 100.0 * static_cast<double>(result.exposedDramCycles) /
+                  total
+           << "%)";
+    }
+    return os.str();
+}
+
+void
+writeLayerCsv(std::ostream &os, const RunResult &result)
+{
+    os << "layer,dense,mapping_cycles,compute_cycles,dram_cycles,"
+          "total_cycles,dram_read_bytes,dram_write_bytes,macs,maps,"
+          "cache_miss_rate,energy_compute_pj,energy_sram_pj,"
+          "energy_dram_pj\n";
+    for (const auto &ls : result.layers) {
+        os << ls.name << ',' << (ls.isDense ? 1 : 0) << ','
+           << ls.mappingCycles << ',' << ls.computeCycles << ','
+           << ls.dramCycles << ',' << ls.totalCycles << ','
+           << ls.dramReadBytes << ',' << ls.dramWriteBytes << ','
+           << ls.macs << ',' << ls.maps << ',' << ls.cacheMissRate
+           << ',' << ls.energy.computePJ << ',' << ls.energy.sramPJ
+           << ',' << ls.energy.dramPJ << '\n';
+    }
+}
+
+std::string
+compareText(const RunResult &a, const RunResult &b)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    const double speedup = b.latencyMs() / a.latencyMs();
+    const double energy = b.energyMJ() / a.energyMJ();
+    os << a.accelerator << " vs " << b.accelerator << " on " << a.network
+       << ": " << speedup << "x latency, " << energy << "x energy";
+    return os.str();
+}
+
+} // namespace pointacc

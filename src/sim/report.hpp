@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Reporting helpers: render RunResults as human-readable tables and
+ * machine-readable CSV, so downstream users can archive and diff
+ * simulation outputs (the role of the paper's result dumps).
+ */
+
+#ifndef POINTACC_SIM_REPORT_HPP
+#define POINTACC_SIM_REPORT_HPP
+
+#include <ostream>
+#include <string>
+
+#include "sim/accelerator.hpp"
+
+namespace pointacc {
+
+/** One-paragraph summary: latency, energy, breakdown shares. */
+std::string summaryText(const RunResult &result);
+
+/** Per-layer CSV with a header row:
+ *  layer,dense,mapping_cycles,compute_cycles,dram_cycles,total_cycles,
+ *  dram_read_bytes,dram_write_bytes,macs,maps,cache_miss_rate,
+ *  energy_compute_pj,energy_sram_pj,energy_dram_pj */
+void writeLayerCsv(std::ostream &os, const RunResult &result);
+
+/** Side-by-side comparison row for two runs of the same network. */
+std::string compareText(const RunResult &a, const RunResult &b);
+
+} // namespace pointacc
+
+#endif // POINTACC_SIM_REPORT_HPP

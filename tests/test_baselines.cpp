@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the baseline platform models and the Mesorasi model,
+ * including the paper's qualitative orderings: GPU beats CPU, TPU is
+ * data-movement bound (Fig. 6), Mesorasi rejects SparseConv networks
+ * and PointAcc beats all of them (Figs. 13-16).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/mesorasi.hpp"
+#include "baselines/platform.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/zoo.hpp"
+#include "sim/accelerator.hpp"
+
+namespace pointacc {
+namespace {
+
+class BaselineFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cloud = generate(DatasetKind::S3DIS, 3, 0.1);
+        workload = summarizeWorkload(minkowskiUNetIndoor(), cloud);
+    }
+
+    PointCloud cloud;
+    WorkloadSummary workload;
+};
+
+TEST_F(BaselineFixture, GpuFasterThanCpu)
+{
+    const auto gpu = estimatePlatform(rtx2080Ti(), "MinkNet(i)", workload);
+    const auto cpu =
+        estimatePlatform(xeonGold6130(), "MinkNet(i)", workload);
+    EXPECT_LT(gpu.totalMs(), cpu.totalMs());
+    EXPECT_GT(cpu.totalMs() / gpu.totalMs(), 5.0);
+}
+
+TEST_F(BaselineFixture, TpuDataMovementDominates)
+{
+    // Fig. 6 / Section 3: on CPU+TPU, the host round trip costs 60-90%
+    // of total runtime.
+    const auto tpu = estimatePlatform(tpuV3(), "MinkNet(i)", workload);
+    EXPECT_GT(tpu.dataMovementMs / tpu.totalMs(), 0.5);
+}
+
+TEST_F(BaselineFixture, EdgeDevicesOrdered)
+{
+    const auto nx =
+        estimatePlatform(jetsonXavierNX(), "MinkNet(i)", workload);
+    const auto nano =
+        estimatePlatform(jetsonNano(), "MinkNet(i)", workload);
+    const auto rpi =
+        estimatePlatform(raspberryPi4(), "MinkNet(i)", workload);
+    EXPECT_LT(nx.totalMs(), nano.totalMs());
+    EXPECT_LT(nano.totalMs(), rpi.totalMs());
+}
+
+TEST_F(BaselineFixture, EnergyIsPowerTimesTime)
+{
+    const auto gpu = estimatePlatform(rtx2080Ti(), "x", workload);
+    EXPECT_NEAR(gpu.energyMJ, rtx2080Ti().powerW * gpu.totalMs(), 1e-9);
+}
+
+TEST(BaselinePointNetPP, MappingDominatesOnGeneralHardware)
+{
+    // Fig. 6 (left): PointNet++-based networks spend > 50% of runtime
+    // on mapping operations on CPU (FPS + ball query are O(n*m)).
+    const auto cloud = generate(DatasetKind::S3DIS, 3, 0.5);
+    const auto w = summarizeWorkload(pointNetPPSemSeg(), cloud);
+    const auto cpu = estimatePlatform(xeonGold6130(), "PointNet++(s)", w);
+    EXPECT_GT(cpu.mappingMs / cpu.totalMs(), 0.4);
+}
+
+// ---------------------------------------------------------------- //
+//                            Mesorasi                               //
+// ---------------------------------------------------------------- //
+
+TEST(Mesorasi, RejectsSparseConvNetworks)
+{
+    const auto cloud = generate(DatasetKind::S3DIS, 5, 0.05);
+    const auto r = runMesorasi(minkowskiUNetIndoor(), cloud);
+    EXPECT_FALSE(r.supported);
+    EXPECT_DOUBLE_EQ(r.totalMs(), 0.0);
+}
+
+TEST(Mesorasi, SupportsPointNetPP)
+{
+    const auto cloud = generate(DatasetKind::ModelNet40, 5, 1.0);
+    const auto r = runMesorasi(pointNetPPClass(), cloud);
+    EXPECT_TRUE(r.supported);
+    EXPECT_GT(r.totalMs(), 0.0);
+    EXPECT_GT(r.matmulMs, 0.0);
+    EXPECT_GT(r.aggregationMs, 0.0);
+}
+
+TEST(Mesorasi, DelayedAggregationReducesNpuWork)
+{
+    // The rewritten MLP work must be below the direct per-neighbor
+    // MLP work (that is the whole point of delayed aggregation).
+    const auto cloud = generate(DatasetKind::ModelNet40, 7, 1.0);
+    const auto net = pointNetPPClass();
+    const auto direct = summarizeWorkload(net, cloud);
+
+    MesorasiConfig cfg;
+    const auto r = runMesorasi(net, cloud, cfg);
+    const double directMs =
+        static_cast<double>(direct.totalMacs) /
+        (static_cast<double>(cfg.npuRows) * cfg.npuCols * cfg.freqGHz *
+         1e9 * 0.55) *
+        1e3;
+    EXPECT_LT(r.matmulMs, directMs);
+}
+
+TEST(Mesorasi, HwFasterThanSwOnNano)
+{
+    const auto cloud = generate(DatasetKind::ModelNet40, 9, 1.0);
+    const auto hw = runMesorasi(pointNetPPClass(), cloud);
+    const auto sw = runMesorasiSW(jetsonNano(), pointNetPPClass(), cloud);
+    EXPECT_LT(hw.totalMs(), sw.totalMs());
+}
+
+// ---------------------------------------------------------------- //
+//             PointAcc vs baselines (headline claims)               //
+// ---------------------------------------------------------------- //
+
+TEST(HeadToHead, PointAccBeatsGpuOnEveryBenchmark)
+{
+    Accelerator accel(pointAccConfig());
+    for (const auto &net : allBenchmarks()) {
+        const auto cloud = generate(net.dataset, 31, 0.1);
+        const auto ours = accel.run(net, cloud);
+        const auto gpu = estimatePlatform(
+            rtx2080Ti(), net.notation, summarizeWorkload(net, cloud));
+        EXPECT_LT(ours.latencyMs(), gpu.totalMs()) << net.notation;
+    }
+}
+
+TEST(HeadToHead, EdgeBeatsMesorasiOnPointNetPP)
+{
+    Accelerator edge(pointAccEdgeConfig());
+    const auto net = pointNetPPClass();
+    const auto cloud = generate(net.dataset, 33, 1.0);
+    const auto ours = edge.run(net, cloud);
+    const auto mesorasi = runMesorasi(net, cloud);
+    ASSERT_TRUE(mesorasi.supported);
+    EXPECT_LT(ours.latencyMs(), mesorasi.totalMs());
+}
+
+TEST(HeadToHead, CodesignGapIsLarge)
+{
+    // Fig. 16: PointAcc.Edge running Mini-MinkowskiUNet vs Mesorasi
+    // running PointNet++SSG on the same S3DIS scene: large speedup
+    // with higher accuracy.
+    const auto cloud = generate(DatasetKind::S3DIS, 35, 0.25);
+    Accelerator edge(pointAccEdgeConfig());
+    const auto ours = edge.run(miniMinkowskiUNet(), cloud);
+    const auto mesorasi = runMesorasi(pointNetPPSemSeg(), cloud);
+    ASSERT_TRUE(mesorasi.supported);
+    EXPECT_GT(mesorasi.totalMs() / ours.latencyMs(), 8.0);
+    EXPECT_GT(miniMinkowskiUNet().paperAccuracy,
+              pointNetPPSemSeg().paperAccuracy);
+}
+
+} // namespace
+} // namespace pointacc

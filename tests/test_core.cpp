@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the core module: coordinates, packing, point cloud
+ * container, RNG determinism, statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/point_cloud.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+
+namespace pointacc {
+namespace {
+
+TEST(Coord3, LexicographicOrdering)
+{
+    EXPECT_LT(Coord3(0, 0, 0), Coord3(0, 0, 1));
+    EXPECT_LT(Coord3(0, 9, 9), Coord3(1, 0, 0));
+    EXPECT_LT(Coord3(-1, 5, 5), Coord3(0, 0, 0));
+    EXPECT_EQ(Coord3(3, 4, 5), Coord3(3, 4, 5));
+    EXPECT_GT(Coord3(1, 0, 0), Coord3(0, 100, 100));
+}
+
+TEST(Coord3, Arithmetic)
+{
+    const Coord3 a{1, 2, 3}, b{-4, 5, -6};
+    EXPECT_EQ(a + b, Coord3(-3, 7, -3));
+    EXPECT_EQ(a - b, Coord3(5, -3, 9));
+    EXPECT_EQ(a * 3, Coord3(3, 6, 9));
+}
+
+TEST(Coord3, Distance2)
+{
+    EXPECT_EQ(Coord3(0, 0, 0).distance2({1, 2, 2}), 9);
+    EXPECT_EQ(Coord3(-1, -1, -1).distance2({1, 1, 1}), 12);
+    // Large coordinates must not overflow 32 bits.
+    const Coord3 far1{1000000, 0, 0}, far2{-1000000, 0, 0};
+    EXPECT_EQ(far1.distance2(far2), 4000000000000LL);
+}
+
+TEST(Coord3, Chebyshev)
+{
+    EXPECT_EQ(Coord3(0, 0, 0).chebyshev({1, -2, 1}), 2);
+    EXPECT_EQ(Coord3(5, 5, 5).chebyshev({5, 5, 5}), 0);
+}
+
+TEST(Coord3, PackPreservesOrder)
+{
+    // Packing must preserve lexicographic order, including negatives.
+    const std::vector<Coord3> coords = {
+        {-100, 50, 3}, {-100, 50, 4}, {-1, -1, -1}, {0, 0, 0},
+        {0, 0, 1},     {0, 1, -500},  {7, -3, 2},   {1000, 1000, 1000},
+    };
+    for (std::size_t i = 0; i + 1 < coords.size(); ++i) {
+        EXPECT_LT(packCoord(coords[i]), packCoord(coords[i + 1]))
+            << "at index " << i;
+    }
+}
+
+TEST(Coord3, PackUnpackRoundTrip)
+{
+    Rng rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        const Coord3 c{
+            static_cast<std::int32_t>(rng.range(2000000)) - 1000000,
+            static_cast<std::int32_t>(rng.range(2000000)) - 1000000,
+            static_cast<std::int32_t>(rng.range(2000000)) - 1000000};
+        EXPECT_EQ(unpackCoord(packCoord(c)), c);
+    }
+}
+
+TEST(Coord3, HashSpreadsValues)
+{
+    std::unordered_set<std::size_t> hashes;
+    for (int x = 0; x < 16; ++x)
+        for (int y = 0; y < 16; ++y)
+            for (int z = 0; z < 16; ++z)
+                hashes.insert(Coord3Hash{}(Coord3{x, y, z}));
+    // All 4096 coordinates should hash distinctly (no structured
+    // collisions on small grids).
+    EXPECT_EQ(hashes.size(), 4096u);
+}
+
+TEST(FixedPoint, RoundTripResolution)
+{
+    EXPECT_EQ(fromFixed(toFixed(1.0f)), 1.0f);
+    EXPECT_NEAR(fromFixed(toFixed(0.123f)), 0.123f,
+                1.0f / (1 << kFixedPointFracBits));
+    EXPECT_NEAR(fromFixed(toFixed(-5.67f)), -5.67f,
+                1.0f / (1 << kFixedPointFracBits));
+}
+
+TEST(PointCloud, BasicAccessors)
+{
+    PointCloud pc({{1, 2, 3}, {4, 5, 6}}, 2);
+    EXPECT_EQ(pc.size(), 2u);
+    EXPECT_EQ(pc.channels(), 2);
+    EXPECT_EQ(pc.coord(1), Coord3(4, 5, 6));
+    pc.setFeature(0, 1, 3.5f);
+    EXPECT_FLOAT_EQ(pc.feature(0, 1), 3.5f);
+    EXPECT_FLOAT_EQ(pc.feature(1, 0), 0.0f);
+}
+
+TEST(PointCloud, BoundingBoxAndDensity)
+{
+    PointCloud pc({{0, 0, 0}, {1, 1, 1}, {3, 0, 0}});
+    const auto box = pc.boundingBox();
+    EXPECT_EQ(box.lo, Coord3(0, 0, 0));
+    EXPECT_EQ(box.hi, Coord3(3, 1, 1));
+    EXPECT_EQ(box.volume(), 4 * 2 * 2);
+    EXPECT_DOUBLE_EQ(pc.density(), 3.0 / 16.0);
+}
+
+TEST(PointCloud, EmptyCloud)
+{
+    PointCloud pc;
+    EXPECT_TRUE(pc.empty());
+    EXPECT_DOUBLE_EQ(pc.density(), 0.0);
+    EXPECT_TRUE(pc.isSorted());
+    pc.sortByCoord();
+    EXPECT_EQ(pc.dedupSorted(), 0u);
+}
+
+TEST(PointCloud, SortCarriesFeatures)
+{
+    PointCloud pc({{5, 0, 0}, {1, 0, 0}, {3, 0, 0}}, 1);
+    pc.setFeature(0, 0, 50.0f);
+    pc.setFeature(1, 0, 10.0f);
+    pc.setFeature(2, 0, 30.0f);
+    pc.sortByCoord();
+    ASSERT_TRUE(pc.isSorted());
+    EXPECT_FLOAT_EQ(pc.feature(0, 0), 10.0f);
+    EXPECT_FLOAT_EQ(pc.feature(1, 0), 30.0f);
+    EXPECT_FLOAT_EQ(pc.feature(2, 0), 50.0f);
+}
+
+TEST(PointCloud, DedupKeepsFirstOccurrence)
+{
+    PointCloud pc({{1, 1, 1}, {1, 1, 1}, {2, 2, 2}, {2, 2, 2}, {3, 3, 3}},
+                  1);
+    for (int i = 0; i < 5; ++i)
+        pc.setFeature(i, 0, static_cast<float>(i));
+    EXPECT_EQ(pc.dedupSorted(), 2u);
+    ASSERT_EQ(pc.size(), 3u);
+    EXPECT_FLOAT_EQ(pc.feature(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(pc.feature(1, 0), 2.0f);
+    EXPECT_FLOAT_EQ(pc.feature(2, 0), 4.0f);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 5.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.range(17), 17u);
+}
+
+TEST(Rng, GaussMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gauss();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Stats, RegistryAccumulates)
+{
+    StatRegistry reg;
+    reg.add("reads", 10);
+    reg.add("reads", 5);
+    reg.add("writes");
+    EXPECT_EQ(reg.get("reads"), 15u);
+    EXPECT_EQ(reg.get("writes"), 1u);
+    EXPECT_EQ(reg.get("missing"), 0u);
+    reg.clear();
+    EXPECT_EQ(reg.get("reads"), 0u);
+}
+
+TEST(Stats, SummaryMoments)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.record(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 4.0);
+}
+
+TEST(Stats, GeomeanMatchesHandComputed)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+} // namespace
+} // namespace pointacc

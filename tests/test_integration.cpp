@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Cross-module integration and property tests: end-to-end invariants
+ * that hold across the whole simulator, parameterized over networks,
+ * datasets and accelerator configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/platform.hpp"
+#include "datasets/synthetic.hpp"
+#include "mapping/kernel_map.hpp"
+#include "mapping/quantize.hpp"
+#include "nn/functional.hpp"
+#include "nn/zoo.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/report.hpp"
+
+namespace pointacc {
+namespace {
+
+// ---------------------------------------------------------------- //
+//     End-to-end functional pipeline: maps -> conv -> residual      //
+// ---------------------------------------------------------------- //
+
+TEST(Pipeline, TwoIdentityConvsComposeToIdentity)
+{
+    auto cloud = generate(DatasetKind::ShapeNet, 3, 0.2);
+    randomizeFeatures(cloud, 6, 9);
+    KernelMapConfig kcfg;
+    const auto maps = sortKernelMap(cloud, cloud, kcfg);
+    const auto id = identityWeights(27, 6);
+
+    auto mid = sparseConvForward(cloud, maps, id, cloud.size());
+    PointCloud midCloud = cloud;
+    midCloud.featureData() = mid;
+    const auto out = sparseConvForward(midCloud, maps, id, cloud.size());
+    EXPECT_EQ(out, cloud.featureData());
+}
+
+TEST(Pipeline, DownThenUpPreservesMass)
+{
+    // A strided conv followed by its transposed conv must route every
+    // input exactly once down and back: with all-ones 1-channel
+    // weights and all-ones features, each output of the round trip
+    // counts the size of its quantization cell.
+    auto cloud = generate(DatasetKind::S3DIS, 5, 0.05);
+    cloud.setChannels(1);
+    for (std::size_t i = 0; i < cloud.size(); ++i)
+        cloud.setFeature(static_cast<PointIndex>(i), 0, 1.0f);
+
+    const auto coarse = quantizeDownsample(cloud, 2);
+    KernelMapConfig kcfg;
+    kcfg.kernelSize = 2;
+    kcfg.outStride = 2;
+    const auto down = sortKernelMap(cloud, coarse, kcfg);
+    const auto up = transposeMaps(down, 2);
+
+    ConvWeights ones;
+    ones.numWeights = 8;
+    ones.cin = 1;
+    ones.cout = 1;
+    ones.data.assign(8, 1.0f);
+
+    const auto pooled = sparseConvForward(cloud, down, ones,
+                                          coarse.size());
+    double total = 0.0;
+    for (float v : pooled)
+        total += v;
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(cloud.size()));
+
+    PointCloud coarseCloud = coarse;
+    coarseCloud.setChannels(1);
+    coarseCloud.featureData() = pooled;
+    const auto unpooled =
+        sparseConvForward(coarseCloud, up, ones, cloud.size());
+    // Every fine point receives its cell's count.
+    double roundTrip = 0.0;
+    for (float v : unpooled)
+        roundTrip += v;
+    double squares = 0.0;
+    for (float v : pooled)
+        squares += static_cast<double>(v) * v;
+    EXPECT_DOUBLE_EQ(roundTrip, squares);
+}
+
+// ---------------------------------------------------------------- //
+//          Simulator-level properties across all networks           //
+// ---------------------------------------------------------------- //
+
+class NetworkSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    Network net() const { return allBenchmarks()[GetParam()]; }
+};
+
+TEST_P(NetworkSweep, DeterministicAcrossRuns)
+{
+    const auto network = net();
+    const auto cloud = generate(network.dataset, 77, 0.05);
+    Accelerator accel(pointAccConfig());
+    const auto a = accel.run(network, cloud);
+    const auto b = accel.run(network, cloud);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.dramReadBytes, b.dramReadBytes);
+    EXPECT_DOUBLE_EQ(a.energy.totalPJ(), b.energy.totalPJ());
+}
+
+TEST_P(NetworkSweep, MoreInputPointsNeverFaster)
+{
+    const auto network = net();
+    const auto small = generate(network.dataset, 77, 0.04);
+    const auto large = generate(network.dataset, 77, 0.12);
+    Accelerator accel(pointAccConfig());
+    EXPECT_LE(accel.run(network, small).totalCycles,
+              accel.run(network, large).totalCycles);
+}
+
+TEST_P(NetworkSweep, EnergyBucketsConsistent)
+{
+    const auto network = net();
+    const auto cloud = generate(network.dataset, 77, 0.05);
+    Accelerator accel(pointAccConfig());
+    const auto r = accel.run(network, cloud);
+    double layerSum = 0.0;
+    for (const auto &ls : r.layers)
+        layerSum += ls.energy.totalPJ();
+    // Totals = per-layer sums + static power integral (> layer sum).
+    EXPECT_GE(r.energy.totalPJ(), layerSum);
+    EXPECT_GT(r.energy.computePJ, 0.0);
+}
+
+TEST_P(NetworkSweep, AblationsNeverImproveBaselineConfig)
+{
+    // Disabling the cache must not reduce DRAM traffic; disabling
+    // fusion must not reduce it either.
+    const auto network = net();
+    const auto cloud = generate(network.dataset, 77, 0.05);
+    Accelerator accel(pointAccConfig());
+    RunOptions base;
+    RunOptions noCache;
+    noCache.useCache = false;
+    RunOptions noFusion;
+    noFusion.useFusion = false;
+    const auto rBase = accel.run(network, cloud, base);
+    const auto rNoCache = accel.run(network, cloud, noCache);
+    const auto rNoFusion = accel.run(network, cloud, noFusion);
+    EXPECT_LE(rBase.dramReadBytes + rBase.dramWriteBytes,
+              rNoCache.dramReadBytes + rNoCache.dramWriteBytes);
+    EXPECT_LE(rBase.dramReadBytes + rBase.dramWriteBytes,
+              rNoFusion.dramReadBytes + rNoFusion.dramWriteBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, NetworkSweep,
+                         ::testing::Range(0, 8),
+                         [](const auto &info) {
+                             std::string n = allBenchmarks()[info.param]
+                                                 .notation;
+                             for (auto &c : n) {
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return n;
+                         });
+
+// ---------------------------------------------------------------- //
+//                     Block-size auto-tuning                        //
+// ---------------------------------------------------------------- //
+
+TEST(AutoTune, NeverWorseThanFixedCandidates)
+{
+    const auto net = minkowskiUNetIndoor();
+    const auto cloud = generate(net.dataset, 13, 0.08);
+    Accelerator accel(pointAccConfig());
+
+    RunOptions autoOpt;
+    autoOpt.cacheBlockPoints = 0;
+    const auto rAuto = accel.run(net, cloud, autoOpt);
+
+    for (std::uint32_t block : {4u, 16u, 64u}) {
+        RunOptions fixed;
+        fixed.cacheBlockPoints = block;
+        const auto rFixed = accel.run(net, cloud, fixed);
+        EXPECT_LE(rAuto.dramReadBytes, rFixed.dramReadBytes)
+            << "block=" << block;
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                           Reporting                               //
+// ---------------------------------------------------------------- //
+
+TEST(Report, SummaryMentionsNetworkAndUnits)
+{
+    const auto net = miniMinkowskiUNet();
+    const auto cloud = generate(net.dataset, 3, 0.05);
+    Accelerator accel(pointAccEdgeConfig());
+    const auto r = accel.run(net, cloud);
+    const auto text = summaryText(r);
+    EXPECT_NE(text.find("Mini-MinkNet"), std::string::npos);
+    EXPECT_NE(text.find("ms"), std::string::npos);
+    EXPECT_NE(text.find("mJ"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerLayer)
+{
+    const auto net = pointNetPPClass();
+    const auto cloud = generate(net.dataset, 3, 0.5);
+    Accelerator accel(pointAccConfig());
+    const auto r = accel.run(net, cloud);
+
+    std::ostringstream os;
+    writeLayerCsv(os, r);
+    const std::string csv = os.str();
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, r.layers.size() + 1);
+    EXPECT_EQ(csv.find("layer,dense,"), 0u);
+}
+
+TEST(Report, CompareOrdersSpeedup)
+{
+    const auto net = miniMinkowskiUNet();
+    const auto cloud = generate(net.dataset, 3, 0.05);
+    Accelerator full(pointAccConfig());
+    Accelerator edge(pointAccEdgeConfig());
+    const auto a = full.run(net, cloud);
+    const auto b = edge.run(net, cloud);
+    const auto text = compareText(a, b);
+    EXPECT_NE(text.find("PointAcc vs PointAcc.Edge"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+//            Accelerator scaling laws (sanity physics)              //
+// ---------------------------------------------------------------- //
+
+TEST(Scaling, DoubleArrayNearlyHalvesComputeCycles)
+{
+    const auto net = minkowskiUNetIndoor();
+    const auto cloud = generate(net.dataset, 13, 0.08);
+    auto cfgA = pointAccConfig();
+    auto cfgB = pointAccConfig();
+    cfgB.mxu = MxuConfig{128, 128};
+    const auto rA = Accelerator(cfgA).run(net, cloud);
+    const auto rB = Accelerator(cfgB).run(net, cloud);
+    const double ratio = static_cast<double>(rA.computeCycles) /
+                         static_cast<double>(rB.computeCycles);
+    // MinkNet channels (32..256) map raggedly onto a 128-wide array,
+    // so the gain is between 1x and the ideal 4x.
+    EXPECT_GT(ratio, 1.2);
+    EXPECT_LT(ratio, 4.2);
+}
+
+TEST(Scaling, SlowerDramExposesStalls)
+{
+    const auto net = minkowskiUNetOutdoor();
+    const auto cloud = generate(net.dataset, 13, 0.05);
+    auto fast = pointAccConfig();
+    auto slow = pointAccConfig();
+    slow.dram = lpddr3Spec(); // 20x less bandwidth than HBM2
+    const auto rFast = Accelerator(fast).run(net, cloud);
+    const auto rSlow = Accelerator(slow).run(net, cloud);
+    EXPECT_GE(rSlow.exposedDramCycles, rFast.exposedDramCycles);
+    EXPECT_GT(rSlow.totalCycles, rFast.totalCycles);
+}
+
+TEST(Scaling, BaselineEstimatesScaleWithWorkload)
+{
+    const auto net = minkowskiUNetIndoor();
+    const auto small = generate(net.dataset, 7, 0.05);
+    const auto large = generate(net.dataset, 7, 0.15);
+    const auto wSmall = summarizeWorkload(net, small);
+    const auto wLarge = summarizeWorkload(net, large);
+    for (const auto *p : {&rtx2080Ti(), &xeonGold6130(), &tpuV3()}) {
+        EXPECT_LT(estimatePlatform(*p, net.notation, wSmall).totalMs(),
+                  estimatePlatform(*p, net.notation, wLarge).totalMs())
+            << p->name;
+    }
+}
+
+} // namespace
+} // namespace pointacc

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the Memory Management Unit components: DRAM model, MIR
+ * container, configurable cache, dataflow traffic models and the
+ * temporal fusion planner. Property tests enforce the paper's
+ * monotonic claims (Fig. 18: miss rate falls with block size, kernel
+ * size and channels; Section 4.2.3: Fetch-on-Demand saves >= 3x input
+ * feature traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "datasets/synthetic.hpp"
+#include "mapping/kernel_map.hpp"
+#include "mapping/quantize.hpp"
+#include "memory/cache.hpp"
+#include "memory/dram.hpp"
+#include "memory/flows.hpp"
+#include "memory/fusion.hpp"
+#include "memory/mir.hpp"
+
+namespace pointacc {
+namespace {
+
+// ---------------------------------------------------------------- //
+//                             DRAM                                  //
+// ---------------------------------------------------------------- //
+
+TEST(Dram, SpecsMatchTable3)
+{
+    EXPECT_DOUBLE_EQ(hbm2Spec().bandwidthGBps, 256.0);
+    EXPECT_DOUBLE_EQ(ddr4Spec().bandwidthGBps, 17.0);
+    EXPECT_DOUBLE_EQ(lpddr3Spec().bandwidthGBps, 12.8);
+}
+
+TEST(Dram, SequentialTimeMatchesBandwidth)
+{
+    DramModel dram(hbm2Spec());
+    dram.readSequential(256ULL * 1000 * 1000 * 1000); // 256 GB
+    EXPECT_NEAR(dram.timeNs(), 1e9, 1e9 * 0.01);      // ~1 second
+}
+
+TEST(Dram, RandomAccessPadsToBursts)
+{
+    DramModel dram(ddr4Spec());
+    dram.readRandom(10, 4); // 4-byte reads pad to 64-byte bursts
+    EXPECT_EQ(dram.readBytes(), 640u);
+}
+
+TEST(Dram, RandomSlowerThanSequential)
+{
+    DramModel seq(ddr4Spec()), rnd(ddr4Spec());
+    seq.readSequential(64 * 1024);
+    rnd.readRandom(1024, 64);
+    EXPECT_GT(rnd.timeNs(), seq.timeNs());
+}
+
+TEST(Dram, EnergyProportionalToBits)
+{
+    DramModel dram(hbm2Spec());
+    dram.readSequential(1000);
+    dram.writeSequential(500);
+    EXPECT_DOUBLE_EQ(dram.energyPJ(), 1500.0 * 8.0 * 4.0);
+}
+
+TEST(Dram, ResetClears)
+{
+    DramModel dram(hbm2Spec());
+    dram.readSequential(1000);
+    dram.reset();
+    EXPECT_EQ(dram.totalBytes(), 0u);
+    EXPECT_DOUBLE_EQ(dram.timeNs(), 0.0);
+}
+
+// ---------------------------------------------------------------- //
+//                         MIR container                             //
+// ---------------------------------------------------------------- //
+
+TEST(MirContainer, TagArrayHitMiss)
+{
+    MirContainer tags(8, MirMode::TagArray);
+    EXPECT_FALSE(tags.lookup(3).has_value());
+    Mir mir;
+    mir.tileId = 3;
+    tags.install(mir);
+    EXPECT_TRUE(tags.lookup(3).has_value());
+    // Conflicting tag (3 + 8 maps to the same slot) evicts.
+    mir.tileId = 11;
+    tags.install(mir);
+    EXPECT_FALSE(tags.lookup(3).has_value());
+    EXPECT_TRUE(tags.lookup(11).has_value());
+}
+
+TEST(MirContainer, FifoOrder)
+{
+    MirContainer fifo(4, MirMode::Fifo);
+    for (int i = 0; i < 3; ++i) {
+        Mir mir;
+        mir.tileId = i;
+        fifo.pushBack(mir);
+    }
+    EXPECT_EQ(fifo.popFront().tileId, 0);
+    EXPECT_EQ(fifo.popFront().tileId, 1);
+    EXPECT_EQ(fifo.size(), 1u);
+}
+
+TEST(MirContainer, StackOrder)
+{
+    MirContainer stack(4, MirMode::Stack);
+    for (int i = 0; i < 3; ++i) {
+        Mir mir;
+        mir.tileId = i;
+        stack.push(mir);
+    }
+    EXPECT_EQ(stack.top().tileId, 2);
+    EXPECT_EQ(stack.pop().tileId, 2);
+    EXPECT_EQ(stack.pop().tileId, 1);
+    EXPECT_EQ(stack.size(), 1u);
+}
+
+TEST(MirContainer, ModeSwitchRequiresDrain)
+{
+    MirContainer c(4, MirMode::Stack);
+    Mir mir;
+    c.push(mir);
+    c.pop();
+    c.setMode(MirMode::TagArray); // legal when drained
+    EXPECT_EQ(c.mode(), MirMode::TagArray);
+}
+
+// ---------------------------------------------------------------- //
+//                        Feature cache                              //
+// ---------------------------------------------------------------- //
+
+TEST(FeatureCache, SequentialAccessHitsWithinBlock)
+{
+    CacheConfig cfg;
+    cfg.capacityBytes = 16 * 1024;
+    cfg.blockPoints = 8;
+    cfg.blockChannels = 64;
+    FeatureCache cache(cfg, 1000, 64);
+    for (std::uint32_t p = 0; p < 64; ++p)
+        cache.access(p, 0);
+    // 64 points / 8 per block = 8 misses, rest hits.
+    EXPECT_EQ(cache.stats().misses, 8u);
+    EXPECT_EQ(cache.stats().accesses, 64u);
+    EXPECT_EQ(cache.stats().missBytes, 8u * cache.blockBytes());
+}
+
+TEST(FeatureCache, RepeatAccessHits)
+{
+    CacheConfig cfg;
+    cfg.blockPoints = 1;
+    FeatureCache cache(cfg, 100, 64);
+    EXPECT_FALSE(cache.access(5, 0));
+    EXPECT_TRUE(cache.access(5, 0));
+    EXPECT_TRUE(cache.access(5, 0));
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 1.0 / 3.0);
+}
+
+TEST(FeatureCache, ConflictEviction)
+{
+    CacheConfig cfg;
+    cfg.capacityBytes = 4 * 128; // 4 blocks of one point x 64ch x 2B
+    cfg.blockPoints = 1;
+    cfg.blockChannels = 64;
+    FeatureCache cache(cfg, 100, 64);
+    ASSERT_EQ(cache.numBlocks(), 4u);
+    cache.access(0, 0);
+    cache.access(4, 0); // same slot as 0 -> evicts
+    EXPECT_FALSE(cache.access(0, 0));
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+// ---------------------------------------------------------------- //
+//                     Flow traffic models                           //
+// ---------------------------------------------------------------- //
+
+class FlowFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cloud = generate(DatasetKind::S3DIS, 3, 0.2);
+        KernelMapConfig kcfg;
+        maps = sortKernelMap(cloud, cloud, kcfg);
+        shape.numInputs = static_cast<std::uint32_t>(cloud.size());
+        shape.numOutputs = static_cast<std::uint32_t>(cloud.size());
+        shape.inChannels = 64;
+        shape.outChannels = 64;
+    }
+
+    PointCloud cloud;
+    MapSet maps;
+    SparseLayerShape shape;
+};
+
+TEST_F(FlowFixture, GatherScatterTrafficFormula)
+{
+    const auto t = gatherMatMulScatterTraffic(maps, shape);
+    const std::uint64_t m = maps.size();
+    EXPECT_EQ(t.inputReadBytes, m * 64 * 2);
+    EXPECT_EQ(t.scratchWriteBytes, m * 64 * 2 + m * 64 * 2);
+    EXPECT_EQ(t.outputWriteBytes, m * 64 * 2);
+    EXPECT_GT(t.totalBytes(), 5 * m * 64 * 2);
+}
+
+TEST_F(FlowFixture, FetchOnDemandSavesInputTraffic)
+{
+    CacheConfig ccfg;
+    ccfg.capacityBytes = 128 * 1024;
+    ccfg.blockPoints = 16;
+    const auto gs = gatherMatMulScatterTraffic(maps, shape);
+    const auto fod = fetchOnDemandTraffic(maps, shape, ccfg);
+    // Section 4.2.3: >= 3x saving on input feature DRAM access.
+    EXPECT_GT(static_cast<double>(gs.inputReadBytes +
+                                  gs.scratchReadBytes +
+                                  gs.scratchWriteBytes),
+              3.0 * static_cast<double>(fod.traffic.inputReadBytes));
+    // Outputs written exactly once.
+    EXPECT_EQ(fod.traffic.outputWriteBytes,
+              static_cast<std::uint64_t>(shape.numOutputs) * 64 * 2);
+    EXPECT_EQ(fod.traffic.scratchReadBytes, 0u);
+    EXPECT_EQ(fod.traffic.scratchWriteBytes, 0u);
+}
+
+TEST_F(FlowFixture, MissRateFallsWithBlockSize)
+{
+    double prev = 1.1;
+    for (std::uint32_t block : {1u, 4u, 16u, 64u}) {
+        CacheConfig ccfg;
+        ccfg.capacityBytes = 64 * 1024;
+        ccfg.blockPoints = block;
+        const auto fod = fetchOnDemandTraffic(maps, shape, ccfg);
+        EXPECT_LT(fod.cache.missRate(), prev) << "block=" << block;
+        prev = fod.cache.missRate();
+    }
+    EXPECT_LT(prev, 0.1); // large blocks: most accesses hit
+}
+
+TEST_F(FlowFixture, MissRateFallsWithChannels)
+{
+    CacheConfig ccfg;
+    ccfg.capacityBytes = 64 * 1024;
+    ccfg.blockPoints = 4;
+    auto wide = shape;
+    wide.inChannels = 128;
+    const auto narrow = fetchOnDemandTraffic(maps, shape, ccfg);
+    const auto wideRes = fetchOnDemandTraffic(maps, wide, ccfg);
+    // Fig. 18: more channels -> more reuse per cached block.
+    EXPECT_LT(wideRes.cache.missRate(), narrow.cache.missRate());
+}
+
+TEST_F(FlowFixture, MissRateFallsWithKernelSize)
+{
+    KernelMapConfig k2cfg;
+    k2cfg.kernelSize = 2;
+    const auto maps2 = sortKernelMap(cloud, cloud, k2cfg);
+    CacheConfig ccfg;
+    ccfg.capacityBytes = 64 * 1024;
+    ccfg.blockPoints = 4;
+    const auto k2 = fetchOnDemandTraffic(maps2, shape, ccfg);
+    const auto k3 = fetchOnDemandTraffic(maps, shape, ccfg);
+    EXPECT_LT(k3.cache.missRate(), k2.cache.missRate());
+}
+
+TEST(DenseTraffic, InOutOnce)
+{
+    const auto t = denseLayerTraffic(1000, 64, 128);
+    EXPECT_EQ(t.inputReadBytes, 1000u * 64 * 2);
+    EXPECT_EQ(t.outputWriteBytes, 1000u * 128 * 2);
+    EXPECT_EQ(t.weightReadBytes, 64u * 128 * 2);
+}
+
+// ---------------------------------------------------------------- //
+//                         Layer fusion                              //
+// ---------------------------------------------------------------- //
+
+TEST(Fusion, FusesEverythingWithAmpleBuffer)
+{
+    const std::vector<std::uint32_t> chain = {64, 64, 128, 128, 256};
+    const auto plan = planFusion(chain, 4096, 64ULL * 1024 * 1024);
+    ASSERT_EQ(plan.groups.size(), 1u);
+    EXPECT_EQ(plan.groups[0].numLayers, 4u);
+}
+
+TEST(Fusion, SplitsWhenBufferTight)
+{
+    const std::vector<std::uint32_t> chain = {64, 64, 128, 128, 256};
+    // Buffer fits barely one layer pair at the minimum tile.
+    const auto plan = planFusion(chain, 4096, 16 * 1024);
+    EXPECT_GT(plan.groups.size(), 1u);
+    std::size_t covered = 0;
+    for (const auto &g : plan.groups) {
+        EXPECT_GE(g.numLayers, 1u);
+        EXPECT_EQ(g.firstLayer, covered);
+        covered += g.numLayers;
+    }
+    EXPECT_EQ(covered, chain.size() - 1);
+}
+
+TEST(Fusion, FusedTrafficLessThanLayerByLayer)
+{
+    const std::vector<std::uint32_t> chain = {64, 64, 64, 128, 1024};
+    const std::uint32_t points = 8192;
+    const auto plan = planFusion(chain, points, 512 * 1024);
+    const auto fused = fusedTraffic(chain, points, plan);
+    const auto unfused = layerByLayerTraffic(chain, points);
+    EXPECT_LT(fused, unfused);
+    // PointNet-style chains cut DRAM by ~half or better (Fig. 20).
+    EXPECT_GT(1.0 - static_cast<double>(fused) /
+                        static_cast<double>(unfused),
+              0.3);
+}
+
+TEST(Fusion, SimulationRespectsPlannedFootprint)
+{
+    const std::vector<std::uint32_t> chain = {64, 128, 256};
+    const std::uint32_t points = 2048;
+    const std::uint64_t buffer = 256 * 1024;
+    const auto plan = planFusion(chain, points, buffer);
+    for (const auto &g : plan.groups) {
+        const auto peak = simulateFusedExecution(chain, g, points);
+        EXPECT_LE(peak, buffer) << "group at layer " << g.firstLayer;
+    }
+}
+
+TEST(Fusion, SingleLayerChainDegenerates)
+{
+    const std::vector<std::uint32_t> chain = {64, 128};
+    const auto plan = planFusion(chain, 1024, 1024);
+    ASSERT_EQ(plan.groups.size(), 1u);
+    EXPECT_EQ(plan.groups[0].numLayers, 1u);
+    EXPECT_EQ(fusedTraffic(chain, 1024, plan),
+              layerByLayerTraffic(chain, 1024));
+}
+
+class FusionBufferSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FusionBufferSweep, MoreBufferNeverHurts)
+{
+    const std::vector<std::uint32_t> chain = {32, 64, 64, 128, 128, 256};
+    const std::uint32_t points = 4096;
+    const auto planSmall = planFusion(chain, points, GetParam());
+    const auto planBig = planFusion(chain, points, GetParam() * 4);
+    EXPECT_LE(fusedTraffic(chain, points, planBig),
+              fusedTraffic(chain, points, planSmall));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FusionBufferSweep,
+                         ::testing::Values(8 * 1024, 32 * 1024, 128 * 1024,
+                                           1024 * 1024));
+
+} // namespace
+} // namespace pointacc
