@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Serving-runtime benchmark: throughput and tail latency of PointAcc
+ * fleets under open-loop load.
+ *
+ * Not a paper figure — this drives the runtime/ subsystem that grows
+ * the reproduction toward a serving system. Three sweeps:
+ *
+ *  1. fleet scaling: 1 / 2 / 4 PointAcc instances at a fixed offered
+ *     load (p99 must not increase with fleet size);
+ *  2. queue policy: FIFO vs SJF at rising load on one instance;
+ *  3. batching: on vs off for a batch-friendly (single-network) mix.
+ *
+ * Results print as a table and are dumped to BENCH_serving.json for
+ * the machine-readable perf trajectory.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/json.hpp"
+#include "nn/zoo.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serving_stats.hpp"
+#include "runtime/workload.hpp"
+#include "sim/accel_config.hpp"
+
+using namespace pointacc;
+
+namespace {
+
+struct Row
+{
+    std::string sweep;
+    std::string process;
+    double offeredPerMCycle = 0.0;
+    std::size_t fleetSize = 0;
+    std::string policy;
+    bool batching = false;
+    ServingReport report;
+};
+
+Row
+runScenario(const std::string &sweep, const SimServiceModel &model,
+            std::size_t fleet_size, const WorkloadSpec &wspec,
+            QueuePolicy policy, bool batching)
+{
+    SchedulerConfig scfg;
+    scfg.policy = policy;
+    scfg.batcher.enabled = batching;
+    scfg.queueDepth = 256;
+
+    std::vector<AcceleratorConfig> fleet(fleet_size, pointAccConfig());
+    FleetScheduler sched(fleet, model, model.catalog().bucketScales, scfg);
+
+    WorkloadGenerator gen(wspec);
+    Row row;
+    row.sweep = sweep;
+    row.process = toString(wspec.arrivals);
+    row.offeredPerMCycle = wspec.requestsPerMCycle;
+    row.fleetSize = fleet_size;
+    row.policy = toString(policy);
+    row.batching = batching;
+    row.report = sched.run(gen.generate());
+    return row;
+}
+
+void
+printHeader()
+{
+    std::printf("%-10s %-8s %7s %5s %6s %6s | %9s %8s %8s %8s %6s %6s\n",
+                "sweep", "process", "offered", "fleet", "policy", "batch",
+                "thru r/s", "p50 ms", "p95 ms", "p99 ms", "util", "drop%");
+    bench::rule(108);
+}
+
+void
+printRow(const Row &r)
+{
+    double utilSum = 0.0;
+    for (const auto &acc : r.report.accelerators)
+        utilSum += acc.utilization(r.report.horizonCycles);
+    const double util =
+        r.report.accelerators.empty()
+            ? 0.0
+            : utilSum / static_cast<double>(r.report.accelerators.size());
+    std::printf(
+        "%-10s %-8s %7.2f %5zu %6s %6s | %9.0f %8.3f %8.3f %8.3f %6.2f %6.2f\n",
+        r.sweep.c_str(), r.process.c_str(), r.offeredPerMCycle, r.fleetSize,
+        r.policy.c_str(), r.batching ? "on" : "off",
+        r.report.throughputRps(), r.report.p50Ms(), r.report.p95Ms(),
+        r.report.p99Ms(), util, 100.0 * r.report.dropRate());
+}
+
+void
+writeRows(std::ostream &os, const std::vector<Row> &rows)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("bench", "serving");
+    w.key("rows").beginArray();
+    for (const auto &r : rows) {
+        w.beginObject();
+        w.field("sweep", r.sweep);
+        w.field("process", r.process);
+        w.field("offered_per_mcycle", r.offeredPerMCycle);
+        w.field("fleet_size", static_cast<std::uint64_t>(r.fleetSize));
+        w.field("policy", r.policy);
+        w.field("batching", r.batching);
+        w.field("throughput_rps", r.report.throughputRps());
+        w.field("latency_ms_p50", r.report.p50Ms());
+        w.field("latency_ms_p95", r.report.p95Ms());
+        w.field("latency_ms_p99", r.report.p99Ms());
+        w.field("drop_rate", r.report.dropRate());
+        w.field("completed", r.report.completed);
+        w.field("deadline_misses", r.report.deadlineMisses);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath = "BENCH_serving.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--no-json") == 0)
+            jsonPath.clear();
+    }
+
+    bench::banner("Serving runtime: fleets of PointAcc under open load",
+                  "runtime/ subsystem (beyond the paper)");
+
+    // Catalog: an object-classification network, a hierarchical
+    // PointNet++ and a scene-segmentation MinkowskiUNet, each at two
+    // cloud-size buckets. Profiling = 6 simulator runs, memoized.
+    ServingCatalog catalog;
+    catalog.networks = {pointNet(), pointNetPPClass(),
+                        minkowskiUNetIndoor()};
+    catalog.bucketScales = {0.05, 0.1};
+    SimServiceModel model(catalog);
+
+    // Price the mix against one PointAcc to express offered load in
+    // fractions of single-instance capacity.
+    const auto cfgServer = pointAccConfig();
+    WorkloadSpec base;
+    base.mix = {
+        {0, 0, 4.0, 0}, // PointNet, small clouds, bulk of traffic
+        {1, 1, 2.0, 0}, // PointNet++, larger objects
+        {2, 1, 1.0, 0}, // MinkowskiUNet scenes, the heavy tail
+    };
+    double meanCycles = 0.0;
+    double totalWeight = 0.0;
+    for (const auto &cls : base.mix) {
+        meanCycles += cls.weight *
+                      static_cast<double>(
+                          model.profile(cfgServer, cls.networkId,
+                                        cls.sizeBucket)
+                              .totalCycles);
+        totalWeight += cls.weight;
+    }
+    meanCycles /= totalWeight;
+    const double capacityPerMCycle = 1e6 / meanCycles; // one instance
+    std::printf("mix mean service: %.0f cycles -> 1-instance capacity "
+                "%.2f req/Mcycle\n\n",
+                meanCycles, capacityPerMCycle);
+
+    std::vector<Row> rows;
+    printHeader();
+
+    // Sweep 1: fleet scaling at a load that saturates one instance.
+    base.seed = 2026;
+    base.horizonCycles = 400'000'000;
+    base.arrivals = ArrivalProcess::Poisson;
+    base.requestsPerMCycle = 1.5 * capacityPerMCycle;
+    for (const std::size_t fleetSize : {1u, 2u, 4u}) {
+        rows.push_back(runScenario("fleet", model, fleetSize, base,
+                                   QueuePolicy::Fifo, false));
+        printRow(rows.back());
+    }
+    bench::rule(108);
+
+    // Sweep 2: FIFO vs SJF, one instance, rising load.
+    for (const double frac : {0.6, 0.9, 1.2}) {
+        base.requestsPerMCycle = frac * capacityPerMCycle;
+        for (const QueuePolicy pol : {QueuePolicy::Fifo, QueuePolicy::Sjf}) {
+            rows.push_back(
+                runScenario("policy", model, 1, base, pol, false));
+            printRow(rows.back());
+        }
+    }
+    bench::rule(108);
+
+    // Sweep 3: batching on/off under bursty single-network traffic
+    // (bursts of same-class requests are what batching can coalesce).
+    WorkloadSpec burstSpec = base;
+    burstSpec.arrivals = ArrivalProcess::Bursty;
+    burstSpec.meanBurstSize = 6;
+    burstSpec.mix = {{0, 0, 1.0, 0}}; // all PointNet small
+    const double pnCycles = static_cast<double>(
+        model.profile(cfgServer, 0, 0).totalCycles);
+    burstSpec.requestsPerMCycle = 0.9 * 1e6 / pnCycles;
+    for (const bool batching : {false, true}) {
+        rows.push_back(runScenario("batching", model, 1, burstSpec,
+                                   QueuePolicy::Fifo, batching));
+        printRow(rows.back());
+    }
+    bench::rule(108);
+
+    // Acceptance check: p99 must not increase with fleet size.
+    const double p99_1 = rows[0].report.p99Ms();
+    const double p99_2 = rows[1].report.p99Ms();
+    const double p99_4 = rows[2].report.p99Ms();
+    const bool monotone = p99_1 >= p99_2 && p99_2 >= p99_4;
+    std::printf("fleet-scaling p99: 1x %.3f >= 2x %.3f >= 4x %.3f ms: %s\n",
+                p99_1, p99_2, p99_4, monotone ? "OK" : "VIOLATED");
+
+    if (!jsonPath.empty()) {
+        std::ofstream jf(jsonPath);
+        writeRows(jf, rows);
+        jf.flush();
+        if (jf.good())
+            std::printf("wrote %s\n", jsonPath.c_str());
+        else
+            std::fprintf(stderr, "error: could not write %s\n",
+                         jsonPath.c_str());
+    }
+    return monotone ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: configure + build + test, with warnings-as-errors on
+# the serving-runtime subsystem (src/runtime/ is new code held to a
+# stricter bar than the seed sources). Suitable as a GitHub Actions
+# step:
+#
+#   - name: Build and test
+#     run: ./scripts/ci.sh
+#
+# Environment:
+#   BUILD_DIR  build tree location   (default: build-ci)
+#   JOBS       parallel build jobs   (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPOINTACC_WERROR=ON
+
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Serving-runtime acceptance: p99 latency must not increase with fleet
+# size (the bench exits non-zero on violation).
+"${BUILD_DIR}/bench_serving" --json "${BUILD_DIR}/BENCH_serving.json"

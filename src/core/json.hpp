@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * The simulator's reports (RunResult dumps, serving-runtime summaries)
+ * need machine-readable output for the BENCH_*.json perf trajectory.
+ * A full JSON library is overkill — outputs are write-only trees of
+ * objects/arrays of numbers and short strings — so this header provides
+ * a tiny comma-tracking writer with no dependencies.
+ */
+
+#ifndef POINTACC_CORE_JSON_HPP
+#define POINTACC_CORE_JSON_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pointacc {
+
+/** Streaming JSON writer with automatic comma placement. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os_) : os(os_) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        element();
+        os << '{';
+        needComma.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        needComma.pop_back();
+        os << '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        element();
+        os << '[';
+        needComma.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        needComma.pop_back();
+        os << ']';
+        return *this;
+    }
+
+    /** Emit an object key; follow with exactly one value/container. */
+    JsonWriter &
+    key(const std::string &name)
+    {
+        element();
+        writeString(name);
+        os << ':';
+        pendingValue = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        element();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        element();
+        if (std::isfinite(v)) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.6g", v);
+            os << buf;
+        } else {
+            os << "null";
+        }
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        element();
+        os << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        element();
+        os << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::uint32_t v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        return value(static_cast<std::int64_t>(v));
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        element();
+        os << (v ? "true" : "false");
+        return *this;
+    }
+
+    /** key + scalar value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    /** Comma bookkeeping before every element at the current depth. */
+    void
+    element()
+    {
+        if (pendingValue) {
+            // Value directly follows its key: no comma.
+            pendingValue = false;
+            return;
+        }
+        if (!needComma.empty()) {
+            if (needComma.back())
+                os << ',';
+            needComma.back() = true;
+        }
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        os << '"';
+        for (const char c : s) {
+            switch (c) {
+              case '"': os << "\\\""; break;
+              case '\\': os << "\\\\"; break;
+              case '\n': os << "\\n"; break;
+              case '\t': os << "\\t"; break;
+              case '\r': os << "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+            }
+        }
+        os << '"';
+    }
+
+    std::ostream &os;
+    std::vector<bool> needComma;
+    bool pendingValue = false;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_CORE_JSON_HPP

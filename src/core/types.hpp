@@ -14,7 +14,6 @@
 
 #include <array>
 #include <cmath>
-#include <compare>
 #include <cstdint>
 #include <functional>
 #include <ostream>
@@ -23,6 +22,13 @@ namespace pointacc {
 
 /** Index of a point inside a point cloud. */
 using PointIndex = std::int32_t;
+
+/** True when v is a power of two (C++17 stand-in for std::has_single_bit). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
 
 /** Sentinel index meaning "no point". */
 inline constexpr PointIndex kInvalidIndex = -1;
@@ -63,7 +69,44 @@ struct Coord3
         : x(x_), y(y_), z(z_)
     {}
 
-    friend constexpr auto operator<=>(const Coord3 &, const Coord3 &) = default;
+    friend constexpr bool
+    operator==(const Coord3 &a, const Coord3 &b)
+    {
+        return a.x == b.x && a.y == b.y && a.z == b.z;
+    }
+
+    friend constexpr bool
+    operator!=(const Coord3 &a, const Coord3 &b)
+    {
+        return !(a == b);
+    }
+
+    /** Lexicographic (x, y, z) order — the Mapping Unit's sort order. */
+    friend constexpr bool
+    operator<(const Coord3 &a, const Coord3 &b)
+    {
+        if (a.x != b.x) return a.x < b.x;
+        if (a.y != b.y) return a.y < b.y;
+        return a.z < b.z;
+    }
+
+    friend constexpr bool
+    operator>(const Coord3 &a, const Coord3 &b)
+    {
+        return b < a;
+    }
+
+    friend constexpr bool
+    operator<=(const Coord3 &a, const Coord3 &b)
+    {
+        return !(b < a);
+    }
+
+    friend constexpr bool
+    operator>=(const Coord3 &a, const Coord3 &b)
+    {
+        return !(a < b);
+    }
 
     constexpr Coord3
     operator+(const Coord3 &o) const

@@ -27,7 +27,25 @@ struct Map
     PointIndex out = kInvalidIndex;
     std::int32_t weight = 0;
 
-    friend constexpr auto operator<=>(const Map &, const Map &) = default;
+    friend constexpr bool
+    operator==(const Map &a, const Map &b)
+    {
+        return a.in == b.in && a.out == b.out && a.weight == b.weight;
+    }
+
+    friend constexpr bool
+    operator!=(const Map &a, const Map &b)
+    {
+        return !(a == b);
+    }
+
+    friend constexpr bool
+    operator<(const Map &a, const Map &b)
+    {
+        if (a.in != b.in) return a.in < b.in;
+        if (a.out != b.out) return a.out < b.out;
+        return a.weight < b.weight;
+    }
 };
 
 /**

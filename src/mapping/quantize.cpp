@@ -1,7 +1,5 @@
 #include "mapping/quantize.hpp"
 
-#include <bit>
-
 #include "core/logging.hpp"
 
 namespace pointacc {
@@ -10,7 +8,7 @@ PointCloud
 quantizeDownsample(const PointCloud &input, std::int32_t out_stride)
 {
     simAssert(out_stride >= 1, "output stride must be positive");
-    simAssert(std::has_single_bit(static_cast<std::uint32_t>(out_stride)),
+    simAssert(isPowerOfTwo(static_cast<std::uint32_t>(out_stride)),
               "tensor stride must be a power of two");
     simAssert(out_stride % input.tensorStride() == 0,
               "output stride must be a multiple of the input stride");

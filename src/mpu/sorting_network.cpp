@@ -1,7 +1,6 @@
 #include "mpu/sorting_network.hpp"
 
 #include <algorithm>
-#include <bit>
 
 #include "core/logging.hpp"
 
@@ -29,7 +28,7 @@ NetworkStats
 bitonicSort(ElementVec &data)
 {
     const std::size_t n = data.size();
-    simAssert(std::has_single_bit(n), "bitonic sort needs power-of-two size");
+    simAssert(isPowerOfTwo(n), "bitonic sort needs power-of-two size");
     NetworkStats stats;
     if (n <= 1)
         return stats;
@@ -58,7 +57,7 @@ NetworkStats
 bitonicMerge(ElementVec &data)
 {
     const std::size_t n = data.size();
-    simAssert(std::has_single_bit(n), "bitonic merge needs power-of-two size");
+    simAssert(isPowerOfTwo(n), "bitonic merge needs power-of-two size");
     NetworkStats stats;
     if (n <= 1)
         return stats;

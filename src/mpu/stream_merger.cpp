@@ -1,7 +1,6 @@
 #include "mpu/stream_merger.hpp"
 
 #include <algorithm>
-#include <bit>
 
 #include "core/logging.hpp"
 
@@ -9,7 +8,7 @@ namespace pointacc {
 
 StreamMerger::StreamMerger(std::size_t width) : mergerWidth(width)
 {
-    simAssert(width >= 2 && std::has_single_bit(width),
+    simAssert(width >= 2 && isPowerOfTwo(width),
               "merger width must be a power of two >= 2");
 }
 
@@ -100,7 +99,7 @@ StreamMerger::sort(ElementVec data, MergeStats &stats, std::size_t k) const
                        data.begin() + static_cast<std::ptrdiff_t>(end));
         // Pad to the window size for the sorting network, then strip.
         const std::size_t orig = run.size();
-        while (std::popcount(run.size()) != 1 || run.size() < 2)
+        while (!isPowerOfTwo(run.size()) || run.size() < 2)
             run.push_back(padElement());
         const auto net = bitonicSort(run);
         stats.comparisons += net.compareExchanges;

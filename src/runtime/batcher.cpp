@@ -1,0 +1,50 @@
+#include "runtime/batcher.hpp"
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+Batcher::Batcher(const BatcherConfig &config, std::vector<double> bucket_scales)
+    : cfg(config), bucketScales(std::move(bucket_scales))
+{
+    if (cfg.maxBatchSize < 1)
+        fatal("batcher maxBatchSize must be >= 1");
+    if (cfg.maxPointsRatio < 1.0)
+        fatal("batcher maxPointsRatio must be >= 1");
+    if (bucketScales.empty())
+        fatal("batcher needs at least one size bucket");
+}
+
+bool
+Batcher::compatible(const Request &a, const Request &b) const
+{
+    if (a.networkId != b.networkId)
+        return false;
+    simAssert(a.sizeBucket < bucketScales.size() &&
+                  b.sizeBucket < bucketScales.size(),
+              "request size bucket out of catalog range");
+    const double sa = bucketScales[a.sizeBucket];
+    const double sb = bucketScales[b.sizeBucket];
+    const double ratio = sa > sb ? sa / sb : sb / sa;
+    return ratio <= cfg.maxPointsRatio;
+}
+
+Batch
+Batcher::form(AdmissionQueue &queue, QueuePolicy policy) const
+{
+    simAssert(!queue.empty(), "cannot form a batch from an empty queue");
+    Batch batch;
+    if (!cfg.enabled || cfg.maxBatchSize == 1) {
+        batch.requests.push_back(queue.pop(policy));
+        return batch;
+    }
+    batch.requests = queue.popCompatible(
+        policy,
+        [this](const Request &a, const Request &b) {
+            return compatible(a, b);
+        },
+        cfg.maxBatchSize);
+    return batch;
+}
+
+} // namespace pointacc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Request batcher: groups compatible queued requests into one dispatch.
+ *
+ * PointAcc's temporal fusion amortizes DRAM traffic across the layers
+ * of one inference; batching applies the same idea *across requests*.
+ * Requests running the same network share weights, so a batch streams
+ * the parameter set from DRAM once instead of once per request — the
+ * scheduler's cost model credits exactly that weight-reload time back
+ * (see ServiceModel::batchServiceCycles).
+ *
+ * Compatibility is deliberately narrow:
+ *  - same network (different networks share nothing), and
+ *  - comparable cloud size (bucket scale ratio bounded), so one giant
+ *    scene cannot hide behind a batch of small objects and wreck the
+ *    small requests' latency.
+ *
+ * The batch leader is chosen by the queue policy; followers are the
+ * best-ranked compatible requests. A batch never waits for stragglers:
+ * this is a pull batcher (dispatch-time coalescing), which adds zero
+ * idle time — the classic wait-for-K batcher trades latency for
+ * throughput and belongs to a later PR.
+ */
+
+#ifndef POINTACC_RUNTIME_BATCHER_HPP
+#define POINTACC_RUNTIME_BATCHER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/queue.hpp"
+#include "runtime/workload.hpp"
+
+namespace pointacc {
+
+/** Batch formation knobs. */
+struct BatcherConfig
+{
+    bool enabled = true;
+    /** Upper bound on requests per dispatch. */
+    std::uint32_t maxBatchSize = 8;
+    /** Largest allowed cloud-size ratio (bucket scales) inside a batch. */
+    double maxPointsRatio = 4.0;
+};
+
+/** One dispatch unit: >= 1 compatible requests for a single network. */
+struct Batch
+{
+    std::vector<Request> requests;
+
+    std::size_t size() const { return requests.size(); }
+    bool empty() const { return requests.empty(); }
+
+    /** Network shared by every member (leader's network). */
+    std::uint32_t
+    networkId() const
+    {
+        return requests.empty() ? 0 : requests.front().networkId;
+    }
+};
+
+/** Groups queue heads into batches under a compatibility rule. */
+class Batcher
+{
+  public:
+    /** `bucket_scales`: the serving catalog's cloud-size buckets, used
+     *  to evaluate the size-ratio rule. */
+    Batcher(const BatcherConfig &config, std::vector<double> bucket_scales);
+
+    const BatcherConfig &config() const { return cfg; }
+
+    /** May `b` join a batch led by `a`? */
+    bool compatible(const Request &a, const Request &b) const;
+
+    /**
+     * Form the next batch from `queue` under `policy`. The queue must
+     * be non-empty. With batching disabled, returns a singleton batch.
+     */
+    Batch form(AdmissionQueue &queue, QueuePolicy policy) const;
+
+  private:
+    BatcherConfig cfg;
+    std::vector<double> bucketScales;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_RUNTIME_BATCHER_HPP

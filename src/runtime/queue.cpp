@@ -1,0 +1,100 @@
+#include "runtime/queue.hpp"
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+std::string
+toString(QueuePolicy policy)
+{
+    switch (policy) {
+      case QueuePolicy::Fifo: return "fifo";
+      case QueuePolicy::Sjf: return "sjf";
+      case QueuePolicy::Edf: return "edf";
+    }
+    return "?";
+}
+
+bool
+AdmissionQueue::ranksBefore(QueuePolicy policy, const Request &a,
+                            const Request &b)
+{
+    switch (policy) {
+      case QueuePolicy::Fifo:
+        break; // arrival order == id order (ids are assigned in order)
+      case QueuePolicy::Sjf:
+        if (a.estimatedCycles != b.estimatedCycles)
+            return a.estimatedCycles < b.estimatedCycles;
+        break;
+      case QueuePolicy::Edf: {
+        // 0 means best-effort: rank behind every deadlined request.
+        const std::uint64_t da = a.deadlineCycle == 0 ? ~0ULL : a.deadlineCycle;
+        const std::uint64_t db = b.deadlineCycle == 0 ? ~0ULL : b.deadlineCycle;
+        if (da != db)
+            return da < db;
+        break;
+      }
+    }
+    // All policies tie-break on arrival, then id, so ordering is total
+    // and deterministic.
+    if (a.arrivalCycle != b.arrivalCycle)
+        return a.arrivalCycle < b.arrivalCycle;
+    return a.id < b.id;
+}
+
+std::size_t
+AdmissionQueue::selectIndex(QueuePolicy policy) const
+{
+    simAssert(!items.empty(), "selectIndex on empty queue");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < items.size(); ++i) {
+        if (ranksBefore(policy, items[i], items[best]))
+            best = i;
+    }
+    return best;
+}
+
+const Request &
+AdmissionQueue::peek(QueuePolicy policy) const
+{
+    return items[selectIndex(policy)];
+}
+
+Request
+AdmissionQueue::pop(QueuePolicy policy)
+{
+    const std::size_t idx = selectIndex(policy);
+    Request r = items[idx];
+    items.erase(items.begin() + static_cast<std::ptrdiff_t>(idx));
+    return r;
+}
+
+std::vector<Request>
+AdmissionQueue::popCompatible(
+    QueuePolicy policy,
+    const std::function<bool(const Request &, const Request &)> &compatible,
+    std::size_t max_count)
+{
+    simAssert(max_count >= 1, "popCompatible needs max_count >= 1");
+    std::vector<Request> out;
+    out.push_back(pop(policy));
+    const Request head = out.front(); // copy: out reallocates below
+    while (out.size() < max_count) {
+        // Scan for the best-ranked compatible follower.
+        std::size_t best = items.size();
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (!compatible(head, items[i]))
+                continue;
+            if (best == items.size() ||
+                ranksBefore(policy, items[i], items[best]))
+                best = i;
+        }
+        if (best == items.size())
+            break;
+        out.push_back(items[best]);
+        items.erase(items.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    return out;
+}
+
+} // namespace pointacc

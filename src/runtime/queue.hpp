@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Bounded admission queue with pluggable dequeue policies.
+ *
+ * Requests that arrive while every accelerator is busy wait here. The
+ * queue is bounded: a fleet under sustained overload must shed load
+ * somewhere, and an explicit drop counter at admission is the honest
+ * place (unbounded queues make every overloaded experiment look fine
+ * until the latency numbers are read). Three dequeue policies:
+ *
+ *  - FIFO: arrival order, the fairness baseline;
+ *  - SJF: shortest estimated service first, the throughput/mean-latency
+ *    optimizer (estimates come from the scheduler's profiled cost
+ *    model at admission);
+ *  - EDF: earliest absolute deadline first; best-effort requests (no
+ *    deadline) rank behind all deadlined ones.
+ *
+ * Selection scans the backing vector; queue depths in every experiment
+ * are at most a few thousand, so O(depth) per pop is irrelevant next
+ * to the millions of simulated cycles between pops.
+ */
+
+#ifndef POINTACC_RUNTIME_QUEUE_HPP
+#define POINTACC_RUNTIME_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/workload.hpp"
+
+namespace pointacc {
+
+/** Dequeue orderings. */
+enum class QueuePolicy
+{
+    Fifo, ///< first come, first served
+    Sjf,  ///< shortest (estimated) job first
+    Edf,  ///< earliest deadline first; best-effort last
+};
+
+std::string toString(QueuePolicy policy);
+
+/** Bounded admission queue with drop accounting. */
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(std::size_t max_depth) : maxDepth(max_depth) {}
+
+    /** Admit or drop (queue full). Returns true when admitted. */
+    bool
+    push(const Request &r)
+    {
+        if (items.size() >= maxDepth) {
+            numDropped += 1;
+            return false;
+        }
+        items.push_back(r);
+        numAdmitted += 1;
+        return true;
+    }
+
+    bool empty() const { return items.empty(); }
+    std::size_t size() const { return items.size(); }
+    std::size_t depthLimit() const { return maxDepth; }
+
+    /** Next request under `policy` (queue must be non-empty). */
+    const Request &peek(QueuePolicy policy) const;
+
+    /** Remove and return the next request under `policy`. */
+    Request pop(QueuePolicy policy);
+
+    /**
+     * Pop the policy's head request plus up to `max_count - 1` further
+     * requests satisfying `compatible(head, other)`, in policy order.
+     * This is the batcher's access path: the head anchors the batch so
+     * policy ordering decides *which* batch forms, and compatibility
+     * decides who may join it.
+     */
+    std::vector<Request>
+    popCompatible(QueuePolicy policy,
+                  const std::function<bool(const Request &, const Request &)>
+                      &compatible,
+                  std::size_t max_count);
+
+    std::uint64_t admitted() const { return numAdmitted; }
+    std::uint64_t dropped() const { return numDropped; }
+
+    const std::vector<Request> &pending() const { return items; }
+
+  private:
+    /** Index of the next request under `policy`. */
+    std::size_t selectIndex(QueuePolicy policy) const;
+
+    /** True when a ranks strictly ahead of b under `policy`. */
+    static bool ranksBefore(QueuePolicy policy, const Request &a,
+                            const Request &b);
+
+    std::vector<Request> items;
+    std::size_t maxDepth;
+    std::uint64_t numAdmitted = 0;
+    std::uint64_t numDropped = 0;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_RUNTIME_QUEUE_HPP

@@ -1,0 +1,290 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/logging.hpp"
+#include "datasets/synthetic.hpp"
+#include "nn/executor.hpp"
+#include "sim/accelerator.hpp"
+
+namespace pointacc {
+
+// ---------------------------------------------------------------- //
+//                          ServiceModel                             //
+// ---------------------------------------------------------------- //
+
+namespace {
+constexpr std::uint64_t kNoShared =
+    std::numeric_limits<std::uint64_t>::max();
+} // namespace
+
+std::uint64_t
+ServiceModel::batchServiceCycles(const AcceleratorConfig &cfg,
+                                 const Batch &batch) const
+{
+    simAssert(!batch.empty(), "batch must not be empty");
+    std::uint64_t sum = 0;
+    std::uint64_t longest = 0;
+    std::uint64_t shared = kNoShared;
+    for (const auto &r : batch.requests) {
+        const auto p = profile(cfg, r.networkId, r.sizeBucket);
+        sum += p.totalCycles;
+        longest = std::max(longest, p.totalCycles);
+        // Same network across the batch => same parameter set. The
+        // profiled weight-load time can differ per size bucket (it is
+        // capped at that bucket's run length), so credit the smallest
+        // member's value: never overcredit, and the price of a batch
+        // does not depend on member order.
+        shared = std::min(shared, p.weightLoadCycles);
+    }
+    const std::uint64_t saved =
+        shared * static_cast<std::uint64_t>(batch.size() - 1);
+    return std::max(longest, sum > saved ? sum - saved : longest);
+}
+
+SimServiceModel::SimServiceModel(ServingCatalog catalog)
+    : cat(std::move(catalog))
+{
+    if (cat.networks.empty())
+        fatal("serving catalog needs at least one network");
+    if (cat.bucketScales.empty())
+        fatal("serving catalog needs at least one size bucket");
+    for (const double s : cat.bucketScales)
+        if (s <= 0.0)
+            fatal("size bucket scales must be positive");
+}
+
+const PointCloud &
+SimServiceModel::cloudFor(std::uint32_t network_id,
+                          std::uint32_t bucket) const
+{
+    const auto key = std::make_pair(network_id, bucket);
+    auto it = clouds.find(key);
+    if (it == clouds.end()) {
+        const auto &net = cat.networks[network_id];
+        it = clouds
+                 .emplace(key, generate(net.dataset, cat.cloudSeed,
+                                        cat.bucketScales[bucket]))
+                 .first;
+    }
+    return it->second;
+}
+
+ServiceProfile
+SimServiceModel::profile(const AcceleratorConfig &cfg,
+                         std::uint32_t network_id,
+                         std::uint32_t bucket) const
+{
+    simAssert(network_id < cat.networks.size(),
+              "network id outside the serving catalog");
+    simAssert(bucket < cat.bucketScales.size(),
+              "size bucket outside the serving catalog");
+    const Key key{cfg.name, network_id, bucket};
+    const auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const auto &net = cat.networks[network_id];
+    const auto &cloud = cloudFor(network_id, bucket);
+
+    Accelerator accel(cfg);
+    const RunResult r = accel.run(net, cloud);
+
+    // Parameter bytes are a property of the network alone; cache the
+    // workload summary across accelerator classes.
+    const auto wkey = std::make_pair(network_id, bucket);
+    auto wit = weightBytes.find(wkey);
+    if (wit == weightBytes.end()) {
+        const auto summary = summarizeWorkload(net, cloud);
+        wit = weightBytes.emplace(wkey, summary.weightBytes).first;
+    }
+
+    ServiceProfile p;
+    p.totalCycles = std::max<std::uint64_t>(r.totalCycles, 1);
+    p.mappingCycles = r.mappingCycles;
+    p.computeCycles = r.computeCycles;
+    // Weight streaming time at this accelerator's DRAM bandwidth:
+    // bytes / (GB/s) = ns, times GHz = cycles. Never credit more than
+    // the whole run.
+    const double ns = static_cast<double>(wit->second) /
+                      std::max(cfg.dram.bandwidthGBps, 1e-9);
+    p.weightLoadCycles = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(ns * cfg.freqGHz), p.totalCycles);
+    cache.emplace(key, p);
+    return p;
+}
+
+// ---------------------------------------------------------------- //
+//                         FleetScheduler                            //
+// ---------------------------------------------------------------- //
+
+FleetScheduler::FleetScheduler(std::vector<AcceleratorConfig> fleet_,
+                               const ServiceModel &model_,
+                               std::vector<double> bucket_scales,
+                               SchedulerConfig config)
+    : fleet(std::move(fleet_)), model(model_),
+      bucketScales(std::move(bucket_scales)), cfg(config)
+{
+    if (fleet.empty())
+        fatal("fleet needs at least one accelerator");
+    for (const auto &acc : fleet) {
+        if (acc.freqGHz != fleet.front().freqGHz)
+            fatal("mixed-frequency fleets are not supported");
+        // Service profiles are memoized per config *name*; two members
+        // sharing a name but differing in the fields that drive cost
+        // would silently share wrong profiles.
+        for (const auto &other : fleet) {
+            if (acc.name != other.name)
+                continue;
+            const bool same =
+                acc.mxu.rows == other.mxu.rows &&
+                acc.mxu.cols == other.mxu.cols &&
+                acc.mpu.mergerWidth == other.mpu.mergerWidth &&
+                acc.inputBufferKB == other.inputBufferKB &&
+                acc.weightBufferKB == other.weightBufferKB &&
+                acc.outputBufferKB == other.outputBufferKB &&
+                acc.sorterBufferKB == other.sorterBufferKB &&
+                acc.dram.name == other.dram.name &&
+                acc.dram.bandwidthGBps == other.dram.bandwidthGBps;
+            if (!same)
+                fatal("fleet members named '" + acc.name +
+                      "' have different configurations; give them "
+                      "distinct names");
+        }
+    }
+}
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+struct AccelState
+{
+    bool busy = false;
+    std::uint64_t busyUntil = 0;
+    Batch inFlight;
+    AcceleratorUsage usage;
+};
+
+} // namespace
+
+ServingReport
+FleetScheduler::run(std::vector<Request> arrivals) const
+{
+    std::stable_sort(arrivals.begin(), arrivals.end(), arrivalOrderBefore);
+
+    ServingReport report;
+    report.freqGHz = fleet.front().freqGHz;
+    report.generated = arrivals.size();
+
+    AdmissionQueue queue(cfg.queueDepth);
+    Batcher batcher(cfg.batcher, bucketScales);
+
+    std::vector<AccelState> accels(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+        accels[i].usage.name =
+            fleet[i].name + "#" + std::to_string(i);
+
+    // SJF/EDF estimates are priced against the lead accelerator; on a
+    // heterogeneous fleet relative job ordering is what matters, and
+    // network cost ratios are stable across classes.
+    const AcceleratorConfig &reference = fleet.front();
+
+    const auto complete = [&](AccelState &acc) {
+        for (const auto &r : acc.inFlight.requests) {
+            const std::uint64_t latency = acc.busyUntil - r.arrivalCycle;
+            report.latencyCycles.record(static_cast<double>(latency));
+            if (r.deadlineCycle > 0 && acc.busyUntil > r.deadlineCycle)
+                report.deadlineMisses += 1;
+            report.completed += 1;
+        }
+        acc.inFlight.requests.clear();
+        acc.busy = false;
+    };
+
+    const auto dispatch = [&](std::uint64_t now) {
+        while (!queue.empty()) {
+            // Any idle accelerator?
+            bool anyIdle = false;
+            for (const auto &acc : accels)
+                anyIdle = anyIdle || !acc.busy;
+            if (!anyIdle)
+                return;
+
+            Batch batch = batcher.form(queue, cfg.policy);
+
+            // Place on the idle instance that finishes soonest.
+            std::size_t best = accels.size();
+            std::uint64_t bestCycles = kNever;
+            for (std::size_t i = 0; i < accels.size(); ++i) {
+                if (accels[i].busy)
+                    continue;
+                const std::uint64_t c =
+                    model.batchServiceCycles(fleet[i], batch);
+                if (c < bestCycles) {
+                    bestCycles = c;
+                    best = i;
+                }
+            }
+            AccelState &acc = accels[best];
+            acc.busy = true;
+            acc.busyUntil = now + bestCycles;
+            acc.usage.busyCycles += bestCycles;
+            acc.usage.batches += 1;
+            acc.usage.requests += batch.size();
+            report.batchSize.record(static_cast<double>(batch.size()));
+            for (const auto &r : batch.requests)
+                report.queueWaitCycles.record(
+                    static_cast<double>(now - r.arrivalCycle));
+            acc.inFlight = std::move(batch);
+        }
+    };
+
+    std::size_t next = 0;
+    std::uint64_t clock = 0;
+    while (true) {
+        const std::uint64_t tArrival =
+            next < arrivals.size() ? arrivals[next].arrivalCycle : kNever;
+        std::uint64_t tFree = kNever;
+        for (const auto &acc : accels)
+            if (acc.busy)
+                tFree = std::min(tFree, acc.busyUntil);
+        if (tArrival == kNever && tFree == kNever)
+            break; // no arrivals left, fleet idle, queue drained
+
+        clock = std::min(tArrival, tFree);
+
+        // Completions first: a request arriving at the same cycle can
+        // reuse the accelerator that just freed up.
+        for (auto &acc : accels)
+            if (acc.busy && acc.busyUntil <= clock)
+                complete(acc);
+
+        // Drain backlog onto freed accelerators before admitting, so
+        // a same-cycle arrival is not dropped against queue space the
+        // completion just made available.
+        dispatch(clock);
+
+        while (next < arrivals.size() &&
+               arrivals[next].arrivalCycle <= clock) {
+            Request r = arrivals[next++];
+            r.estimatedCycles =
+                model.profile(reference, r.networkId, r.sizeBucket)
+                    .totalCycles;
+            queue.push(r); // drop accounting lives in the queue
+        }
+
+        dispatch(clock);
+    }
+
+    report.horizonCycles = clock;
+    report.admitted = queue.admitted();
+    report.dropped = queue.dropped();
+    report.leftoverQueued = queue.size();
+    for (auto &acc : accels)
+        report.accelerators.push_back(acc.usage);
+    return report;
+}
+
+} // namespace pointacc

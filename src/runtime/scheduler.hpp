@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Fleet scheduler: a discrete-event serving simulator over N PointAcc
+ * instances.
+ *
+ * The per-inference simulator (sim/accelerator) prices one run of one
+ * network; this layer composes those prices into a serving system. A
+ * global cycle clock advances between two event kinds — request
+ * arrivals (from runtime/workload) and accelerator completions — and
+ * whenever an accelerator is idle and the admission queue non-empty,
+ * the batcher forms a dispatch and the scheduler places it on the
+ * idle accelerator that would finish it soonest (greedy, which on a
+ * heterogeneous fleet naturally prefers the server-class instance and
+ * spills to edge-class ones under load).
+ *
+ * Service times come from a ServiceModel: the production implementation
+ * (SimServiceModel) runs sim::Accelerator once per (network, cloud-size
+ * bucket, accelerator class) and memoizes RunResult::totalCycles — the
+ * profiled-cost-table approach real serving stacks use, which keeps a
+ * million-request simulation cheap while staying anchored to the
+ * validated per-layer model. Tests inject fixed tables instead.
+ *
+ * Batching credit: requests in one batch share network weights, so the
+ * batch is charged sum(per-request cycles) minus one weight-stream
+ * reload per extra member, floored at the largest member (a batch can
+ * never beat its slowest request). This mirrors how PointAcc's fusion
+ * amortizes DRAM traffic within one inference.
+ *
+ * Assumption: all fleet members run at the same clock frequency (true
+ * of both Table 3 configs); the constructor rejects mixed-frequency
+ * fleets so cycle arithmetic stays exact.
+ */
+
+#ifndef POINTACC_RUNTIME_SCHEDULER_HPP
+#define POINTACC_RUNTIME_SCHEDULER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "runtime/batcher.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/serving_stats.hpp"
+#include "runtime/workload.hpp"
+#include "sim/accel_config.hpp"
+
+namespace pointacc {
+
+/** What a serving fleet can run: networks x cloud-size buckets. */
+struct ServingCatalog
+{
+    std::vector<Network> networks;
+    /** Cloud scale per size bucket (dataset `generate` scale factor). */
+    std::vector<double> bucketScales;
+    /** Seed for the profiling clouds. */
+    std::uint64_t cloudSeed = 20211018;
+};
+
+/** Profiled cost of one (network, bucket) on one accelerator class. */
+struct ServiceProfile
+{
+    std::uint64_t totalCycles = 0;
+    std::uint64_t mappingCycles = 0;
+    std::uint64_t computeCycles = 0;
+    /** Cycles spent streaming the parameter set from DRAM; the share a
+     *  batch member amortizes away. */
+    std::uint64_t weightLoadCycles = 0;
+};
+
+/** Service-time oracle consulted by the scheduler. */
+class ServiceModel
+{
+  public:
+    virtual ~ServiceModel() = default;
+
+    /** Cost of one request of (network, bucket) on `cfg`. */
+    virtual ServiceProfile profile(const AcceleratorConfig &cfg,
+                                   std::uint32_t network_id,
+                                   std::uint32_t bucket) const = 0;
+
+    /**
+     * Service cycles for a whole batch on `cfg`:
+     *   max( sum_i cycles_i - (|B|-1) * min_i weightLoadCycles_i,
+     *        max_i cycles_i ).
+     * The min makes the credit order-independent and conservative
+     * when size buckets (whose caps differ) mix within one batch.
+     */
+    std::uint64_t batchServiceCycles(const AcceleratorConfig &cfg,
+                                     const Batch &batch) const;
+};
+
+/**
+ * ServiceModel backed by the PointAcc simulator. Profiles lazily and
+ * memoizes per (accelerator name, network, bucket); a homogeneous
+ * 4-instance fleet profiles each pair exactly once.
+ */
+class SimServiceModel : public ServiceModel
+{
+  public:
+    explicit SimServiceModel(ServingCatalog catalog);
+
+    const ServingCatalog &catalog() const { return cat; }
+
+    ServiceProfile profile(const AcceleratorConfig &cfg,
+                           std::uint32_t network_id,
+                           std::uint32_t bucket) const override;
+
+  private:
+    const PointCloud &cloudFor(std::uint32_t network_id,
+                               std::uint32_t bucket) const;
+
+    ServingCatalog cat;
+    using Key = std::tuple<std::string, std::uint32_t, std::uint32_t>;
+    mutable std::map<Key, ServiceProfile> cache;
+    mutable std::map<std::pair<std::uint32_t, std::uint32_t>, PointCloud>
+        clouds;
+    /** Parameter bytes per network (accelerator-independent). */
+    mutable std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+        weightBytes;
+};
+
+/** Scheduler knobs. */
+struct SchedulerConfig
+{
+    QueuePolicy policy = QueuePolicy::Fifo;
+    BatcherConfig batcher;
+    /** Admission queue bound; overload beyond it sheds load. */
+    std::size_t queueDepth = 1024;
+};
+
+/** Discrete-event serving simulation over a fleet of accelerators. */
+class FleetScheduler
+{
+  public:
+    /**
+     * @param fleet          one config per accelerator instance (all at
+     *                       the same clock frequency)
+     * @param model          service-time oracle (outlives the scheduler)
+     * @param bucket_scales  the catalog's size buckets (batcher rule)
+     * @param config         queue/batch policy knobs
+     */
+    FleetScheduler(std::vector<AcceleratorConfig> fleet,
+                   const ServiceModel &model,
+                   std::vector<double> bucket_scales,
+                   SchedulerConfig config = {});
+
+    const SchedulerConfig &config() const { return cfg; }
+
+    /**
+     * Serve `arrivals` (any order; sorted internally) to completion:
+     * the simulation always drains, so every admitted request either
+     * completes or — never, by construction — lingers; the report's
+     * conservation counters make that checkable.
+     */
+    ServingReport run(std::vector<Request> arrivals) const;
+
+  private:
+    std::vector<AcceleratorConfig> fleet;
+    const ServiceModel &model;
+    std::vector<double> bucketScales;
+    SchedulerConfig cfg;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_RUNTIME_SCHEDULER_HPP

@@ -1,0 +1,68 @@
+#include "runtime/serving_stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/json.hpp"
+
+namespace pointacc {
+
+std::string
+servingSummaryText(const ServingReport &report)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    os << report.completed << " completed / " << report.generated
+       << " offered (" << report.dropped << " dropped, "
+       << report.deadlineMisses << " deadline misses), "
+       << std::setprecision(1) << report.throughputRps() << " req/s, "
+       << std::setprecision(3) << "latency p50 " << report.p50Ms()
+       << " / p95 " << report.p95Ms() << " / p99 " << report.p99Ms()
+       << " ms";
+    if (!report.accelerators.empty()) {
+        os << ", util";
+        for (const auto &acc : report.accelerators) {
+            os << ' ' << acc.name << ' ' << std::setprecision(2)
+               << acc.utilization(report.horizonCycles);
+        }
+    }
+    return os.str();
+}
+
+void
+writeServingJson(std::ostream &os, const ServingReport &report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("freq_ghz", report.freqGHz);
+    w.field("horizon_cycles", report.horizonCycles);
+    w.field("generated", report.generated);
+    w.field("admitted", report.admitted);
+    w.field("dropped", report.dropped);
+    w.field("completed", report.completed);
+    w.field("leftover_queued", report.leftoverQueued);
+    w.field("deadline_misses", report.deadlineMisses);
+    w.field("throughput_rps", report.throughputRps());
+    w.field("drop_rate", report.dropRate());
+    w.field("latency_ms_mean", report.meanMs());
+    w.field("latency_ms_p50", report.p50Ms());
+    w.field("latency_ms_p95", report.p95Ms());
+    w.field("latency_ms_p99", report.p99Ms());
+    w.field("queue_wait_cycles_mean", report.queueWaitCycles.mean());
+    w.field("batch_size_mean", report.batchSize.mean());
+    w.key("accelerators").beginArray();
+    for (const auto &acc : report.accelerators) {
+        w.beginObject();
+        w.field("name", acc.name);
+        w.field("busy_cycles", acc.busyCycles);
+        w.field("batches", acc.batches);
+        w.field("requests", acc.requests);
+        w.field("utilization", acc.utilization(report.horizonCycles));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace pointacc

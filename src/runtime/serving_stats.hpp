@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Serving-level metrics: what a fleet operator reads off a dashboard.
+ *
+ * The per-inference simulator answers "how many cycles does one run
+ * take"; the serving runtime answers "what latency distribution do
+ * users see at this offered load with this fleet". This header holds
+ * the report every FleetScheduler::run produces: tail latencies
+ * (p50/p95/p99), throughput, per-accelerator utilization, drop and
+ * deadline-miss accounting, and the conservation counters the runtime
+ * tests check (generated = admitted + dropped; admitted = completed +
+ * still queued at end of simulation).
+ *
+ * Latency aggregation reuses core/stats' Summary (nearest-rank
+ * percentiles over raw samples) rather than inventing a new histogram.
+ */
+
+#ifndef POINTACC_RUNTIME_SERVING_STATS_HPP
+#define POINTACC_RUNTIME_SERVING_STATS_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace pointacc {
+
+/** Per-accelerator service accounting. */
+struct AcceleratorUsage
+{
+    std::string name;
+    std::uint64_t busyCycles = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t requests = 0;
+
+    /** Busy fraction of the simulated span; always <= 1. */
+    double
+    utilization(std::uint64_t horizon_cycles) const
+    {
+        return horizon_cycles == 0
+                   ? 0.0
+                   : static_cast<double>(busyCycles) /
+                         static_cast<double>(horizon_cycles);
+    }
+};
+
+/** Result of one serving simulation. */
+struct ServingReport
+{
+    double freqGHz = 1.0;
+    /** Simulated span: max(last arrival, last completion) cycles. */
+    std::uint64_t horizonCycles = 0;
+
+    // Conservation counters.
+    std::uint64_t generated = 0; ///< requests offered by the workload
+    std::uint64_t admitted = 0;  ///< accepted into the queue
+    std::uint64_t dropped = 0;   ///< rejected at admission (queue full)
+    std::uint64_t completed = 0; ///< served to completion
+    std::uint64_t leftoverQueued = 0; ///< still queued when sim ended
+    std::uint64_t deadlineMisses = 0; ///< completed after their deadline
+
+    Summary latencyCycles;  ///< arrival -> completion, per request
+    Summary queueWaitCycles;///< arrival -> dispatch, per request
+    Summary batchSize;      ///< requests per dispatch
+
+    std::vector<AcceleratorUsage> accelerators;
+
+    double
+    cyclesToMs(double cycles) const
+    {
+        return cycles / (freqGHz * 1e6);
+    }
+
+    double p50Ms() const { return cyclesToMs(latencyCycles.percentile(0.50)); }
+    double p95Ms() const { return cyclesToMs(latencyCycles.percentile(0.95)); }
+    double p99Ms() const { return cyclesToMs(latencyCycles.percentile(0.99)); }
+    double meanMs() const { return cyclesToMs(latencyCycles.mean()); }
+
+    /** Completed requests per second of simulated time. */
+    double
+    throughputRps() const
+    {
+        if (horizonCycles == 0)
+            return 0.0;
+        const double seconds =
+            static_cast<double>(horizonCycles) / (freqGHz * 1e9);
+        return static_cast<double>(completed) / seconds;
+    }
+
+    double
+    dropRate() const
+    {
+        return generated == 0 ? 0.0
+                              : static_cast<double>(dropped) /
+                                    static_cast<double>(generated);
+    }
+};
+
+/** One-paragraph operator summary. */
+std::string servingSummaryText(const ServingReport &report);
+
+/** Machine-readable dump for the BENCH_*.json perf trajectory. */
+void writeServingJson(std::ostream &os, const ServingReport &report);
+
+} // namespace pointacc
+
+#endif // POINTACC_RUNTIME_SERVING_STATS_HPP

@@ -1,0 +1,118 @@
+#include "runtime/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace pointacc {
+
+std::string
+toString(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::Poisson: return "poisson";
+      case ArrivalProcess::Bursty: return "bursty";
+    }
+    return "?";
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec) : wspec(std::move(spec))
+{
+    if (wspec.mix.empty())
+        fatal("workload mix must not be empty");
+    if (wspec.requestsPerMCycle <= 0.0)
+        fatal("offered load must be positive");
+    if (wspec.arrivals == ArrivalProcess::Bursty && wspec.meanBurstSize < 1)
+        fatal("mean burst size must be >= 1");
+    double total = 0.0;
+    for (const auto &cls : wspec.mix) {
+        if (cls.weight < 0.0)
+            fatal("mix weights must be non-negative");
+        total += cls.weight;
+    }
+    if (total <= 0.0)
+        fatal("mix weights must sum to a positive value");
+}
+
+namespace {
+
+/** Exponential variate with the given mean (inverse-CDF, portable). */
+double
+exponential(Rng &rng, double mean)
+{
+    double u = rng.uniform();
+    if (u > 1.0 - 1e-12)
+        u = 1.0 - 1e-12;
+    return -std::log(1.0 - u) * mean;
+}
+
+/** Weighted class pick. */
+std::size_t
+pickClass(Rng &rng, const std::vector<RequestClass> &mix, double totalWeight)
+{
+    double r = rng.uniform() * totalWeight;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        r -= mix[i].weight;
+        if (r <= 0.0)
+            return i;
+    }
+    return mix.size() - 1;
+}
+
+} // namespace
+
+std::vector<Request>
+WorkloadGenerator::generate() const
+{
+    Rng rng(wspec.seed);
+    double totalWeight = 0.0;
+    for (const auto &cls : wspec.mix)
+        totalWeight += cls.weight;
+
+    // Bursty traffic keeps the same mean rate by thinning the event
+    // process: events arrive at rate/meanBurst, each carrying on
+    // average meanBurst requests.
+    const bool bursty = wspec.arrivals == ArrivalProcess::Bursty;
+    const double perEvent =
+        bursty ? static_cast<double>(wspec.meanBurstSize) : 1.0;
+    const double eventRatePerCycle =
+        wspec.requestsPerMCycle / 1e6 / perEvent;
+    const double meanGap = 1.0 / eventRatePerCycle;
+
+    std::vector<Request> out;
+    double clock = 0.0;
+    std::uint64_t id = 0;
+    while (true) {
+        clock += exponential(rng, meanGap);
+        const auto cycle = static_cast<std::uint64_t>(clock);
+        if (cycle >= wspec.horizonCycles)
+            break;
+
+        // One event = one burst; the whole burst shares one class (a
+        // client uploads several clouds of the same kind in a row).
+        std::uint64_t count = 1;
+        if (bursty && wspec.meanBurstSize > 1)
+            count = 1 + rng.range(2 * wspec.meanBurstSize - 1);
+        const auto &cls = wspec.mix[pickClass(rng, wspec.mix, totalWeight)];
+        for (std::uint64_t i = 0; i < count; ++i) {
+            Request r;
+            r.id = id++;
+            r.networkId = cls.networkId;
+            r.sizeBucket = cls.sizeBucket;
+            // Back-to-back burst members, one cycle apart: they hit the
+            // admission queue as a clump but keep unique timestamps.
+            r.arrivalCycle = cycle + i;
+            if (cls.deadlineCycles > 0)
+                r.deadlineCycle = r.arrivalCycle + cls.deadlineCycles;
+            out.push_back(r);
+        }
+    }
+    // Burst members can straddle the next event's arrival; restore the
+    // global arrival order.
+    std::stable_sort(out.begin(), out.end(), arrivalOrderBefore);
+    return out;
+}
+
+} // namespace pointacc

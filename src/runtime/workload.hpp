@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Open-loop inference request generation for the serving runtime.
+ *
+ * The serving simulator studies PointAcc fleets under load, so the
+ * traffic source is *open loop*: arrivals are generated independently
+ * of how fast the fleet drains them (closed-loop generators hide
+ * queueing collapse). Two arrival processes are provided:
+ *
+ *  - Poisson: memoryless arrivals at a fixed mean rate, the baseline
+ *    of every queueing analysis;
+ *  - Bursty: a compound-Poisson process — burst *events* arrive
+ *    Poisson, each carrying several back-to-back requests of the same
+ *    class (a LiDAR rig uploading a sweep burst, a batch of AR clients
+ *    joining at once). Same mean rate as Poisson, much heavier tails.
+ *
+ * Requests draw their class (network, cloud-size bucket, deadline)
+ * from a weighted mix, so one run can blend e.g. ModelNet40 object
+ * classification with full-scene MinkowskiUNet segmentation the way a
+ * shared fleet would see them. Everything is seeded through the
+ * repository's portable Rng: equal seeds give byte-identical traces.
+ */
+
+#ifndef POINTACC_RUNTIME_WORKLOAD_HPP
+#define POINTACC_RUNTIME_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pointacc {
+
+/** One entry of the traffic mix. */
+struct RequestClass
+{
+    std::uint32_t networkId = 0;  ///< index into the serving catalog
+    std::uint32_t sizeBucket = 0; ///< index into the catalog's buckets
+    double weight = 1.0;          ///< relative share of traffic
+    /** Relative deadline in cycles; 0 = best-effort (no deadline). */
+    std::uint64_t deadlineCycles = 0;
+};
+
+/** Arrival process shapes. */
+enum class ArrivalProcess
+{
+    Poisson, ///< memoryless, one request per arrival event
+    Bursty,  ///< compound Poisson: clumped same-class request groups
+};
+
+std::string toString(ArrivalProcess process);
+
+/** Full specification of one offered-load scenario. */
+struct WorkloadSpec
+{
+    std::uint64_t seed = 1;
+    /** Mean offered load in requests per million cycles (at 1 GHz this
+     *  is requests per millisecond). */
+    double requestsPerMCycle = 1.0;
+    /** Arrival-generation window in cycles. */
+    std::uint64_t horizonCycles = 0;
+    ArrivalProcess arrivals = ArrivalProcess::Poisson;
+    /** Mean burst size for ArrivalProcess::Bursty (>= 1). Burst sizes
+     *  are uniform on [1, 2*meanBurstSize - 1], preserving the mean. */
+    std::uint32_t meanBurstSize = 4;
+    std::vector<RequestClass> mix;
+};
+
+/** One inference request flowing through the serving runtime. */
+struct Request
+{
+    std::uint64_t id = 0;
+    std::uint32_t networkId = 0;
+    std::uint32_t sizeBucket = 0;
+    std::uint64_t arrivalCycle = 0;
+    /** Absolute completion deadline; 0 = best-effort. */
+    std::uint64_t deadlineCycle = 0;
+    /** Service-time estimate, filled at admission by the scheduler
+     *  (drives shortest-job-first ordering; 0 until admitted). */
+    std::uint64_t estimatedCycles = 0;
+};
+
+/** Global arrival order: arrival cycle, ties broken by id. Both the
+ *  generator and the scheduler sort by this, so they can never drift. */
+inline bool
+arrivalOrderBefore(const Request &a, const Request &b)
+{
+    return a.arrivalCycle != b.arrivalCycle ? a.arrivalCycle < b.arrivalCycle
+                                            : a.id < b.id;
+}
+
+/**
+ * Deterministic open-loop request generator.
+ *
+ * generate() returns the full arrival trace for the spec's horizon,
+ * sorted by arrival cycle, ids dense from 0.
+ */
+class WorkloadGenerator
+{
+  public:
+    explicit WorkloadGenerator(WorkloadSpec spec);
+
+    const WorkloadSpec &spec() const { return wspec; }
+
+    std::vector<Request> generate() const;
+
+  private:
+    WorkloadSpec wspec;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_RUNTIME_WORKLOAD_HPP

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "core/json.hpp"
+
 namespace pointacc {
 
 std::string
@@ -54,6 +56,47 @@ compareText(const RunResult &a, const RunResult &b)
     os << a.accelerator << " vs " << b.accelerator << " on " << a.network
        << ": " << speedup << "x latency, " << energy << "x energy";
     return os.str();
+}
+
+void
+writeJson(std::ostream &os, const RunResult &result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("network", result.network);
+    w.field("accelerator", result.accelerator);
+    w.field("freq_ghz", result.freqGHz);
+    w.field("total_cycles", result.totalCycles);
+    w.field("mapping_cycles", result.mappingCycles);
+    w.field("compute_cycles", result.computeCycles);
+    w.field("exposed_dram_cycles", result.exposedDramCycles);
+    w.field("dram_read_bytes", result.dramReadBytes);
+    w.field("dram_write_bytes", result.dramWriteBytes);
+    w.field("total_macs", result.totalMacs);
+    w.field("latency_ms", result.latencyMs());
+    w.field("energy_mj", result.energyMJ());
+    w.field("energy_compute_pj", result.energy.computePJ);
+    w.field("energy_sram_pj", result.energy.sramPJ);
+    w.field("energy_dram_pj", result.energy.dramPJ);
+    w.key("layers").beginArray();
+    for (const auto &ls : result.layers) {
+        w.beginObject();
+        w.field("name", ls.name);
+        w.field("dense", ls.isDense);
+        w.field("mapping_cycles", ls.mappingCycles);
+        w.field("compute_cycles", ls.computeCycles);
+        w.field("dram_cycles", ls.dramCycles);
+        w.field("total_cycles", ls.totalCycles);
+        w.field("dram_read_bytes", ls.dramReadBytes);
+        w.field("dram_write_bytes", ls.dramWriteBytes);
+        w.field("macs", ls.macs);
+        w.field("maps", ls.maps);
+        w.field("cache_miss_rate", ls.cacheMissRate);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
 }
 
 } // namespace pointacc

@@ -27,6 +27,12 @@ void writeLayerCsv(std::ostream &os, const RunResult &result);
 /** Side-by-side comparison row for two runs of the same network. */
 std::string compareText(const RunResult &a, const RunResult &b);
 
+/**
+ * Machine-readable JSON dump of a whole run (totals + per-layer array),
+ * the format the BENCH_*.json perf-trajectory tooling consumes.
+ */
+void writeJson(std::ostream &os, const RunResult &result);
+
 } // namespace pointacc
 
 #endif // POINTACC_SIM_REPORT_HPP

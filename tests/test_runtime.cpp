@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Tests for the serving runtime: deterministic replay, queue-policy
+ * ordering, batcher compatibility, conservation of requests through
+ * the scheduler, and per-accelerator utilization bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "nn/zoo.hpp"
+#include "runtime/batcher.hpp"
+#include "runtime/queue.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serving_stats.hpp"
+#include "runtime/workload.hpp"
+#include "sim/accel_config.hpp"
+#include "sim/report.hpp"
+
+namespace pointacc {
+namespace {
+
+// ---------------------------------------------------------------- //
+//                           Workload                                //
+// ---------------------------------------------------------------- //
+
+WorkloadSpec
+basicSpec(ArrivalProcess process = ArrivalProcess::Poisson)
+{
+    WorkloadSpec spec;
+    spec.seed = 99;
+    spec.requestsPerMCycle = 50.0;
+    spec.horizonCycles = 10'000'000;
+    spec.arrivals = process;
+    spec.mix = {{0, 0, 3.0, 0}, {1, 1, 1.0, 500'000}};
+    return spec;
+}
+
+TEST(Workload, DeterministicReplay)
+{
+    const auto a = WorkloadGenerator(basicSpec()).generate();
+    const auto b = WorkloadGenerator(basicSpec()).generate();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].arrivalCycle, b[i].arrivalCycle);
+        EXPECT_EQ(a[i].networkId, b[i].networkId);
+        EXPECT_EQ(a[i].sizeBucket, b[i].sizeBucket);
+        EXPECT_EQ(a[i].deadlineCycle, b[i].deadlineCycle);
+    }
+
+    auto other = basicSpec();
+    other.seed = 100;
+    const auto c = WorkloadGenerator(other).generate();
+    bool differs = c.size() != a.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].arrivalCycle != c[i].arrivalCycle;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, ArrivalsSortedAndInHorizon)
+{
+    for (const auto process :
+         {ArrivalProcess::Poisson, ArrivalProcess::Bursty}) {
+        const auto spec = basicSpec(process);
+        const auto trace = WorkloadGenerator(spec).generate();
+        ASSERT_FALSE(trace.empty()) << toString(process);
+        for (std::size_t i = 1; i < trace.size(); ++i)
+            EXPECT_GE(trace[i].arrivalCycle, trace[i - 1].arrivalCycle);
+        // Burst members trail their event by at most the burst size.
+        const std::uint64_t slack =
+            process == ArrivalProcess::Bursty ? 2 * spec.meanBurstSize : 0;
+        EXPECT_LT(trace.back().arrivalCycle, spec.horizonCycles + slack);
+    }
+}
+
+TEST(Workload, MeanRateIsRespected)
+{
+    for (const auto process :
+         {ArrivalProcess::Poisson, ArrivalProcess::Bursty}) {
+        const auto spec = basicSpec(process);
+        const auto trace = WorkloadGenerator(spec).generate();
+        const double expected = spec.requestsPerMCycle *
+                                static_cast<double>(spec.horizonCycles) /
+                                1e6;
+        EXPECT_NEAR(static_cast<double>(trace.size()), expected,
+                    0.25 * expected)
+            << toString(process);
+    }
+}
+
+TEST(Workload, DeadlinesFollowTheMix)
+{
+    const auto trace = WorkloadGenerator(basicSpec()).generate();
+    for (const auto &r : trace) {
+        if (r.networkId == 1) {
+            EXPECT_EQ(r.deadlineCycle, r.arrivalCycle + 500'000);
+        } else {
+            EXPECT_EQ(r.deadlineCycle, 0u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                             Queue                                 //
+// ---------------------------------------------------------------- //
+
+Request
+makeRequest(std::uint64_t id, std::uint64_t arrival,
+            std::uint64_t estimate = 0, std::uint64_t deadline = 0)
+{
+    Request r;
+    r.id = id;
+    r.arrivalCycle = arrival;
+    r.estimatedCycles = estimate;
+    r.deadlineCycle = deadline;
+    return r;
+}
+
+TEST(AdmissionQueue, FifoPreservesArrivalOrder)
+{
+    AdmissionQueue q(8);
+    q.push(makeRequest(0, 30));
+    q.push(makeRequest(1, 10));
+    q.push(makeRequest(2, 20));
+    EXPECT_EQ(q.pop(QueuePolicy::Fifo).id, 1u);
+    EXPECT_EQ(q.pop(QueuePolicy::Fifo).id, 2u);
+    EXPECT_EQ(q.pop(QueuePolicy::Fifo).id, 0u);
+}
+
+TEST(AdmissionQueue, SjfPicksShortestEstimate)
+{
+    AdmissionQueue q(8);
+    q.push(makeRequest(0, 0, 900));
+    q.push(makeRequest(1, 1, 100));
+    q.push(makeRequest(2, 2, 500));
+    EXPECT_EQ(q.pop(QueuePolicy::Sjf).id, 1u);
+    EXPECT_EQ(q.pop(QueuePolicy::Sjf).id, 2u);
+    EXPECT_EQ(q.pop(QueuePolicy::Sjf).id, 0u);
+}
+
+TEST(AdmissionQueue, EdfPicksEarliestDeadlineBestEffortLast)
+{
+    AdmissionQueue q(8);
+    q.push(makeRequest(0, 0, 0, 0));    // best-effort
+    q.push(makeRequest(1, 1, 0, 5000));
+    q.push(makeRequest(2, 2, 0, 1000));
+    EXPECT_EQ(q.pop(QueuePolicy::Edf).id, 2u);
+    EXPECT_EQ(q.pop(QueuePolicy::Edf).id, 1u);
+    EXPECT_EQ(q.pop(QueuePolicy::Edf).id, 0u);
+}
+
+TEST(AdmissionQueue, BoundedDepthDropsAndCounts)
+{
+    AdmissionQueue q(2);
+    EXPECT_TRUE(q.push(makeRequest(0, 0)));
+    EXPECT_TRUE(q.push(makeRequest(1, 1)));
+    EXPECT_FALSE(q.push(makeRequest(2, 2)));
+    EXPECT_EQ(q.admitted(), 2u);
+    EXPECT_EQ(q.dropped(), 1u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(AdmissionQueue, PopCompatibleHonorsPredicateAndBound)
+{
+    AdmissionQueue q(8);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        auto r = makeRequest(i, i);
+        r.networkId = i % 2; // alternate two networks
+        q.push(r);
+    }
+    const auto same = [](const Request &a, const Request &b) {
+        return a.networkId == b.networkId;
+    };
+    const auto batch = q.popCompatible(QueuePolicy::Fifo, same, 2);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].id, 0u);
+    EXPECT_EQ(batch[1].id, 2u); // next same-network, not id 1
+    EXPECT_EQ(q.size(), 4u);
+}
+
+// ---------------------------------------------------------------- //
+//                            Batcher                                //
+// ---------------------------------------------------------------- //
+
+TEST(Batcher, CompatibilityRules)
+{
+    BatcherConfig bcfg;
+    bcfg.maxPointsRatio = 2.0;
+    const Batcher batcher(bcfg, {1.0, 1.5, 4.0});
+
+    auto a = makeRequest(0, 0);
+    auto b = makeRequest(1, 1);
+    a.networkId = b.networkId = 3;
+    a.sizeBucket = 0;
+    b.sizeBucket = 1; // ratio 1.5 <= 2.0
+    EXPECT_TRUE(batcher.compatible(a, b));
+
+    b.sizeBucket = 2; // ratio 4.0 > 2.0
+    EXPECT_FALSE(batcher.compatible(a, b));
+
+    b.sizeBucket = 1;
+    b.networkId = 4; // different network
+    EXPECT_FALSE(batcher.compatible(a, b));
+}
+
+TEST(Batcher, FormRespectsMaxSizeAndDisabledMode)
+{
+    BatcherConfig bcfg;
+    bcfg.maxBatchSize = 3;
+    const Batcher batcher(bcfg, {1.0});
+
+    AdmissionQueue q(16);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        q.push(makeRequest(i, i));
+    const auto batch = batcher.form(q, QueuePolicy::Fifo);
+    EXPECT_EQ(batch.size(), 3u);
+    EXPECT_EQ(q.size(), 2u);
+
+    BatcherConfig off = bcfg;
+    off.enabled = false;
+    const Batcher single(off, {1.0});
+    const auto lone = single.form(q, QueuePolicy::Fifo);
+    EXPECT_EQ(lone.size(), 1u);
+}
+
+// ---------------------------------------------------------------- //
+//                      Scheduler + fleet                            //
+// ---------------------------------------------------------------- //
+
+/** Fixed cost table: network n, bucket b costs base*(n+1)*(b+1). */
+class FixedServiceModel : public ServiceModel
+{
+  public:
+    explicit FixedServiceModel(std::uint64_t base_cycles,
+                               std::uint64_t weight_load = 0)
+        : base(base_cycles), weightLoad(weight_load)
+    {}
+
+    ServiceProfile
+    profile(const AcceleratorConfig &, std::uint32_t network_id,
+            std::uint32_t bucket) const override
+    {
+        ServiceProfile p;
+        p.totalCycles = base * (network_id + 1) * (bucket + 1);
+        p.computeCycles = p.totalCycles;
+        p.weightLoadCycles = weightLoad;
+        return p;
+    }
+
+  private:
+    std::uint64_t base;
+    std::uint64_t weightLoad;
+};
+
+std::vector<Request>
+denseTrace(std::size_t count, std::uint64_t gap)
+{
+    std::vector<Request> trace;
+    for (std::size_t i = 0; i < count; ++i) {
+        auto r = makeRequest(i, i * gap);
+        r.networkId = i % 2;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+TEST(FleetScheduler, ConservationUnderOverload)
+{
+    const FixedServiceModel model(10'000);
+    SchedulerConfig scfg;
+    scfg.queueDepth = 4; // tiny: force drops
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+
+    // Arrivals far faster than service: queue must shed load.
+    const auto report = sched.run(denseTrace(200, 100));
+    EXPECT_EQ(report.generated, 200u);
+    EXPECT_GT(report.dropped, 0u);
+    EXPECT_EQ(report.generated, report.admitted + report.dropped);
+    EXPECT_EQ(report.admitted, report.completed + report.leftoverQueued);
+    EXPECT_EQ(report.leftoverQueued, 0u); // the simulation drains
+}
+
+TEST(FleetScheduler, DeterministicReplay)
+{
+    const FixedServiceModel model(25'000, 2'000);
+    SchedulerConfig scfg;
+    scfg.policy = QueuePolicy::Sjf;
+    scfg.batcher.enabled = true;
+    FleetScheduler sched({pointAccConfig(), pointAccConfig()}, model,
+                         {1.0}, scfg);
+
+    const auto a = sched.run(denseTrace(300, 7'000));
+    const auto b = sched.run(denseTrace(300, 7'000));
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.horizonCycles, b.horizonCycles);
+    EXPECT_DOUBLE_EQ(a.latencyCycles.mean(), b.latencyCycles.mean());
+    EXPECT_DOUBLE_EQ(a.latencyCycles.percentile(0.99),
+                     b.latencyCycles.percentile(0.99));
+    ASSERT_EQ(a.accelerators.size(), b.accelerators.size());
+    for (std::size_t i = 0; i < a.accelerators.size(); ++i)
+        EXPECT_EQ(a.accelerators[i].busyCycles,
+                  b.accelerators[i].busyCycles);
+}
+
+TEST(FleetScheduler, UtilizationNeverExceedsOne)
+{
+    const FixedServiceModel model(50'000);
+    for (const std::size_t fleetSize : {1u, 2u, 3u}) {
+        std::vector<AcceleratorConfig> fleet(fleetSize, pointAccConfig());
+        FleetScheduler sched(fleet, model, {1.0}, {});
+        const auto report = sched.run(denseTrace(150, 10'000));
+        ASSERT_EQ(report.accelerators.size(), fleetSize);
+        for (const auto &acc : report.accelerators) {
+            EXPECT_LE(acc.utilization(report.horizonCycles), 1.0)
+                << acc.name;
+            EXPECT_LE(acc.busyCycles, report.horizonCycles) << acc.name;
+        }
+    }
+}
+
+TEST(FleetScheduler, P99MonotoneWithFleetSize)
+{
+    const FixedServiceModel model(40'000);
+    WorkloadSpec spec;
+    spec.seed = 5;
+    spec.requestsPerMCycle = 30.0; // ~1.2x one instance's capacity
+    spec.horizonCycles = 30'000'000;
+    spec.mix = {{0, 0, 1.0, 0}, {1, 0, 1.0, 0}};
+    const auto trace = WorkloadGenerator(spec).generate();
+
+    double prev = -1.0;
+    for (const std::size_t fleetSize : {4u, 2u, 1u}) {
+        std::vector<AcceleratorConfig> fleet(fleetSize, pointAccConfig());
+        FleetScheduler sched(fleet, model, {1.0}, {});
+        const auto report = sched.run(trace);
+        const double p99 = report.latencyCycles.percentile(0.99);
+        EXPECT_GE(p99, prev) << fleetSize << " accelerators";
+        prev = p99;
+    }
+}
+
+TEST(FleetScheduler, DeadlineMissesAreCounted)
+{
+    const FixedServiceModel model(100'000);
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, {});
+
+    // Two back-to-back requests; the second waits 100k cycles and
+    // misses its 150k relative deadline, the first makes it.
+    auto a = makeRequest(0, 0, 0, 150'000);
+    auto b = makeRequest(1, 1, 0, 150'001);
+    const auto report = sched.run({a, b});
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.deadlineMisses, 1u);
+}
+
+TEST(ServiceModelBatching, AmortizesWeightLoadWithFloor)
+{
+    const FixedServiceModel model(10'000, 3'000);
+    const auto cfg = pointAccConfig();
+
+    Batch batch;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        batch.requests.push_back(makeRequest(i, 0));
+    // 4 requests of 10k each, 3 followers amortize 3k of weight load.
+    EXPECT_EQ(model.batchServiceCycles(cfg, batch), 40'000u - 3u * 3'000u);
+
+    // The floor: savings can never push a batch under its longest
+    // member.
+    const FixedServiceModel greedy(10'000, 10'000);
+    EXPECT_EQ(greedy.batchServiceCycles(cfg, batch), 10'000u);
+
+    Batch one;
+    one.requests.push_back(makeRequest(0, 0));
+    EXPECT_EQ(model.batchServiceCycles(cfg, one), 10'000u);
+}
+
+// ---------------------------------------------------------------- //
+//                 Simulator-backed service model                    //
+// ---------------------------------------------------------------- //
+
+TEST(SimServiceModel, ProfilesAndBatchesAgainstRealSimulator)
+{
+    ServingCatalog catalog;
+    catalog.networks = {pointNet()};
+    catalog.bucketScales = {0.05};
+    const SimServiceModel model(catalog);
+
+    const auto cfg = pointAccConfig();
+    const auto p = model.profile(cfg, 0, 0);
+    EXPECT_GT(p.totalCycles, 0u);
+    EXPECT_LE(p.weightLoadCycles, p.totalCycles);
+
+    // Memoized: a second lookup returns the identical profile.
+    const auto p2 = model.profile(cfg, 0, 0);
+    EXPECT_EQ(p.totalCycles, p2.totalCycles);
+
+    Batch batch;
+    for (std::uint64_t i = 0; i < 3; ++i)
+        batch.requests.push_back(makeRequest(i, 0));
+    const auto cycles = model.batchServiceCycles(cfg, batch);
+    EXPECT_GE(cycles, p.totalCycles);
+    EXPECT_LE(cycles, 3 * p.totalCycles);
+}
+
+TEST(SimServiceModel, EndToEndServingRunIsConsistent)
+{
+    ServingCatalog catalog;
+    catalog.networks = {pointNet()};
+    catalog.bucketScales = {0.05};
+    const SimServiceModel model(catalog);
+
+    WorkloadSpec spec;
+    spec.seed = 3;
+    spec.requestsPerMCycle = 5.0;
+    spec.horizonCycles = 5'000'000;
+    spec.arrivals = ArrivalProcess::Bursty;
+    spec.mix = {{0, 0, 1.0, 0}};
+
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    FleetScheduler sched({pointAccConfig(), pointAccEdgeConfig()}, model,
+                         catalog.bucketScales, scfg);
+    const auto report = sched.run(WorkloadGenerator(spec).generate());
+
+    EXPECT_GT(report.completed, 0u);
+    EXPECT_EQ(report.generated, report.admitted + report.dropped);
+    EXPECT_EQ(report.admitted, report.completed + report.leftoverQueued);
+    for (const auto &acc : report.accelerators)
+        EXPECT_LE(acc.utilization(report.horizonCycles), 1.0);
+    EXPECT_GT(report.throughputRps(), 0.0);
+}
+
+// ---------------------------------------------------------------- //
+//                         Report output                             //
+// ---------------------------------------------------------------- //
+
+TEST(ServingStats, JsonAndTextOutputs)
+{
+    ServingReport report;
+    report.generated = 10;
+    report.admitted = 9;
+    report.dropped = 1;
+    report.completed = 9;
+    report.horizonCycles = 1'000'000;
+    report.latencyCycles.record(1000.0);
+    report.latencyCycles.record(2000.0);
+    AcceleratorUsage usage;
+    usage.name = "PointAcc#0";
+    usage.busyCycles = 500'000;
+    report.accelerators.push_back(usage);
+
+    const auto text = servingSummaryText(report);
+    EXPECT_NE(text.find("9 completed"), std::string::npos);
+
+    std::ostringstream os;
+    writeServingJson(os, report);
+    const auto json = os.str();
+    EXPECT_NE(json.find("\"generated\":10"), std::string::npos);
+    EXPECT_NE(json.find("\"utilization\":0.5"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(RunResultJson, DumpContainsTotalsAndLayers)
+{
+    RunResult result;
+    result.network = "PointNet";
+    result.accelerator = "PointAcc";
+    result.totalCycles = 1234;
+    LayerStats ls;
+    ls.name = "conv\"1"; // exercise string escaping
+    ls.totalCycles = 1234;
+    result.layers.push_back(ls);
+
+    std::ostringstream os;
+    writeJson(os, result);
+    const auto json = os.str();
+    EXPECT_NE(json.find("\"network\":\"PointNet\""), std::string::npos);
+    EXPECT_NE(json.find("\"total_cycles\":1234"), std::string::npos);
+    EXPECT_NE(json.find("conv\\\"1"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+} // namespace
+} // namespace pointacc
