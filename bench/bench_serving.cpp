@@ -4,12 +4,18 @@
  * fleets under open-loop load.
  *
  * Not a paper figure — this drives the runtime/ subsystem that grows
- * the reproduction toward a serving system. Three sweeps:
+ * the reproduction toward a serving system. Five sweeps:
  *
  *  1. fleet scaling: 1 / 2 / 4 PointAcc instances at a fixed offered
  *     load (p99 must not increase with fleet size);
  *  2. queue policy: FIFO vs SJF at rising load on one instance;
- *  3. batching: on vs off for a batch-friendly (single-network) mix.
+ *  3. batching: on vs off for a batch-friendly (single-network) mix;
+ *  4. occupancy: monolithic whole-run busy intervals vs the two-stage
+ *     pipeline (Mapping Unit front-end overlapping the Matrix Unit +
+ *     memory back-end of the previous dispatch) at fleet sizes 1 and
+ *     2 — the pipeline must win p99 at equal fleet size;
+ *  5. wait-for-K batching: dispatch-immediately vs holding the queue
+ *     head (bounded by a timeout) to accumulate same-network batches.
  *
  * Results print as a table and are dumped to BENCH_serving.json for
  * the machine-readable perf trajectory.
@@ -40,19 +46,17 @@ struct Row
     std::size_t fleetSize = 0;
     std::string policy;
     bool batching = false;
+    std::string occupancy;
+    std::uint32_t targetK = 1;
+    std::uint64_t maxWaitCycles = 0;
     ServingReport report;
 };
 
 Row
 runScenario(const std::string &sweep, const SimServiceModel &model,
             std::size_t fleet_size, const WorkloadSpec &wspec,
-            QueuePolicy policy, bool batching)
+            const SchedulerConfig &scfg)
 {
-    SchedulerConfig scfg;
-    scfg.policy = policy;
-    scfg.batcher.enabled = batching;
-    scfg.queueDepth = 256;
-
     std::vector<AcceleratorConfig> fleet(fleet_size, pointAccConfig());
     FleetScheduler sched(fleet, model, model.catalog().bucketScales, scfg);
 
@@ -62,19 +66,39 @@ runScenario(const std::string &sweep, const SimServiceModel &model,
     row.process = toString(wspec.arrivals);
     row.offeredPerMCycle = wspec.requestsPerMCycle;
     row.fleetSize = fleet_size;
-    row.policy = toString(policy);
-    row.batching = batching;
+    row.policy = toString(scfg.policy);
+    row.batching = scfg.batcher.enabled;
+    row.occupancy = toString(scfg.occupancy);
+    row.targetK = scfg.batcher.targetK;
+    row.maxWaitCycles = scfg.batcher.maxWaitCycles;
     row.report = sched.run(gen.generate());
     return row;
+}
+
+SchedulerConfig
+makeConfig(QueuePolicy policy, bool batching,
+           OccupancyModel occupancy = OccupancyModel::Pipelined,
+           std::uint32_t target_k = 1, std::uint64_t max_wait = 0)
+{
+    SchedulerConfig scfg;
+    scfg.policy = policy;
+    scfg.occupancy = occupancy;
+    scfg.batcher.enabled = batching;
+    scfg.batcher.targetK = target_k;
+    scfg.batcher.maxWaitCycles = max_wait;
+    scfg.queueDepth = 256;
+    return scfg;
 }
 
 void
 printHeader()
 {
-    std::printf("%-10s %-8s %7s %5s %6s %6s | %9s %8s %8s %8s %6s %6s\n",
+    std::printf("%-9s %-8s %7s %5s %6s %5s %4s | %9s %8s %8s %8s %6s "
+                "%6s %5s\n",
                 "sweep", "process", "offered", "fleet", "policy", "batch",
-                "thru r/s", "p50 ms", "p95 ms", "p99 ms", "util", "drop%");
-    bench::rule(108);
+                "occ", "thru r/s", "p50 ms", "p95 ms", "p99 ms", "util",
+                "drop%", "B");
+    bench::rule(116);
 }
 
 void
@@ -87,12 +111,22 @@ printRow(const Row &r)
         r.report.accelerators.empty()
             ? 0.0
             : utilSum / static_cast<double>(r.report.accelerators.size());
+    char batch[8];
+    if (!r.batching)
+        std::snprintf(batch, sizeof batch, "off");
+    else if (r.targetK > 1)
+        std::snprintf(batch, sizeof batch, "K=%u", r.targetK);
+    else
+        std::snprintf(batch, sizeof batch, "on");
     std::printf(
-        "%-10s %-8s %7.2f %5zu %6s %6s | %9.0f %8.3f %8.3f %8.3f %6.2f %6.2f\n",
+        "%-9s %-8s %7.2f %5zu %6s %5s %4s | %9.0f %8.3f %8.3f %8.3f "
+        "%6.2f %6.2f %5.1f\n",
         r.sweep.c_str(), r.process.c_str(), r.offeredPerMCycle, r.fleetSize,
-        r.policy.c_str(), r.batching ? "on" : "off",
+        r.policy.c_str(), batch,
+        r.occupancy == "pipelined" ? "pipe" : "mono",
         r.report.throughputRps(), r.report.p50Ms(), r.report.p95Ms(),
-        r.report.p99Ms(), util, 100.0 * r.report.dropRate());
+        r.report.p99Ms(), util, 100.0 * r.report.dropRate(),
+        r.report.batchSize.mean());
 }
 
 void
@@ -110,6 +144,9 @@ writeRows(std::ostream &os, const std::vector<Row> &rows)
         w.field("fleet_size", static_cast<std::uint64_t>(r.fleetSize));
         w.field("policy", r.policy);
         w.field("batching", r.batching);
+        w.field("occupancy", r.occupancy);
+        w.field("target_k", r.targetK);
+        w.field("max_wait_cycles", r.maxWaitCycles);
         w.field("throughput_rps", r.report.throughputRps());
         w.field("latency_ms_p50", r.report.p50Ms());
         w.field("latency_ms_p95", r.report.p95Ms());
@@ -117,6 +154,8 @@ writeRows(std::ostream &os, const std::vector<Row> &rows)
         w.field("drop_rate", r.report.dropRate());
         w.field("completed", r.report.completed);
         w.field("deadline_misses", r.report.deadlineMisses);
+        w.field("batch_size_mean", r.report.batchSize.mean());
+        w.field("batch_holds", r.report.batchHolds);
         w.endObject();
     }
     w.endArray();
@@ -159,20 +198,24 @@ main(int argc, char **argv)
         {2, 1, 1.0, 0}, // MinkowskiUNet scenes, the heavy tail
     };
     double meanCycles = 0.0;
+    double mapShare = 0.0;
     double totalWeight = 0.0;
     for (const auto &cls : base.mix) {
-        meanCycles += cls.weight *
-                      static_cast<double>(
-                          model.profile(cfgServer, cls.networkId,
-                                        cls.sizeBucket)
-                              .totalCycles);
+        const auto p =
+            model.profile(cfgServer, cls.networkId, cls.sizeBucket);
+        meanCycles +=
+            cls.weight * static_cast<double>(p.totalCycles);
+        mapShare +=
+            cls.weight * static_cast<double>(p.phases().mapCycles);
         totalWeight += cls.weight;
     }
     meanCycles /= totalWeight;
+    mapShare /= totalWeight;
     const double capacityPerMCycle = 1e6 / meanCycles; // one instance
-    std::printf("mix mean service: %.0f cycles -> 1-instance capacity "
-                "%.2f req/Mcycle\n\n",
-                meanCycles, capacityPerMCycle);
+    std::printf("mix mean service: %.0f cycles (%.0f%% mapping phase) "
+                "-> 1-instance capacity %.2f req/Mcycle\n\n",
+                meanCycles, 100.0 * mapShare / meanCycles,
+                capacityPerMCycle);
 
     std::vector<Row> rows;
     printHeader();
@@ -184,21 +227,21 @@ main(int argc, char **argv)
     base.requestsPerMCycle = 1.5 * capacityPerMCycle;
     for (const std::size_t fleetSize : {1u, 2u, 4u}) {
         rows.push_back(runScenario("fleet", model, fleetSize, base,
-                                   QueuePolicy::Fifo, false));
+                                   makeConfig(QueuePolicy::Fifo, false)));
         printRow(rows.back());
     }
-    bench::rule(108);
+    bench::rule(116);
 
     // Sweep 2: FIFO vs SJF, one instance, rising load.
     for (const double frac : {0.6, 0.9, 1.2}) {
         base.requestsPerMCycle = frac * capacityPerMCycle;
         for (const QueuePolicy pol : {QueuePolicy::Fifo, QueuePolicy::Sjf}) {
-            rows.push_back(
-                runScenario("policy", model, 1, base, pol, false));
+            rows.push_back(runScenario("policy", model, 1, base,
+                                       makeConfig(pol, false)));
             printRow(rows.back());
         }
     }
-    bench::rule(108);
+    bench::rule(116);
 
     // Sweep 3: batching on/off under bursty single-network traffic
     // (bursts of same-class requests are what batching can coalesce).
@@ -211,18 +254,77 @@ main(int argc, char **argv)
     burstSpec.requestsPerMCycle = 0.9 * 1e6 / pnCycles;
     for (const bool batching : {false, true}) {
         rows.push_back(runScenario("batching", model, 1, burstSpec,
-                                   QueuePolicy::Fifo, batching));
+                                   makeConfig(QueuePolicy::Fifo, batching)));
         printRow(rows.back());
     }
-    bench::rule(108);
+    bench::rule(116);
 
-    // Acceptance check: p99 must not increase with fleet size.
+    // Sweep 4: monolithic vs pipelined occupancy on the default mix.
+    // The two-stage pipeline overlaps the mapping phase of dispatch
+    // i+1 with the back-end of dispatch i, raising effective capacity
+    // without adding hardware; at equal fleet size it must deliver a
+    // better tail. Offered load scales with fleet size (1.5x capacity
+    // per instance) so both sizes run saturated, where capacity is
+    // what sets the tail.
+    std::vector<std::pair<Row, Row>> pipelinePairs; // (mono, pipe)
+    for (const std::size_t fleetSize : {1u, 2u}) {
+        base.requestsPerMCycle =
+            1.5 * capacityPerMCycle * static_cast<double>(fleetSize);
+        Row mono = runScenario(
+            "pipeline", model, fleetSize, base,
+            makeConfig(QueuePolicy::Fifo, false,
+                       OccupancyModel::Monolithic));
+        printRow(mono);
+        Row pipe = runScenario(
+            "pipeline", model, fleetSize, base,
+            makeConfig(QueuePolicy::Fifo, false,
+                       OccupancyModel::Pipelined));
+        printRow(pipe);
+        rows.push_back(mono);
+        rows.push_back(pipe);
+        pipelinePairs.emplace_back(std::move(mono), std::move(pipe));
+    }
+    bench::rule(116);
+
+    // Sweep 5: wait-for-K batching under bursty single-network load.
+    // Holding the head briefly (bounded by the timer) accumulates
+    // bigger same-network batches, amortizing more weight reloads.
+    const std::uint64_t maxWait =
+        static_cast<std::uint64_t>(2.0 * pnCycles);
+    for (const std::uint32_t k : {1u, 4u, 8u}) {
+        rows.push_back(runScenario(
+            "wait-for-k", model, 1, burstSpec,
+            makeConfig(QueuePolicy::Fifo, true,
+                       OccupancyModel::Pipelined, k,
+                       k > 1 ? maxWait : 0)));
+        printRow(rows.back());
+    }
+    bench::rule(116);
+
+    // Acceptance check 1: p99 must not increase with fleet size.
     const double p99_1 = rows[0].report.p99Ms();
     const double p99_2 = rows[1].report.p99Ms();
     const double p99_4 = rows[2].report.p99Ms();
     const bool monotone = p99_1 >= p99_2 && p99_2 >= p99_4;
     std::printf("fleet-scaling p99: 1x %.3f >= 2x %.3f >= 4x %.3f ms: %s\n",
                 p99_1, p99_2, p99_4, monotone ? "OK" : "VIOLATED");
+
+    // Acceptance check 2: at equal fleet size, the pipelined model
+    // must beat monolithic occupancy — strictly lower p99, or equal
+    // p99 with strictly higher throughput.
+    bool pipelineWins = true;
+    for (const auto &[mono, pipe] : pipelinePairs) {
+        const double pm = mono.report.p99Ms();
+        const double pp = pipe.report.p99Ms();
+        const double tm = mono.report.throughputRps();
+        const double tp = pipe.report.throughputRps();
+        const bool wins = pp < pm || (pp == pm && tp > tm);
+        pipelineWins = pipelineWins && wins;
+        std::printf("pipeline vs monolithic (fleet %zu): p99 %.3f vs "
+                    "%.3f ms, thru %.0f vs %.0f r/s: %s\n",
+                    mono.fleetSize, pp, pm, tp, tm,
+                    wins ? "OK" : "VIOLATED");
+    }
 
     if (!jsonPath.empty()) {
         std::ofstream jf(jsonPath);
@@ -234,5 +336,5 @@ main(int argc, char **argv)
             std::fprintf(stderr, "error: could not write %s\n",
                          jsonPath.c_str());
     }
-    return monotone ? 0 : 1;
+    return monotone && pipelineWins ? 0 : 1;
 }

@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build + test, with warnings-as-errors on
 # the serving-runtime subsystem (src/runtime/ is new code held to a
-# stricter bar than the seed sources). Suitable as a GitHub Actions
-# step:
+# stricter bar than the seed sources), followed by an ASan+UBSan
+# build that re-runs the runtime test suites (the event loop and the
+# property/fuzz sweeps are where lifetime/overflow bugs would hide).
+# Suitable as a GitHub Actions step:
 #
 #   - name: Build and test
 #     run: ./scripts/ci.sh
 #
 # Environment:
-#   BUILD_DIR  build tree location   (default: build-ci)
-#   JOBS       parallel build jobs   (default: nproc)
+#   BUILD_DIR      build tree location            (default: build-ci)
+#   SAN_BUILD_DIR  sanitizer build tree location  (default: build-asan)
+#   JOBS           parallel build jobs            (default: nproc)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-ci}"
+SAN_BUILD_DIR="${SAN_BUILD_DIR:-build-asan}"
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B "${BUILD_DIR}" -S . \
@@ -27,5 +31,24 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 # Serving-runtime acceptance: p99 latency must not increase with fleet
-# size (the bench exits non-zero on violation).
+# size, and the two-stage pipeline must beat monolithic occupancy at
+# equal fleet size (the bench exits non-zero on violation).
 "${BUILD_DIR}/bench_serving" --json "${BUILD_DIR}/BENCH_serving.json"
+
+# ASan+UBSan pass over the runtime test suites. Benchmarks and
+# examples are skipped (sanitized simulator runs are slow and the
+# simulator itself is covered by its own suites); warnings-as-errors
+# stays on for src/runtime/.
+cmake -B "${SAN_BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPOINTACC_SANITIZE=ON \
+    -DPOINTACC_WERROR=ON \
+    -DPOINTACC_BUILD_BENCH=OFF \
+    -DPOINTACC_BUILD_EXAMPLES=OFF
+
+cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" \
+    --target test_runtime test_runtime_properties test_report_golden
+
+ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+    --no-tests=error \
+    -R 'test_runtime|test_runtime_properties|test_report_golden'

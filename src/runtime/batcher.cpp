@@ -1,5 +1,7 @@
 #include "runtime/batcher.hpp"
 
+#include <algorithm>
+
 #include "core/logging.hpp"
 
 namespace pointacc {
@@ -11,6 +13,8 @@ Batcher::Batcher(const BatcherConfig &config, std::vector<double> bucket_scales)
         fatal("batcher maxBatchSize must be >= 1");
     if (cfg.maxPointsRatio < 1.0)
         fatal("batcher maxPointsRatio must be >= 1");
+    if (cfg.targetK < 1)
+        fatal("batcher targetK must be >= 1");
     if (bucketScales.empty())
         fatal("batcher needs at least one size bucket");
 }
@@ -29,21 +33,74 @@ Batcher::compatible(const Request &a, const Request &b) const
     return ratio <= cfg.maxPointsRatio;
 }
 
+BatchHold
+Batcher::holdForHead(
+    const AdmissionQueue &queue, const Request &head, std::uint64_t now,
+    const std::function<bool(const Request &)> &excluded) const
+{
+    BatchHold decision;
+    if (!cfg.enabled || cfg.targetK <= 1 || cfg.maxWaitCycles == 0)
+        return decision;
+
+    // Count queued requests that would actually join a batch led by
+    // the head (the head itself included; excluded requests — members
+    // of other held groups — would not, so they must not count), and
+    // find the group's oldest arrival: the wait bound anchors there,
+    // not at the current leader — under SJF/EDF the leader can change
+    // as newer requests outrank it, and a sliding anchor would let an
+    // old member wait far past maxWaitCycles.
+    const std::size_t want =
+        std::min<std::size_t>(cfg.targetK, cfg.maxBatchSize);
+    std::size_t have = 0;
+    std::uint64_t oldest = head.arrivalCycle;
+    for (const auto &r : queue.pending()) {
+        if (r.id == head.id ||
+            (compatible(head, r) && !(excluded && excluded(r)))) {
+            have += 1;
+            oldest = std::min(oldest, r.arrivalCycle);
+            if (have >= want)
+                return decision; // K reached: dispatch now
+        }
+    }
+
+    const std::uint64_t deadline = oldest + cfg.maxWaitCycles;
+    if (now >= deadline)
+        return decision; // waited long enough: dispatch undersized
+
+    decision.hold = true;
+    decision.until = deadline;
+    return decision;
+}
+
+BatchHold
+Batcher::holdFor(const AdmissionQueue &queue, QueuePolicy policy,
+                 std::uint64_t now) const
+{
+    simAssert(!queue.empty(), "holdFor needs a non-empty queue");
+    return holdForHead(queue, queue.peek(policy), now);
+}
+
 Batch
 Batcher::form(AdmissionQueue &queue, QueuePolicy policy) const
 {
     simAssert(!queue.empty(), "cannot form a batch from an empty queue");
+    return formLedBy(queue, queue.peek(policy), policy, nullptr);
+}
+
+Batch
+Batcher::formLedBy(
+    AdmissionQueue &queue, const Request &head, QueuePolicy policy,
+    const std::function<bool(const Request &)> &excluded) const
+{
     Batch batch;
-    if (!cfg.enabled || cfg.maxBatchSize == 1) {
-        batch.requests.push_back(queue.pop(policy));
-        return batch;
-    }
-    batch.requests = queue.popCompatible(
-        policy,
+    const std::size_t limit =
+        !cfg.enabled ? 1 : cfg.maxBatchSize;
+    batch.requests = queue.popLedBy(
+        head, policy,
         [this](const Request &a, const Request &b) {
             return compatible(a, b);
         },
-        cfg.maxBatchSize);
+        limit, excluded);
     return batch;
 }
 

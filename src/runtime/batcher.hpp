@@ -16,16 +16,28 @@
  *    small requests' latency.
  *
  * The batch leader is chosen by the queue policy; followers are the
- * best-ranked compatible requests. A batch never waits for stragglers:
- * this is a pull batcher (dispatch-time coalescing), which adds zero
- * idle time — the classic wait-for-K batcher trades latency for
- * throughput and belongs to a later PR.
+ * best-ranked compatible requests. Two dispatch disciplines:
+ *
+ *  - immediate (targetK == 1): pure dispatch-time coalescing, zero
+ *    added idle time — a batch takes whatever compatible requests
+ *    happen to be queued;
+ *  - wait-for-K (targetK > 1): when fewer than targetK compatible
+ *    requests are queued, the batcher asks the scheduler to hold the
+ *    head for up to maxWaitCycles past its arrival, hoping more
+ *    same-network requests show up. The hold is a timer event in the
+ *    scheduler's event loop, so a lull never deadlocks: when the
+ *    deadline passes, whatever is queued dispatches. Classic
+ *    latency-for-throughput trade. A hold is scoped to the head's
+ *    compatibility group — requests of other networks keep
+ *    dispatching around a held group, they are never frozen behind
+ *    it.
  */
 
 #ifndef POINTACC_RUNTIME_BATCHER_HPP
 #define POINTACC_RUNTIME_BATCHER_HPP
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "runtime/queue.hpp"
@@ -41,6 +53,15 @@ struct BatcherConfig
     std::uint32_t maxBatchSize = 8;
     /** Largest allowed cloud-size ratio (bucket scales) inside a batch. */
     double maxPointsRatio = 4.0;
+    /** Wait-for-K: hold the queue head until this many compatible
+     *  requests are queued (capped at maxBatchSize). 1 = dispatch
+     *  immediately, never idle. */
+    std::uint32_t targetK = 1;
+    /** Longest a wait-for-K hold may keep a batch past the *oldest*
+     *  queued member's arrival (leader changes under SJF/EDF never
+     *  extend the wait); when the deadline passes the batch
+     *  dispatches undersized. */
+    std::uint64_t maxWaitCycles = 0;
 };
 
 /** One dispatch unit: >= 1 compatible requests for a single network. */
@@ -59,6 +80,14 @@ struct Batch
     }
 };
 
+/** Outcome of a wait-for-K probe: hold the head, or dispatch now. */
+struct BatchHold
+{
+    bool hold = false;
+    /** Absolute cycle at which the hold expires (valid when hold). */
+    std::uint64_t until = 0;
+};
+
 /** Groups queue heads into batches under a compatibility rule. */
 class Batcher
 {
@@ -73,10 +102,46 @@ class Batcher
     bool compatible(const Request &a, const Request &b) const;
 
     /**
+     * Wait-for-K probe: should the scheduler hold a batch led by
+     * `head` at time `now` instead of dispatching it? Holds only
+     * while fewer than min(targetK, maxBatchSize) compatible requests
+     * are queued AND the group's oldest member arrived less than
+     * maxWaitCycles ago;
+     * the returned deadline is a timer the event loop must honor so
+     * held work always dispatches eventually. A hold applies to the
+     * head's compatibility group only — the scheduler keeps
+     * dispatching other groups around it. `excluded` (empty = none)
+     * marks requests that would not actually join a batch led by
+     * `head` (members of other held groups): they must not count
+     * toward K, or the probe would green-light a dispatch that
+     * formLedBy then forms undersized.
+     */
+    BatchHold holdForHead(const AdmissionQueue &queue,
+                          const Request &head, std::uint64_t now,
+                          const std::function<bool(const Request &)>
+                              &excluded = nullptr) const;
+
+    /** holdForHead anchored at the queue's policy head (non-empty). */
+    BatchHold holdFor(const AdmissionQueue &queue, QueuePolicy policy,
+                      std::uint64_t now) const;
+
+    /**
      * Form the next batch from `queue` under `policy`. The queue must
      * be non-empty. With batching disabled, returns a singleton batch.
      */
     Batch form(AdmissionQueue &queue, QueuePolicy policy) const;
+
+    /**
+     * Form a batch led by `head` (which must be queued): the head
+     * plus the best-ranked compatible followers not rejected by
+     * `excluded` — the scheduler excludes members of held groups so
+     * an eager batch cannot strip a held group below its target K.
+     * With batching disabled, returns just the head.
+     */
+    Batch formLedBy(AdmissionQueue &queue, const Request &head,
+                    QueuePolicy policy,
+                    const std::function<bool(const Request &)> &excluded)
+        const;
 
   private:
     BatcherConfig cfg;

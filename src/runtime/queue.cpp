@@ -43,12 +43,16 @@ AdmissionQueue::ranksBefore(QueuePolicy policy, const Request &a,
 }
 
 std::size_t
-AdmissionQueue::selectIndex(QueuePolicy policy) const
+AdmissionQueue::selectIndex(
+    QueuePolicy policy,
+    const std::function<bool(const Request &)> &excluded) const
 {
-    simAssert(!items.empty(), "selectIndex on empty queue");
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < items.size(); ++i) {
-        if (ranksBefore(policy, items[i], items[best]))
+    std::size_t best = items.size();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (excluded && excluded(items[i]))
+            continue;
+        if (best == items.size() ||
+            ranksBefore(policy, items[i], items[best]))
             best = i;
     }
     return best;
@@ -57,13 +61,25 @@ AdmissionQueue::selectIndex(QueuePolicy policy) const
 const Request &
 AdmissionQueue::peek(QueuePolicy policy) const
 {
-    return items[selectIndex(policy)];
+    const std::size_t idx = selectIndex(policy);
+    simAssert(idx < items.size(), "peek on empty queue");
+    return items[idx];
+}
+
+const Request *
+AdmissionQueue::peekEligible(
+    QueuePolicy policy,
+    const std::function<bool(const Request &)> &excluded) const
+{
+    const std::size_t idx = selectIndex(policy, excluded);
+    return idx < items.size() ? &items[idx] : nullptr;
 }
 
 Request
 AdmissionQueue::pop(QueuePolicy policy)
 {
     const std::size_t idx = selectIndex(policy);
+    simAssert(idx < items.size(), "pop on empty queue");
     Request r = items[idx];
     items.erase(items.begin() + static_cast<std::ptrdiff_t>(idx));
     return r;
@@ -75,15 +91,37 @@ AdmissionQueue::popCompatible(
     const std::function<bool(const Request &, const Request &)> &compatible,
     std::size_t max_count)
 {
-    simAssert(max_count >= 1, "popCompatible needs max_count >= 1");
+    simAssert(!items.empty(), "popCompatible on empty queue");
+    return popLedBy(peek(policy), policy, compatible, max_count, nullptr);
+}
+
+std::vector<Request>
+AdmissionQueue::popLedBy(
+    const Request &head, QueuePolicy policy,
+    const std::function<bool(const Request &, const Request &)> &compatible,
+    std::size_t max_count,
+    const std::function<bool(const Request &)> &excluded)
+{
+    simAssert(max_count >= 1, "popLedBy needs max_count >= 1");
+    const Request lead = head; // copy: `head` may point into items
     std::vector<Request> out;
-    out.push_back(pop(policy));
-    const Request head = out.front(); // copy: out reallocates below
+    bool found = false;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].id == lead.id) {
+            out.push_back(items[i]);
+            items.erase(items.begin() + static_cast<std::ptrdiff_t>(i));
+            found = true;
+            break;
+        }
+    }
+    simAssert(found, "popLedBy head is not queued");
     while (out.size() < max_count) {
-        // Scan for the best-ranked compatible follower.
+        // Scan for the best-ranked compatible, non-excluded follower.
         std::size_t best = items.size();
         for (std::size_t i = 0; i < items.size(); ++i) {
-            if (!compatible(head, items[i]))
+            if (!compatible(lead, items[i]))
+                continue;
+            if (excluded && excluded(items[i]))
                 continue;
             if (best == items.size() ||
                 ranksBefore(policy, items[i], items[best]))

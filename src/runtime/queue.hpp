@@ -68,8 +68,33 @@ class AdmissionQueue
     /** Next request under `policy` (queue must be non-empty). */
     const Request &peek(QueuePolicy policy) const;
 
+    /**
+     * Best-ranked request under `policy` that `excluded` does not
+     * reject, or nullptr when every queued request is excluded. The
+     * scheduler uses this to skip over wait-for-K held groups so a
+     * held head never blocks dispatchable traffic behind it.
+     */
+    const Request *
+    peekEligible(QueuePolicy policy,
+                 const std::function<bool(const Request &)> &excluded)
+        const;
+
     /** Remove and return the next request under `policy`. */
     Request pop(QueuePolicy policy);
+
+    /**
+     * Pop the request with `head`'s id plus up to `max_count - 1`
+     * further requests satisfying `compatible(head, other)` and not
+     * rejected by `excluded` (empty = no filter), in policy order.
+     * `head` must be queued. This is popCompatible anchored at an
+     * explicit leader instead of the policy head.
+     */
+    std::vector<Request>
+    popLedBy(const Request &head, QueuePolicy policy,
+             const std::function<bool(const Request &, const Request &)>
+                 &compatible,
+             std::size_t max_count,
+             const std::function<bool(const Request &)> &excluded);
 
     /**
      * Pop the policy's head request plus up to `max_count - 1` further
@@ -90,8 +115,14 @@ class AdmissionQueue
     const std::vector<Request> &pending() const { return items; }
 
   private:
-    /** Index of the next request under `policy`. */
-    std::size_t selectIndex(QueuePolicy policy) const;
+    /** Index of the best-ranked request under `policy` that
+     *  `excluded` (empty = none) does not reject; items.size() when
+     *  nothing is eligible. The single ranking scan behind peek, pop
+     *  and peekEligible. */
+    std::size_t
+    selectIndex(QueuePolicy policy,
+                const std::function<bool(const Request &)> &excluded =
+                    nullptr) const;
 
     /** True when a ranks strictly ahead of b under `policy`. */
     static bool ranksBefore(QueuePolicy policy, const Request &a,

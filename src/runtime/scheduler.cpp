@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <optional>
+#include <set>
 
 #include "core/logging.hpp"
 #include "datasets/synthetic.hpp"
@@ -41,6 +44,24 @@ ServiceModel::batchServiceCycles(const AcceleratorConfig &cfg,
     const std::uint64_t saved =
         shared * static_cast<std::uint64_t>(batch.size() - 1);
     return std::max(longest, sum > saved ? sum - saved : longest);
+}
+
+PhaseProfile
+ServiceModel::batchPhases(const AcceleratorConfig &cfg,
+                          const Batch &batch) const
+{
+    const std::uint64_t total = batchServiceCycles(cfg, batch);
+    std::uint64_t mapSum = 0;
+    for (const auto &r : batch.requests)
+        mapSum +=
+            profile(cfg, r.networkId, r.sizeBucket).phases().mapCycles;
+    // Mapping never amortizes (each member's cloud maps separately),
+    // but the weight credit can shrink the total below sum-of-parts;
+    // clamp so the phases still partition the batch price exactly.
+    PhaseProfile p;
+    p.mapCycles = std::min(mapSum, total);
+    p.backendCycles = total - p.mapCycles;
+    return p;
 }
 
 SimServiceModel::SimServiceModel(ServingCatalog catalog)
@@ -155,16 +176,57 @@ FleetScheduler::FleetScheduler(std::vector<AcceleratorConfig> fleet_,
     }
 }
 
+std::string
+toString(OccupancyModel model)
+{
+    switch (model) {
+      case OccupancyModel::Monolithic: return "monolithic";
+      case OccupancyModel::Pipelined: return "pipelined";
+    }
+    return "?";
+}
+
 namespace {
 
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
 
+/** One dispatch resident on an instance, in either pipeline stage. */
+struct InFlight
+{
+    Batch batch;
+    PhaseProfile phases;
+    std::uint64_t dispatchedAt = 0;
+    std::uint64_t mapDoneAt = 0; ///< front-end (mapping) completion
+    std::uint64_t doneAt = 0;    ///< back-end completion (set at handoff)
+    /** Front-end done; waiting for the back-end to free (blocking
+     *  handoff: the mapped batch keeps occupying the front stage). */
+    bool mapped = false;
+};
+
+/**
+ * One accelerator as a two-stage pipeline: the front slot is the
+ * Mapping Unit (a batch occupies it from dispatch until the back-end
+ * accepts it), the back slot is the Matrix Unit + memory system. The
+ * monolithic occupancy model uses the same machinery with a
+ * zero-length map phase and admission gated on full idleness.
+ */
 struct AccelState
 {
-    bool busy = false;
-    std::uint64_t busyUntil = 0;
-    Batch inFlight;
+    std::optional<InFlight> front;
+    std::optional<InFlight> back;
+    /** High-water mark for busy-interval union accounting: per-batch
+     *  residency intervals overlap under pipelining, and utilization
+     *  must count wall-clock coverage, not summed service. */
+    std::uint64_t coveredUntil = 0;
     AcceleratorUsage usage;
+
+    bool
+    canAccept(OccupancyModel model) const
+    {
+        return model == OccupancyModel::Pipelined
+                   ? !front.has_value()
+                   : !front.has_value() && !back.has_value();
+    }
 };
 
 } // namespace
@@ -176,6 +238,7 @@ FleetScheduler::run(std::vector<Request> arrivals) const
 
     ServingReport report;
     report.freqGHz = fleet.front().freqGHz;
+    report.occupancy = toString(cfg.occupancy);
     report.generated = arrivals.size();
 
     AdmissionQueue queue(cfg.queueDepth);
@@ -191,53 +254,169 @@ FleetScheduler::run(std::vector<Request> arrivals) const
     // network cost ratios are stable across classes.
     const AcceleratorConfig &reference = fleet.front();
 
-    const auto complete = [&](AccelState &acc) {
-        for (const auto &r : acc.inFlight.requests) {
-            const std::uint64_t latency = acc.busyUntil - r.arrivalCycle;
-            report.latencyCycles.record(static_cast<double>(latency));
-            if (r.deadlineCycle > 0 && acc.busyUntil > r.deadlineCycle)
+    // Batcher timer: earliest pending wait-for-K hold deadline.
+    std::uint64_t timerAt = kNever;
+    // Leaders whose hold episodes were already counted in batchHolds
+    // (one episode per leader, however many events re-evaluate it).
+    std::set<std::uint64_t> countedHolds;
+
+    const auto completeBack = [&](AccelState &acc) {
+        const InFlight &unit = *acc.back;
+        for (const auto &r : unit.batch.requests) {
+            report.latencyCycles.record(
+                static_cast<double>(unit.doneAt - r.arrivalCycle));
+            report.completionCycles.push_back(unit.doneAt);
+            if (r.deadlineCycle > 0 && unit.doneAt > r.deadlineCycle)
                 report.deadlineMisses += 1;
             report.completed += 1;
         }
-        acc.inFlight.requests.clear();
-        acc.busy = false;
+        // Busy-interval union: residency intervals arrive in
+        // nondecreasing start order (the pipeline is FIFO per
+        // instance), so a running high-water mark suffices.
+        const std::uint64_t start =
+            std::max(unit.dispatchedAt, acc.coveredUntil);
+        if (unit.doneAt > start)
+            acc.usage.busyCycles += unit.doneAt - start;
+        acc.coveredUntil = std::max(acc.coveredUntil, unit.doneAt);
+        acc.back.reset();
+    };
+
+    // Apply every stage transition due at `now` on one instance:
+    // back-end completions, then the front->back handoff (which may
+    // itself complete immediately when a back-end phase is empty).
+    const auto service = [&](AccelState &acc, std::uint64_t now) {
+        for (;;) {
+            if (acc.back && acc.back->doneAt <= now) {
+                completeBack(acc);
+                continue;
+            }
+            if (acc.front && acc.front->mapDoneAt <= now) {
+                acc.front->mapped = true;
+                if (!acc.back) {
+                    InFlight unit = std::move(*acc.front);
+                    acc.front.reset();
+                    // The handoff-enabling moment (the later of map
+                    // completion and back-end drain) is itself an
+                    // event, so `now` is exactly the back-end start.
+                    unit.doneAt = now + unit.phases.backendCycles;
+                    acc.usage.backendBusyCycles +=
+                        unit.phases.backendCycles;
+                    acc.back.emplace(std::move(unit));
+                    continue;
+                }
+            }
+            break;
+        }
+    };
+
+    // Exact completion time of `ph` were it dispatched to `acc` now:
+    // mapping starts immediately (the front slot is free by
+    // precondition), the back-end starts at the later of mapping
+    // completion and the current back-end batch draining.
+    const auto estimateDone = [](const AccelState &acc,
+                                 const PhaseProfile &ph,
+                                 std::uint64_t now) {
+        const std::uint64_t mapDone = now + ph.mapCycles;
+        const std::uint64_t backStart =
+            std::max(mapDone, acc.back ? acc.back->doneAt : now);
+        return backStart + ph.backendCycles;
     };
 
     const auto dispatch = [&](std::uint64_t now) {
+        // The timer mirrors the *currently outstanding* holds: every
+        // dispatch pass re-decides, so first disarm — a hold resolved
+        // by new arrivals must not leave a stale event inflating the
+        // horizon. (While no stage can accept work, stage-completion
+        // events drive re-evaluation instead.)
+        timerAt = kNever;
+        // Leaders held this pass. A hold freezes only the leader's
+        // compatibility group: its members neither lead nor join
+        // batches until the group reaches K or the deadline passes,
+        // while every other group keeps dispatching around it.
+        std::vector<Request> heldLeaders;
+        const auto inHeldGroup = [&](const Request &r) {
+            for (const auto &h : heldLeaders)
+                if (h.id == r.id || batcher.compatible(h, r))
+                    return true;
+            return false;
+        };
         while (!queue.empty()) {
-            // Any idle accelerator?
-            bool anyIdle = false;
+            bool anyAccept = false;
             for (const auto &acc : accels)
-                anyIdle = anyIdle || !acc.busy;
-            if (!anyIdle)
+                anyAccept = anyAccept || acc.canAccept(cfg.occupancy);
+            if (!anyAccept)
                 return;
 
-            Batch batch = batcher.form(queue, cfg.policy);
+            const Request *head =
+                queue.peekEligible(cfg.policy, inHeldGroup);
+            if (head == nullptr)
+                return; // everything queued belongs to a held group
 
-            // Place on the idle instance that finishes soonest.
+            // Wait-for-K: hold this group and arm a timer instead of
+            // dispatching undersized, unless the deadline passed.
+            // Held-group members are excluded from the K count just
+            // as formLedBy excludes them from the batch.
+            const BatchHold hold =
+                batcher.holdForHead(queue, *head, now, inHeldGroup);
+            if (hold.hold) {
+                if (countedHolds.insert(head->id).second)
+                    report.batchHolds += 1;
+                timerAt = std::min(timerAt, hold.until);
+                heldLeaders.push_back(*head);
+                continue; // other groups may still dispatch
+            }
+
+            Batch batch =
+                batcher.formLedBy(queue, *head, cfg.policy, inHeldGroup);
+
+            // Place on the accepting instance that finishes soonest.
+            // Batch phases depend only on the accelerator class, so
+            // price once per distinct config name (a homogeneous
+            // fleet pays a single batchPhases pass per dispatch).
+            std::map<std::string, PhaseProfile> classPhases;
             std::size_t best = accels.size();
-            std::uint64_t bestCycles = kNever;
+            std::uint64_t bestDone = kNever;
+            PhaseProfile bestPhases;
             for (std::size_t i = 0; i < accels.size(); ++i) {
-                if (accels[i].busy)
+                if (!accels[i].canAccept(cfg.occupancy))
                     continue;
-                const std::uint64_t c =
-                    model.batchServiceCycles(fleet[i], batch);
-                if (c < bestCycles) {
-                    bestCycles = c;
+                auto it = classPhases.find(fleet[i].name);
+                if (it == classPhases.end()) {
+                    PhaseProfile ph;
+                    if (cfg.occupancy == OccupancyModel::Pipelined)
+                        ph = model.batchPhases(fleet[i], batch);
+                    else
+                        ph.backendCycles =
+                            model.batchServiceCycles(fleet[i], batch);
+                    it = classPhases.emplace(fleet[i].name, ph).first;
+                }
+                const PhaseProfile &ph = it->second;
+                const std::uint64_t done =
+                    estimateDone(accels[i], ph, now);
+                if (done < bestDone) {
+                    bestDone = done;
                     best = i;
+                    bestPhases = ph;
                 }
             }
+
             AccelState &acc = accels[best];
-            acc.busy = true;
-            acc.busyUntil = now + bestCycles;
-            acc.usage.busyCycles += bestCycles;
+            InFlight unit;
+            unit.phases = bestPhases;
+            unit.dispatchedAt = now;
+            unit.mapDoneAt = now + bestPhases.mapCycles;
+            acc.usage.mapBusyCycles += bestPhases.mapCycles;
             acc.usage.batches += 1;
             acc.usage.requests += batch.size();
             report.batchSize.record(static_cast<double>(batch.size()));
             for (const auto &r : batch.requests)
                 report.queueWaitCycles.record(
                     static_cast<double>(now - r.arrivalCycle));
-            acc.inFlight = std::move(batch);
+            unit.batch = std::move(batch);
+            acc.front.emplace(std::move(unit));
+            // Zero-length map phases promote straight to the back-end
+            // (this is the whole dispatch in the monolithic model).
+            service(acc, now);
         }
     };
 
@@ -246,23 +425,25 @@ FleetScheduler::run(std::vector<Request> arrivals) const
     while (true) {
         const std::uint64_t tArrival =
             next < arrivals.size() ? arrivals[next].arrivalCycle : kNever;
-        std::uint64_t tFree = kNever;
-        for (const auto &acc : accels)
-            if (acc.busy)
-                tFree = std::min(tFree, acc.busyUntil);
-        if (tArrival == kNever && tFree == kNever)
-            break; // no arrivals left, fleet idle, queue drained
+        std::uint64_t tStage = kNever;
+        for (const auto &acc : accels) {
+            if (acc.front && !acc.front->mapped)
+                tStage = std::min(tStage, acc.front->mapDoneAt);
+            if (acc.back)
+                tStage = std::min(tStage, acc.back->doneAt);
+        }
+        if (tArrival == kNever && tStage == kNever && timerAt == kNever)
+            break; // no arrivals, pipelines drained, no pending timer
 
-        clock = std::min(tArrival, tFree);
+        clock = std::min(tArrival, std::min(tStage, timerAt));
 
-        // Completions first: a request arriving at the same cycle can
-        // reuse the accelerator that just freed up.
+        // Stage transitions first: a request arriving at the same
+        // cycle can reuse the capacity that just freed up.
         for (auto &acc : accels)
-            if (acc.busy && acc.busyUntil <= clock)
-                complete(acc);
+            service(acc, clock);
 
-        // Drain backlog onto freed accelerators before admitting, so
-        // a same-cycle arrival is not dropped against queue space the
+        // Drain backlog onto freed stages before admitting, so a
+        // same-cycle arrival is not dropped against queue space the
         // completion just made available.
         dispatch(clock);
 

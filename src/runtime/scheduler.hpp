@@ -5,13 +5,27 @@
  *
  * The per-inference simulator (sim/accelerator) prices one run of one
  * network; this layer composes those prices into a serving system. A
- * global cycle clock advances between two event kinds — request
- * arrivals (from runtime/workload) and accelerator completions — and
- * whenever an accelerator is idle and the admission queue non-empty,
- * the batcher forms a dispatch and the scheduler places it on the
- * idle accelerator that would finish it soonest (greedy, which on a
+ * global cycle clock advances between four event kinds — request
+ * arrivals (from runtime/workload), mapping-phase completions,
+ * back-end completions, and batcher timers (wait-for-K holds) — and
+ * whenever an accelerator can accept work and the admission queue is
+ * non-empty, the batcher forms a dispatch and the scheduler places it
+ * on the accelerator that would finish it soonest (greedy, which on a
  * heterogeneous fleet naturally prefers the server-class instance and
  * spills to edge-class ones under load).
+ *
+ * Each instance is modeled as the two decoupled resources PointAcc
+ * actually has (Section 5 of the paper): a Mapping Unit front-end and
+ * a Matrix Unit + memory back-end. A batch first occupies the front
+ * end for its mapping phase, then hands off to the back-end for
+ * compute + exposed DRAM; the handoff blocks (no intermediate buffer
+ * beyond the front-end itself), so at most two batches are in flight
+ * per instance — one mapping, one executing. That overlap is exactly
+ * the paper's decoupled orchestration lifted across requests: the
+ * mapping of request i+1 hides behind the back-end of request i.
+ * OccupancyModel::Monolithic disables the overlap (whole-run busy
+ * interval, the pre-pipelining behavior) for apples-to-apples
+ * comparisons.
  *
  * Service times come from a ServiceModel: the production implementation
  * (SimServiceModel) runs sim::Accelerator once per (network, cloud-size
@@ -59,6 +73,21 @@ struct ServingCatalog
     std::uint64_t cloudSeed = 20211018;
 };
 
+/**
+ * Two-stage split of a service time: the Mapping Unit front-end phase
+ * and the Matrix Unit + memory back-end phase. The phases partition
+ * the whole service time (map + backend == total), so a pipelined
+ * instance can overlap the map phase of one dispatch with the backend
+ * of the previous one.
+ */
+struct PhaseProfile
+{
+    std::uint64_t mapCycles = 0;
+    std::uint64_t backendCycles = 0;
+
+    std::uint64_t total() const { return mapCycles + backendCycles; }
+};
+
 /** Profiled cost of one (network, bucket) on one accelerator class. */
 struct ServiceProfile
 {
@@ -68,6 +97,19 @@ struct ServiceProfile
     /** Cycles spent streaming the parameter set from DRAM; the share a
      *  batch member amortizes away. */
     std::uint64_t weightLoadCycles = 0;
+
+    /** Phase split: map = profiled mapping cycles (clamped into the
+     *  total), backend = the exact remainder (compute + exposed DRAM,
+     *  see RunResult::backendPhaseCycles). */
+    PhaseProfile
+    phases() const
+    {
+        PhaseProfile p;
+        p.mapCycles = mappingCycles < totalCycles ? mappingCycles
+                                                  : totalCycles;
+        p.backendCycles = totalCycles - p.mapCycles;
+        return p;
+    }
 };
 
 /** Service-time oracle consulted by the scheduler. */
@@ -90,6 +132,17 @@ class ServiceModel
      */
     std::uint64_t batchServiceCycles(const AcceleratorConfig &cfg,
                                      const Batch &batch) const;
+
+    /**
+     * Phase split of a whole batch: the map phase is the sum of the
+     * members' mapping phases (mapping shares nothing across members,
+     * so it never amortizes), clamped into the batch's total service
+     * time; the backend phase is the exact remainder, which is where
+     * the weight-reload credit lands. batchPhases(...).total() ==
+     * batchServiceCycles(...) always.
+     */
+    PhaseProfile batchPhases(const AcceleratorConfig &cfg,
+                             const Batch &batch) const;
 };
 
 /**
@@ -122,10 +175,24 @@ class SimServiceModel : public ServiceModel
         weightBytes;
 };
 
+/** How a dispatch occupies an accelerator instance. */
+enum class OccupancyModel
+{
+    /** One opaque busy interval per dispatch; the instance accepts
+     *  new work only when fully idle (pre-pipelining behavior). */
+    Monolithic,
+    /** Two-stage pipeline: the map phase of the next dispatch overlaps
+     *  the back-end of the previous one on the same instance. */
+    Pipelined,
+};
+
+std::string toString(OccupancyModel model);
+
 /** Scheduler knobs. */
 struct SchedulerConfig
 {
     QueuePolicy policy = QueuePolicy::Fifo;
+    OccupancyModel occupancy = OccupancyModel::Pipelined;
     BatcherConfig batcher;
     /** Admission queue bound; overload beyond it sheds load. */
     std::size_t queueDepth = 1024;

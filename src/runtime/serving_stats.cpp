@@ -36,6 +36,9 @@ writeServingJson(std::ostream &os, const ServingReport &report)
     w.beginObject();
     w.field("freq_ghz", report.freqGHz);
     w.field("horizon_cycles", report.horizonCycles);
+    w.field("occupancy",
+            report.occupancy.empty() ? "monolithic" : report.occupancy);
+    w.field("batch_holds", report.batchHolds);
     w.field("generated", report.generated);
     w.field("admitted", report.admitted);
     w.field("dropped", report.dropped);
@@ -55,9 +58,15 @@ writeServingJson(std::ostream &os, const ServingReport &report)
         w.beginObject();
         w.field("name", acc.name);
         w.field("busy_cycles", acc.busyCycles);
+        w.field("map_busy_cycles", acc.mapBusyCycles);
+        w.field("backend_busy_cycles", acc.backendBusyCycles);
         w.field("batches", acc.batches);
         w.field("requests", acc.requests);
         w.field("utilization", acc.utilization(report.horizonCycles));
+        w.field("map_utilization",
+                acc.mapUtilization(report.horizonCycles));
+        w.field("backend_utilization",
+                acc.backendUtilization(report.horizonCycles));
         w.endObject();
     }
     w.endArray();

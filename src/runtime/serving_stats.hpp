@@ -31,7 +31,14 @@ namespace pointacc {
 struct AcceleratorUsage
 {
     std::string name;
+    /** Cycles during which >= 1 batch was somewhere on the instance
+     *  (union of per-batch residency intervals, so overlapped phases
+     *  are not double-counted and utilization stays <= 1). */
     std::uint64_t busyCycles = 0;
+    /** Cycles the Mapping Unit front-end stage spent mapping. */
+    std::uint64_t mapBusyCycles = 0;
+    /** Cycles the Matrix Unit + memory back-end stage spent serving. */
+    std::uint64_t backendBusyCycles = 0;
     std::uint64_t batches = 0;
     std::uint64_t requests = 0;
 
@@ -44,6 +51,26 @@ struct AcceleratorUsage
                    : static_cast<double>(busyCycles) /
                          static_cast<double>(horizon_cycles);
     }
+
+    /** Front-end (mapping) stage busy fraction; always <= 1. */
+    double
+    mapUtilization(std::uint64_t horizon_cycles) const
+    {
+        return horizon_cycles == 0
+                   ? 0.0
+                   : static_cast<double>(mapBusyCycles) /
+                         static_cast<double>(horizon_cycles);
+    }
+
+    /** Back-end (matrix + memory) stage busy fraction; always <= 1. */
+    double
+    backendUtilization(std::uint64_t horizon_cycles) const
+    {
+        return horizon_cycles == 0
+                   ? 0.0
+                   : static_cast<double>(backendBusyCycles) /
+                         static_cast<double>(horizon_cycles);
+    }
 };
 
 /** Result of one serving simulation. */
@@ -52,6 +79,12 @@ struct ServingReport
     double freqGHz = 1.0;
     /** Simulated span: max(last arrival, last completion) cycles. */
     std::uint64_t horizonCycles = 0;
+    /** Occupancy model the scheduler ran ("monolithic"/"pipelined"). */
+    std::string occupancy;
+    /** Wait-for-K hold episodes: distinct batch leaders the batcher
+     *  held hoping for more compatible requests (each leader counts
+     *  once, however many events re-evaluate its hold). */
+    std::uint64_t batchHolds = 0;
 
     // Conservation counters.
     std::uint64_t generated = 0; ///< requests offered by the workload
@@ -64,6 +97,11 @@ struct ServingReport
     Summary latencyCycles;  ///< arrival -> completion, per request
     Summary queueWaitCycles;///< arrival -> dispatch, per request
     Summary batchSize;      ///< requests per dispatch
+
+    /** Completion timestamp of every served request, in completion
+     *  order (non-decreasing by construction; the property tests
+     *  assert it). Parallels latencyCycles' samples. */
+    std::vector<std::uint64_t> completionCycles;
 
     std::vector<AcceleratorUsage> accelerators;
 

@@ -60,6 +60,25 @@ struct RunResult
     EnergyBreakdown energy;
     double freqGHz = 1.0;
 
+    /**
+     * Two-phase decomposition of the run for pipelined serving: the
+     * Mapping Unit front-end runs decoupled from the Matrix Unit +
+     * memory back-end, so a serving layer may overlap the mapping
+     * phase of one inference with the back-end of the previous one.
+     * The two phases partition the run exactly:
+     *   mapPhaseCycles() + backendPhaseCycles() == totalCycles
+     * (per layer, total = mapping + max(compute, dram), so the
+     * back-end share is compute + exposed DRAM stalls).
+     */
+    std::uint64_t mapPhaseCycles() const { return mappingCycles; }
+
+    std::uint64_t
+    backendPhaseCycles() const
+    {
+        return totalCycles > mappingCycles ? totalCycles - mappingCycles
+                                           : 0;
+    }
+
     double latencyMs() const
     {
         return static_cast<double>(totalCycles) / (freqGHz * 1e6);

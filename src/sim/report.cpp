@@ -70,6 +70,8 @@ writeJson(std::ostream &os, const RunResult &result)
     w.field("mapping_cycles", result.mappingCycles);
     w.field("compute_cycles", result.computeCycles);
     w.field("exposed_dram_cycles", result.exposedDramCycles);
+    w.field("map_phase_cycles", result.mapPhaseCycles());
+    w.field("backend_phase_cycles", result.backendPhaseCycles());
     w.field("dram_read_bytes", result.dramReadBytes);
     w.field("dram_write_bytes", result.dramWriteBytes);
     w.field("total_macs", result.totalMacs);

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Golden-file tests for the machine-readable JSON surfaces: the
+ * per-run dump (sim::writeJson) and the serving-stats dump
+ * (writeServingJson) that BENCH_*.json tooling consumes.
+ *
+ * Two layers of protection:
+ *  - exact golden strings for fixed inputs, so a silently renamed or
+ *    reordered key (or a formatting change) fails loudly here before
+ *    it breaks a downstream consumer;
+ *  - round-trip checks on every numeric token: parse with strtod and
+ *    re-format; the writer's %.6g output must be stable under a
+ *    parse/print cycle so archived benchmark JSON diffs cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/serving_stats.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/report.hpp"
+
+namespace pointacc {
+namespace {
+
+RunResult
+fixedRunResult()
+{
+    RunResult r;
+    r.network = "PointNet";
+    r.accelerator = "PointAcc";
+    r.freqGHz = 1.0;
+    r.totalCycles = 125'000;
+    r.mappingCycles = 25'000;
+    r.computeCycles = 90'000;
+    r.exposedDramCycles = 10'000;
+    r.dramReadBytes = 4096;
+    r.dramWriteBytes = 2048;
+    r.totalMacs = 1'000'000;
+    LayerStats ls;
+    ls.name = "conv1";
+    ls.isDense = true;
+    ls.mappingCycles = 25'000;
+    ls.computeCycles = 90'000;
+    ls.dramCycles = 100'000;
+    ls.totalCycles = 125'000;
+    ls.dramReadBytes = 4096;
+    ls.dramWriteBytes = 2048;
+    ls.macs = 1'000'000;
+    ls.maps = 512;
+    ls.cacheMissRate = 0.25;
+    r.layers.push_back(ls);
+    return r;
+}
+
+ServingReport
+fixedServingReport()
+{
+    ServingReport report;
+    report.freqGHz = 1.0;
+    report.horizonCycles = 1'000'000;
+    report.occupancy = "pipelined";
+    report.batchHolds = 3;
+    report.generated = 4;
+    report.admitted = 4;
+    report.dropped = 0;
+    report.completed = 4;
+    report.deadlineMisses = 1;
+    for (const double latency : {1000.0, 2000.0, 3000.0, 4000.0})
+        report.latencyCycles.record(latency);
+    for (const double wait : {0.0, 0.0, 500.0, 500.0})
+        report.queueWaitCycles.record(wait);
+    report.batchSize.record(2.0);
+    report.batchSize.record(2.0);
+    report.completionCycles = {1000, 2000, 3500, 4500};
+    AcceleratorUsage usage;
+    usage.name = "PointAcc#0";
+    usage.busyCycles = 500'000;
+    usage.mapBusyCycles = 100'000;
+    usage.backendBusyCycles = 450'000;
+    usage.batches = 2;
+    usage.requests = 4;
+    report.accelerators.push_back(usage);
+    return report;
+}
+
+/** Every "key":number token must survive a parse/print round trip. */
+void
+checkNumericRoundTrip(const std::string &json)
+{
+    std::size_t checked = 0;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        if (json[i] != ':')
+            continue;
+        const std::size_t start = i + 1;
+        if (start >= json.size())
+            continue;
+        const char c = json[start];
+        if (c != '-' && (c < '0' || c > '9'))
+            continue; // string/bool/container value
+        std::size_t end = start;
+        while (end < json.size() && json[end] != ',' &&
+               json[end] != '}' && json[end] != ']')
+            ++end;
+        const std::string token = json.substr(start, end - start);
+        char *tail = nullptr;
+        const double parsed = std::strtod(token.c_str(), &tail);
+        ASSERT_EQ(*tail, '\0') << "unparsable number: " << token;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", parsed);
+        // Integer tokens print through the integer path and stay
+        // verbatim; double tokens must re-format identically.
+        if (token.find('.') != std::string::npos ||
+            token.find('e') != std::string::npos) {
+            EXPECT_EQ(token, std::string(buf))
+                << "double token not round-trippable";
+        } else {
+            EXPECT_EQ(parsed,
+                      static_cast<double>(std::strtoll(
+                          token.c_str(), nullptr, 10)))
+                << "integer token lost precision: " << token;
+        }
+        checked += 1;
+    }
+    EXPECT_GT(checked, 10u) << "numeric scan found too few tokens";
+}
+
+TEST(ReportGolden, RunResultJsonMatchesGolden)
+{
+    std::ostringstream os;
+    writeJson(os, fixedRunResult());
+    const std::string expected =
+        "{\"network\":\"PointNet\",\"accelerator\":\"PointAcc\","
+        "\"freq_ghz\":1,\"total_cycles\":125000,"
+        "\"mapping_cycles\":25000,\"compute_cycles\":90000,"
+        "\"exposed_dram_cycles\":10000,\"map_phase_cycles\":25000,"
+        "\"backend_phase_cycles\":100000,\"dram_read_bytes\":4096,"
+        "\"dram_write_bytes\":2048,\"total_macs\":1000000,"
+        "\"latency_ms\":0.125,\"energy_mj\":0,"
+        "\"energy_compute_pj\":0,\"energy_sram_pj\":0,"
+        "\"energy_dram_pj\":0,\"layers\":[{\"name\":\"conv1\","
+        "\"dense\":true,\"mapping_cycles\":25000,"
+        "\"compute_cycles\":90000,\"dram_cycles\":100000,"
+        "\"total_cycles\":125000,\"dram_read_bytes\":4096,"
+        "\"dram_write_bytes\":2048,\"macs\":1000000,\"maps\":512,"
+        "\"cache_miss_rate\":0.25}]}\n";
+    EXPECT_EQ(os.str(), expected);
+    checkNumericRoundTrip(os.str());
+}
+
+TEST(ReportGolden, ServingJsonMatchesGolden)
+{
+    std::ostringstream os;
+    writeServingJson(os, fixedServingReport());
+    const std::string expected =
+        "{\"freq_ghz\":1,\"horizon_cycles\":1000000,"
+        "\"occupancy\":\"pipelined\",\"batch_holds\":3,"
+        "\"generated\":4,\"admitted\":4,\"dropped\":0,"
+        "\"completed\":4,\"leftover_queued\":0,\"deadline_misses\":1,"
+        "\"throughput_rps\":4000,\"drop_rate\":0,"
+        "\"latency_ms_mean\":0.0025,\"latency_ms_p50\":0.003,"
+        "\"latency_ms_p95\":0.004,\"latency_ms_p99\":0.004,"
+        "\"queue_wait_cycles_mean\":250,\"batch_size_mean\":2,"
+        "\"accelerators\":[{\"name\":\"PointAcc#0\","
+        "\"busy_cycles\":500000,\"map_busy_cycles\":100000,"
+        "\"backend_busy_cycles\":450000,\"batches\":2,\"requests\":4,"
+        "\"utilization\":0.5,\"map_utilization\":0.1,"
+        "\"backend_utilization\":0.45}]}\n";
+    EXPECT_EQ(os.str(), expected);
+    checkNumericRoundTrip(os.str());
+}
+
+TEST(ReportGolden, ServingJsonSchemaKeysPresent)
+{
+    // Schema contract: consumers key on these names. A rename must be
+    // a conscious, versioned change, not a refactor accident.
+    std::ostringstream os;
+    writeServingJson(os, fixedServingReport());
+    const std::string json = os.str();
+    const std::vector<std::string> keys = {
+        "freq_ghz",          "horizon_cycles",
+        "occupancy",         "batch_holds",
+        "generated",         "admitted",
+        "dropped",           "completed",
+        "leftover_queued",   "deadline_misses",
+        "throughput_rps",    "drop_rate",
+        "latency_ms_mean",   "latency_ms_p50",
+        "latency_ms_p95",    "latency_ms_p99",
+        "queue_wait_cycles_mean", "batch_size_mean",
+        "accelerators",      "busy_cycles",
+        "map_busy_cycles",   "backend_busy_cycles",
+        "batches",           "requests",
+        "utilization",       "map_utilization",
+        "backend_utilization"};
+    for (const auto &key : keys)
+        EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos)
+            << "missing key: " << key;
+}
+
+TEST(ReportGolden, RunResultJsonSchemaKeysPresent)
+{
+    std::ostringstream os;
+    writeJson(os, fixedRunResult());
+    const std::string json = os.str();
+    const std::vector<std::string> keys = {
+        "network",        "accelerator",
+        "freq_ghz",       "total_cycles",
+        "mapping_cycles", "compute_cycles",
+        "exposed_dram_cycles", "map_phase_cycles",
+        "backend_phase_cycles", "dram_read_bytes",
+        "dram_write_bytes", "total_macs",
+        "latency_ms",     "energy_mj",
+        "layers",         "cache_miss_rate"};
+    for (const auto &key : keys)
+        EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos)
+            << "missing key: " << key;
+}
+
+} // namespace
+} // namespace pointacc

@@ -255,6 +255,38 @@ class FixedServiceModel : public ServiceModel
     std::uint64_t weightLoad;
 };
 
+/** Explicit per-network phase table (network id indexes the table). */
+class PhasedServiceModel : public ServiceModel
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t mapCycles;
+        std::uint64_t backendCycles;
+        std::uint64_t weightLoadCycles = 0;
+    };
+
+    explicit PhasedServiceModel(std::vector<Entry> entries)
+        : table(std::move(entries))
+    {}
+
+    ServiceProfile
+    profile(const AcceleratorConfig &, std::uint32_t network_id,
+            std::uint32_t) const override
+    {
+        const Entry &e = table.at(network_id);
+        ServiceProfile p;
+        p.totalCycles = e.mapCycles + e.backendCycles;
+        p.mappingCycles = e.mapCycles;
+        p.computeCycles = e.backendCycles;
+        p.weightLoadCycles = e.weightLoadCycles;
+        return p;
+    }
+
+  private:
+    std::vector<Entry> table;
+};
+
 std::vector<Request>
 denseTrace(std::size_t count, std::uint64_t gap)
 {
@@ -375,6 +407,321 @@ TEST(ServiceModelBatching, AmortizesWeightLoadWithFloor)
     Batch one;
     one.requests.push_back(makeRequest(0, 0));
     EXPECT_EQ(model.batchServiceCycles(cfg, one), 10'000u);
+}
+
+// ---------------------------------------------------------------- //
+//                          Phase splits                             //
+// ---------------------------------------------------------------- //
+
+TEST(ServiceModelPhases, ProfilePhasesPartitionTheTotal)
+{
+    ServiceProfile p;
+    p.totalCycles = 1000;
+    p.mappingCycles = 300;
+    p.computeCycles = 700;
+    const auto ph = p.phases();
+    EXPECT_EQ(ph.mapCycles, 300u);
+    EXPECT_EQ(ph.backendCycles, 700u);
+    EXPECT_EQ(ph.total(), p.totalCycles);
+
+    // Degenerate profile (mapping exceeds total): clamp, never wrap.
+    p.mappingCycles = 1500;
+    const auto clamped = p.phases();
+    EXPECT_EQ(clamped.mapCycles, 1000u);
+    EXPECT_EQ(clamped.backendCycles, 0u);
+}
+
+TEST(ServiceModelPhases, BatchPhasesPartitionTheBatchPrice)
+{
+    const PhasedServiceModel model({{400, 600, 200}});
+    const auto cfg = pointAccConfig();
+
+    Batch batch;
+    for (std::uint64_t i = 0; i < 3; ++i)
+        batch.requests.push_back(makeRequest(i, 0));
+
+    // Total: 3*1000 - 2*200 (weight credit) = 2600; mapping never
+    // amortizes, so map = 3*400 and the credit lands on the backend.
+    const auto total = model.batchServiceCycles(cfg, batch);
+    EXPECT_EQ(total, 2600u);
+    const auto ph = model.batchPhases(cfg, batch);
+    EXPECT_EQ(ph.mapCycles, 1200u);
+    EXPECT_EQ(ph.backendCycles, 1400u);
+    EXPECT_EQ(ph.total(), total);
+
+    // Map-dominated profile where the weight credit would push the
+    // backend negative: the map share is clamped into the total.
+    const PhasedServiceModel mapHeavy({{900, 100, 100}});
+    Batch big;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        big.requests.push_back(makeRequest(i, 0));
+    const auto heavyTotal = mapHeavy.batchServiceCycles(cfg, big);
+    const auto heavyPh = mapHeavy.batchPhases(cfg, big);
+    EXPECT_EQ(heavyPh.total(), heavyTotal);
+    EXPECT_LE(heavyPh.mapCycles, heavyTotal);
+}
+
+// ---------------------------------------------------------------- //
+//                     Wait-for-K batching                           //
+// ---------------------------------------------------------------- //
+
+TEST(Batcher, HoldForWaitsUntilKOrTimeout)
+{
+    BatcherConfig bcfg;
+    bcfg.targetK = 3;
+    bcfg.maxWaitCycles = 100;
+    const Batcher batcher(bcfg, {1.0});
+
+    AdmissionQueue q(16);
+    auto r0 = makeRequest(0, 10);
+    q.push(r0);
+
+    // One of three wanted, inside the window: hold until arrival+wait.
+    auto hold = batcher.holdFor(q, QueuePolicy::Fifo, 20);
+    EXPECT_TRUE(hold.hold);
+    EXPECT_EQ(hold.until, 110u);
+
+    // Window expired: dispatch undersized.
+    hold = batcher.holdFor(q, QueuePolicy::Fifo, 110);
+    EXPECT_FALSE(hold.hold);
+
+    // Incompatible requests do not count toward K.
+    auto other = makeRequest(1, 15);
+    other.networkId = 7;
+    q.push(other);
+    auto third = makeRequest(2, 16);
+    third.networkId = 7;
+    q.push(third);
+    hold = batcher.holdFor(q, QueuePolicy::Fifo, 30);
+    EXPECT_TRUE(hold.hold);
+
+    // K compatible requests queued: dispatch immediately.
+    q.push(makeRequest(3, 17));
+    q.push(makeRequest(4, 18));
+    hold = batcher.holdFor(q, QueuePolicy::Fifo, 30);
+    EXPECT_FALSE(hold.hold);
+
+    // Excluded requests (members of other held groups) never count
+    // toward K: with one of the three compatibles masked out, the
+    // head must keep waiting.
+    const auto maskId3 = [](const Request &r) { return r.id == 3; };
+    hold = batcher.holdForHead(q, q.peek(QueuePolicy::Fifo), 30, maskId3);
+    EXPECT_TRUE(hold.hold);
+
+    // Immediate-mode batcher (targetK == 1) never holds.
+    BatcherConfig immediate;
+    const Batcher eager(immediate, {1.0});
+    EXPECT_FALSE(eager.holdFor(q, QueuePolicy::Fifo, 0).hold);
+}
+
+TEST(Batcher, HoldDeadlineAnchorsAtOldestGroupMember)
+{
+    // Under SJF a newly arrived shorter request becomes the leader;
+    // the wait bound must stay anchored at the group's oldest member
+    // so leader churn can never extend the hold past maxWaitCycles.
+    BatcherConfig bcfg;
+    bcfg.targetK = 3;
+    bcfg.maxWaitCycles = 100;
+    const Batcher batcher(bcfg, {1.0});
+
+    AdmissionQueue q(8);
+    q.push(makeRequest(0, 0, 900));  // long job, arrived first
+    q.push(makeRequest(1, 90, 100)); // short job, now the SJF head
+    ASSERT_EQ(q.peek(QueuePolicy::Sjf).id, 1u);
+
+    const auto hold = batcher.holdFor(q, QueuePolicy::Sjf, 95);
+    EXPECT_TRUE(hold.hold);
+    EXPECT_EQ(hold.until, 100u); // oldest arrival 0 + 100, not 190
+
+    // Past the oldest member's deadline: dispatch undersized.
+    EXPECT_FALSE(batcher.holdFor(q, QueuePolicy::Sjf, 100).hold);
+}
+
+TEST(FleetScheduler, WaitForKCoalescesSpreadArrivals)
+{
+    // Two same-network requests 50 cycles apart. Immediate batching
+    // dispatches the first alone; wait-for-2 holds it and serves both
+    // in one batch.
+    const FixedServiceModel model(10'000, 2'000);
+
+    const auto trace = [] {
+        std::vector<Request> t;
+        t.push_back(makeRequest(0, 0));
+        t.push_back(makeRequest(1, 50));
+        return t;
+    };
+
+    SchedulerConfig eager;
+    eager.batcher.enabled = true;
+    FleetScheduler eagerSched({pointAccConfig()}, model, {1.0}, eager);
+    const auto eagerReport = eagerSched.run(trace());
+    EXPECT_EQ(eagerReport.batchSize.max(), 1.0);
+    EXPECT_EQ(eagerReport.batchHolds, 0u);
+
+    SchedulerConfig waitK = eager;
+    waitK.batcher.targetK = 2;
+    waitK.batcher.maxWaitCycles = 1'000;
+    FleetScheduler waitSched({pointAccConfig()}, model, {1.0}, waitK);
+    const auto waitReport = waitSched.run(trace());
+    EXPECT_EQ(waitReport.batchSize.max(), 2.0);
+    // One hold episode: the first request held once, however many
+    // events re-evaluated the hold before the second arrived.
+    EXPECT_EQ(waitReport.batchHolds, 1u);
+    EXPECT_EQ(waitReport.completed, 2u);
+    // One batch of two at 10k cycles each minus one 2k weight reload.
+    ASSERT_EQ(waitReport.completionCycles.size(), 2u);
+    EXPECT_EQ(waitReport.completionCycles[0], 50u + 18'000u);
+}
+
+TEST(FleetScheduler, WaitForKTimesOutAndDispatchesUndersized)
+{
+    // A lone request with targetK 4: held exactly maxWait cycles past
+    // arrival, then dispatched anyway by the timer event.
+    const FixedServiceModel model(10'000);
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.targetK = 4;
+    scfg.batcher.maxWaitCycles = 200;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+
+    const auto report = sched.run({makeRequest(0, 30)});
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.batchHolds, 1u);
+    ASSERT_EQ(report.completionCycles.size(), 1u);
+    EXPECT_EQ(report.completionCycles[0], 30u + 200u + 10'000u);
+    ASSERT_EQ(report.queueWaitCycles.count(), 1u);
+    EXPECT_EQ(report.queueWaitCycles.mean(), 200.0);
+}
+
+TEST(FleetScheduler, HeldGroupDoesNotBlockOtherGroups)
+{
+    // Network 0's lone request is held waiting for K=2; network 1's
+    // pair reaches K while the hold is outstanding and must dispatch
+    // around it — a held head never freezes the rest of the queue.
+    const FixedServiceModel model(10'000); // net0: 10k, net1: 20k
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.targetK = 2;
+    scfg.batcher.maxWaitCycles = 100'000;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+
+    auto a = makeRequest(0, 0); // net 0: held until 100'000
+    auto b1 = makeRequest(1, 10);
+    auto b2 = makeRequest(2, 20);
+    b1.networkId = b2.networkId = 1;
+    const auto report = sched.run({a, b1, b2});
+
+    ASSERT_EQ(report.completionCycles.size(), 3u);
+    // {b1, b2} dispatch at t=20 (K reached): 2 * 20'000 cycles.
+    EXPECT_EQ(report.completionCycles[0], 20u + 40'000u);
+    EXPECT_EQ(report.completionCycles[1], 20u + 40'000u);
+    // The held net-0 request times out at t=100'000 and runs alone.
+    EXPECT_EQ(report.completionCycles[2], 100'000u + 10'000u);
+    // Two hold episodes: net 0's leader and net 1's first request
+    // (held from t=10 until its partner arrived at t=20).
+    EXPECT_EQ(report.batchHolds, 2u);
+}
+
+// ---------------------------------------------------------------- //
+//               Two-stage pipeline vs oracle                        //
+// ---------------------------------------------------------------- //
+
+/**
+ * Hand-computed two-stage pipeline makespans for 3-request traces on
+ * a 1-instance FIFO fleet (no batching). The recurrence, with m/b
+ * the map/backend phases, t the arrival and d the dispatch time:
+ *   d_k        = max(t_k, backStart_{k-1})   (blocking handoff frees
+ *                                             the front at handoff)
+ *   mapDone_k  = d_k + m_k
+ *   backStart_k= max(mapDone_k, backDone_{k-1})
+ *   backDone_k = backStart_k + b_k
+ */
+TEST(FleetScheduler, PipelineOracleBackendBoundTrace)
+{
+    // m=10 b=100 each, all arriving at 0: the map phases of requests
+    // 2 and 3 hide behind the running back-end entirely.
+    const PhasedServiceModel model({{10, 100}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+
+    const auto report = sched.run(
+        {makeRequest(0, 0), makeRequest(1, 0), makeRequest(2, 0)});
+    ASSERT_EQ(report.completionCycles.size(), 3u);
+    EXPECT_EQ(report.completionCycles[0], 110u);
+    EXPECT_EQ(report.completionCycles[1], 210u);
+    EXPECT_EQ(report.completionCycles[2], 310u);
+    EXPECT_EQ(report.horizonCycles, 310u);
+
+    // The same trace under monolithic occupancy serializes fully.
+    SchedulerConfig mono = scfg;
+    mono.occupancy = OccupancyModel::Monolithic;
+    FleetScheduler monoSched({pointAccConfig()}, model, {1.0}, mono);
+    const auto monoReport = monoSched.run(
+        {makeRequest(0, 0), makeRequest(1, 0), makeRequest(2, 0)});
+    ASSERT_EQ(monoReport.completionCycles.size(), 3u);
+    EXPECT_EQ(monoReport.completionCycles[0], 110u);
+    EXPECT_EQ(monoReport.completionCycles[1], 220u);
+    EXPECT_EQ(monoReport.completionCycles[2], 330u);
+}
+
+TEST(FleetScheduler, PipelineOracleMapBoundTrace)
+{
+    // m=100 b=20: the front-end is the bottleneck; each back-end run
+    // hides behind the next mapping.
+    const PhasedServiceModel model({{100, 20}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+
+    const auto report = sched.run(
+        {makeRequest(0, 0), makeRequest(1, 0), makeRequest(2, 0)});
+    ASSERT_EQ(report.completionCycles.size(), 3u);
+    EXPECT_EQ(report.completionCycles[0], 120u);
+    EXPECT_EQ(report.completionCycles[1], 220u);
+    EXPECT_EQ(report.completionCycles[2], 320u);
+    EXPECT_EQ(report.horizonCycles, 320u);
+}
+
+TEST(FleetScheduler, PipelineOracleMixedTraceWithGaps)
+{
+    // Three different networks, staggered arrivals:
+    //   r0: m=50 b=70 t=0   -> d=0,   mapDone=50,  backStart=50,
+    //                          backDone=120
+    //   r1: m=30 b=90 t=60  -> d=60,  mapDone=90,  backStart=120,
+    //                          backDone=210
+    //   r2: m=40 b=10 t=65  -> d=120 (front frees at r1's handoff),
+    //                          mapDone=160, backStart=210, backDone=220
+    const PhasedServiceModel model({{50, 70}, {30, 90}, {40, 10}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0, 1.0, 1.0}, scfg);
+
+    auto r0 = makeRequest(0, 0);
+    auto r1 = makeRequest(1, 60);
+    auto r2 = makeRequest(2, 65);
+    r1.networkId = 1;
+    r2.networkId = 2;
+    const auto report = sched.run({r0, r1, r2});
+    ASSERT_EQ(report.completionCycles.size(), 3u);
+    EXPECT_EQ(report.completionCycles[0], 120u);
+    EXPECT_EQ(report.completionCycles[1], 210u);
+    EXPECT_EQ(report.completionCycles[2], 220u);
+    EXPECT_EQ(report.horizonCycles, 220u);
+
+    // Latencies follow completion - arrival exactly.
+    ASSERT_EQ(report.latencyCycles.count(), 3u);
+    EXPECT_EQ(report.latencyCycles.data()[0], 120.0);
+    EXPECT_EQ(report.latencyCycles.data()[1], 150.0);
+    EXPECT_EQ(report.latencyCycles.data()[2], 155.0);
+
+    // Per-stage accounting: map stage busy 120 of 220 cycles, backend
+    // 170 of 220, instance covered 0..220 continuously.
+    ASSERT_EQ(report.accelerators.size(), 1u);
+    const auto &acc = report.accelerators.front();
+    EXPECT_EQ(acc.mapBusyCycles, 120u);
+    EXPECT_EQ(acc.backendBusyCycles, 170u);
+    EXPECT_EQ(acc.busyCycles, 220u);
 }
 
 // ---------------------------------------------------------------- //

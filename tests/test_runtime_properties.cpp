@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Property/fuzz tests for the serving runtime: seeded random workload
+ * and scheduler-configuration sweeps asserting invariants that must
+ * hold for *every* scenario, not just the hand-picked unit-test ones:
+ *
+ *  - conservation: every generated request is admitted or dropped,
+ *    and every admitted request completes (the simulation drains, so
+ *    nothing is in flight or queued at the end);
+ *  - per-stage utilization <= 1: neither the mapping front-end, the
+ *    matrix/memory back-end, nor the whole-instance busy union can
+ *    exceed the simulated span;
+ *  - completion timestamps are non-decreasing (the event loop never
+ *    travels back in time) and account exactly for every completion;
+ *  - determinism: identical seeds produce byte-identical serving
+ *    stats JSON, for both the immediate and wait-for-K batchers.
+ *
+ * The service model is a seeded random phase table, so the fuzz space
+ * covers map-bound, backend-bound and degenerate (zero-phase) costs
+ * alongside every queue policy, occupancy model and batcher config.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serving_stats.hpp"
+#include "runtime/workload.hpp"
+#include "sim/accel_config.hpp"
+
+namespace pointacc {
+namespace {
+
+constexpr std::uint32_t kNetworks = 3;
+constexpr std::uint32_t kBuckets = 2;
+
+/** Seeded random (map, backend, weight) cost table; accelerator-class
+ *  independent so fleets of mixed classes stress only the scheduler. */
+class RandomPhasedServiceModel : public ServiceModel
+{
+  public:
+    explicit RandomPhasedServiceModel(std::uint64_t seed)
+    {
+        Rng rng(seed);
+        for (std::uint32_t n = 0; n < kNetworks; ++n) {
+            for (std::uint32_t b = 0; b < kBuckets; ++b) {
+                ServiceProfile p;
+                // ~1/8 of profiles are map-less, ~1/8 backend-less:
+                // the pipeline's degenerate phases must not wedge.
+                const std::uint64_t shape = rng.range(8);
+                p.mappingCycles =
+                    shape == 0 ? 0 : 1 + rng.range(50'000);
+                const std::uint64_t backend =
+                    shape == 1 ? 0 : 1 + rng.range(100'000);
+                p.totalCycles = p.mappingCycles + backend;
+                if (p.totalCycles == 0)
+                    p.totalCycles = 1; // never free
+                p.computeCycles = backend;
+                p.weightLoadCycles = rng.range(p.totalCycles + 1);
+                table[n * kBuckets + b] = p;
+            }
+        }
+    }
+
+    ServiceProfile
+    profile(const AcceleratorConfig &, std::uint32_t network_id,
+            std::uint32_t bucket) const override
+    {
+        return table.at(network_id * kBuckets + bucket);
+    }
+
+  private:
+    std::array<ServiceProfile, kNetworks * kBuckets> table;
+};
+
+WorkloadSpec
+randomSpec(Rng &rng, std::uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.seed = seed;
+    spec.requestsPerMCycle = rng.uniform(5.0, 80.0);
+    spec.horizonCycles = 500'000 + rng.range(3'500'000);
+    spec.arrivals = rng.range(2) == 0 ? ArrivalProcess::Poisson
+                                      : ArrivalProcess::Bursty;
+    spec.meanBurstSize = 2 + static_cast<std::uint32_t>(rng.range(6));
+    const std::size_t classes = 1 + rng.range(3);
+    for (std::size_t i = 0; i < classes; ++i) {
+        RequestClass cls;
+        cls.networkId = static_cast<std::uint32_t>(rng.range(kNetworks));
+        cls.sizeBucket = static_cast<std::uint32_t>(rng.range(kBuckets));
+        cls.weight = rng.uniform(0.5, 4.0);
+        cls.deadlineCycles = rng.range(3) == 0 ? 50'000 + rng.range(500'000)
+                                               : 0;
+        spec.mix.push_back(cls);
+    }
+    return spec;
+}
+
+SchedulerConfig
+randomConfig(Rng &rng)
+{
+    SchedulerConfig scfg;
+    const std::uint64_t pol = rng.range(3);
+    scfg.policy = pol == 0   ? QueuePolicy::Fifo
+                  : pol == 1 ? QueuePolicy::Sjf
+                             : QueuePolicy::Edf;
+    scfg.occupancy = rng.range(2) == 0 ? OccupancyModel::Monolithic
+                                       : OccupancyModel::Pipelined;
+    scfg.queueDepth = 4 + rng.range(125);
+    scfg.batcher.enabled = rng.range(4) != 0;
+    scfg.batcher.maxBatchSize =
+        1 + static_cast<std::uint32_t>(rng.range(8));
+    scfg.batcher.maxPointsRatio = rng.uniform(1.0, 4.0);
+    scfg.batcher.targetK = 1 + static_cast<std::uint32_t>(rng.range(4));
+    scfg.batcher.maxWaitCycles = rng.range(300'000);
+    return scfg;
+}
+
+std::vector<AcceleratorConfig>
+randomFleet(Rng &rng)
+{
+    std::vector<AcceleratorConfig> fleet;
+    const std::size_t size = 1 + rng.range(3);
+    for (std::size_t i = 0; i < size; ++i)
+        fleet.push_back(rng.range(2) == 0 ? pointAccConfig()
+                                          : pointAccEdgeConfig());
+    return fleet;
+}
+
+void
+checkInvariants(const ServingReport &report, std::uint64_t seed)
+{
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    // Conservation: offered = admitted + dropped, and the simulation
+    // drains — nothing queued or in flight survives the run.
+    EXPECT_EQ(report.generated, report.admitted + report.dropped);
+    EXPECT_EQ(report.admitted,
+              report.completed + report.leftoverQueued);
+    EXPECT_EQ(report.leftoverQueued, 0u);
+
+    // Every completion is accounted once, in event order.
+    ASSERT_EQ(report.completionCycles.size(), report.completed);
+    EXPECT_EQ(report.latencyCycles.count(), report.completed);
+    EXPECT_EQ(report.queueWaitCycles.count(), report.completed);
+    for (std::size_t i = 1; i < report.completionCycles.size(); ++i)
+        ASSERT_GE(report.completionCycles[i],
+                  report.completionCycles[i - 1])
+            << "completion order regressed at index " << i;
+    if (!report.completionCycles.empty())
+        EXPECT_LE(report.completionCycles.back(), report.horizonCycles);
+
+    // Dispatch accounting: batch members sum to completions.
+    EXPECT_EQ(static_cast<std::uint64_t>(report.batchSize.sum()),
+              report.completed);
+
+    // Utilization <= 1 per pipeline stage and for the busy union.
+    std::uint64_t served = 0;
+    for (const auto &acc : report.accelerators) {
+        EXPECT_LE(acc.busyCycles, report.horizonCycles) << acc.name;
+        EXPECT_LE(acc.mapBusyCycles, report.horizonCycles) << acc.name;
+        EXPECT_LE(acc.backendBusyCycles, report.horizonCycles)
+            << acc.name;
+        // The busy union covers each stage individually.
+        EXPECT_GE(acc.busyCycles, acc.mapBusyCycles) << acc.name;
+        EXPECT_GE(acc.busyCycles, acc.backendBusyCycles) << acc.name;
+        served += acc.requests;
+    }
+    EXPECT_EQ(served, report.completed);
+}
+
+TEST(RuntimeProperties, RandomSweepsHoldInvariants)
+{
+    // >= 100 seeded scenarios across the whole config space.
+    for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        const auto scfg = randomConfig(rng);
+        const auto fleet = randomFleet(rng);
+
+        // Bucket scales only feed the batcher's size-ratio rule here.
+        FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+        const auto trace = WorkloadGenerator(spec).generate();
+        const auto report = sched.run(trace);
+        EXPECT_EQ(report.generated, trace.size());
+        checkInvariants(report, seed);
+        if (HasFatalFailure())
+            return; // one broken seed is enough diagnostics
+    }
+}
+
+TEST(RuntimeProperties, PipelinedNeverCompletesLessThanMonolithic)
+{
+    // At equal fleet and workload, pipelining only adds capacity:
+    // with an unbounded queue (no drops) the pipelined makespan must
+    // not exceed the monolithic one on a FIFO single instance.
+    for (std::uint64_t seed = 200; seed < 230; ++seed) {
+        Rng rng(seed);
+        const RandomPhasedServiceModel model(seed);
+        auto spec = randomSpec(rng, seed);
+
+        SchedulerConfig scfg;
+        scfg.batcher.enabled = false;
+        scfg.queueDepth = 1 << 20;
+        scfg.occupancy = OccupancyModel::Pipelined;
+        FleetScheduler pipe({pointAccConfig()}, model, {1.0, 2.0}, scfg);
+        scfg.occupancy = OccupancyModel::Monolithic;
+        FleetScheduler mono({pointAccConfig()}, model, {1.0, 2.0}, scfg);
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        const auto pipeReport = pipe.run(trace);
+        const auto monoReport = mono.run(trace);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_EQ(pipeReport.completed, monoReport.completed);
+        EXPECT_LE(pipeReport.horizonCycles, monoReport.horizonCycles);
+    }
+}
+
+TEST(RuntimeProperties, ServingStatsAreByteIdenticalAcrossRuns)
+{
+    // Determinism regression: identical workload seeds must give
+    // byte-identical serving stats, for the immediate batcher and the
+    // wait-for-K batcher alike.
+    for (const std::uint32_t targetK : {1u, 4u}) {
+        for (const std::uint64_t seed : {7ULL, 21ULL, 1021ULL}) {
+            Rng rng(seed);
+            const RandomPhasedServiceModel model(seed);
+            const auto spec = randomSpec(rng, seed);
+
+            SchedulerConfig scfg;
+            scfg.batcher.enabled = true;
+            scfg.batcher.targetK = targetK;
+            scfg.batcher.maxWaitCycles = targetK > 1 ? 100'000 : 0;
+            scfg.occupancy = OccupancyModel::Pipelined;
+
+            std::string dumps[2];
+            for (auto &dump : dumps) {
+                FleetScheduler sched(
+                    {pointAccConfig(), pointAccEdgeConfig()}, model,
+                    {1.0, 2.0}, scfg);
+                const auto report =
+                    sched.run(WorkloadGenerator(spec).generate());
+                std::ostringstream os;
+                writeServingJson(os, report);
+                dump = os.str();
+            }
+            EXPECT_EQ(dumps[0], dumps[1])
+                << "seed " << seed << " targetK " << targetK;
+        }
+    }
+}
+
+} // namespace
+} // namespace pointacc
