@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build + test, with warnings-as-errors on
 # the serving-runtime subsystem (src/runtime/ is new code held to a
-# stricter bar than the seed sources), followed by an ASan+UBSan
-# build that re-runs the runtime test suites (the event loop and the
-# property/fuzz sweeps are where lifetime/overflow bugs would hide).
+# stricter bar than the seed sources), a schema-doc check that keeps
+# docs/SERVING_JSON.md in lockstep with writeServingJson, followed by
+# an ASan+UBSan build that re-runs the runtime test suites (the event
+# loop and the property/fuzz sweeps are where lifetime/overflow bugs
+# would hide) and the map-cache bench sweep.
 # Suitable as a GitHub Actions step:
 #
 #   - name: Build and test
@@ -31,24 +33,48 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 # Serving-runtime acceptance: p99 latency must not increase with fleet
-# size, and the two-stage pipeline must beat monolithic occupancy at
-# equal fleet size (the bench exits non-zero on violation).
+# size, the two-stage pipeline must beat monolithic occupancy at equal
+# fleet size, and the kernel-map cache must strictly improve p99 or
+# throughput at reuse >= 0.5 (the bench exits non-zero on violation).
 "${BUILD_DIR}/bench_serving" --json "${BUILD_DIR}/BENCH_serving.json"
 
-# ASan+UBSan pass over the runtime test suites. Benchmarks and
-# examples are skipped (sanitized simulator runs are slow and the
-# simulator itself is covered by its own suites); warnings-as-errors
-# stays on for src/runtime/.
+# Schema-doc check: every JSON key writeServingJson emits must be
+# documented (in backticks) in docs/SERVING_JSON.md, so the published
+# schema can never silently drift from the writer.
+echo "== serving JSON schema doc check =="
+missing=0
+for key in $(sed -nE 's/.*w\.(field|key)\("([a-z0-9_]+)".*/\2/p' \
+                 src/runtime/serving_stats.cpp | sort -u); do
+    if ! grep -q "\`${key}\`" docs/SERVING_JSON.md; then
+        echo "error: JSON key '${key}' is missing from docs/SERVING_JSON.md"
+        missing=1
+    fi
+done
+if [ "${missing}" -ne 0 ]; then
+    exit 1
+fi
+echo "all writeServingJson keys documented"
+
+# ASan+UBSan pass over the runtime test suites plus the map-cache
+# bench sweep. Examples and the remaining benchmarks are skipped
+# (sanitized simulator runs are slow and the simulator itself is
+# covered by its own suites); bench_serving builds so the cache sweep
+# runs sanitized (--quick bounds the horizon, --sweep cache skips the
+# sweeps whose gates the unsanitized run already enforced);
+# warnings-as-errors stays on for src/runtime/.
 cmake -B "${SAN_BUILD_DIR}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPOINTACC_SANITIZE=ON \
     -DPOINTACC_WERROR=ON \
-    -DPOINTACC_BUILD_BENCH=OFF \
+    -DPOINTACC_BUILD_BENCH=ON \
     -DPOINTACC_BUILD_EXAMPLES=OFF
 
 cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" \
-    --target test_runtime test_runtime_properties test_report_golden
+    --target test_runtime test_runtime_properties test_report_golden \
+             bench_serving
 
 ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
     --no-tests=error \
     -R 'test_runtime|test_runtime_properties|test_report_golden'
+
+"${SAN_BUILD_DIR}/bench_serving" --sweep cache --quick --no-json

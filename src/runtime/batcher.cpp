@@ -30,7 +30,9 @@ Batcher::compatible(const Request &a, const Request &b) const
     const double sa = bucketScales[a.sizeBucket];
     const double sb = bucketScales[b.sizeBucket];
     const double ratio = sa > sb ? sa / sb : sb / sa;
-    return ratio <= cfg.maxPointsRatio;
+    if (ratio > cfg.maxPointsRatio)
+        return false;
+    return !extraRule || extraRule(a, b);
 }
 
 BatchHold

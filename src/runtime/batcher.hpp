@@ -13,7 +13,12 @@
  *  - same network (different networks share nothing), and
  *  - comparable cloud size (bucket scale ratio bounded), so one giant
  *    scene cannot hide behind a batch of small objects and wreck the
- *    small requests' latency.
+ *    small requests' latency, and
+ *  - whatever extra rule the scheduler installs (setExtraCompatibility):
+ *    with the kernel-map cache enabled, a cache-hit request must not
+ *    merge with a cache-miss request — the hit's collapsed map phase
+ *    and the miss's full mapping cannot share one dispatch price, so
+ *    batches are kept hit-pure or miss-pure.
  *
  * The batch leader is chosen by the queue policy; followers are the
  * best-ranked compatible requests. Two dispatch disciplines:
@@ -31,6 +36,12 @@
  *    compatibility group — requests of other networks keep
  *    dispatching around a held group, they are never frozen behind
  *    it.
+ *
+ * Invariants (fuzzed by test_runtime_properties): every batch formLedBy
+ * returns is non-empty, within maxBatchSize, led by the given head, and
+ * pairwise compatible with it; holdForHead never holds past the group's
+ * oldest member's arrival + maxWaitCycles, so held work always
+ * dispatches eventually.
  */
 
 #ifndef POINTACC_RUNTIME_BATCHER_HPP
@@ -38,6 +49,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "runtime/queue.hpp"
@@ -98,6 +110,20 @@ class Batcher
 
     const BatcherConfig &config() const { return cfg; }
 
+    /**
+     * Install an additional pairwise rule ANDed with the built-in
+     * compatibility (same network, bounded size ratio). The scheduler
+     * uses this to keep kernel-map cache hits and misses in separate
+     * dispatches; the rule may read mutable external state (the cache)
+     * — it is re-evaluated at every formation/hold decision.
+     */
+    void
+    setExtraCompatibility(
+        std::function<bool(const Request &, const Request &)> rule)
+    {
+        extraRule = std::move(rule);
+    }
+
     /** May `b` join a batch led by `a`? */
     bool compatible(const Request &a, const Request &b) const;
 
@@ -146,6 +172,7 @@ class Batcher
   private:
     BatcherConfig cfg;
     std::vector<double> bucketScales;
+    std::function<bool(const Request &, const Request &)> extraRule;
 };
 
 } // namespace pointacc

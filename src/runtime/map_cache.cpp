@@ -1,0 +1,105 @@
+#include "runtime/map_cache.hpp"
+
+#include <iterator>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+std::string
+toString(MapCacheEviction policy)
+{
+    switch (policy) {
+      case MapCacheEviction::Lru: return "lru";
+      case MapCacheEviction::Lfu: return "lfu";
+    }
+    return "?";
+}
+
+MapCache::MapCache(MapCacheConfig config) : cfg(config)
+{
+    if (cfg.enabled && cfg.capacityEntries < 1)
+        fatal("map cache capacity must be >= 1 when enabled");
+}
+
+bool
+MapCache::contains(const MapCacheKey &key) const
+{
+    return entries.find(key) != entries.end();
+}
+
+void
+MapCache::recordHit(const MapCacheKey &key,
+                    std::uint64_t mapCyclesAvoided)
+{
+    const auto it = entries.find(key);
+    simAssert(it != entries.end(), "recordHit on a non-resident key");
+    it->second.lastUse = ++tick;
+    it->second.uses += 1;
+    counters.hits += 1;
+    counters.bytesSaved += it->second.entry.mapBytes;
+    // Net savings: the mapping the hit skipped minus the modelled read
+    // that replaced it. The scheduler clamps the read into the map
+    // phase, so the difference is never negative in the schedule; the
+    // counter mirrors that clamp.
+    if (mapCyclesAvoided > cfg.hitReadCycles)
+        counters.cyclesSaved += mapCyclesAvoided - cfg.hitReadCycles;
+}
+
+void
+MapCache::recordMiss()
+{
+    counters.misses += 1;
+}
+
+void
+MapCache::insert(const MapCacheKey &key, const MapCacheEntry &entry)
+{
+    const auto it = entries.find(key);
+    if (it != entries.end()) {
+        // Refresh, don't re-insert: two in-flight misses of one key
+        // (e.g. the same frame dispatched to two instances before
+        // either mapping finished) land here once each.
+        it->second.entry = entry;
+        it->second.lastUse = ++tick;
+        return;
+    }
+    if (entries.size() >= cfg.capacityEntries)
+        evictOne();
+    Node node;
+    node.entry = entry;
+    node.lastUse = node.insertedAt = ++tick;
+    entries.emplace(key, node);
+    counters.insertions += 1;
+}
+
+void
+MapCache::evictOne()
+{
+    simAssert(!entries.empty(), "evicting from an empty map cache");
+    auto victim = entries.begin();
+    for (auto it = std::next(entries.begin()); it != entries.end(); ++it) {
+        const Node &a = it->second;
+        const Node &b = victim->second;
+        bool worse = false;
+        switch (cfg.eviction) {
+          case MapCacheEviction::Lru:
+            worse = a.lastUse < b.lastUse;
+            break;
+          case MapCacheEviction::Lfu:
+            // Least frequently used; ties fall back to recency, then
+            // insertion order, keeping the victim deterministic.
+            worse = a.uses != b.uses ? a.uses < b.uses
+                    : a.lastUse != b.lastUse
+                        ? a.lastUse < b.lastUse
+                        : a.insertedAt < b.insertedAt;
+            break;
+        }
+        if (worse)
+            victim = it;
+    }
+    entries.erase(victim);
+    counters.evictions += 1;
+}
+
+} // namespace pointacc

@@ -18,6 +18,14 @@
  * Selection scans the backing vector; queue depths in every experiment
  * are at most a few thousand, so O(depth) per pop is irrelevant next
  * to the millions of simulated cycles between pops.
+ *
+ * Contract and invariants (fuzzed by test_runtime_properties via the
+ * scheduler): size() never exceeds the depth limit; admitted() +
+ * dropped() counts every push exactly once, so the serving report's
+ * conservation identity (generated = admitted + dropped) holds; every
+ * policy's ranking is total and deterministic (ties always break on
+ * arrival cycle, then id), so equal seeds replay byte-identically;
+ * peek/pop/peekEligible agree on the same single ranking scan.
  */
 
 #ifndef POINTACC_RUNTIME_QUEUE_HPP

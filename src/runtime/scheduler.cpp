@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <utility>
 
 #include "core/logging.hpp"
 #include "datasets/synthetic.hpp"
@@ -20,7 +21,45 @@ namespace pointacc {
 namespace {
 constexpr std::uint64_t kNoShared =
     std::numeric_limits<std::uint64_t>::max();
+
+/** Incremental FNV-1a, the repository-portable content hash. */
+struct Fnv1a
+{
+    std::uint64_t h = 1469598103934665603ULL;
+
+    void
+    mixByte(std::uint8_t b)
+    {
+        h ^= b;
+        h *= 1099511628211ULL;
+    }
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(static_cast<std::uint64_t>(s.size()));
+        for (const char c : s)
+            mixByte(static_cast<std::uint8_t>(c));
+    }
+};
 } // namespace
+
+std::uint64_t
+ServiceModel::layerConfigHash(std::uint32_t network_id) const
+{
+    // Fixed test tables have no layer structure: the id is the whole
+    // configuration. Mix it so distinct ids land far apart.
+    Fnv1a f;
+    f.mix(static_cast<std::uint64_t>(network_id));
+    return f.h;
+}
 
 std::uint64_t
 ServiceModel::batchServiceCycles(const AcceleratorConfig &cfg,
@@ -125,6 +164,11 @@ SimServiceModel::profile(const AcceleratorConfig &cfg,
     p.totalCycles = std::max<std::uint64_t>(r.totalCycles, 1);
     p.mappingCycles = r.mappingCycles;
     p.computeCycles = r.computeCycles;
+    // Kernel-map footprint: one (input, output) index pair per map
+    // entry — what a map-cache hit avoids recomputing and what the
+    // cache's bytes-saved counter meters.
+    for (const auto &layer : r.layers)
+        p.mapBytes += layer.maps * 8;
     // Weight streaming time at this accelerator's DRAM bandwidth:
     // bytes / (GB/s) = ns, times GHz = cycles. Never credit more than
     // the whole run.
@@ -134,6 +178,28 @@ SimServiceModel::profile(const AcceleratorConfig &cfg,
         static_cast<std::uint64_t>(ns * cfg.freqGHz), p.totalCycles);
     cache.emplace(key, p);
     return p;
+}
+
+std::uint64_t
+SimServiceModel::layerConfigHash(std::uint32_t network_id) const
+{
+    simAssert(network_id < cat.networks.size(),
+              "network id outside the serving catalog");
+    // Fingerprint of the layer stack: kind, name and order of every
+    // layer plus the global shape knobs. Enough to distinguish every
+    // zoo network and any edited variant; not a deep parameter hash.
+    const auto &net = cat.networks[network_id];
+    Fnv1a f;
+    f.mix(net.name);
+    f.mix(net.notation);
+    f.mix(static_cast<std::uint64_t>(net.inputChannels));
+    f.mix(static_cast<std::uint64_t>(net.convClass));
+    f.mix(static_cast<std::uint64_t>(net.layers.size()));
+    for (const auto &layer : net.layers) {
+        f.mix(layer.name);
+        f.mix(static_cast<std::uint64_t>(layer.desc.index()));
+    }
+    return f.h;
 }
 
 // ---------------------------------------------------------------- //
@@ -201,6 +267,9 @@ struct InFlight
     /** Front-end done; waiting for the back-end to free (blocking
      *  handoff: the mapped batch keeps occupying the front stage). */
     bool mapped = false;
+    /** Map-cache entries this (miss) dispatch publishes when its
+     *  mapping phase completes — maps exist only once mapped. */
+    std::vector<std::pair<MapCacheKey, MapCacheEntry>> inserts;
 };
 
 /**
@@ -244,6 +313,32 @@ FleetScheduler::run(std::vector<Request> arrivals) const
     AdmissionQueue queue(cfg.queueDepth);
     Batcher batcher(cfg.batcher, bucketScales);
 
+    // Cross-request kernel-map cache. Keys memoize the per-network
+    // layer-config hash; lookups classify requests as hits or misses
+    // *at dispatch time* (cache contents evolve as misses publish).
+    MapCache mapCache(cfg.mapCache);
+    std::map<std::uint32_t, std::uint64_t> layerHashes;
+    const auto keyOf = [&](const Request &r) {
+        auto it = layerHashes.find(r.networkId);
+        if (it == layerHashes.end())
+            it = layerHashes
+                     .emplace(r.networkId,
+                              model.layerConfigHash(r.networkId))
+                     .first;
+        return MapCacheKey{r.cloudId, r.networkId, it->second};
+    };
+    if (mapCache.enabled()) {
+        // A hit's collapsed map phase and a miss's full mapping can
+        // never share one dispatch price: keep batches hit-pure or
+        // miss-pure (evaluated against the cache state at decision
+        // time, like every other compatibility check).
+        batcher.setExtraCompatibility(
+            [&](const Request &a, const Request &b) {
+                return mapCache.contains(keyOf(a)) ==
+                       mapCache.contains(keyOf(b));
+            });
+    }
+
     std::vector<AccelState> accels(fleet.size());
     for (std::size_t i = 0; i < fleet.size(); ++i)
         accels[i].usage.name =
@@ -262,6 +357,14 @@ FleetScheduler::run(std::vector<Request> arrivals) const
 
     const auto completeBack = [&](AccelState &acc) {
         const InFlight &unit = *acc.back;
+        // Monolithic runs are one opaque interval — there is no
+        // mapping-completion moment inside it to observe, so a miss's
+        // kernel maps publish only when the whole run finishes (the
+        // pipelined model publishes at map-phase completion instead,
+        // where the maps physically first exist).
+        if (cfg.occupancy == OccupancyModel::Monolithic)
+            for (const auto &ins : unit.inserts)
+                mapCache.insert(ins.first, ins.second);
         for (const auto &r : unit.batch.requests) {
             report.latencyCycles.record(
                 static_cast<double>(unit.doneAt - r.arrivalCycle));
@@ -291,6 +394,15 @@ FleetScheduler::run(std::vector<Request> arrivals) const
                 continue;
             }
             if (acc.front && acc.front->mapDoneAt <= now) {
+                // Mapping just finished: a miss dispatch publishes its
+                // kernel maps now — later same-cycle dispatches may
+                // already hit them. (Monolithic dispatches have an
+                // empty map phase; their maps publish at run
+                // completion instead — see completeBack.)
+                if (!acc.front->mapped &&
+                    cfg.occupancy == OccupancyModel::Pipelined)
+                    for (const auto &ins : acc.front->inserts)
+                        mapCache.insert(ins.first, ins.second);
                 acc.front->mapped = true;
                 if (!acc.back) {
                     InFlight unit = std::move(*acc.front);
@@ -369,6 +481,20 @@ FleetScheduler::run(std::vector<Request> arrivals) const
             Batch batch =
                 batcher.formLedBy(queue, *head, cfg.policy, inHeldGroup);
 
+            // Classify the batch against the map cache. The batcher's
+            // extra rule keeps batches hit-pure or miss-pure; the
+            // all-of scan is the honest check of that invariant.
+            bool hitBatch = mapCache.enabled();
+            if (mapCache.enabled())
+                for (const auto &r : batch.requests)
+                    hitBatch = hitBatch && mapCache.contains(keyOf(r));
+            // Modelled cost of streaming the cached maps back, clamped
+            // below into the mapping it replaces (a hit can never be
+            // slower than the miss it avoids).
+            const std::uint64_t readCost =
+                cfg.mapCache.hitReadCycles *
+                static_cast<std::uint64_t>(batch.size());
+
             // Place on the accepting instance that finishes soonest.
             // Batch phases depend only on the accelerator class, so
             // price once per distinct config name (a homogeneous
@@ -382,12 +508,24 @@ FleetScheduler::run(std::vector<Request> arrivals) const
                     continue;
                 auto it = classPhases.find(fleet[i].name);
                 if (it == classPhases.end()) {
+                    const PhaseProfile full =
+                        model.batchPhases(fleet[i], batch);
                     PhaseProfile ph;
-                    if (cfg.occupancy == OccupancyModel::Pipelined)
-                        ph = model.batchPhases(fleet[i], batch);
-                    else
-                        ph.backendCycles =
-                            model.batchServiceCycles(fleet[i], batch);
+                    if (cfg.occupancy == OccupancyModel::Pipelined) {
+                        ph = full;
+                        if (hitBatch)
+                            ph.mapCycles =
+                                std::min(ph.mapCycles, readCost);
+                    } else {
+                        // Monolithic: one opaque interval — a hit
+                        // still shrinks it by the mapping it skips,
+                        // net of the clamped read cost.
+                        ph.backendCycles = full.total();
+                        if (hitBatch)
+                            ph.backendCycles -=
+                                full.mapCycles -
+                                std::min(full.mapCycles, readCost);
+                    }
                     it = classPhases.emplace(fleet[i].name, ph).first;
                 }
                 const PhaseProfile &ph = it->second;
@@ -405,6 +543,36 @@ FleetScheduler::run(std::vector<Request> arrivals) const
             unit.phases = bestPhases;
             unit.dispatchedAt = now;
             unit.mapDoneAt = now + bestPhases.mapCycles;
+            if (mapCache.enabled()) {
+                if (hitBatch) {
+                    // Savings are priced against the instance the hit
+                    // actually dispatched to — on a heterogeneous
+                    // fleet the skipped mapping differs per class.
+                    for (const auto &r : batch.requests) {
+                        const auto p = model.profile(
+                            fleet[best], r.networkId, r.sizeBucket);
+                        mapCache.recordHit(keyOf(r),
+                                           p.phases().mapCycles);
+                    }
+                } else {
+                    // Misses publish their maps at mapping completion;
+                    // price the entries against the chosen instance.
+                    // cloudId 0 means "no content identity" (hand-built
+                    // traces): count the miss but never publish a map
+                    // — distinct geometries must not alias one entry.
+                    for (const auto &r : batch.requests) {
+                        mapCache.recordMiss();
+                        if (r.cloudId == 0)
+                            continue;
+                        const auto p = model.profile(
+                            fleet[best], r.networkId, r.sizeBucket);
+                        unit.inserts.emplace_back(
+                            keyOf(r),
+                            MapCacheEntry{p.phases().mapCycles,
+                                          p.mapBytes});
+                    }
+                }
+            }
             acc.usage.mapBusyCycles += bestPhases.mapCycles;
             acc.usage.batches += 1;
             acc.usage.requests += batch.size();
@@ -463,6 +631,7 @@ FleetScheduler::run(std::vector<Request> arrivals) const
     report.admitted = queue.admitted();
     report.dropped = queue.dropped();
     report.leftoverQueued = queue.size();
+    report.mapCache = mapCache.stats();
     for (auto &acc : accels)
         report.accelerators.push_back(acc.usage);
     return report;

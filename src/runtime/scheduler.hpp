@@ -40,6 +40,24 @@
  * never beat its slowest request). This mirrors how PointAcc's fusion
  * amortizes DRAM traffic within one inference.
  *
+ * Kernel-map caching: with SchedulerConfig::mapCache enabled, the
+ * scheduler consults a content-addressed map cache (runtime/map_cache)
+ * at dispatch. A batch of cache hits collapses its front-end phase to
+ * a clamped cache-read cost (min(hitReadCycles * |B|, full map phase),
+ * so a hit is never slower than a miss); a batch of misses runs the
+ * full mapping and inserts its members' maps when the mapping phase
+ * completes. Hits and misses never share a batch (the batcher's extra
+ * compatibility rule), and the report carries the cache counters.
+ *
+ * Invariants (fuzzed by test_runtime_properties): requests are
+ * conserved (generated = admitted + dropped, admitted = completed +
+ * leftover, and the simulation always drains to leftover == 0);
+ * per-stage busy cycles never exceed the simulated span; completion
+ * timestamps are non-decreasing; equal seeds give byte-identical
+ * reports; pipelined occupancy never finishes later than monolithic,
+ * and an enabled map cache never finishes later than a disabled one
+ * (single-instance FIFO, batching off).
+ *
  * Assumption: all fleet members run at the same clock frequency (true
  * of both Table 3 configs); the constructor rejects mixed-frequency
  * fleets so cycle arithmetic stays exact.
@@ -56,6 +74,7 @@
 
 #include "nn/network.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/map_cache.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/serving_stats.hpp"
 #include "runtime/workload.hpp"
@@ -97,6 +116,9 @@ struct ServiceProfile
     /** Cycles spent streaming the parameter set from DRAM; the share a
      *  batch member amortizes away. */
     std::uint64_t weightLoadCycles = 0;
+    /** Modelled size of the run's kernel maps in bytes — what one
+     *  map-cache entry of this (network, bucket) class stores. */
+    std::uint64_t mapBytes = 0;
 
     /** Phase split: map = profiled mapping cycles (clamped into the
      *  total), backend = the exact remainder (compute + exposed DRAM,
@@ -122,6 +144,16 @@ class ServiceModel
     virtual ServiceProfile profile(const AcceleratorConfig &cfg,
                                    std::uint32_t network_id,
                                    std::uint32_t bucket) const = 0;
+
+    /**
+     * Content hash of the network's layer configuration — the third
+     * component of the kernel-map cache key (runtime/map_cache), so
+     * two networks that happen to share an id across catalogs, or one
+     * whose layer stack changed, can never share cached maps. The
+     * default mixes the id alone (enough for fixed test tables);
+     * SimServiceModel hashes the catalog network's actual layers.
+     */
+    virtual std::uint64_t layerConfigHash(std::uint32_t network_id) const;
 
     /**
      * Service cycles for a whole batch on `cfg`:
@@ -161,6 +193,8 @@ class SimServiceModel : public ServiceModel
                            std::uint32_t network_id,
                            std::uint32_t bucket) const override;
 
+    std::uint64_t layerConfigHash(std::uint32_t network_id) const override;
+
   private:
     const PointCloud &cloudFor(std::uint32_t network_id,
                                std::uint32_t bucket) const;
@@ -194,6 +228,8 @@ struct SchedulerConfig
     QueuePolicy policy = QueuePolicy::Fifo;
     OccupancyModel occupancy = OccupancyModel::Pipelined;
     BatcherConfig batcher;
+    /** Cross-request kernel-map cache (disabled by default). */
+    MapCacheConfig mapCache;
     /** Admission queue bound; overload beyond it sheds load. */
     std::size_t queueDepth = 1024;
 };

@@ -19,6 +19,12 @@ servingSummaryText(const ServingReport &report)
        << std::setprecision(3) << "latency p50 " << report.p50Ms()
        << " / p95 " << report.p95Ms() << " / p99 " << report.p99Ms()
        << " ms";
+    if (report.mapCache.hits + report.mapCache.misses > 0) {
+        os << ", map cache " << std::setprecision(0)
+           << 100.0 * report.mapCache.hitRate() << "% hits ("
+           << report.mapCache.evictions << " evictions)"
+           << std::setprecision(3);
+    }
     if (!report.accelerators.empty()) {
         os << ", util";
         for (const auto &acc : report.accelerators) {
@@ -53,6 +59,13 @@ writeServingJson(std::ostream &os, const ServingReport &report)
     w.field("latency_ms_p99", report.p99Ms());
     w.field("queue_wait_cycles_mean", report.queueWaitCycles.mean());
     w.field("batch_size_mean", report.batchSize.mean());
+    w.field("map_cache_hits", report.mapCache.hits);
+    w.field("map_cache_misses", report.mapCache.misses);
+    w.field("map_cache_insertions", report.mapCache.insertions);
+    w.field("map_cache_evictions", report.mapCache.evictions);
+    w.field("map_cache_bytes_saved", report.mapCache.bytesSaved);
+    w.field("map_cache_cycles_saved", report.mapCache.cyclesSaved);
+    w.field("map_cache_hit_rate", report.mapCache.hitRate());
     w.key("accelerators").beginArray();
     for (const auto &acc : report.accelerators) {
         w.beginObject();

@@ -13,6 +13,16 @@
  *
  * Latency aggregation reuses core/stats' Summary (nearest-rank
  * percentiles over raw samples) rather than inventing a new histogram.
+ *
+ * Invariants (fuzzed by test_runtime_properties): generated ==
+ * admitted + dropped; admitted == completed + leftoverQueued with
+ * leftoverQueued == 0 after a drained run; completionCycles is
+ * non-decreasing with exactly one entry per completion; per-stage busy
+ * cycles never exceed horizonCycles (so every utilization is <= 1);
+ * mapCache.hits + mapCache.misses equals the requests priced against
+ * the cache. writeServingJson's key set is pinned by
+ * tests/test_report_golden.cpp and documented in docs/SERVING_JSON.md
+ * (scripts/ci.sh greps that the two never drift apart).
  */
 
 #ifndef POINTACC_RUNTIME_SERVING_STATS_HPP
@@ -24,6 +34,7 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "runtime/map_cache.hpp"
 
 namespace pointacc {
 
@@ -97,6 +108,9 @@ struct ServingReport
     Summary latencyCycles;  ///< arrival -> completion, per request
     Summary queueWaitCycles;///< arrival -> dispatch, per request
     Summary batchSize;      ///< requests per dispatch
+
+    /** Kernel-map cache counters (all zero when the cache is off). */
+    MapCacheStats mapCache;
 
     /** Completion timestamp of every served request, in completion
      *  order (non-decreasing by construction; the property tests

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "core/logging.hpp"
 #include "core/rng.hpp"
@@ -30,6 +31,8 @@ WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec) : wspec(std::move(spec))
     for (const auto &cls : wspec.mix) {
         if (cls.weight < 0.0)
             fatal("mix weights must be non-negative");
+        if (cls.mapReuseProb < 0.0 || cls.mapReuseProb > 1.0)
+            fatal("mapReuseProb must be in [0, 1]");
         total += cls.weight;
     }
     if (total <= 0.0)
@@ -84,6 +87,12 @@ WorkloadGenerator::generate() const
     std::vector<Request> out;
     double clock = 0.0;
     std::uint64_t id = 0;
+    // Stream state: each stream's most recent frame, so classes with a
+    // mapReuseProb can emit repeated-frame traffic. Fresh frames draw
+    // from one global counter, so cloudIds never collide across
+    // streams. Ids start at 1 (0 is the "no identity" default).
+    std::map<std::uint32_t, std::uint64_t> lastFrame;
+    std::uint64_t nextCloudId = 1;
     while (true) {
         clock += exponential(rng, meanGap);
         const auto cycle = static_cast<std::uint64_t>(clock);
@@ -101,6 +110,17 @@ WorkloadGenerator::generate() const
             r.id = id++;
             r.networkId = cls.networkId;
             r.sizeBucket = cls.sizeBucket;
+            // Repeated frame? The Rng draw is gated on mapReuseProb > 0
+            // so traces without stream semantics stay byte-identical to
+            // pre-stream generators with the same seed. Burst members
+            // decide independently: a sweep burst can mix repeats of
+            // the previous frame with fresh geometry.
+            const auto last = lastFrame.find(cls.streamId);
+            const bool repeat = cls.mapReuseProb > 0.0 &&
+                                last != lastFrame.end() &&
+                                rng.uniform() < cls.mapReuseProb;
+            r.cloudId = repeat ? last->second : nextCloudId++;
+            lastFrame[cls.streamId] = r.cloudId;
             // Back-to-back burst members, one cycle apart: they hit the
             // admission queue as a clump but keep unique timestamps.
             r.arrivalCycle = cycle + i;

@@ -19,6 +19,21 @@
  * classification with full-scene MinkowskiUNet segmentation the way a
  * shared fleet would see them. Everything is seeded through the
  * repository's portable Rng: equal seeds give byte-identical traces.
+ *
+ * Stream semantics: every request carries a cloudId — the content
+ * address of its point cloud. Classes may name a streamId and a
+ * mapReuseProb; with probability mapReuseProb a generated request
+ * *repeats* its stream's previous frame (same cloudId => identical
+ * geometry => identical kernel maps), the way consecutive sweeps of
+ * one LiDAR rig repeat. Repeated frames are what the runtime's
+ * kernel-map cache (runtime/map_cache) can serve without re-mapping.
+ *
+ * Invariants (fuzzed by test_runtime_properties): generate() returns
+ * arrivals sorted by (arrivalCycle, id) with ids dense from 0, every
+ * arrival inside the horizon (bursty members may trail by the burst
+ * length), byte-identical across equal-seed runs, and cloudIds that
+ * are unique per fresh frame (repeats only ever point at an earlier
+ * frame of the same stream).
  */
 
 #ifndef POINTACC_RUNTIME_WORKLOAD_HPP
@@ -38,6 +53,14 @@ struct RequestClass
     double weight = 1.0;          ///< relative share of traffic
     /** Relative deadline in cycles; 0 = best-effort (no deadline). */
     std::uint64_t deadlineCycles = 0;
+    /** Stream this class's clouds belong to (classes sharing a
+     *  streamId share one frame sequence — e.g. one LiDAR rig feeding
+     *  both a detector and a segmenter). */
+    std::uint32_t streamId = 0;
+    /** Probability in [0, 1] that a request repeats the stream's
+     *  previous frame (same cloudId) instead of producing a fresh
+     *  one. 0 = every frame unique (no kernel-map reuse possible). */
+    double mapReuseProb = 0.0;
 };
 
 /** Arrival process shapes. */
@@ -71,6 +94,12 @@ struct Request
     std::uint64_t id = 0;
     std::uint32_t networkId = 0;
     std::uint32_t sizeBucket = 0;
+    /** Content address of the request's point cloud: equal cloudIds
+     *  carry identical geometry (a repeated stream frame) and hence
+     *  identical kernel maps. Together with networkId and the
+     *  network's layer-config hash this forms the kernel-map cache
+     *  key (see runtime/map_cache). */
+    std::uint64_t cloudId = 0;
     std::uint64_t arrivalCycle = 0;
     /** Absolute completion deadline; 0 = best-effort. */
     std::uint64_t deadlineCycle = 0;

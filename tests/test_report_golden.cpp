@@ -77,6 +77,12 @@ fixedServingReport()
         report.queueWaitCycles.record(wait);
     report.batchSize.record(2.0);
     report.batchSize.record(2.0);
+    report.mapCache.hits = 3;
+    report.mapCache.misses = 1;
+    report.mapCache.insertions = 1;
+    report.mapCache.evictions = 0;
+    report.mapCache.bytesSaved = 1536;
+    report.mapCache.cyclesSaved = 2700;
     report.completionCycles = {1000, 2000, 3500, 4500};
     AcceleratorUsage usage;
     usage.name = "PointAcc#0";
@@ -166,6 +172,10 @@ TEST(ReportGolden, ServingJsonMatchesGolden)
         "\"latency_ms_mean\":0.0025,\"latency_ms_p50\":0.003,"
         "\"latency_ms_p95\":0.004,\"latency_ms_p99\":0.004,"
         "\"queue_wait_cycles_mean\":250,\"batch_size_mean\":2,"
+        "\"map_cache_hits\":3,\"map_cache_misses\":1,"
+        "\"map_cache_insertions\":1,\"map_cache_evictions\":0,"
+        "\"map_cache_bytes_saved\":1536,\"map_cache_cycles_saved\":2700,"
+        "\"map_cache_hit_rate\":0.75,"
         "\"accelerators\":[{\"name\":\"PointAcc#0\","
         "\"busy_cycles\":500000,\"map_busy_cycles\":100000,"
         "\"backend_busy_cycles\":450000,\"batches\":2,\"requests\":4,"
@@ -192,6 +202,10 @@ TEST(ReportGolden, ServingJsonSchemaKeysPresent)
         "latency_ms_mean",   "latency_ms_p50",
         "latency_ms_p95",    "latency_ms_p99",
         "queue_wait_cycles_mean", "batch_size_mean",
+        "map_cache_hits",    "map_cache_misses",
+        "map_cache_insertions", "map_cache_evictions",
+        "map_cache_bytes_saved", "map_cache_cycles_saved",
+        "map_cache_hit_rate",
         "accelerators",      "busy_cycles",
         "map_busy_cycles",   "backend_busy_cycles",
         "batches",           "requests",

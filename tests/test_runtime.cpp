@@ -2,16 +2,20 @@
  * @file
  * Tests for the serving runtime: deterministic replay, queue-policy
  * ordering, batcher compatibility, conservation of requests through
- * the scheduler, and per-accelerator utilization bounds.
+ * the scheduler, per-accelerator utilization bounds, and the
+ * kernel-map cache (eviction policies, counters, and hand-computed
+ * hit/miss schedules).
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "nn/zoo.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/map_cache.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
@@ -49,6 +53,7 @@ TEST(Workload, DeterministicReplay)
         EXPECT_EQ(a[i].networkId, b[i].networkId);
         EXPECT_EQ(a[i].sizeBucket, b[i].sizeBucket);
         EXPECT_EQ(a[i].deadlineCycle, b[i].deadlineCycle);
+        EXPECT_EQ(a[i].cloudId, b[i].cloudId);
     }
 
     auto other = basicSpec();
@@ -101,6 +106,37 @@ TEST(Workload, DeadlinesFollowTheMix)
             EXPECT_EQ(r.deadlineCycle, 0u);
         }
     }
+}
+
+TEST(Workload, StreamReuseControlsCloudIdentity)
+{
+    // mapReuseProb = 0: every frame is fresh — cloudIds are unique
+    // and real (>= 1; 0 is the no-identity default).
+    auto spec = basicSpec();
+    const auto fresh = WorkloadGenerator(spec).generate();
+    std::set<std::uint64_t> ids;
+    for (const auto &r : fresh) {
+        EXPECT_GE(r.cloudId, 1u);
+        ids.insert(r.cloudId);
+    }
+    EXPECT_EQ(ids.size(), fresh.size());
+
+    // mapReuseProb = 1 on a single stream: the first frame repeats
+    // forever — one cloudId across the whole trace.
+    spec.mix = {{0, 0, 1.0, 0, 0, 1.0}};
+    const auto repeated = WorkloadGenerator(spec).generate();
+    ASSERT_FALSE(repeated.empty());
+    for (const auto &r : repeated)
+        EXPECT_EQ(r.cloudId, repeated.front().cloudId);
+
+    // Two classes on separate streams never share frames.
+    spec.mix = {{0, 0, 1.0, 0, 0, 0.5}, {1, 1, 1.0, 0, 1, 0.5}};
+    const auto twoStreams = WorkloadGenerator(spec).generate();
+    std::set<std::uint64_t> net0, net1;
+    for (const auto &r : twoStreams)
+        (r.networkId == 0 ? net0 : net1).insert(r.cloudId);
+    for (const auto id : net0)
+        EXPECT_EQ(net1.count(id), 0u);
 }
 
 // ---------------------------------------------------------------- //
@@ -224,6 +260,111 @@ TEST(Batcher, FormRespectsMaxSizeAndDisabledMode)
     const Batcher single(off, {1.0});
     const auto lone = single.form(q, QueuePolicy::Fifo);
     EXPECT_EQ(lone.size(), 1u);
+}
+
+TEST(Batcher, ExtraCompatibilityRuleIsAnded)
+{
+    // The scheduler installs "equal map-cache hit status" through this
+    // hook; any pair the extra rule rejects must not batch, however
+    // compatible the built-in rule finds them.
+    Batcher batcher(BatcherConfig{}, {1.0});
+    auto a = makeRequest(0, 0);
+    auto b = makeRequest(1, 1);
+    EXPECT_TRUE(batcher.compatible(a, b));
+
+    batcher.setExtraCompatibility([](const Request &x, const Request &y) {
+        return x.cloudId == y.cloudId;
+    });
+    a.cloudId = 7;
+    b.cloudId = 8;
+    EXPECT_FALSE(batcher.compatible(a, b));
+    b.cloudId = 7;
+    EXPECT_TRUE(batcher.compatible(a, b));
+}
+
+// ---------------------------------------------------------------- //
+//                          Map cache                                //
+// ---------------------------------------------------------------- //
+
+MapCacheKey
+cloudKey(std::uint64_t cloud)
+{
+    MapCacheKey key;
+    key.cloudId = cloud;
+    return key;
+}
+
+TEST(MapCache, LruEvictsLeastRecentlyUsed)
+{
+    MapCacheConfig mcfg;
+    mcfg.enabled = true;
+    mcfg.capacityEntries = 2;
+    mcfg.eviction = MapCacheEviction::Lru;
+    MapCache cache(mcfg);
+
+    cache.insert(cloudKey(1), {100, 64});
+    cache.insert(cloudKey(2), {100, 64});
+    cache.recordHit(cloudKey(1), 100); // 1 is now the most recent
+    cache.insert(cloudKey(3), {100, 64});
+    EXPECT_TRUE(cache.contains(cloudKey(1)));
+    EXPECT_FALSE(cache.contains(cloudKey(2)));
+    EXPECT_TRUE(cache.contains(cloudKey(3)));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MapCache, LfuEvictsLeastFrequentlyUsed)
+{
+    MapCacheConfig mcfg;
+    mcfg.enabled = true;
+    mcfg.capacityEntries = 2;
+    mcfg.eviction = MapCacheEviction::Lfu;
+    MapCache cache(mcfg);
+
+    cache.insert(cloudKey(1), {100, 64});
+    cache.insert(cloudKey(2), {100, 64});
+    cache.recordHit(cloudKey(1), 100);
+    cache.recordHit(cloudKey(1), 100);
+    cache.recordHit(cloudKey(2), 100); // 2 used once, 1 used twice
+    cache.insert(cloudKey(3), {100, 64});
+    EXPECT_TRUE(cache.contains(cloudKey(1)));
+    EXPECT_FALSE(cache.contains(cloudKey(2)));
+    EXPECT_TRUE(cache.contains(cloudKey(3)));
+}
+
+TEST(MapCache, CountersAndIdempotentInsert)
+{
+    MapCacheConfig mcfg;
+    mcfg.enabled = true;
+    mcfg.capacityEntries = 8;
+    mcfg.hitReadCycles = 10;
+    MapCache cache(mcfg);
+
+    EXPECT_FALSE(cache.contains(cloudKey(1)));
+    cache.recordMiss();
+    cache.insert(cloudKey(1), {100, 64});
+    // Re-inserting a resident key (two in-flight misses of one frame)
+    // refreshes without double-counting.
+    cache.insert(cloudKey(1), {100, 64});
+    EXPECT_EQ(cache.stats().insertions, 1u);
+
+    cache.recordHit(cloudKey(1), 100);
+    cache.recordHit(cloudKey(1), 100);
+    const auto &s = cache.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.bytesSaved, 128u);          // 2 hits x 64 bytes
+    EXPECT_EQ(s.cyclesSaved, 2u * (100 - 10));
+    EXPECT_DOUBLE_EQ(s.hitRate(), 2.0 / 3.0);
+
+    // Distinct networks / layer stacks never share entries, even for
+    // the same cloud.
+    MapCacheKey otherNet = cloudKey(1);
+    otherNet.networkId = 1;
+    EXPECT_FALSE(cache.contains(otherNet));
+    MapCacheKey otherLayers = cloudKey(1);
+    otherLayers.layerHash = 42;
+    EXPECT_FALSE(cache.contains(otherLayers));
 }
 
 // ---------------------------------------------------------------- //
@@ -722,6 +863,168 @@ TEST(FleetScheduler, PipelineOracleMixedTraceWithGaps)
     EXPECT_EQ(acc.mapBusyCycles, 120u);
     EXPECT_EQ(acc.backendBusyCycles, 170u);
     EXPECT_EQ(acc.busyCycles, 220u);
+}
+
+// ---------------------------------------------------------------- //
+//                Kernel-map cache through the scheduler             //
+// ---------------------------------------------------------------- //
+
+/**
+ * Hand-computed hit/miss schedule: network 0 has m=100 b=50, the
+ * cache reads a stored map back in 10 cycles, batching is off, one
+ * pipelined FIFO instance. Three requests at t=0: clouds A, A, B.
+ *
+ *   r0 (A, miss): d=0,   mapDone=100 (A published), backDone=150
+ *   r1 (A, hit):  d=100 (front frees at r0's handoff; A resident),
+ *                 map collapses to 10 -> mapDone=110,
+ *                 backStart=max(110, 150)=150, backDone=200
+ *   r2 (B, miss): d=150 (front frees at r1's handoff), mapDone=250,
+ *                 backStart=250, backDone=300
+ *
+ * Without the cache r1 maps in full: completions 150 / 250 / 350.
+ */
+TEST(FleetScheduler, MapCacheOracleHitMissTrace)
+{
+    const PhasedServiceModel model({{100, 50}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+    scfg.mapCache.enabled = true;
+    scfg.mapCache.hitReadCycles = 10;
+
+    auto r0 = makeRequest(0, 0);
+    auto r1 = makeRequest(1, 0);
+    auto r2 = makeRequest(2, 0);
+    r0.cloudId = r1.cloudId = 1; // repeated frame
+    r2.cloudId = 2;
+
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+    const auto report = sched.run({r0, r1, r2});
+    ASSERT_EQ(report.completionCycles.size(), 3u);
+    EXPECT_EQ(report.completionCycles[0], 150u);
+    EXPECT_EQ(report.completionCycles[1], 200u);
+    EXPECT_EQ(report.completionCycles[2], 300u);
+    EXPECT_EQ(report.mapCache.hits, 1u);
+    EXPECT_EQ(report.mapCache.misses, 2u);
+    EXPECT_EQ(report.mapCache.insertions, 2u);
+    EXPECT_EQ(report.mapCache.evictions, 0u);
+    EXPECT_EQ(report.mapCache.cyclesSaved, 90u); // 100 - 10 read
+
+    SchedulerConfig off = scfg;
+    off.mapCache.enabled = false;
+    FleetScheduler offSched({pointAccConfig()}, model, {1.0}, off);
+    const auto offReport = offSched.run({r0, r1, r2});
+    ASSERT_EQ(offReport.completionCycles.size(), 3u);
+    EXPECT_EQ(offReport.completionCycles[0], 150u);
+    EXPECT_EQ(offReport.completionCycles[1], 250u);
+    EXPECT_EQ(offReport.completionCycles[2], 350u);
+    EXPECT_EQ(offReport.mapCache.hits + offReport.mapCache.misses, 0u);
+}
+
+TEST(FleetScheduler, MapCacheHitNeverSlowerThanMissEvenWithCostlyReads)
+{
+    // A pathological read cost far above the mapping it replaces must
+    // clamp: the cached run can never be slower than the uncached one.
+    const PhasedServiceModel model({{100, 50}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+    scfg.mapCache.enabled = true;
+    scfg.mapCache.hitReadCycles = 1'000'000;
+
+    auto r0 = makeRequest(0, 0);
+    auto r1 = makeRequest(1, 0);
+    r0.cloudId = r1.cloudId = 9;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+    const auto report = sched.run({r0, r1});
+    ASSERT_EQ(report.completionCycles.size(), 2u);
+    // The "hit" costs exactly the full map phase (clamped): the
+    // schedule matches the uncached one, and no savings are claimed.
+    EXPECT_EQ(report.completionCycles[1], 250u);
+    EXPECT_EQ(report.mapCache.hits, 1u);
+    EXPECT_EQ(report.mapCache.cyclesSaved, 0u);
+}
+
+TEST(FleetScheduler, MapCacheKeepsHitsAndMissesInSeparateBatches)
+{
+    // r0 publishes cloud 1; r1 (cloud 1, a hit) and r2 (cloud 2, a
+    // miss) are both queued when the front frees — compatible by
+    // network and size, but the cache rule must keep them apart.
+    const PhasedServiceModel model({{100, 50}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.maxBatchSize = 8;
+    scfg.mapCache.enabled = true;
+    scfg.mapCache.hitReadCycles = 10;
+
+    auto r0 = makeRequest(0, 0);
+    auto r1 = makeRequest(1, 10);
+    auto r2 = makeRequest(2, 10);
+    r0.cloudId = r1.cloudId = 1;
+    r2.cloudId = 2;
+
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+    const auto report = sched.run({r0, r1, r2});
+    EXPECT_EQ(report.completed, 3u);
+    EXPECT_EQ(report.batchSize.max(), 1.0);
+    EXPECT_EQ(report.mapCache.hits, 1u);
+    EXPECT_EQ(report.mapCache.misses, 2u);
+
+    // Control: with the cache off the pair {r1, r2} merges into one
+    // dispatch — the split above really is the cache rule.
+    SchedulerConfig off = scfg;
+    off.mapCache.enabled = false;
+    FleetScheduler offSched({pointAccConfig()}, model, {1.0}, off);
+    const auto offReport = offSched.run({r0, r1, r2});
+    EXPECT_EQ(offReport.batchSize.max(), 2.0);
+}
+
+TEST(FleetScheduler, MapCacheIdentitylessRequestsNeverHit)
+{
+    // cloudId 0 means "no content identity" (hand-built traces):
+    // distinct geometries must never alias one cache entry, so such
+    // requests count as misses, publish nothing, and the schedule
+    // matches the cache-off one exactly.
+    const PhasedServiceModel model({{100, 50}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+    scfg.mapCache.enabled = true;
+    scfg.mapCache.hitReadCycles = 10;
+
+    const auto r0 = makeRequest(0, 0);
+    const auto r1 = makeRequest(1, 0); // cloudId stays 0 on both
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+    const auto report = sched.run({r0, r1});
+    ASSERT_EQ(report.completionCycles.size(), 2u);
+    EXPECT_EQ(report.completionCycles[0], 150u);
+    EXPECT_EQ(report.completionCycles[1], 250u); // full map, no hit
+    EXPECT_EQ(report.mapCache.hits, 0u);
+    EXPECT_EQ(report.mapCache.misses, 2u);
+    EXPECT_EQ(report.mapCache.insertions, 0u);
+}
+
+TEST(FleetScheduler, MapCacheMonolithicPublishesAtRunCompletion)
+{
+    // A monolithic run is one opaque interval: there is no observable
+    // mapping-completion moment inside it, so its maps publish only
+    // when the run finishes. A same-frame request dispatched to a
+    // second instance mid-run must therefore miss; one arriving after
+    // completion hits.
+    const PhasedServiceModel model({{100, 50}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+    scfg.occupancy = OccupancyModel::Monolithic;
+    scfg.mapCache.enabled = true;
+    scfg.mapCache.hitReadCycles = 10;
+
+    auto r0 = makeRequest(0, 0);
+    auto r1 = makeRequest(1, 1);   // mid-run on the second instance
+    auto r2 = makeRequest(2, 200); // after r0's run (0..150) finished
+    r0.cloudId = r1.cloudId = r2.cloudId = 1;
+
+    FleetScheduler sched({pointAccConfig(), pointAccConfig()}, model,
+                         {1.0}, scfg);
+    const auto report = sched.run({r0, r1, r2});
+    EXPECT_EQ(report.mapCache.misses, 2u); // r0, and r1 mid-run
+    EXPECT_EQ(report.mapCache.hits, 1u);   // r2, after publication
 }
 
 // ---------------------------------------------------------------- //

@@ -13,11 +13,18 @@
  *  - completion timestamps are non-decreasing (the event loop never
  *    travels back in time) and account exactly for every completion;
  *  - determinism: identical seeds produce byte-identical serving
- *    stats JSON, for both the immediate and wait-for-K batchers.
+ *    stats JSON, for both the immediate and wait-for-K batchers, with
+ *    the kernel-map cache on and off;
+ *  - map-cache invariants: hits + misses account exactly for every
+ *    completion, evictions never exceed insertions, and enabling the
+ *    cache never slows any request down (a hit is clamped to be no
+ *    slower than the miss it replaces).
  *
  * The service model is a seeded random phase table, so the fuzz space
  * covers map-bound, backend-bound and degenerate (zero-phase) costs
- * alongside every queue policy, occupancy model and batcher config.
+ * alongside every queue policy, occupancy model, batcher config and
+ * map-cache config (including read costs above the map phase, tiny
+ * capacities that force evictions, and both eviction policies).
  */
 
 #include <gtest/gtest.h>
@@ -95,6 +102,11 @@ randomSpec(Rng &rng, std::uint64_t seed)
         cls.weight = rng.uniform(0.5, 4.0);
         cls.deadlineCycles = rng.range(3) == 0 ? 50'000 + rng.range(500'000)
                                                : 0;
+        // Half the classes are repeated-frame streams (one stream per
+        // class), so the map cache sees real reuse in the fuzz space.
+        cls.streamId = static_cast<std::uint32_t>(i);
+        cls.mapReuseProb =
+            rng.range(2) == 0 ? rng.uniform(0.1, 1.0) : 0.0;
         spec.mix.push_back(cls);
     }
     return spec;
@@ -117,6 +129,14 @@ randomConfig(Rng &rng)
     scfg.batcher.maxPointsRatio = rng.uniform(1.0, 4.0);
     scfg.batcher.targetK = 1 + static_cast<std::uint32_t>(rng.range(4));
     scfg.batcher.maxWaitCycles = rng.range(300'000);
+    // Map cache on half the scenarios: tiny capacities force
+    // evictions, and read costs above most map phases exercise the
+    // hit-never-slower clamp.
+    scfg.mapCache.enabled = rng.range(2) == 0;
+    scfg.mapCache.capacityEntries = 1 + rng.range(64);
+    scfg.mapCache.eviction = rng.range(2) == 0 ? MapCacheEviction::Lru
+                                               : MapCacheEviction::Lfu;
+    scfg.mapCache.hitReadCycles = rng.range(60'000);
     return scfg;
 }
 
@@ -189,6 +209,22 @@ TEST(RuntimeProperties, RandomSweepsHoldInvariants)
         const auto report = sched.run(trace);
         EXPECT_EQ(report.generated, trace.size());
         checkInvariants(report, seed);
+
+        // Map-cache conservation: every completed request was priced
+        // against the cache exactly once (when it was enabled), and
+        // evictions only ever follow insertions.
+        if (scfg.mapCache.enabled) {
+            EXPECT_EQ(report.mapCache.hits + report.mapCache.misses,
+                      report.completed)
+                << "seed " << seed;
+            EXPECT_LE(report.mapCache.insertions, report.mapCache.misses)
+                << "seed " << seed;
+            EXPECT_LE(report.mapCache.evictions, report.mapCache.insertions)
+                << "seed " << seed;
+        } else {
+            EXPECT_EQ(report.mapCache.hits + report.mapCache.misses, 0u)
+                << "seed " << seed;
+        }
         if (HasFatalFailure())
             return; // one broken seed is enough diagnostics
     }
@@ -225,32 +261,90 @@ TEST(RuntimeProperties, ServingStatsAreByteIdenticalAcrossRuns)
 {
     // Determinism regression: identical workload seeds must give
     // byte-identical serving stats, for the immediate batcher and the
-    // wait-for-K batcher alike.
-    for (const std::uint32_t targetK : {1u, 4u}) {
-        for (const std::uint64_t seed : {7ULL, 21ULL, 1021ULL}) {
+    // wait-for-K batcher alike, with the map cache off and on (the
+    // JSON includes the cache counters, so a nondeterministic victim
+    // choice or hit classification would show up here).
+    for (const bool cacheOn : {false, true}) {
+        for (const std::uint32_t targetK : {1u, 4u}) {
+            for (const std::uint64_t seed : {7ULL, 21ULL, 1021ULL}) {
+                Rng rng(seed);
+                const RandomPhasedServiceModel model(seed);
+                const auto spec = randomSpec(rng, seed);
+
+                SchedulerConfig scfg;
+                scfg.batcher.enabled = true;
+                scfg.batcher.targetK = targetK;
+                scfg.batcher.maxWaitCycles = targetK > 1 ? 100'000 : 0;
+                scfg.occupancy = OccupancyModel::Pipelined;
+                scfg.mapCache.enabled = cacheOn;
+                scfg.mapCache.capacityEntries = 32; // small: evict often
+                scfg.mapCache.hitReadCycles = 5'000;
+                scfg.mapCache.eviction = targetK > 1
+                                             ? MapCacheEviction::Lfu
+                                             : MapCacheEviction::Lru;
+
+                std::string dumps[2];
+                for (auto &dump : dumps) {
+                    FleetScheduler sched(
+                        {pointAccConfig(), pointAccEdgeConfig()}, model,
+                        {1.0, 2.0}, scfg);
+                    const auto report =
+                        sched.run(WorkloadGenerator(spec).generate());
+                    std::ostringstream os;
+                    writeServingJson(os, report);
+                    dump = os.str();
+                }
+                EXPECT_EQ(dumps[0], dumps[1])
+                    << "seed " << seed << " targetK " << targetK
+                    << " cache " << cacheOn;
+            }
+        }
+    }
+}
+
+TEST(RuntimeProperties, MapCacheNeverSlowsASingleInstance)
+{
+    // On a FIFO single instance without batching, dispatch order is
+    // arrival order in both runs, and a hit's phase profile is clamped
+    // to never exceed the miss it replaces — so enabling the cache
+    // must leave every completion timestamp no later, request by
+    // request, under both occupancy models.
+    for (const auto occupancy :
+         {OccupancyModel::Pipelined, OccupancyModel::Monolithic}) {
+        for (std::uint64_t seed = 300; seed < 330; ++seed) {
             Rng rng(seed);
             const RandomPhasedServiceModel model(seed);
-            const auto spec = randomSpec(rng, seed);
+            auto spec = randomSpec(rng, seed);
+            for (auto &cls : spec.mix)
+                cls.mapReuseProb = 0.8; // reuse-heavy: hits matter
 
             SchedulerConfig scfg;
-            scfg.batcher.enabled = true;
-            scfg.batcher.targetK = targetK;
-            scfg.batcher.maxWaitCycles = targetK > 1 ? 100'000 : 0;
-            scfg.occupancy = OccupancyModel::Pipelined;
+            scfg.batcher.enabled = false;
+            scfg.queueDepth = 1 << 20; // no drops
+            scfg.occupancy = occupancy;
+            scfg.mapCache.enabled = false;
+            FleetScheduler off({pointAccConfig()}, model, {1.0, 2.0},
+                               scfg);
+            scfg.mapCache.enabled = true;
+            scfg.mapCache.capacityEntries = 256;
+            scfg.mapCache.hitReadCycles = rng.range(80'000);
+            FleetScheduler on({pointAccConfig()}, model, {1.0, 2.0},
+                              scfg);
 
-            std::string dumps[2];
-            for (auto &dump : dumps) {
-                FleetScheduler sched(
-                    {pointAccConfig(), pointAccEdgeConfig()}, model,
-                    {1.0, 2.0}, scfg);
-                const auto report =
-                    sched.run(WorkloadGenerator(spec).generate());
-                std::ostringstream os;
-                writeServingJson(os, report);
-                dump = os.str();
-            }
-            EXPECT_EQ(dumps[0], dumps[1])
-                << "seed " << seed << " targetK " << targetK;
+            const auto trace = WorkloadGenerator(spec).generate();
+            const auto offReport = off.run(trace);
+            const auto onReport = on.run(trace);
+            SCOPED_TRACE("seed " + std::to_string(seed) + " " +
+                         toString(occupancy));
+            ASSERT_EQ(onReport.completed, offReport.completed);
+            ASSERT_EQ(onReport.completionCycles.size(),
+                      offReport.completionCycles.size());
+            for (std::size_t i = 0; i < onReport.completionCycles.size();
+                 ++i)
+                ASSERT_LE(onReport.completionCycles[i],
+                          offReport.completionCycles[i])
+                    << "request index " << i;
+            EXPECT_LE(onReport.horizonCycles, offReport.horizonCycles);
         }
     }
 }
