@@ -105,20 +105,26 @@ AdmissionQueue::popLedBy(
     simAssert(max_count >= 1, "popLedBy needs max_count >= 1");
     const Request lead = head; // copy: `head` may point into items
     std::vector<Request> out;
-    bool found = false;
+    // Mark selections and compact once at the end: erasing inside the
+    // selection loop made batch formation quadratic in queue depth
+    // (each erase shifts the vector tail).
+    std::vector<char> taken(items.size(), 0);
+    std::size_t headIdx = items.size();
     for (std::size_t i = 0; i < items.size(); ++i) {
         if (items[i].id == lead.id) {
-            out.push_back(items[i]);
-            items.erase(items.begin() + static_cast<std::ptrdiff_t>(i));
-            found = true;
+            headIdx = i;
             break;
         }
     }
-    simAssert(found, "popLedBy head is not queued");
+    simAssert(headIdx < items.size(), "popLedBy head is not queued");
+    taken[headIdx] = 1;
+    out.push_back(items[headIdx]);
     while (out.size() < max_count) {
         // Scan for the best-ranked compatible, non-excluded follower.
         std::size_t best = items.size();
         for (std::size_t i = 0; i < items.size(); ++i) {
+            if (taken[i])
+                continue;
             if (!compatible(lead, items[i]))
                 continue;
             if (excluded && excluded(items[i]))
@@ -129,9 +135,18 @@ AdmissionQueue::popLedBy(
         }
         if (best == items.size())
             break;
+        taken[best] = 1;
         out.push_back(items[best]);
-        items.erase(items.begin() + static_cast<std::ptrdiff_t>(best));
     }
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (!taken[i]) {
+            if (w != i)
+                items[w] = std::move(items[i]);
+            ++w;
+        }
+    }
+    items.resize(w);
     return out;
 }
 
