@@ -1,0 +1,490 @@
+#include "runtime/reference.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "core/logging.hpp"
+#include "runtime/batcher.hpp"
+#include "runtime/map_cache.hpp"
+
+namespace pointacc {
+
+// ---------------------------------------------------------------- //
+//                       LinearRequestQueue                          //
+//          (the seed AdmissionQueue, preserved verbatim)            //
+// ---------------------------------------------------------------- //
+
+namespace {
+
+bool
+refRanksBefore(QueuePolicy policy, const Request &a, const Request &b)
+{
+    switch (policy) {
+      case QueuePolicy::Fifo:
+        break;
+      case QueuePolicy::Sjf:
+        if (a.estimatedCycles != b.estimatedCycles)
+            return a.estimatedCycles < b.estimatedCycles;
+        break;
+      case QueuePolicy::Edf: {
+        const std::uint64_t da =
+            a.deadlineCycle == 0 ? ~0ULL : a.deadlineCycle;
+        const std::uint64_t db =
+            b.deadlineCycle == 0 ? ~0ULL : b.deadlineCycle;
+        if (da != db)
+            return da < db;
+        break;
+      }
+    }
+    if (a.arrivalCycle != b.arrivalCycle)
+        return a.arrivalCycle < b.arrivalCycle;
+    return a.id < b.id;
+}
+
+} // namespace
+
+std::size_t
+LinearRequestQueue::selectIndex(
+    QueuePolicy policy,
+    const std::function<bool(const Request &)> &excluded) const
+{
+    std::size_t best = items.size();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (excluded && excluded(items[i]))
+            continue;
+        if (best == items.size() ||
+            refRanksBefore(policy, items[i], items[best]))
+            best = i;
+    }
+    return best;
+}
+
+const Request &
+LinearRequestQueue::peek(QueuePolicy policy) const
+{
+    const std::size_t idx = selectIndex(policy);
+    simAssert(idx < items.size(), "peek on empty queue");
+    return items[idx];
+}
+
+const Request *
+LinearRequestQueue::peekEligible(
+    QueuePolicy policy,
+    const std::function<bool(const Request &)> &excluded) const
+{
+    const std::size_t idx = selectIndex(policy, excluded);
+    return idx < items.size() ? &items[idx] : nullptr;
+}
+
+Request
+LinearRequestQueue::pop(QueuePolicy policy)
+{
+    const std::size_t idx = selectIndex(policy);
+    simAssert(idx < items.size(), "pop on empty queue");
+    Request r = items[idx];
+    items.erase(items.begin() + static_cast<std::ptrdiff_t>(idx));
+    return r;
+}
+
+std::vector<Request>
+LinearRequestQueue::popLedBy(
+    const Request &head, QueuePolicy policy,
+    const std::function<bool(const Request &, const Request &)> &compatible,
+    std::size_t max_count,
+    const std::function<bool(const Request &)> &excluded)
+{
+    simAssert(max_count >= 1, "popLedBy needs max_count >= 1");
+    const Request lead = head; // copy: `head` may point into items
+    std::vector<Request> out;
+    bool found = false;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].id == lead.id) {
+            out.push_back(items[i]);
+            items.erase(items.begin() + static_cast<std::ptrdiff_t>(i));
+            found = true;
+            break;
+        }
+    }
+    simAssert(found, "popLedBy head is not queued");
+    while (out.size() < max_count) {
+        // Scan for the best-ranked compatible, non-excluded follower
+        // and erase it in place (the seed's quadratic compaction).
+        std::size_t best = items.size();
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (!compatible(lead, items[i]))
+                continue;
+            if (excluded && excluded(items[i]))
+                continue;
+            if (best == items.size() ||
+                refRanksBefore(policy, items[i], items[best]))
+                best = i;
+        }
+        if (best == items.size())
+            break;
+        out.push_back(items[best]);
+        items.erase(items.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------- //
+//                      runServingReference                          //
+//        (the seed FleetScheduler::run, preserved verbatim)         //
+// ---------------------------------------------------------------- //
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+struct RefInFlight
+{
+    Batch batch;
+    PhaseProfile phases;
+    std::uint64_t dispatchedAt = 0;
+    std::uint64_t mapDoneAt = 0;
+    std::uint64_t doneAt = 0;
+    bool mapped = false;
+    std::vector<std::pair<MapCacheKey, MapCacheEntry>> inserts;
+};
+
+struct RefAccelState
+{
+    std::optional<RefInFlight> front;
+    std::optional<RefInFlight> back;
+    std::uint64_t coveredUntil = 0;
+    AcceleratorUsage usage;
+
+    bool
+    canAccept(OccupancyModel model) const
+    {
+        return model == OccupancyModel::Pipelined
+                   ? !front.has_value()
+                   : !front.has_value() && !back.has_value();
+    }
+};
+
+/** Seed holdForHead: a linear scan over everything pending. */
+BatchHold
+refHoldForHead(const Batcher &batcher, const LinearRequestQueue &queue,
+               const Request &head, std::uint64_t now,
+               const std::function<bool(const Request &)> &excluded)
+{
+    BatchHold decision;
+    const BatcherConfig &bcfg = batcher.config();
+    if (!bcfg.enabled || bcfg.targetK <= 1 || bcfg.maxWaitCycles == 0)
+        return decision;
+
+    const std::size_t want =
+        std::min<std::size_t>(bcfg.targetK, bcfg.maxBatchSize);
+    std::size_t have = 0;
+    std::uint64_t oldest = head.arrivalCycle;
+    for (const auto &r : queue.pending()) {
+        if (r.id == head.id ||
+            (batcher.compatible(head, r) &&
+             !(excluded && excluded(r)))) {
+            have += 1;
+            oldest = std::min(oldest, r.arrivalCycle);
+            if (have >= want)
+                return decision;
+        }
+    }
+
+    const std::uint64_t deadline = oldest + bcfg.maxWaitCycles;
+    if (now >= deadline)
+        return decision;
+
+    decision.hold = true;
+    decision.until = deadline;
+    return decision;
+}
+
+/** Seed formLedBy against the linear queue. */
+Batch
+refFormLedBy(const Batcher &batcher, LinearRequestQueue &queue,
+             const Request &head, QueuePolicy policy,
+             const std::function<bool(const Request &)> &excluded)
+{
+    Batch batch;
+    const std::size_t limit =
+        !batcher.config().enabled ? 1 : batcher.config().maxBatchSize;
+    batch.requests = queue.popLedBy(
+        head, policy,
+        [&batcher](const Request &a, const Request &b) {
+            return batcher.compatible(a, b);
+        },
+        limit, excluded);
+    return batch;
+}
+
+} // namespace
+
+ServingReport
+runServingReference(const std::vector<AcceleratorConfig> &fleet,
+                    const ServiceModel &model,
+                    const std::vector<double> &bucket_scales,
+                    const SchedulerConfig &cfg,
+                    std::vector<Request> arrivals)
+{
+    std::stable_sort(arrivals.begin(), arrivals.end(), arrivalOrderBefore);
+
+    ServingReport report;
+    report.freqGHz = fleet.front().freqGHz;
+    report.occupancy = toString(cfg.occupancy);
+    report.generated = arrivals.size();
+
+    LinearRequestQueue queue(cfg.queueDepth);
+    Batcher batcher(cfg.batcher, bucket_scales);
+
+    MapCache mapCache(cfg.mapCache);
+    std::map<std::uint32_t, std::uint64_t> layerHashes;
+    const auto keyOf = [&](const Request &r) {
+        auto it = layerHashes.find(r.networkId);
+        if (it == layerHashes.end())
+            it = layerHashes
+                     .emplace(r.networkId,
+                              model.layerConfigHash(r.networkId))
+                     .first;
+        return MapCacheKey{r.cloudId, r.networkId, it->second};
+    };
+    if (mapCache.enabled()) {
+        batcher.setExtraCompatibility(
+            [&](const Request &a, const Request &b) {
+                return mapCache.contains(keyOf(a)) ==
+                       mapCache.contains(keyOf(b));
+            });
+    }
+
+    std::vector<RefAccelState> accels(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+        accels[i].usage.name =
+            fleet[i].name + "#" + std::to_string(i);
+
+    const AcceleratorConfig &reference = fleet.front();
+
+    std::uint64_t timerAt = kNever;
+    std::set<std::uint64_t> countedHolds;
+
+    const auto completeBack = [&](RefAccelState &acc) {
+        const RefInFlight &unit = *acc.back;
+        if (cfg.occupancy == OccupancyModel::Monolithic)
+            for (const auto &ins : unit.inserts)
+                mapCache.insert(ins.first, ins.second);
+        for (const auto &r : unit.batch.requests) {
+            report.latencyCycles.record(
+                static_cast<double>(unit.doneAt - r.arrivalCycle));
+            report.completionCycles.push_back(unit.doneAt);
+            if (r.deadlineCycle > 0 && unit.doneAt > r.deadlineCycle)
+                report.deadlineMisses += 1;
+            report.completed += 1;
+        }
+        const std::uint64_t start =
+            std::max(unit.dispatchedAt, acc.coveredUntil);
+        if (unit.doneAt > start)
+            acc.usage.busyCycles += unit.doneAt - start;
+        acc.coveredUntil = std::max(acc.coveredUntil, unit.doneAt);
+        acc.back.reset();
+    };
+
+    const auto service = [&](RefAccelState &acc, std::uint64_t now) {
+        for (;;) {
+            if (acc.back && acc.back->doneAt <= now) {
+                completeBack(acc);
+                continue;
+            }
+            if (acc.front && acc.front->mapDoneAt <= now) {
+                if (!acc.front->mapped &&
+                    cfg.occupancy == OccupancyModel::Pipelined)
+                    for (const auto &ins : acc.front->inserts)
+                        mapCache.insert(ins.first, ins.second);
+                acc.front->mapped = true;
+                if (!acc.back) {
+                    RefInFlight unit = std::move(*acc.front);
+                    acc.front.reset();
+                    unit.doneAt = now + unit.phases.backendCycles;
+                    acc.usage.backendBusyCycles +=
+                        unit.phases.backendCycles;
+                    acc.back.emplace(std::move(unit));
+                    continue;
+                }
+            }
+            break;
+        }
+    };
+
+    const auto estimateDone = [](const RefAccelState &acc,
+                                 const PhaseProfile &ph,
+                                 std::uint64_t now) {
+        const std::uint64_t mapDone = now + ph.mapCycles;
+        const std::uint64_t backStart =
+            std::max(mapDone, acc.back ? acc.back->doneAt : now);
+        return backStart + ph.backendCycles;
+    };
+
+    const auto dispatch = [&](std::uint64_t now) {
+        timerAt = kNever;
+        std::vector<Request> heldLeaders;
+        const auto inHeldGroup = [&](const Request &r) {
+            for (const auto &h : heldLeaders)
+                if (h.id == r.id || batcher.compatible(h, r))
+                    return true;
+            return false;
+        };
+        while (!queue.empty()) {
+            bool anyAccept = false;
+            for (const auto &acc : accels)
+                anyAccept = anyAccept || acc.canAccept(cfg.occupancy);
+            if (!anyAccept)
+                return;
+
+            const Request *head =
+                queue.peekEligible(cfg.policy, inHeldGroup);
+            if (head == nullptr)
+                return;
+
+            const BatchHold hold =
+                refHoldForHead(batcher, queue, *head, now, inHeldGroup);
+            if (hold.hold) {
+                if (countedHolds.insert(head->id).second)
+                    report.batchHolds += 1;
+                timerAt = std::min(timerAt, hold.until);
+                heldLeaders.push_back(*head);
+                continue;
+            }
+
+            Batch batch = refFormLedBy(batcher, queue, *head,
+                                       cfg.policy, inHeldGroup);
+
+            bool hitBatch = mapCache.enabled();
+            if (mapCache.enabled())
+                for (const auto &r : batch.requests)
+                    hitBatch = hitBatch && mapCache.contains(keyOf(r));
+            const std::uint64_t readCost =
+                cfg.mapCache.hitReadCycles *
+                static_cast<std::uint64_t>(batch.size());
+
+            std::map<std::string, PhaseProfile> classPhases;
+            std::size_t best = accels.size();
+            std::uint64_t bestDone = kNever;
+            PhaseProfile bestPhases;
+            for (std::size_t i = 0; i < accels.size(); ++i) {
+                if (!accels[i].canAccept(cfg.occupancy))
+                    continue;
+                auto it = classPhases.find(fleet[i].name);
+                if (it == classPhases.end()) {
+                    const PhaseProfile full =
+                        model.batchPhases(fleet[i], batch);
+                    PhaseProfile ph;
+                    if (cfg.occupancy == OccupancyModel::Pipelined) {
+                        ph = full;
+                        if (hitBatch)
+                            ph.mapCycles =
+                                std::min(ph.mapCycles, readCost);
+                    } else {
+                        ph.backendCycles = full.total();
+                        if (hitBatch)
+                            ph.backendCycles -=
+                                full.mapCycles -
+                                std::min(full.mapCycles, readCost);
+                    }
+                    it = classPhases.emplace(fleet[i].name, ph).first;
+                }
+                const PhaseProfile &ph = it->second;
+                const std::uint64_t done =
+                    estimateDone(accels[i], ph, now);
+                if (done < bestDone) {
+                    bestDone = done;
+                    best = i;
+                    bestPhases = ph;
+                }
+            }
+
+            RefAccelState &acc = accels[best];
+            RefInFlight unit;
+            unit.phases = bestPhases;
+            unit.dispatchedAt = now;
+            unit.mapDoneAt = now + bestPhases.mapCycles;
+            if (mapCache.enabled()) {
+                if (hitBatch) {
+                    for (const auto &r : batch.requests) {
+                        const auto p = model.profile(
+                            fleet[best], r.networkId, r.sizeBucket);
+                        mapCache.recordHit(keyOf(r),
+                                           p.phases().mapCycles);
+                    }
+                } else {
+                    for (const auto &r : batch.requests) {
+                        mapCache.recordMiss();
+                        if (r.cloudId == 0)
+                            continue;
+                        const auto p = model.profile(
+                            fleet[best], r.networkId, r.sizeBucket);
+                        unit.inserts.emplace_back(
+                            keyOf(r),
+                            MapCacheEntry{p.phases().mapCycles,
+                                          p.mapBytes});
+                    }
+                }
+            }
+            acc.usage.mapBusyCycles += bestPhases.mapCycles;
+            acc.usage.batches += 1;
+            acc.usage.requests += batch.size();
+            report.batchSize.record(static_cast<double>(batch.size()));
+            for (const auto &r : batch.requests)
+                report.queueWaitCycles.record(
+                    static_cast<double>(now - r.arrivalCycle));
+            unit.batch = std::move(batch);
+            acc.front.emplace(std::move(unit));
+            service(acc, now);
+        }
+    };
+
+    std::size_t next = 0;
+    std::uint64_t clock = 0;
+    while (true) {
+        const std::uint64_t tArrival =
+            next < arrivals.size() ? arrivals[next].arrivalCycle : kNever;
+        std::uint64_t tStage = kNever;
+        for (const auto &acc : accels) {
+            if (acc.front && !acc.front->mapped)
+                tStage = std::min(tStage, acc.front->mapDoneAt);
+            if (acc.back)
+                tStage = std::min(tStage, acc.back->doneAt);
+        }
+        if (tArrival == kNever && tStage == kNever && timerAt == kNever)
+            break;
+
+        clock = std::min(tArrival, std::min(tStage, timerAt));
+        report.loopEvents += 1;
+
+        for (auto &acc : accels)
+            service(acc, clock);
+
+        dispatch(clock);
+
+        while (next < arrivals.size() &&
+               arrivals[next].arrivalCycle <= clock) {
+            Request r = arrivals[next++];
+            r.estimatedCycles =
+                model.profile(reference, r.networkId, r.sizeBucket)
+                    .totalCycles;
+            queue.push(r);
+        }
+
+        dispatch(clock);
+    }
+
+    report.horizonCycles = clock;
+    report.admitted = queue.admitted();
+    report.dropped = queue.dropped();
+    report.leftoverQueued = queue.size();
+    report.mapCache = mapCache.stats();
+    for (auto &acc : accels)
+        report.accelerators.push_back(acc.usage);
+    return report;
+}
+
+} // namespace pointacc

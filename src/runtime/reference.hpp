@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Reference (seed-semantics) serving engine, kept for differential
+ * testing and baseline measurement.
+ *
+ * The production discrete-event core (runtime/scheduler + runtime/queue)
+ * was rebuilt around O(log n) data structures with a hard
+ * behavioral-equivalence requirement: every report it produces must be
+ * byte-identical to the original linear-scan implementation. This file
+ * preserves that original implementation verbatim in behavior:
+ *
+ *  - LinearRequestQueue: the seed AdmissionQueue — a flat vector with a
+ *    full O(depth) ranking scan per peek/pop and erase-in-the-middle
+ *    batch formation;
+ *  - runServingReference: the seed FleetScheduler::run — a main loop
+ *    that rescans every accelerator and the pending timer to find the
+ *    next event time, O(fleet) per event.
+ *
+ * Two consumers:
+ *
+ *  - tests/test_runtime_properties.cpp runs the production engine and
+ *    this one over the same fuzzed scenarios and asserts the serving
+ *    JSON matches byte for byte (a far stronger equivalence check than
+ *    the golden files alone);
+ *  - bench/bench_simperf.cpp measures both engines' wall-clock
+ *    simulated-requests-per-second on identical rows, so the reported
+ *    speedup of the O(log n) core is a live measurement, not a stored
+ *    claim.
+ *
+ * This code is intentionally frozen: do not "improve" it. Its value is
+ * that it stays the seed loop. It assumes a fleet that FleetScheduler's
+ * constructor would accept (same clock frequency, consistent names).
+ */
+
+#ifndef POINTACC_RUNTIME_REFERENCE_HPP
+#define POINTACC_RUNTIME_REFERENCE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/queue.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serving_stats.hpp"
+#include "runtime/workload.hpp"
+
+namespace pointacc {
+
+/**
+ * The seed admission queue: a flat vector scanned linearly per
+ * selection, with mid-vector erases. Same contract as AdmissionQueue
+ * (which the production queue must match pop-for-pop); exposed so the
+ * equivalence tests can drive both side by side.
+ */
+class LinearRequestQueue
+{
+  public:
+    explicit LinearRequestQueue(std::size_t max_depth)
+        : maxDepth(max_depth)
+    {
+    }
+
+    bool
+    push(const Request &r)
+    {
+        if (items.size() >= maxDepth) {
+            numDropped += 1;
+            return false;
+        }
+        items.push_back(r);
+        numAdmitted += 1;
+        return true;
+    }
+
+    bool empty() const { return items.empty(); }
+    std::size_t size() const { return items.size(); }
+
+    const Request &peek(QueuePolicy policy) const;
+
+    const Request *
+    peekEligible(QueuePolicy policy,
+                 const std::function<bool(const Request &)> &excluded)
+        const;
+
+    Request pop(QueuePolicy policy);
+
+    std::vector<Request>
+    popLedBy(const Request &head, QueuePolicy policy,
+             const std::function<bool(const Request &, const Request &)>
+                 &compatible,
+             std::size_t max_count,
+             const std::function<bool(const Request &)> &excluded);
+
+    std::uint64_t admitted() const { return numAdmitted; }
+    std::uint64_t dropped() const { return numDropped; }
+
+    const std::vector<Request> &pending() const { return items; }
+
+  private:
+    std::size_t
+    selectIndex(QueuePolicy policy,
+                const std::function<bool(const Request &)> &excluded =
+                    nullptr) const;
+
+    std::vector<Request> items;
+    std::size_t maxDepth;
+    std::uint64_t numAdmitted = 0;
+    std::uint64_t numDropped = 0;
+};
+
+/**
+ * The seed FleetScheduler::run loop over LinearRequestQueue: per
+ * iteration, a linear rescan of every instance and the timer for the
+ * next event time, then the same service/dispatch/admit sequence as
+ * the production engine. `arrivals` may be in any order (sorted
+ * internally, like the seed).
+ */
+ServingReport
+runServingReference(const std::vector<AcceleratorConfig> &fleet,
+                    const ServiceModel &model,
+                    const std::vector<double> &bucket_scales,
+                    const SchedulerConfig &cfg,
+                    std::vector<Request> arrivals);
+
+} // namespace pointacc
+
+#endif // POINTACC_RUNTIME_REFERENCE_HPP

@@ -96,6 +96,11 @@ struct ServingReport
      *  held hoping for more compatible requests (each leader counts
      *  once, however many events re-evaluate its hold). */
     std::uint64_t batchHolds = 0;
+    /** Main-loop iterations (distinct event times processed). Not
+     *  serialized — a wall-clock denominator for bench_simperf's
+     *  events-per-second metric, identical across the production and
+     *  reference engines. */
+    std::uint64_t loopEvents = 0;
 
     // Conservation counters.
     std::uint64_t generated = 0; ///< requests offered by the workload
