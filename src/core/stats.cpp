@@ -10,12 +10,15 @@ Summary::percentile(double p) const
 {
     if (samples.empty())
         return 0.0;
-    std::vector<double> sorted = samples;
-    std::sort(sorted.begin(), sorted.end());
+    if (scratch.size() != samples.size())
+        scratch = samples;
     const double clamped = std::clamp(p, 0.0, 1.0);
     const auto rank = static_cast<std::size_t>(
-        clamped * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[rank];
+        clamped * static_cast<double>(scratch.size() - 1) + 0.5);
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(rank),
+                     scratch.end());
+    return scratch[rank];
 }
 
 double

@@ -35,6 +35,25 @@ Batcher::compatible(const Request &a, const Request &b) const
     return !extraRule || extraRule(a, b);
 }
 
+std::vector<std::uint32_t>
+Batcher::allowedBuckets(const Request &head) const
+{
+    simAssert(head.sizeBucket < bucketScales.size(),
+              "request size bucket out of catalog range");
+    std::vector<std::uint32_t> out;
+    const double sh = bucketScales[head.sizeBucket];
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(bucketScales.size()); ++b) {
+        const double sb = bucketScales[b];
+        const double ratio = sh > sb ? sh / sb : sb / sh;
+        // Same comparison compatible() applies, so the class walk and
+        // the pairwise rule can never disagree on a bucket.
+        if (!(ratio > cfg.maxPointsRatio))
+            out.push_back(b);
+    }
+    return out;
+}
+
 BatchHold
 Batcher::holdForHead(
     const AdmissionQueue &queue, const Request &head, std::uint64_t now,
@@ -51,18 +70,32 @@ Batcher::holdForHead(
     // not at the current leader — under SJF/EDF the leader can change
     // as newer requests outrank it, and a sliding anchor would let an
     // old member wait far past maxWaitCycles.
+    //
+    // Only the head's network's size-compatible class sub-queues can
+    // contain group members, so the probe visits those instead of
+    // scanning the whole queue; the probe's outcome (count reaching K,
+    // or the group-wide oldest arrival) is visit-order independent.
     const std::size_t want =
         std::min<std::size_t>(cfg.targetK, cfg.maxBatchSize);
     std::size_t have = 0;
     std::uint64_t oldest = head.arrivalCycle;
-    for (const auto &r : queue.pending()) {
-        if (r.id == head.id ||
-            (compatible(head, r) && !(excluded && excluded(r)))) {
-            have += 1;
-            oldest = std::min(oldest, r.arrivalCycle);
-            if (have >= want)
-                return decision; // K reached: dispatch now
-        }
+    bool reached = false;
+    for (const std::uint32_t b : allowedBuckets(head)) {
+        queue.visitClass(head.networkId, b, [&](const Request &r) {
+            if (r.id == head.id ||
+                (compatible(head, r) &&
+                 !(excluded && excluded(r)))) {
+                have += 1;
+                oldest = std::min(oldest, r.arrivalCycle);
+                if (have >= want) {
+                    reached = true;
+                    return false;
+                }
+            }
+            return true;
+        });
+        if (reached)
+            return decision; // K reached: dispatch now
     }
 
     const std::uint64_t deadline = oldest + cfg.maxWaitCycles;
@@ -97,12 +130,11 @@ Batcher::formLedBy(
     Batch batch;
     const std::size_t limit =
         !cfg.enabled ? 1 : cfg.maxBatchSize;
-    batch.requests = queue.popLedBy(
-        head, policy,
-        [this](const Request &a, const Request &b) {
-            return compatible(a, b);
-        },
-        limit, excluded);
+    // Followers can only come from the head's network's
+    // size-compatible class sub-queues; the extra rule (hit/miss
+    // purity) is the one per-item predicate left to evaluate there.
+    batch.requests = queue.popLedByBuckets(
+        head, policy, allowedBuckets(head), extraRule, limit, excluded);
     return batch;
 }
 

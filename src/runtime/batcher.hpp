@@ -170,6 +170,12 @@ class Batcher
         const;
 
   private:
+    /** Size buckets whose scale ratio against `head`'s bucket passes
+     *  the maxPointsRatio rule — together with the head's network id,
+     *  the exact set of class sub-queues a batch led by `head` can
+     *  draw from. */
+    std::vector<std::uint32_t> allowedBuckets(const Request &head) const;
+
     BatcherConfig cfg;
     std::vector<double> bucketScales;
     std::function<bool(const Request &, const Request &)> extraRule;

@@ -1,6 +1,7 @@
 /**
  * @file
- * Bounded admission queue with pluggable dequeue policies.
+ * Bounded admission queue with pluggable dequeue policies, indexed for
+ * O(log depth) operation.
  *
  * Requests that arrive while every accelerator is busy wait here. The
  * queue is bounded: a fleet under sustained overload must shed load
@@ -15,9 +16,25 @@
  *  - EDF: earliest absolute deadline first; best-effort requests (no
  *    deadline) rank behind all deadlined ones.
  *
- * Selection scans the backing vector; queue depths in every experiment
- * are at most a few thousand, so O(depth) per pop is irrelevant next
- * to the millions of simulated cycles between pops.
+ * The seed implementation scanned a flat vector per selection —
+ * O(depth) per pop with O(depth) mid-vector erases, which dominated
+ * million-request simulations. Selection now runs over policy-ranked
+ * indexes (see queue.cpp):
+ *
+ *  - a FIFO ring buffer (rank-ordered deque with lazy tombstones —
+ *    pushes arrive in rank order on the scheduler's path, so admission
+ *    is an O(1) append and pop is an O(1) front read);
+ *  - SJF/EDF ordered indexes keyed (policy key, arrival, id) with
+ *    O(log depth) insert/erase;
+ *  - per-(networkId, sizeBucket) class sub-queues in the same rank
+ *    order, so batch formation (popLedBy via Batcher) and wait-for-K
+ *    group counting visit only candidate classes instead of scanning
+ *    the whole queue.
+ *
+ * Every ranking is the total order (policy key, arrival cycle, id) the
+ * seed used, so pop order — including every tie-break — is unchanged;
+ * tests/test_runtime_properties.cpp fuzzes pop-for-pop equivalence
+ * against the preserved seed queue (runtime/reference.hpp).
  *
  * Contract and invariants (fuzzed by test_runtime_properties via the
  * scheduler): size() never exceeds the depth limit; admitted() +
@@ -25,7 +42,9 @@
  * conservation identity (generated = admitted + dropped) holds; every
  * policy's ranking is total and deterministic (ties always break on
  * arrival cycle, then id), so equal seeds replay byte-identically;
- * peek/pop/peekEligible agree on the same single ranking scan.
+ * peek/pop/peekEligible agree on the same single ranking. Request ids
+ * must be unique among queued items (the workload generator's ids are;
+ * enqueuing a duplicate id asserts).
  */
 
 #ifndef POINTACC_RUNTIME_QUEUE_HPP
@@ -33,6 +52,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,23 +74,17 @@ std::string toString(QueuePolicy policy);
 class AdmissionQueue
 {
   public:
-    explicit AdmissionQueue(std::size_t max_depth) : maxDepth(max_depth) {}
+    explicit AdmissionQueue(std::size_t max_depth);
+    ~AdmissionQueue();
+
+    AdmissionQueue(AdmissionQueue &&) noexcept;
+    AdmissionQueue &operator=(AdmissionQueue &&) noexcept;
 
     /** Admit or drop (queue full). Returns true when admitted. */
-    bool
-    push(const Request &r)
-    {
-        if (items.size() >= maxDepth) {
-            numDropped += 1;
-            return false;
-        }
-        items.push_back(r);
-        numAdmitted += 1;
-        return true;
-    }
+    bool push(const Request &r);
 
-    bool empty() const { return items.empty(); }
-    std::size_t size() const { return items.size(); }
+    bool empty() const { return size() == 0; }
+    std::size_t size() const;
     std::size_t depthLimit() const { return maxDepth; }
 
     /** Next request under `policy` (queue must be non-empty). */
@@ -95,7 +109,10 @@ class AdmissionQueue
      * further requests satisfying `compatible(head, other)` and not
      * rejected by `excluded` (empty = no filter), in policy order.
      * `head` must be queued. This is popCompatible anchored at an
-     * explicit leader instead of the policy head.
+     * explicit leader instead of the policy head. The predicate is
+     * arbitrary, so selection traverses the global rank order; the
+     * batcher's structured path (popLedByBuckets) narrows the
+     * traversal to candidate classes instead.
      */
     std::vector<Request>
     popLedBy(const Request &head, QueuePolicy policy,
@@ -103,6 +120,25 @@ class AdmissionQueue
                  &compatible,
              std::size_t max_count,
              const std::function<bool(const Request &)> &excluded);
+
+    /**
+     * Batch formation over class sub-queues: pop `head` plus up to
+     * `max_count - 1` followers drawn only from the (head.networkId,
+     * bucket) sub-queues for the listed `buckets`, in policy order
+     * across those classes, accepting a follower r only when
+     * `extra(head, r)` (empty = always) holds and `excluded(r)` (empty
+     * = never) does not. With `buckets` = every bucket whose size
+     * ratio the batcher allows, this selects exactly the requests the
+     * generic popLedBy would — without visiting other networks'
+     * entries.
+     */
+    std::vector<Request>
+    popLedByBuckets(const Request &head, QueuePolicy policy,
+                    const std::vector<std::uint32_t> &buckets,
+                    const std::function<bool(const Request &,
+                                             const Request &)> &extra,
+                    std::size_t max_count,
+                    const std::function<bool(const Request &)> &excluded);
 
     /**
      * Pop the policy's head request plus up to `max_count - 1` further
@@ -117,26 +153,22 @@ class AdmissionQueue
                       &compatible,
                   std::size_t max_count);
 
+    /**
+     * Visit every queued request of class (networkId, sizeBucket) in
+     * the rank order of the most recently used policy; `fn` returns
+     * false to stop early. The batcher's wait-for-K probe counts group
+     * members this way — the probe's outcome is order-independent, so
+     * any visit order matches the seed's full-queue scan.
+     */
+    void visitClass(std::uint32_t network_id, std::uint32_t bucket,
+                    const std::function<bool(const Request &)> &fn) const;
+
     std::uint64_t admitted() const { return numAdmitted; }
     std::uint64_t dropped() const { return numDropped; }
 
-    const std::vector<Request> &pending() const { return items; }
-
   private:
-    /** Index of the best-ranked request under `policy` that
-     *  `excluded` (empty = none) does not reject; items.size() when
-     *  nothing is eligible. The single ranking scan behind peek, pop
-     *  and peekEligible. */
-    std::size_t
-    selectIndex(QueuePolicy policy,
-                const std::function<bool(const Request &)> &excluded =
-                    nullptr) const;
-
-    /** True when a ranks strictly ahead of b under `policy`. */
-    static bool ranksBefore(QueuePolicy policy, const Request &a,
-                            const Request &b);
-
-    std::vector<Request> items;
+    struct Impl;
+    std::unique_ptr<Impl> impl;
     std::size_t maxDepth;
     std::uint64_t numAdmitted = 0;
     std::uint64_t numDropped = 0;

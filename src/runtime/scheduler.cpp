@@ -4,7 +4,8 @@
 #include <limits>
 #include <map>
 #include <optional>
-#include <set>
+#include <queue>
+#include <unordered_set>
 #include <utility>
 
 #include "core/logging.hpp"
@@ -150,6 +151,7 @@ SimServiceModel::profile(const AcceleratorConfig &cfg,
 
     Accelerator accel(cfg);
     const RunResult r = accel.run(net, cloud);
+    numProfiledRuns += 1;
 
     // Parameter bytes are a property of the network alone; cache the
     // workload summary across accelerator classes.
@@ -278,11 +280,18 @@ struct InFlight
  * accepts it), the back slot is the Matrix Unit + memory system. The
  * monolithic occupancy model uses the same machinery with a
  * zero-length map phase and admission gated on full idleness.
+ *
+ * frontStamp/backStamp are lazy-invalidation generations for the
+ * global event heap: each (re)fill of a slot bumps its stamp, so a
+ * heap entry for a slot that has since emptied or been refilled is
+ * recognized as stale when popped and discarded.
  */
 struct AccelState
 {
     std::optional<InFlight> front;
     std::optional<InFlight> back;
+    std::uint64_t frontStamp = 0;
+    std::uint64_t backStamp = 0;
     /** High-water mark for busy-interval union accounting: per-batch
      *  residency intervals overlap under pipelining, and utilization
      *  must count wall-clock coverage, not summed service. */
@@ -298,17 +307,55 @@ struct AccelState
     }
 };
 
+/**
+ * Global event-heap entry. The discrete-event core replaced the seed
+ * loop's per-iteration rescan of every instance with one binary
+ * min-heap over four event kinds; entries are sequence-numbered (push
+ * order) so heap ordering is total, and carry the stamp of the slot
+ * or timer generation they describe for lazy invalidation.
+ */
+struct Event
+{
+    enum class Kind : std::uint8_t
+    {
+        MapDone, ///< a front slot's mapping phase completes
+        RunDone, ///< a back slot's service completes
+        Timer,   ///< earliest wait-for-K hold deadline
+        Arrival, ///< the source's next request arrives
+    };
+
+    std::uint64_t at = 0;
+    std::uint64_t seq = 0;
+    Kind kind = Kind::Arrival;
+    std::uint32_t accel = 0;
+    std::uint64_t stamp = 0;
+};
+
+struct EventLater
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+};
+
 } // namespace
 
 ServingReport
 FleetScheduler::run(std::vector<Request> arrivals) const
 {
     std::stable_sort(arrivals.begin(), arrivals.end(), arrivalOrderBefore);
+    VectorRequestSource source(std::move(arrivals));
+    return run(source);
+}
 
+ServingReport
+FleetScheduler::run(RequestSource &source) const
+{
     ServingReport report;
     report.freqGHz = fleet.front().freqGHz;
     report.occupancy = toString(cfg.occupancy);
-    report.generated = arrivals.size();
 
     AdmissionQueue queue(cfg.queueDepth);
     Batcher batcher(cfg.batcher, bucketScales);
@@ -344,16 +391,69 @@ FleetScheduler::run(std::vector<Request> arrivals) const
         accels[i].usage.name =
             fleet[i].name + "#" + std::to_string(i);
 
+    // Accelerator class per instance: the index of the first fleet
+    // member with the same config name. Dispatch prices a batch once
+    // per class (the seed keyed the same memo by name strings).
+    std::vector<std::size_t> classOf(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        classOf[i] = i;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (fleet[j].name == fleet[i].name) {
+                classOf[i] = j;
+                break;
+            }
+        }
+    }
+
     // SJF/EDF estimates are priced against the lead accelerator; on a
     // heterogeneous fleet relative job ordering is what matters, and
     // network cost ratios are stable across classes.
     const AcceleratorConfig &reference = fleet.front();
+    // Admission estimate per (network, bucket): the profile call is
+    // deterministic, so memoizing it against the reference instance
+    // keeps per-arrival admission O(log classes).
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+        estCache;
+    const auto estimateOf = [&](const Request &r) {
+        const auto key = std::make_pair(r.networkId, r.sizeBucket);
+        auto it = estCache.find(key);
+        if (it == estCache.end())
+            it = estCache
+                     .emplace(key, model
+                                       .profile(reference, r.networkId,
+                                                r.sizeBucket)
+                                       .totalCycles)
+                     .first;
+        return it->second;
+    };
+
+    // The global event heap (arrivals, map-done, run-done, batch-hold
+    // timer) with lazy invalidation; see Event above. Replaces the
+    // seed loop's per-iteration rescan of every instance.
+    std::priority_queue<Event, std::vector<Event>, EventLater> events;
+    std::uint64_t evSeq = 0;
+    const auto pushEv = [&](std::uint64_t at, Event::Kind kind,
+                            std::uint32_t accel, std::uint64_t stamp) {
+        events.push(Event{at, ++evSeq, kind, accel, stamp});
+    };
 
     // Batcher timer: earliest pending wait-for-K hold deadline.
+    // timerGen stamps the currently armed timer event; re-arming or
+    // disarming bumps it, orphaning any queued timer entry.
     std::uint64_t timerAt = kNever;
+    std::uint64_t timerGen = 0;
+    std::uint64_t armedAt = kNever;
+    const auto syncTimer = [&]() {
+        if (timerAt == armedAt)
+            return;
+        timerGen += 1;
+        armedAt = timerAt;
+        if (timerAt != kNever)
+            pushEv(timerAt, Event::Kind::Timer, 0, timerGen);
+    };
     // Leaders whose hold episodes were already counted in batchHolds
     // (one episode per leader, however many events re-evaluate it).
-    std::set<std::uint64_t> countedHolds;
+    std::unordered_set<std::uint64_t> countedHolds;
 
     const auto completeBack = [&](AccelState &acc) {
         const InFlight &unit = *acc.back;
@@ -387,7 +487,11 @@ FleetScheduler::run(std::vector<Request> arrivals) const
     // Apply every stage transition due at `now` on one instance:
     // back-end completions, then the front->back handoff (which may
     // itself complete immediately when a back-end phase is empty).
-    const auto service = [&](AccelState &acc, std::uint64_t now) {
+    // Transitions landing strictly in the future enqueue heap events;
+    // same-cycle ones cascade right here, so every pending transition
+    // always has a live heap entry or resolves synchronously.
+    const auto service = [&](std::size_t idx, std::uint64_t now) {
+        AccelState &acc = accels[idx];
         for (;;) {
             if (acc.back && acc.back->doneAt <= now) {
                 completeBack(acc);
@@ -413,6 +517,11 @@ FleetScheduler::run(std::vector<Request> arrivals) const
                     unit.doneAt = now + unit.phases.backendCycles;
                     acc.usage.backendBusyCycles +=
                         unit.phases.backendCycles;
+                    acc.backStamp += 1;
+                    if (unit.doneAt > now)
+                        pushEv(unit.doneAt, Event::Kind::RunDone,
+                               static_cast<std::uint32_t>(idx),
+                               acc.backStamp);
                     acc.back.emplace(std::move(unit));
                     continue;
                 }
@@ -497,17 +606,20 @@ FleetScheduler::run(std::vector<Request> arrivals) const
 
             // Place on the accepting instance that finishes soonest.
             // Batch phases depend only on the accelerator class, so
-            // price once per distinct config name (a homogeneous
-            // fleet pays a single batchPhases pass per dispatch).
-            std::map<std::string, PhaseProfile> classPhases;
+            // price once per class (precomputed classOf indices — the
+            // seed keyed the same memo by config-name strings; a
+            // homogeneous fleet pays a single batchPhases pass per
+            // dispatch either way).
+            std::vector<std::optional<PhaseProfile>> classPhases(
+                fleet.size());
             std::size_t best = accels.size();
             std::uint64_t bestDone = kNever;
             PhaseProfile bestPhases;
             for (std::size_t i = 0; i < accels.size(); ++i) {
                 if (!accels[i].canAccept(cfg.occupancy))
                     continue;
-                auto it = classPhases.find(fleet[i].name);
-                if (it == classPhases.end()) {
+                auto &memo = classPhases[classOf[i]];
+                if (!memo) {
                     const PhaseProfile full =
                         model.batchPhases(fleet[i], batch);
                     PhaseProfile ph;
@@ -526,9 +638,9 @@ FleetScheduler::run(std::vector<Request> arrivals) const
                                 full.mapCycles -
                                 std::min(full.mapCycles, readCost);
                     }
-                    it = classPhases.emplace(fleet[i].name, ph).first;
+                    memo = ph;
                 }
-                const PhaseProfile &ph = it->second;
+                const PhaseProfile &ph = *memo;
                 const std::uint64_t done =
                     estimateDone(accels[i], ph, now);
                 if (done < bestDone) {
@@ -581,50 +693,115 @@ FleetScheduler::run(std::vector<Request> arrivals) const
                 report.queueWaitCycles.record(
                     static_cast<double>(now - r.arrivalCycle));
             unit.batch = std::move(batch);
+            acc.frontStamp += 1;
+            if (unit.mapDoneAt > now)
+                pushEv(unit.mapDoneAt, Event::Kind::MapDone,
+                       static_cast<std::uint32_t>(best), acc.frontStamp);
             acc.front.emplace(std::move(unit));
             // Zero-length map phases promote straight to the back-end
             // (this is the whole dispatch in the monolithic model).
-            service(acc, now);
+            service(best, now);
         }
     };
 
-    std::size_t next = 0;
-    std::uint64_t clock = 0;
-    while (true) {
-        const std::uint64_t tArrival =
-            next < arrivals.size() ? arrivals[next].arrivalCycle : kNever;
-        std::uint64_t tStage = kNever;
-        for (const auto &acc : accels) {
-            if (acc.front && !acc.front->mapped)
-                tStage = std::min(tStage, acc.front->mapDoneAt);
-            if (acc.back)
-                tStage = std::min(tStage, acc.back->doneAt);
+    // Stale-entry filter for the lazy-invalidation heap: an event is
+    // live only while the slot (or timer generation) it describes
+    // still exists unchanged.
+    const auto validEv = [&](const Event &e) {
+        switch (e.kind) {
+          case Event::Kind::MapDone: {
+            const AccelState &a = accels[e.accel];
+            return a.front.has_value() && a.frontStamp == e.stamp &&
+                   !a.front->mapped;
+          }
+          case Event::Kind::RunDone: {
+            const AccelState &a = accels[e.accel];
+            return a.back.has_value() && a.backStamp == e.stamp;
+          }
+          case Event::Kind::Timer:
+            return timerAt != kNever && e.stamp == timerGen;
+          case Event::Kind::Arrival:
+            return true;
         }
-        if (tArrival == kNever && tStage == kNever && timerAt == kNever)
-            break; // no arrivals, pipelines drained, no pending timer
+        return false;
+    };
 
-        clock = std::min(tArrival, std::min(tStage, timerAt));
+    // Exactly one Arrival entry is outstanding: the source's next
+    // request. Draining admissions up to `clock` re-arms it.
+    bool arrivalQueued = false;
+    if (source.peek() != nullptr) {
+        pushEv(source.peek()->arrivalCycle, Event::Kind::Arrival, 0, 0);
+        arrivalQueued = true;
+    }
 
-        // Stage transitions first: a request arriving at the same
-        // cycle can reuse the capacity that just freed up.
-        for (auto &acc : accels)
-            service(acc, clock);
+    std::uint64_t clock = 0;
+    std::vector<std::uint32_t> due;
+    while (!events.empty()) {
+        // The next event time is the first live entry's timestamp —
+        // the heap's analogue of the seed loop's min() rescan over
+        // every instance, the arrival cursor and the timer.
+        while (!events.empty() && !validEv(events.top()))
+            events.pop();
+        if (events.empty())
+            break; // pipelines drained, no arrivals, no pending timer
+        clock = events.top().at;
+        report.loopEvents += 1;
+
+        // Drain every entry due at `clock` (live or stale) so all
+        // same-cycle transitions are applied before dispatch decides —
+        // the seed serviced every instance per iteration for the same
+        // reason.
+        due.clear();
+        while (!events.empty() && events.top().at <= clock) {
+            const Event e = events.top();
+            events.pop();
+            if (!validEv(e))
+                continue;
+            switch (e.kind) {
+              case Event::Kind::MapDone:
+              case Event::Kind::RunDone:
+                due.push_back(e.accel);
+                break;
+              case Event::Kind::Timer:
+                // Nothing to apply: the dispatch pass below re-probes
+                // every hold against the clock.
+                break;
+              case Event::Kind::Arrival:
+                arrivalQueued = false;
+                break;
+            }
+        }
+
+        // Stage transitions first, in instance order (the seed's
+        // service sweep order — same-cycle completions across
+        // instances record in index order): a request arriving at the
+        // same cycle can reuse the capacity that just freed up.
+        std::sort(due.begin(), due.end());
+        due.erase(std::unique(due.begin(), due.end()), due.end());
+        for (const std::uint32_t a : due)
+            service(a, clock);
 
         // Drain backlog onto freed stages before admitting, so a
         // same-cycle arrival is not dropped against queue space the
         // completion just made available.
         dispatch(clock);
+        syncTimer();
 
-        while (next < arrivals.size() &&
-               arrivals[next].arrivalCycle <= clock) {
-            Request r = arrivals[next++];
-            r.estimatedCycles =
-                model.profile(reference, r.networkId, r.sizeBucket)
-                    .totalCycles;
+        while (source.peek() != nullptr &&
+               source.peek()->arrivalCycle <= clock) {
+            Request r = source.take();
+            report.generated += 1;
+            r.estimatedCycles = estimateOf(r);
             queue.push(r); // drop accounting lives in the queue
+        }
+        if (!arrivalQueued && source.peek() != nullptr) {
+            pushEv(source.peek()->arrivalCycle, Event::Kind::Arrival, 0,
+                   0);
+            arrivalQueued = true;
         }
 
         dispatch(clock);
+        syncTimer();
     }
 
     report.horizonCycles = clock;

@@ -5,12 +5,18 @@
  *
  * The per-inference simulator (sim/accelerator) prices one run of one
  * network; this layer composes those prices into a serving system. A
- * global cycle clock advances between four event kinds — request
- * arrivals (from runtime/workload), mapping-phase completions,
- * back-end completions, and batcher timers (wait-for-K holds) — and
- * whenever an accelerator can accept work and the admission queue is
- * non-empty, the batcher forms a dispatch and the scheduler places it
- * on the accelerator that would finish it soonest (greedy, which on a
+ * global cycle clock advances through a single binary-heap event
+ * queue over four event kinds — request arrivals (pulled lazily from
+ * a RequestSource), mapping-phase completions, back-end completions,
+ * and batcher timers (wait-for-K holds); entries are
+ * sequence-numbered and lazily invalidated by slot/timer generation
+ * stamps, so the loop is O(log events) per step instead of the seed's
+ * per-iteration rescan of every instance (the seed loop survives
+ * verbatim in runtime/reference for differential testing, and
+ * docs/PERFORMANCE.md carries the complexity budget). Whenever an
+ * accelerator can accept work and the admission queue is non-empty,
+ * the batcher forms a dispatch and the scheduler places it on the
+ * accelerator that would finish it soonest (greedy, which on a
  * heterogeneous fleet naturally prefers the server-class instance and
  * spills to edge-class ones under load).
  *
@@ -195,6 +201,12 @@ class SimServiceModel : public ServiceModel
 
     std::uint64_t layerConfigHash(std::uint32_t network_id) const override;
 
+    /** Actual sim::Accelerator runs performed so far — the memoization
+     *  meter. Across any number of sweep rows in one process this must
+     *  equal the number of distinct (accelerator class, network,
+     *  bucket) triples profiled; bench_serving gates on it. */
+    std::uint64_t profiledRuns() const { return numProfiledRuns; }
+
   private:
     const PointCloud &cloudFor(std::uint32_t network_id,
                                std::uint32_t bucket) const;
@@ -207,6 +219,7 @@ class SimServiceModel : public ServiceModel
     /** Parameter bytes per network (accelerator-independent). */
     mutable std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
         weightBytes;
+    mutable std::uint64_t numProfiledRuns = 0;
 };
 
 /** How a dispatch occupies an accelerator instance. */
@@ -259,6 +272,15 @@ class FleetScheduler
      * conservation counters make that checkable.
      */
     ServingReport run(std::vector<Request> arrivals) const;
+
+    /**
+     * Serve a lazily generated trace: arrivals are pulled from
+     * `source` in arrival order as simulated time reaches them, so a
+     * million-request run holds only in-flight state — the queue, the
+     * pipelines and the event heap — never the whole trace. The vector
+     * overload is this one over a VectorRequestSource.
+     */
+    ServingReport run(RequestSource &source) const;
 
   private:
     std::vector<AcceleratorConfig> fleet;

@@ -66,48 +66,53 @@ pickClass(Rng &rng, const std::vector<RequestClass> &mix, double totalWeight)
 
 } // namespace
 
-std::vector<Request>
-WorkloadGenerator::generate() const
+WorkloadStream::WorkloadStream(const WorkloadSpec &spec)
+    : wspec(spec), rng(spec.seed)
 {
-    Rng rng(wspec.seed);
-    double totalWeight = 0.0;
     for (const auto &cls : wspec.mix)
         totalWeight += cls.weight;
-
     // Bursty traffic keeps the same mean rate by thinning the event
     // process: events arrive at rate/meanBurst, each carrying on
-    // average meanBurst requests.
+    // average meanBurst requests. Computed with the seed's exact
+    // expression — an algebraically equal rearrangement could round
+    // differently and shift every arrival cycle.
     const bool bursty = wspec.arrivals == ArrivalProcess::Bursty;
     const double perEvent =
         bursty ? static_cast<double>(wspec.meanBurstSize) : 1.0;
     const double eventRatePerCycle =
         wspec.requestsPerMCycle / 1e6 / perEvent;
-    const double meanGap = 1.0 / eventRatePerCycle;
+    meanGap = 1.0 / eventRatePerCycle;
+    // First inter-event gap (the seed loop's first draw).
+    clock = exponential(rng, meanGap);
+    nextEventCycle = static_cast<std::uint64_t>(clock);
+    exhausted = nextEventCycle >= wspec.horizonCycles;
+}
 
-    std::vector<Request> out;
-    double clock = 0.0;
-    std::uint64_t id = 0;
-    // Stream state: each stream's most recent frame, so classes with a
-    // mapReuseProb can emit repeated-frame traffic. Fresh frames draw
-    // from one global counter, so cloudIds never collide across
-    // streams. Ids start at 1 (0 is the "no identity" default).
-    std::map<std::uint32_t, std::uint64_t> lastFrame;
-    std::uint64_t nextCloudId = 1;
-    while (true) {
-        clock += exponential(rng, meanGap);
-        const auto cycle = static_cast<std::uint64_t>(clock);
-        if (cycle >= wspec.horizonCycles)
-            break;
+void
+WorkloadStream::refill()
+{
+    const bool bursty = wspec.arrivals == ArrivalProcess::Bursty;
+
+    // A buffered request is releasable once no unmaterialized event
+    // can rank before it: future members arrive at cycles >= the next
+    // event's cycle with strictly larger ids, so the heap top is safe
+    // exactly when top.arrivalCycle <= nextEventCycle (or the horizon
+    // has been reached and nothing more will ever be drawn).
+    while (!exhausted &&
+           (pending.empty() ||
+            pending.top().arrivalCycle > nextEventCycle)) {
+        const std::uint64_t cycle = nextEventCycle;
 
         // One event = one burst; the whole burst shares one class (a
         // client uploads several clouds of the same kind in a row).
         std::uint64_t count = 1;
         if (bursty && wspec.meanBurstSize > 1)
             count = 1 + rng.range(2 * wspec.meanBurstSize - 1);
-        const auto &cls = wspec.mix[pickClass(rng, wspec.mix, totalWeight)];
+        const auto &cls =
+            wspec.mix[pickClass(rng, wspec.mix, totalWeight)];
         for (std::uint64_t i = 0; i < count; ++i) {
             Request r;
-            r.id = id++;
+            r.id = nextId++;
             r.networkId = cls.networkId;
             r.sizeBucket = cls.sizeBucket;
             // Repeated frame? The Rng draw is gated on mapReuseProb > 0
@@ -126,12 +131,63 @@ WorkloadGenerator::generate() const
             r.arrivalCycle = cycle + i;
             if (cls.deadlineCycles > 0)
                 r.deadlineCycle = r.arrivalCycle + cls.deadlineCycles;
-            out.push_back(r);
+            pending.push(r);
         }
+        peak = std::max(peak,
+                        pending.size() + (lookahead.has_value() ? 1 : 0));
+
+        // Draw the next event's gap now: its cycle is the release
+        // threshold for everything buffered so far. Same position in
+        // the RNG sequence as the seed loop's next iteration.
+        clock += exponential(rng, meanGap);
+        const auto next = static_cast<std::uint64_t>(clock);
+        if (next >= wspec.horizonCycles)
+            exhausted = true;
+        else
+            nextEventCycle = next;
     }
-    // Burst members can straddle the next event's arrival; restore the
-    // global arrival order.
-    std::stable_sort(out.begin(), out.end(), arrivalOrderBefore);
+}
+
+std::optional<Request>
+WorkloadStream::nextInternal()
+{
+    refill();
+    if (pending.empty())
+        return std::nullopt;
+    Request r = pending.top();
+    pending.pop();
+    numEmitted += 1;
+    return r;
+}
+
+const Request *
+WorkloadStream::peek()
+{
+    if (!lookahead)
+        lookahead = nextInternal();
+    return lookahead ? &*lookahead : nullptr;
+}
+
+Request
+WorkloadStream::take()
+{
+    if (!lookahead)
+        lookahead = nextInternal();
+    Request r = *lookahead;
+    lookahead.reset();
+    return r;
+}
+
+std::vector<Request>
+WorkloadGenerator::generate() const
+{
+    // Same trace the seed's materialize-then-stable_sort produced: the
+    // stream emits in (arrivalCycle, id) order, which is exactly that
+    // sort's total order.
+    std::vector<Request> out;
+    WorkloadStream s(wspec);
+    while (s.peek() != nullptr)
+        out.push_back(s.take());
     return out;
 }
 

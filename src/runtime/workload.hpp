@@ -28,20 +28,39 @@
  * one LiDAR rig repeat. Repeated frames are what the runtime's
  * kernel-map cache (runtime/map_cache) can serve without re-mapping.
  *
+ * Streaming: the generator is *lazy*. stream() yields arrivals one at
+ * a time in global arrival order while holding only O(in-flight burst
+ * members + stream classes) state — a million-request trace costs the
+ * same resident memory as a thousand-request one. Draw-for-draw the
+ * stream performs the exact RNG sequence the seed's materializing
+ * generate() performed (gap, burst size, class pick, per-member reuse,
+ * in that order per event), so traces are byte-identical; generate()
+ * is now a convenience wrapper that drains the stream into a vector.
+ * Only burst members that straddle a later event's arrival are ever
+ * buffered (a bounded min-heap), which is what the seed's trailing
+ * stable_sort existed to fix up.
+ *
  * Invariants (fuzzed by test_runtime_properties): generate() returns
  * arrivals sorted by (arrivalCycle, id) with ids dense from 0, every
  * arrival inside the horizon (bursty members may trail by the burst
  * length), byte-identical across equal-seed runs, and cloudIds that
  * are unique per fresh frame (repeats only ever point at an earlier
- * frame of the same stream).
+ * frame of the same stream). The stream emits the identical sequence
+ * (asserted against a preserved reference generator) with
+ * peakBuffered() independent of trace length.
  */
 
 #ifndef POINTACC_RUNTIME_WORKLOAD_HPP
 #define POINTACC_RUNTIME_WORKLOAD_HPP
 
 #include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
 #include <string>
 #include <vector>
+
+#include "core/rng.hpp"
 
 namespace pointacc {
 
@@ -118,10 +137,114 @@ arrivalOrderBefore(const Request &a, const Request &b)
 }
 
 /**
+ * Pull interface for arrival traces: requests delivered one at a time
+ * in global arrival order ((arrivalCycle, id) nondecreasing). The
+ * scheduler consumes one of these, so a streamed million-request trace
+ * never has to exist in memory at once.
+ */
+class RequestSource
+{
+  public:
+    virtual ~RequestSource() = default;
+
+    /** Next request without consuming it; nullptr when exhausted. The
+     *  pointer is valid until the next take(). */
+    virtual const Request *peek() = 0;
+
+    /** Consume and return the next request (peek() must be non-null). */
+    virtual Request take() = 0;
+};
+
+/** RequestSource over an already-materialized trace sorted by
+ *  arrivalOrderBefore (the scheduler's vector entry point). */
+class VectorRequestSource : public RequestSource
+{
+  public:
+    explicit VectorRequestSource(std::vector<Request> trace)
+        : items(std::move(trace))
+    {
+    }
+
+    const Request *
+    peek() override
+    {
+        return next < items.size() ? &items[next] : nullptr;
+    }
+
+    Request
+    take() override
+    {
+        return items[next++];
+    }
+
+  private:
+    std::vector<Request> items;
+    std::size_t next = 0;
+};
+
+/**
+ * Lazy arrival stream (see the file header): the seed generator's
+ * exact RNG draw sequence, emitted in sorted order through a bounded
+ * reorder heap instead of a materialize-then-sort pass.
+ */
+class WorkloadStream : public RequestSource
+{
+  public:
+    explicit WorkloadStream(const WorkloadSpec &spec);
+
+    const Request *peek() override;
+    Request take() override;
+
+    /** High-water mark of buffered requests (reorder heap plus the
+     *  peek slot): the stream's whole per-trace memory footprint, and
+     *  what the scale tests assert stays O(in-flight), independent of
+     *  how many requests the stream emits. */
+    std::size_t peakBuffered() const { return peak; }
+
+    /** Requests emitted so far. */
+    std::uint64_t emitted() const { return numEmitted; }
+
+  private:
+    struct LaterArrival
+    {
+        bool
+        operator()(const Request &a, const Request &b) const
+        {
+            return arrivalOrderBefore(b, a);
+        }
+    };
+
+    /** Materialize events until the reorder heap's top is safe to
+     *  release (no future event can rank before it) or the horizon is
+     *  reached. */
+    void refill();
+
+    std::optional<Request> nextInternal();
+
+    WorkloadSpec wspec;
+    Rng rng;
+    double totalWeight = 0.0;
+    double meanGap = 1.0;        ///< mean inter-event gap in cycles
+    double clock = 0.0;          ///< continuous arrival-process time
+    std::uint64_t nextEventCycle = 0; ///< next unmaterialized event
+    bool exhausted = false;      ///< horizon reached; drain the heap
+    std::uint64_t nextId = 0;
+    std::uint64_t nextCloudId = 1;
+    /** Per-stream last frame (O(classes), the only per-class state). */
+    std::map<std::uint32_t, std::uint64_t> lastFrame;
+    std::priority_queue<Request, std::vector<Request>, LaterArrival>
+        pending;
+    std::optional<Request> lookahead;
+    std::size_t peak = 0;
+    std::uint64_t numEmitted = 0;
+};
+
+/**
  * Deterministic open-loop request generator.
  *
- * generate() returns the full arrival trace for the spec's horizon,
- * sorted by arrival cycle, ids dense from 0.
+ * stream() yields the trace lazily in arrival order; generate()
+ * materializes the same trace (sorted by arrival cycle, ids dense
+ * from 0) for callers that want a vector.
  */
 class WorkloadGenerator
 {
@@ -129,6 +252,10 @@ class WorkloadGenerator
     explicit WorkloadGenerator(WorkloadSpec spec);
 
     const WorkloadSpec &spec() const { return wspec; }
+
+    /** Lazy stream over the spec's trace: O(in-flight + classes)
+     *  memory however long the horizon. */
+    WorkloadStream stream() const { return WorkloadStream(wspec); }
 
     std::vector<Request> generate() const;
 

@@ -217,6 +217,88 @@ TEST(AdmissionQueue, PopCompatibleHonorsPredicateAndBound)
     EXPECT_EQ(q.size(), 4u);
 }
 
+TEST(AdmissionQueue, VisitClassWalksExactlyThatClass)
+{
+    AdmissionQueue q(16);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        auto r = makeRequest(i, i);
+        r.networkId = static_cast<std::uint32_t>(i % 2);
+        r.sizeBucket = static_cast<std::uint32_t>(i % 4 / 2);
+        q.push(r);
+    }
+    std::vector<std::uint64_t> seen;
+    q.visitClass(0, 1, [&](const Request &r) {
+        seen.push_back(r.id);
+        return true;
+    });
+    // Network 0, bucket 1: ids 2 and 6, in rank (arrival) order.
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], 2u);
+    EXPECT_EQ(seen[1], 6u);
+
+    // Early stop after the first member.
+    seen.clear();
+    q.visitClass(1, 0, [&](const Request &r) {
+        seen.push_back(r.id);
+        return false;
+    });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], 1u);
+
+    // Absent classes visit nothing.
+    q.visitClass(7, 0, [&](const Request &) {
+        ADD_FAILURE() << "visited an absent class";
+        return true;
+    });
+}
+
+TEST(AdmissionQueue, PopLedByBucketsMergesClassesInPolicyOrder)
+{
+    AdmissionQueue q(16);
+    // Network 0 requests across buckets 0/1/2, interleaved arrivals;
+    // one network-1 request that must never join.
+    const auto add = [&](std::uint64_t id, std::uint64_t arrival,
+                         std::uint32_t net, std::uint32_t bucket) {
+        auto r = makeRequest(id, arrival);
+        r.networkId = net;
+        r.sizeBucket = bucket;
+        q.push(r);
+    };
+    add(0, 5, 0, 0);
+    add(1, 1, 0, 1);
+    add(2, 2, 1, 0);
+    add(3, 3, 0, 2);
+    add(4, 4, 0, 1);
+
+    const Request head = q.peek(QueuePolicy::Fifo); // id 1, arrival 1
+    ASSERT_EQ(head.id, 1u);
+    // Buckets 0 and 1 are allowed; bucket 2 (id 3) is not. The merge
+    // must interleave the two class sub-queues by arrival order.
+    const auto batch = q.popLedByBuckets(head, QueuePolicy::Fifo,
+                                         {0u, 1u}, nullptr, 8, nullptr);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].id, 1u);
+    EXPECT_EQ(batch[1].id, 4u); // arrival 4, bucket 1
+    EXPECT_EQ(batch[2].id, 0u); // arrival 5, bucket 0
+    EXPECT_EQ(q.size(), 2u);    // ids 2 (other network) and 3 remain
+
+    // The per-item extra rule filters followers but never the head,
+    // and only the head's network's classes are visited.
+    EXPECT_EQ(q.pop(QueuePolicy::Fifo).id, 2u); // clear network 1
+    add(5, 6, 0, 0);
+    add(6, 7, 0, 0);
+    const Request head2 = q.peek(QueuePolicy::Fifo);
+    ASSERT_EQ(head2.id, 3u); // network 0, bucket 2
+    const auto filtered = q.popLedByBuckets(
+        head2, QueuePolicy::Fifo, {0u},
+        [](const Request &, const Request &r) { return r.id % 2 == 0; },
+        8, nullptr);
+    ASSERT_EQ(filtered.size(), 2u); // head 3 (odd!) + id 6; id 5 odd
+    EXPECT_EQ(filtered[0].id, 3u);
+    EXPECT_EQ(filtered[1].id, 6u);
+    EXPECT_EQ(q.size(), 1u); // id 5 remains
+}
+
 // ---------------------------------------------------------------- //
 //                            Batcher                                //
 // ---------------------------------------------------------------- //
