@@ -13,6 +13,11 @@ hashKernelMap(const PointCloud &input, const PointCloud &output,
 {
     const auto offsets = kernelOffsets(cfg.kernelSize, cfg.inStride);
     MapSet maps(static_cast<std::int32_t>(offsets.size()));
+    // Matches per offset are bounded by the smaller cloud; reserving a
+    // slice of that up front absorbs the early doubling reallocations
+    // without committing the full worst case for every offset.
+    maps.reservePerWeight(
+        std::min(input.size(), output.size()) / 8 + 8);
 
     std::unordered_map<Coord3, PointIndex, Coord3Hash> table;
     table.reserve(input.size() * 2);
@@ -43,6 +48,8 @@ sortKernelMap(const PointCloud &input, const PointCloud &output,
 
     const auto offsets = kernelOffsets(cfg.kernelSize, cfg.inStride);
     MapSet maps(static_cast<std::int32_t>(offsets.size()));
+    maps.reservePerWeight(
+        std::min(input.size(), output.size()) / 8 + 8);
 
     // For each weight: shift input by -delta, then walk both sorted
     // sequences simultaneously (the software analogue of the hardware
@@ -82,8 +89,11 @@ transposeMaps(const MapSet &maps, int kernel_size)
     // keeps the same weight index (the upsampling layer owns its own
     // weights anyway; only grouping matters for the simulator).
     const bool odd = kernel_size % 2 == 1;
+    // Transposition permutes whole groups, so each output group's
+    // exact size is the source group's — reserve it precisely.
     for (std::int32_t w = 0; w < volume; ++w) {
         const std::int32_t tw = odd ? volume - 1 - w : w;
+        out.reserveWeight(tw, maps.forWeight(w).size());
         for (const auto &m : maps.forWeight(w))
             out.add(Map{m.out, m.in, tw});
     }

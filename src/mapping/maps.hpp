@@ -71,6 +71,27 @@ class MapSet
         count += 1;
     }
 
+    /** Pre-size every weight group. Producers that know an upper-ish
+     *  bound on matches per offset (kernel mapping: at most
+     *  min(|input|, |output|)) use this to avoid the per-group
+     *  doubling reallocations that otherwise churn the mapping hot
+     *  path; over-reservation is released by the consumer copying or
+     *  the set being short-lived. */
+    void
+    reservePerWeight(std::size_t expected)
+    {
+        for (auto &g : groups)
+            g.reserve(expected);
+    }
+
+    /** Pre-size one weight group exactly (e.g. map transposition,
+     *  where each output group's size is a source group's). */
+    void
+    reserveWeight(std::int32_t w, std::size_t expected)
+    {
+        groups[w].reserve(expected);
+    }
+
     const std::vector<Map> &forWeight(std::int32_t w) const
     {
         return groups[w];
