@@ -421,6 +421,24 @@ main(int argc, char **argv)
 
     bool ok = true;
 
+    // Acceptance check 0: profiling is memoized across sweep rows —
+    // each (accelerator class, network, bucket) triple runs the real
+    // simulator at most once per process, however many rows consumed
+    // it. One accelerator class here, so the distinct-triple ceiling
+    // is networks x buckets.
+    {
+        const std::uint64_t maxTriples =
+            static_cast<std::uint64_t>(catalog.networks.size()) *
+            static_cast<std::uint64_t>(catalog.bucketScales.size());
+        const bool memoized = model.profiledRuns() <= maxTriples;
+        ok = ok && memoized;
+        std::printf("profiling memoization: %llu simulator runs for "
+                    "<= %llu distinct triples across %zu rows: %s\n",
+                    static_cast<unsigned long long>(model.profiledRuns()),
+                    static_cast<unsigned long long>(maxTriples),
+                    rows.size(), memoized ? "OK" : "VIOLATED");
+    }
+
     // Acceptance check 1: p99 must not increase with fleet size.
     if (selected("fleet")) {
         const double p99_1 = fleetRows[0].report.p99Ms();

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: configure + build + test, with warnings-as-errors on
 # the serving-runtime subsystem (src/runtime/ is new code held to a
-# stricter bar than the seed sources), a schema-doc check that keeps
-# docs/SERVING_JSON.md in lockstep with writeServingJson, followed by
-# an ASan+UBSan build that re-runs the runtime test suites (the event
-# loop and the property/fuzz sweeps are where lifetime/overflow bugs
-# would hide) and the map-cache bench sweep.
+# stricter bar than the seed sources), the Release-only scale tier and
+# simulator-performance floor gate (bench_simperf), a schema-doc check
+# that keeps docs/SERVING_JSON.md in lockstep with writeServingJson,
+# followed by an ASan+UBSan build that re-runs the runtime test suites
+# (the event loop and the property/fuzz sweeps are where
+# lifetime/overflow bugs would hide), the map-cache bench sweep and a
+# sanitized 10^5-request smoke of the discrete-event core.
 # Suitable as a GitHub Actions step:
 #
 #   - name: Build and test
@@ -34,9 +36,22 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 # Serving-runtime acceptance: p99 latency must not increase with fleet
 # size, the two-stage pipeline must beat monolithic occupancy at equal
-# fleet size, and the kernel-map cache must strictly improve p99 or
-# throughput at reuse >= 0.5 (the bench exits non-zero on violation).
+# fleet size, the kernel-map cache must strictly improve p99 or
+# throughput at reuse >= 0.5, and profiling must stay memoized across
+# rows (the bench exits non-zero on violation).
 "${BUILD_DIR}/bench_serving" --json "${BUILD_DIR}/BENCH_serving.json"
+
+# Release-stage scale tier: 10^5-request property sweeps (conservation,
+# determinism, byte-identity with the preserved seed engine) that the
+# quick ctest pass skips.
+"${BUILD_DIR}/test_runtime_properties" --scale
+
+# Simulator-performance gate (Release, -O2/-O3 -DNDEBUG): the O(log n)
+# discrete-event core must clear the stored requests-per-second floor
+# on the anchor row (10^6 requests, fleet 16), beat the preserved seed
+# engine >= 10x, and match it byte-identically on a shared trace. See
+# docs/PERFORMANCE.md for the floor-update procedure.
+"${BUILD_DIR}/bench_simperf" --quick --json "${BUILD_DIR}/BENCH_simperf.json"
 
 # Schema-doc check: every JSON key writeServingJson emits must be
 # documented (in backticks) in docs/SERVING_JSON.md, so the published
@@ -71,10 +86,16 @@ cmake -B "${SAN_BUILD_DIR}" -S . \
 
 cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" \
     --target test_runtime test_runtime_properties test_report_golden \
-             bench_serving
+             bench_serving bench_simperf
 
 ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
     --no-tests=error \
     -R 'test_runtime|test_runtime_properties|test_report_golden'
 
 "${SAN_BUILD_DIR}/bench_serving" --sweep cache --quick --no-json
+
+# Sanitized 10^5-request smoke of the discrete-event core: one
+# 10^5-request row through the heap loop, indexed queue and streaming
+# generator under ASan+UBSan. --smoke applies no wall-clock floor
+# (a sanitized floor would measure the sanitizer, not the simulator).
+"${SAN_BUILD_DIR}/bench_simperf" --smoke --no-json
