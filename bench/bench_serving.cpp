@@ -4,7 +4,7 @@
  * fleets under open-loop load.
  *
  * Not a paper figure — this drives the runtime/ subsystem that grows
- * the reproduction toward a serving system. Six sweeps:
+ * the reproduction toward a serving system. Seven sweeps:
  *
  *  1. fleet scaling: 1 / 2 / 4 PointAcc instances at a fixed offered
  *     load (p99 must not increase with fleet size);
@@ -21,14 +21,28 @@
  *  6. kernel-map cache: repeated-frame stream traffic (mapReuseProb
  *     0 / 0.5 / 0.9) served with the content-addressed map cache on
  *     vs off at fleet sizes 1 and 2 — at reuse >= 0.5 caching must
- *     strictly improve p99 or throughput.
+ *     strictly improve p99 or throughput;
+ *  7. capacity planning (`--sweep plan`, opt-in — it runs its own
+ *     exhaustive cross-check grid, so `all` excludes it): the
+ *     CapacityPlanner's pick on a quick grid must equal the
+ *     exhaustive-search optimum while spending strictly fewer probes,
+ *     within a fixed probe budget. `--smoke` shrinks this sweep to a
+ *     2-probe exhaustive micro-grid for the sanitized CI pass.
  *
  * Results print as a table and are dumped to BENCH_serving.json for
- * the machine-readable perf trajectory. `--sweep <name>` (fleet,
- * policy, batching, pipeline, wait-for-k, cache, all) restricts the
+ * the machine-readable perf trajectory (a `plan` object is appended
+ * when the plan sweep ran). `--sweep <name>` (fleet, policy,
+ * batching, pipeline, wait-for-k, cache, plan, all) restricts the
  * run — CI uses `--sweep cache --quick` for the sanitized pass —
  * and `--quick` shrinks the arrival horizon. The exit code reflects
  * only the acceptance gates of the sweeps that actually ran.
+ *
+ * State hygiene: every sweep derives its WorkloadSpec from one const
+ * `base` and owns its mutations locally; the only object shared
+ * across rows is the SimServiceModel, whose memoized profiles are
+ * pure values (gated by acceptance check 0). Row JSON is therefore
+ * independent of which sweeps ran and in what order —
+ * tests/test_runtime_properties.cpp pins that property.
  */
 
 #include <cstring>
@@ -39,6 +53,7 @@
 #include "bench_util.hpp"
 #include "core/json.hpp"
 #include "nn/zoo.hpp"
+#include "runtime/planner.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
 #include "runtime/workload.hpp"
@@ -153,7 +168,8 @@ printRow(const Row &r)
 }
 
 void
-writeRows(std::ostream &os, const std::vector<Row> &rows)
+writeRows(std::ostream &os, const std::vector<Row> &rows,
+          const PlanReport *plan)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -189,8 +205,34 @@ writeRows(std::ostream &os, const std::vector<Row> &rows)
         w.endObject();
     }
     w.endArray();
+    if (plan != nullptr) {
+        w.key("plan");
+        writePlanObject(w, *plan);
+    }
     w.endObject();
     os << '\n';
+}
+
+/** Same configuration, field for field? (The plan gate's equality.) */
+bool
+samePlanChoice(const PlanProbe &a, const PlanProbe &b)
+{
+    return a.fleetSize == b.fleetSize && a.policy == b.policy &&
+           a.batching == b.batching && a.targetK == b.targetK &&
+           a.maxWaitCycles == b.maxWaitCycles &&
+           a.mapCacheOn == b.mapCacheOn;
+}
+
+void
+printPlanProbe(const PlanProbe &p, double freq_ghz)
+{
+    std::printf("plan      %-8s %7s %5zu %6s %5s %4s | %9.0f %8s %8s "
+                "%8.3f %6s %6.2f %5s %5s\n",
+                "-", "-", p.fleetSize, toString(p.policy).c_str(),
+                p.batching ? "on" : "off", p.mapCacheOn ? "$on" : "$off",
+                p.throughputRps, "-", "-",
+                p.p99Cycles / (freq_ghz * 1e6), p.meetsSlo ? "MEET" : "miss",
+                100.0 * p.dropRate, "-", "-");
 }
 
 } // namespace
@@ -201,6 +243,7 @@ main(int argc, char **argv)
     std::string jsonPath = "BENCH_serving.json";
     std::string sweepSel = "all";
     bool quick = false;
+    bool smoke = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
@@ -210,6 +253,8 @@ main(int argc, char **argv)
             sweepSel = argv[++i];
         else if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
     }
     // An unknown sweep name would select nothing, skip every
     // acceptance gate and exit 0 — reject it so a typoed CI
@@ -217,21 +262,30 @@ main(int argc, char **argv)
     static const char *const kSweeps[] = {"all",      "fleet",
                                           "policy",   "batching",
                                           "pipeline", "wait-for-k",
-                                          "cache"};
+                                          "cache",    "plan"};
     bool knownSweep = false;
     for (const char *const s : kSweeps)
         knownSweep = knownSweep || sweepSel == s;
     if (!knownSweep) {
         std::fprintf(stderr,
                      "error: unknown --sweep '%s' (expected fleet, "
-                     "policy, batching, pipeline, wait-for-k, cache "
-                     "or all)\n",
+                     "policy, batching, pipeline, wait-for-k, cache, "
+                     "plan or all)\n",
                      sweepSel.c_str());
+        return 2;
+    }
+    if (smoke && sweepSel != "plan") {
+        std::fprintf(stderr,
+                     "error: --smoke applies to --sweep plan only\n");
         return 2;
     }
     const auto selected = [&](const char *name) {
         return sweepSel == "all" || sweepSel == name;
     };
+    // The plan sweep runs a planner *and* its exhaustive cross-check
+    // grid (dozens of extra serving runs), so it is opt-in rather
+    // than part of `all`; CI invokes it explicitly.
+    const bool planSelected = sweepSel == "plan";
 
     bench::banner("Serving runtime: fleets of PointAcc under open load",
                   "runtime/ subsystem (beyond the paper)");
@@ -277,17 +331,22 @@ main(int argc, char **argv)
     std::vector<Row> rows;
     printHeader();
 
+    // `base` is frozen from here on: every sweep copies it and owns
+    // its mutations locally, so no sweep's spec depends on which
+    // sweeps ran before it (row-order independence — see the header).
     base.seed = 2026;
     base.horizonCycles = quick ? 100'000'000 : 400'000'000;
     base.arrivals = ArrivalProcess::Poisson;
+    const WorkloadSpec &frozenBase = base;
 
     // Sweep 1: fleet scaling at a load that saturates one instance.
     std::vector<Row> fleetRows;
     if (selected("fleet")) {
-        base.requestsPerMCycle = 1.5 * capacityPerMCycle;
+        WorkloadSpec spec = frozenBase;
+        spec.requestsPerMCycle = 1.5 * capacityPerMCycle;
         for (const std::size_t fleetSize : {1u, 2u, 4u}) {
             fleetRows.push_back(
-                runScenario("fleet", model, fleetSize, base,
+                runScenario("fleet", model, fleetSize, spec,
                             makeConfig(QueuePolicy::Fifo, false)));
             rows.push_back(fleetRows.back());
             printRow(rows.back());
@@ -298,10 +357,11 @@ main(int argc, char **argv)
     // Sweep 2: FIFO vs SJF, one instance, rising load.
     if (selected("policy")) {
         for (const double frac : {0.6, 0.9, 1.2}) {
-            base.requestsPerMCycle = frac * capacityPerMCycle;
+            WorkloadSpec spec = frozenBase;
+            spec.requestsPerMCycle = frac * capacityPerMCycle;
             for (const QueuePolicy pol :
                  {QueuePolicy::Fifo, QueuePolicy::Sjf}) {
-                rows.push_back(runScenario("policy", model, 1, base,
+                rows.push_back(runScenario("policy", model, 1, spec,
                                            makeConfig(pol, false)));
                 printRow(rows.back());
             }
@@ -311,7 +371,7 @@ main(int argc, char **argv)
 
     // Bursty single-network traffic for the batching-centric sweeps
     // (bursts of same-class requests are what batching can coalesce).
-    WorkloadSpec burstSpec = base;
+    WorkloadSpec burstSpec = frozenBase;
     burstSpec.arrivals = ArrivalProcess::Bursty;
     burstSpec.meanBurstSize = 6;
     burstSpec.mix = {{0, 0, 1.0, 0}}; // all PointNet small
@@ -340,15 +400,16 @@ main(int argc, char **argv)
     std::vector<std::pair<Row, Row>> pipelinePairs; // (mono, pipe)
     if (selected("pipeline")) {
         for (const std::size_t fleetSize : {1u, 2u}) {
-            base.requestsPerMCycle =
+            WorkloadSpec spec = frozenBase;
+            spec.requestsPerMCycle =
                 1.5 * capacityPerMCycle * static_cast<double>(fleetSize);
             Row mono = runScenario(
-                "pipeline", model, fleetSize, base,
+                "pipeline", model, fleetSize, spec,
                 makeConfig(QueuePolicy::Fifo, false,
                            OccupancyModel::Monolithic));
             printRow(mono);
             Row pipe = runScenario(
-                "pipeline", model, fleetSize, base,
+                "pipeline", model, fleetSize, spec,
                 makeConfig(QueuePolicy::Fifo, false,
                            OccupancyModel::Pipelined));
             printRow(pipe);
@@ -386,7 +447,7 @@ main(int argc, char **argv)
     // throughput over the identical cache-off run.
     std::vector<std::pair<Row, Row>> cachePairs; // (off, on)
     if (selected("cache")) {
-        WorkloadSpec streamSpec = base;
+        WorkloadSpec streamSpec = frozenBase;
         streamSpec.arrivals = ArrivalProcess::Poisson;
         for (std::size_t i = 0; i < streamSpec.mix.size(); ++i)
             streamSpec.mix[i].streamId = static_cast<std::uint32_t>(i);
@@ -415,6 +476,82 @@ main(int argc, char **argv)
                 rows.push_back(on);
                 cachePairs.emplace_back(std::move(off), std::move(on));
             }
+        }
+        bench::rule(122);
+    }
+
+    // Sweep 7 (`--sweep plan`, opt-in): SLO-driven capacity planning.
+    // The planner searches fleet 1..10 x {FIFO, SJF} x {cache off, on}
+    // for the cheapest fleet meeting a p99 SLO calibrated off a
+    // mid-grid probe; the exhaustive grid is then run as the oracle.
+    // `--smoke` instead runs a 2-probe exhaustive micro-grid, sized
+    // for the sanitized CI pass.
+    PlanReport planReport;
+    PlanReport exhaustiveReport;
+    bool planRan = false;
+    bool smokeRan = false;
+    if (planSelected) {
+        CapacityPlanner planner(pointAccConfig(), model,
+                                model.catalog().bucketScales);
+        if (smoke) {
+            WorkloadSpec spec = frozenBase;
+            spec.horizonCycles = 5'000'000;
+            spec.requestsPerMCycle = 1.2 * capacityPerMCycle;
+            PlanSearchSpace space;
+            space.minFleetSize = 1;
+            space.maxFleetSize = 2;
+            space.base = makeConfig(QueuePolicy::Fifo, false);
+            SloSpec slo;
+            slo.minThroughputRps = 1.0;
+            exhaustiveReport = planner.planExhaustive(spec, slo, space);
+            planReport = exhaustiveReport;
+            smokeRan = true;
+        } else {
+            WorkloadSpec planSpec = frozenBase;
+            planSpec.horizonCycles = quick ? 40'000'000 : 120'000'000;
+            planSpec.requestsPerMCycle = 2.5 * capacityPerMCycle;
+            // Each mix class is a repeated-frame stream so the
+            // map-cache axis changes real outcomes.
+            for (std::size_t i = 0; i < planSpec.mix.size(); ++i) {
+                planSpec.mix[i].streamId = static_cast<std::uint32_t>(i);
+                planSpec.mix[i].mapReuseProb = 0.5;
+            }
+
+            PlanSearchSpace space;
+            space.minFleetSize = 1;
+            space.maxFleetSize = 10;
+            space.policies = {QueuePolicy::Fifo, QueuePolicy::Sjf};
+            space.batchers = {BatcherAxisPoint{}};
+            space.mapCacheOptions = {false, true};
+            space.base = makeConfig(QueuePolicy::Fifo, false);
+            space.base.mapCache.capacityEntries = 4096;
+            space.base.mapCache.eviction = MapCacheEviction::Lru;
+            space.base.mapCache.hitReadCycles = 2'000;
+
+            // SLO calibrated off a mid-grid probe (FIFO, cache off,
+            // fleet 4): feasible inside the range, not trivially at
+            // fleet 1, whatever the horizon setting.
+            const auto trace = WorkloadGenerator(planSpec).generate();
+            const auto calib = planner.probe(4, space.base, trace);
+            SloSpec slo;
+            slo.maxP99Cycles =
+                static_cast<std::uint64_t>(calib.p99Cycles()) + 1;
+
+            planReport = planner.plan(planSpec, slo, space);
+            exhaustiveReport =
+                planner.planExhaustive(planSpec, slo, space);
+            planRan = true;
+
+            std::printf("capacity plan: SLO p99 <= %llu cycles over "
+                        "fleet %zu..%zu x {fifo,sjf} x {cache off,on} "
+                        "(%llu grid points)\n",
+                        static_cast<unsigned long long>(
+                            slo.maxP99Cycles),
+                        space.minFleetSize, space.maxFleetSize,
+                        static_cast<unsigned long long>(
+                            space.gridSize()));
+            for (const auto &p : planReport.probes)
+                printPlanProbe(p, pointAccConfig().freqGHz);
         }
         bench::rule(122);
     }
@@ -489,9 +626,64 @@ main(int argc, char **argv)
                     wins ? "OK" : "VIOLATED");
     }
 
+    // Acceptance check 4 (plan sweep): the planner's pick must equal
+    // the exhaustive-search optimum while spending strictly fewer
+    // probes, and must stay inside a fixed probe budget (3/4 of the
+    // grid — galloping + bisection should beat that comfortably; the
+    // budget catches a silent degradation to near-exhaustive search).
+    if (planRan) {
+        const bool bothFeasible =
+            planReport.feasible && exhaustiveReport.feasible;
+        const bool samePick =
+            bothFeasible &&
+            samePlanChoice(planReport.chosen, exhaustiveReport.chosen);
+        ok = ok && samePick;
+        std::printf("plan vs exhaustive: fleet %zu %s batch=%s "
+                    "cache=%s vs fleet %zu %s batch=%s cache=%s: %s\n",
+                    planReport.chosen.fleetSize,
+                    toString(planReport.chosen.policy).c_str(),
+                    planReport.chosen.batching ? "on" : "off",
+                    planReport.chosen.mapCacheOn ? "on" : "off",
+                    exhaustiveReport.chosen.fleetSize,
+                    toString(exhaustiveReport.chosen.policy).c_str(),
+                    exhaustiveReport.chosen.batching ? "on" : "off",
+                    exhaustiveReport.chosen.mapCacheOn ? "on" : "off",
+                    samePick ? "OK" : "VIOLATED");
+        const bool fewer =
+            planReport.probesSpent < exhaustiveReport.probesSpent;
+        const std::uint64_t budget =
+            3 * planReport.exhaustiveProbes / 4;
+        const bool inBudget = planReport.probesSpent <= budget;
+        ok = ok && fewer && inBudget;
+        std::printf("plan probe spend: %llu of %llu grid points "
+                    "(budget %llu, monotone fleet axis: %s): %s\n",
+                    static_cast<unsigned long long>(
+                        planReport.probesSpent),
+                    static_cast<unsigned long long>(
+                        planReport.exhaustiveProbes),
+                    static_cast<unsigned long long>(budget),
+                    planReport.monotoneFleetAxis ? "yes" : "no",
+                    fewer && inBudget ? "OK" : "VIOLATED");
+    }
+    if (smokeRan) {
+        // The sanitized smoke just has to complete a real plan and
+        // keep its accounting straight: a 1-combo, 2-size exhaustive
+        // grid is exactly 2 probes.
+        const bool sized = planReport.probesSpent == 2 &&
+                           planReport.exhaustiveProbes == 2;
+        ok = ok && sized;
+        std::printf("plan smoke: %llu probes over a 2-point grid, "
+                    "feasible=%s: %s\n",
+                    static_cast<unsigned long long>(
+                        planReport.probesSpent),
+                    planReport.feasible ? "yes" : "no",
+                    sized ? "OK" : "VIOLATED");
+    }
+
     if (!jsonPath.empty()) {
         std::ofstream jf(jsonPath);
-        writeRows(jf, rows);
+        writeRows(jf, rows,
+                  planRan || smokeRan ? &planReport : nullptr);
         jf.flush();
         if (jf.good())
             std::printf("wrote %s\n", jsonPath.c_str());

@@ -2,12 +2,15 @@
 # CI entry point: configure + build + test, with warnings-as-errors on
 # the serving-runtime subsystem (src/runtime/ is new code held to a
 # stricter bar than the seed sources), the Release-only scale tier and
-# simulator-performance floor gate (bench_simperf), a schema-doc check
-# that keeps docs/SERVING_JSON.md in lockstep with writeServingJson,
-# followed by an ASan+UBSan build that re-runs the runtime test suites
-# (the event loop and the property/fuzz sweeps are where
-# lifetime/overflow bugs would hide), the map-cache bench sweep and a
-# sanitized 10^5-request smoke of the discrete-event core.
+# simulator-performance floor gate (bench_simperf), the capacity-
+# planner gate (bench_serving --sweep plan: planner pick must equal
+# exhaustive search with strictly fewer probes), a schema-doc check
+# that keeps docs/SERVING_JSON.md in lockstep with writeServingJson
+# and writePlanJson, followed by an ASan+UBSan build that re-runs the
+# runtime test suites (the event loop and the property/fuzz sweeps are
+# where lifetime/overflow bugs would hide), the map-cache bench sweep,
+# a sanitized 10^5-request smoke of the discrete-event core and a
+# 2-probe planner smoke.
 # Suitable as a GitHub Actions step:
 #
 #   - name: Build and test
@@ -53,13 +56,21 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # docs/PERFORMANCE.md for the floor-update procedure.
 "${BUILD_DIR}/bench_simperf" --quick --json "${BUILD_DIR}/BENCH_simperf.json"
 
-# Schema-doc check: every JSON key writeServingJson emits must be
-# documented (in backticks) in docs/SERVING_JSON.md, so the published
-# schema can never silently drift from the writer.
-echo "== serving JSON schema doc check =="
+# Capacity-planner gate: on a quick grid the planner's pick must equal
+# the exhaustive-search optimum while spending strictly fewer probes
+# (within the probe budget). Opt-in sweep, so it gets its own
+# invocation and its own JSON.
+"${BUILD_DIR}/bench_serving" --sweep plan --quick \
+    --json "${BUILD_DIR}/BENCH_serving_plan.json"
+
+# Schema-doc check: every JSON key writeServingJson and writePlanJson
+# emit must be documented (in backticks) in docs/SERVING_JSON.md, so
+# the published schemas can never silently drift from the writers.
+echo "== serving/plan JSON schema doc check =="
 missing=0
 for key in $(sed -nE 's/.*w\.(field|key)\("([a-z0-9_]+)".*/\2/p' \
-                 src/runtime/serving_stats.cpp | sort -u); do
+                 src/runtime/serving_stats.cpp \
+                 src/runtime/planner.cpp | sort -u); do
     if ! grep -q "\`${key}\`" docs/SERVING_JSON.md; then
         echo "error: JSON key '${key}' is missing from docs/SERVING_JSON.md"
         missing=1
@@ -68,7 +79,7 @@ done
 if [ "${missing}" -ne 0 ]; then
     exit 1
 fi
-echo "all writeServingJson keys documented"
+echo "all writeServingJson/writePlanJson keys documented"
 
 # ASan+UBSan pass over the runtime test suites plus the map-cache
 # bench sweep. Examples and the remaining benchmarks are skipped
@@ -99,3 +110,9 @@ ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 # generator under ASan+UBSan. --smoke applies no wall-clock floor
 # (a sanitized floor would measure the sanitizer, not the simulator).
 "${SAN_BUILD_DIR}/bench_simperf" --smoke --no-json
+
+# Sanitized 2-probe smoke of the capacity planner: a 1-combo, 2-size
+# exhaustive micro-grid through the full plan/probe/JSON path under
+# ASan+UBSan (the unsanitized plan gate above already enforced search
+# quality).
+"${SAN_BUILD_DIR}/bench_serving" --sweep plan --smoke --no-json

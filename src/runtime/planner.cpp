@@ -1,0 +1,407 @@
+#include "runtime/planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/logging.hpp"
+
+namespace pointacc {
+
+bool
+meetsSlo(const ServingReport &report, const SloSpec &slo)
+{
+    if (slo.maxP99Cycles > 0 &&
+        report.p99Cycles() > static_cast<double>(slo.maxP99Cycles))
+        return false;
+    if (slo.minThroughputRps > 0.0 &&
+        report.throughputRps() < slo.minThroughputRps)
+        return false;
+    return true;
+}
+
+SchedulerConfig
+schedulerConfigFor(const PlanSearchSpace &space, const PlanProbe &probe)
+{
+    SchedulerConfig scfg = space.base;
+    scfg.policy = probe.policy;
+    scfg.batcher.enabled = probe.batching;
+    scfg.batcher.targetK = probe.targetK;
+    scfg.batcher.maxWaitCycles = probe.maxWaitCycles;
+    scfg.mapCache.enabled = probe.mapCacheOn;
+    return scfg;
+}
+
+namespace {
+
+/** One categorical grid point (everything but the fleet size). */
+struct Combo
+{
+    QueuePolicy policy = QueuePolicy::Fifo;
+    BatcherAxisPoint batcher;
+    bool cacheOn = false;
+};
+
+/** Axis order is the tie-break order: policies outermost, then
+ *  batcher points, then cache options — "first combo wins a fleet-size
+ *  tie" means first in this enumeration. */
+std::vector<Combo>
+enumerateCombos(const PlanSearchSpace &space)
+{
+    std::vector<Combo> combos;
+    combos.reserve(space.comboCount());
+    for (const QueuePolicy policy : space.policies)
+        for (const BatcherAxisPoint &batcher : space.batchers)
+            for (const bool cacheOn : space.mapCacheOptions)
+                combos.push_back(Combo{policy, batcher, cacheOn});
+    return combos;
+}
+
+/** A combo's axis values as a (metrics-free) PlanProbe, so the combo
+ *  and probe config paths share one field mapping. */
+PlanProbe
+probeOf(const Combo &combo)
+{
+    PlanProbe p;
+    p.policy = combo.policy;
+    p.batching = combo.batcher.enabled;
+    p.targetK = combo.batcher.targetK;
+    p.maxWaitCycles = combo.batcher.maxWaitCycles;
+    p.mapCacheOn = combo.cacheOn;
+    return p;
+}
+
+void
+validate(const SloSpec &, const PlanSearchSpace &space)
+{
+    if (space.minFleetSize == 0)
+        fatal("plan search space needs minFleetSize >= 1");
+    if (space.maxFleetSize < space.minFleetSize)
+        fatal("plan search space needs maxFleetSize >= minFleetSize");
+    if (space.policies.empty() || space.batchers.empty() ||
+        space.mapCacheOptions.empty())
+        fatal("plan search space axes must be non-empty");
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+//                         Search context                            //
+// ---------------------------------------------------------------- //
+
+/** Per-plan() state: the shared trace, the probe log and the
+ *  (combo, fleet size) -> log index memo that makes re-evaluations
+ *  free (and keeps probesSpent an honest count of simulations). */
+struct CapacityPlanner::Search
+{
+    const CapacityPlanner &planner;
+    const SloSpec &slo;
+    const PlanSearchSpace &space;
+    std::vector<Combo> combos;
+    std::vector<Request> trace;
+    std::vector<PlanProbe> log;
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> memo;
+
+    Search(const CapacityPlanner &planner_, const WorkloadSpec &workload,
+           const SloSpec &slo_, const PlanSearchSpace &space_)
+        : planner(planner_), slo(slo_), space(space_),
+          combos(enumerateCombos(space_)),
+          trace(WorkloadGenerator(workload).generate())
+    {
+    }
+
+    bool
+    probed(std::size_t combo_index, std::size_t fleet_size) const
+    {
+        return memo.count({combo_index, fleet_size}) != 0;
+    }
+
+    const PlanProbe &
+    probeAt(std::size_t combo_index, std::size_t fleet_size)
+    {
+        const auto key = std::make_pair(combo_index, fleet_size);
+        const auto it = memo.find(key);
+        if (it != memo.end())
+            return log[it->second];
+
+        PlanProbe p = probeOf(combos[combo_index]);
+        p.fleetSize = fleet_size;
+        const ServingReport report = planner.probe(
+            fleet_size, schedulerConfigFor(space, p), trace);
+        p.p99Cycles = report.p99Cycles();
+        p.throughputRps = report.throughputRps();
+        p.dropRate = report.dropRate();
+        p.meetsSlo = meetsSlo(report, slo);
+        memo.emplace(key, log.size());
+        log.push_back(p);
+        return log.back();
+    }
+
+    /**
+     * Monotonicity spot check: probe up to spotProbes not-yet-probed
+     * sizes in [from, to], evenly spaced; true when any passes.
+     * Galloping + bisection can only ever observe fails-below-passes
+     * (they never probe above a known pass), so a violation is
+     * detectable *only* by these extra probes.
+     */
+    bool
+    spotCheckFindsPass(std::size_t combo_index, std::size_t from,
+                       std::size_t to)
+    {
+        if (to < from || planner.cfg.spotProbes == 0)
+            return false;
+        std::vector<std::size_t> unprobed;
+        for (std::size_t s = from; s <= to; ++s)
+            if (!probed(combo_index, s))
+                unprobed.push_back(s);
+        const std::size_t k =
+            std::min(planner.cfg.spotProbes, unprobed.size());
+        std::vector<std::size_t> picks;
+        for (std::size_t i = 0; i < k; ++i)
+            picks.push_back(unprobed[(i + 1) * unprobed.size() / (k + 1)]);
+        std::sort(picks.begin(), picks.end());
+        picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+        bool pass = false;
+        for (const std::size_t s : picks)
+            pass = probeAt(combo_index, s).meetsSlo || pass;
+        return pass;
+    }
+
+    /** The exact fallback: first passing size over the whole axis
+     *  (memoized probes are free), whatever the pass/fail shape. */
+    std::optional<std::size_t>
+    linearScan(std::size_t combo_index)
+    {
+        for (std::size_t s = space.minFleetSize; s <= space.maxFleetSize;
+             ++s)
+            if (probeAt(combo_index, s).meetsSlo)
+                return s;
+        return std::nullopt;
+    }
+
+    /**
+     * Cheapest passing fleet size for one combo: gallop up from
+     * minFleetSize doubling until a size passes (or maxFleetSize
+     * fails), bisect the (last fail, first pass] bracket, then spot-
+     * verify monotonicity below the candidate — and, when the gallop
+     * found no pass at all, over the whole axis before concluding
+     * infeasibility. A passing spot probe demotes the combo to a
+     * linear scan and clears `monotone`.
+     */
+    std::optional<std::size_t>
+    cheapestFleet(std::size_t combo_index, bool &monotone)
+    {
+        const std::size_t floorSize = space.minFleetSize;
+        const std::size_t ceilSize = space.maxFleetSize;
+
+        std::size_t n = floorSize;
+        std::optional<std::size_t> firstPass;
+        std::size_t lastFail = 0;
+        bool haveFail = false;
+        while (true) {
+            if (probeAt(combo_index, n).meetsSlo) {
+                firstPass = n;
+                break;
+            }
+            haveFail = true;
+            lastFail = n;
+            if (n == ceilSize)
+                break;
+            n = std::min(ceilSize, n * 2);
+        }
+        // Under the monotone assumption, maxFleetSize failing means
+        // every size fails — but that conclusion deserves the same
+        // verification a candidate gets: a non-monotone axis can pass
+        // only at sizes the gallop skipped.
+        if (!firstPass) {
+            if (spotCheckFindsPass(combo_index, floorSize, ceilSize)) {
+                monotone = false;
+                return linearScan(combo_index);
+            }
+            return std::nullopt;
+        }
+
+        std::size_t candidate = *firstPass;
+        if (haveFail) {
+            std::size_t lo = lastFail; // fails
+            std::size_t hi = candidate; // passes
+            while (hi - lo > 1) {
+                const std::size_t mid = lo + (hi - lo) / 2;
+                if (probeAt(combo_index, mid).meetsSlo)
+                    hi = mid;
+                else
+                    lo = mid;
+            }
+            candidate = hi;
+        }
+
+        // Verify the candidate: a pass below it means the monotone
+        // shortcut was unsound for this combo.
+        if (candidate > floorSize &&
+            spotCheckFindsPass(combo_index, floorSize, candidate - 1)) {
+            monotone = false;
+            return linearScan(combo_index); // a pass exists: non-empty
+        }
+        return candidate;
+    }
+
+    /** Assemble the report: cheapest fleet wins, ties to the earliest
+     *  combo; margins against the active constraints. */
+    PlanReport
+    finish(const std::vector<std::optional<std::size_t>> &per_combo,
+           bool monotone)
+    {
+        PlanReport report;
+        report.slo = slo;
+        report.exhaustiveProbes = space.gridSize();
+        report.monotoneFleetAxis = monotone;
+
+        std::optional<std::size_t> bestCombo;
+        for (std::size_t ci = 0; ci < per_combo.size(); ++ci) {
+            if (!per_combo[ci])
+                continue;
+            if (!bestCombo || *per_combo[ci] < *per_combo[*bestCombo])
+                bestCombo = ci;
+        }
+        if (bestCombo) {
+            report.feasible = true;
+            report.chosen =
+                probeAt(*bestCombo, *per_combo[*bestCombo]);
+            if (slo.maxP99Cycles > 0)
+                report.p99MarginCycles =
+                    static_cast<double>(slo.maxP99Cycles) -
+                    report.chosen.p99Cycles;
+            if (slo.minThroughputRps > 0.0)
+                report.throughputMarginRps =
+                    report.chosen.throughputRps - slo.minThroughputRps;
+        }
+        report.probes = log;
+        report.probesSpent = log.size();
+        return report;
+    }
+};
+
+// ---------------------------------------------------------------- //
+//                         CapacityPlanner                           //
+// ---------------------------------------------------------------- //
+
+CapacityPlanner::CapacityPlanner(AcceleratorConfig instance_,
+                                 const ServiceModel &model_,
+                                 std::vector<double> bucket_scales,
+                                 PlannerConfig config)
+    : instance(std::move(instance_)), model(model_),
+      bucketScales(std::move(bucket_scales)), cfg(config)
+{
+}
+
+ServingReport
+CapacityPlanner::probe(std::size_t fleet_size,
+                       const SchedulerConfig &scfg,
+                       const std::vector<Request> &trace) const
+{
+    simAssert(fleet_size > 0, "probe needs a non-empty fleet");
+    const std::vector<AcceleratorConfig> fleet(fleet_size, instance);
+    FleetScheduler sched(fleet, model, bucketScales, scfg);
+    return sched.run(trace);
+}
+
+PlanReport
+CapacityPlanner::plan(const WorkloadSpec &workload, const SloSpec &slo,
+                      const PlanSearchSpace &space) const
+{
+    validate(slo, space);
+    Search search(*this, workload, slo, space);
+    bool monotone = true;
+    std::vector<std::optional<std::size_t>> perCombo;
+    perCombo.reserve(search.combos.size());
+    for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
+        perCombo.push_back(search.cheapestFleet(ci, monotone));
+    return search.finish(perCombo, monotone);
+}
+
+PlanReport
+CapacityPlanner::planExhaustive(const WorkloadSpec &workload,
+                                const SloSpec &slo,
+                                const PlanSearchSpace &space) const
+{
+    validate(slo, space);
+    Search search(*this, workload, slo, space);
+    bool monotone = true;
+    std::vector<std::optional<std::size_t>> perCombo;
+    perCombo.reserve(search.combos.size());
+    for (std::size_t ci = 0; ci < search.combos.size(); ++ci) {
+        std::optional<std::size_t> cheapest;
+        bool seenPass = false;
+        for (std::size_t s = space.minFleetSize; s <= space.maxFleetSize;
+             ++s) {
+            const bool pass = search.probeAt(ci, s).meetsSlo;
+            if (pass && !cheapest)
+                cheapest = s;
+            // The exhaustive grid judges monotonicity exactly: a fail
+            // above any pass is a violation.
+            if (seenPass && !pass)
+                monotone = false;
+            seenPass = seenPass || pass;
+        }
+        perCombo.push_back(cheapest);
+    }
+    return search.finish(perCombo, monotone);
+}
+
+// ---------------------------------------------------------------- //
+//                         JSON surface                              //
+// ---------------------------------------------------------------- //
+
+namespace {
+
+void
+writeProbeObject(JsonWriter &w, const PlanProbe &p)
+{
+    w.beginObject();
+    w.field("fleet_size", static_cast<std::uint64_t>(p.fleetSize));
+    w.field("policy", toString(p.policy));
+    w.field("batching", p.batching);
+    w.field("target_k", p.targetK);
+    w.field("max_wait_cycles", p.maxWaitCycles);
+    w.field("map_cache", p.mapCacheOn);
+    w.field("p99_cycles", p.p99Cycles);
+    w.field("throughput_rps", p.throughputRps);
+    w.field("drop_rate", p.dropRate);
+    w.field("meets_slo", p.meetsSlo);
+    w.endObject();
+}
+
+} // namespace
+
+void
+writePlanObject(JsonWriter &w, const PlanReport &report)
+{
+    w.beginObject();
+    w.field("planner", "capacity");
+    w.field("slo_max_p99_cycles", report.slo.maxP99Cycles);
+    w.field("slo_min_throughput_rps", report.slo.minThroughputRps);
+    w.field("feasible", report.feasible);
+    w.field("monotone_fleet_axis", report.monotoneFleetAxis);
+    w.field("probes_spent", report.probesSpent);
+    w.field("exhaustive_probes", report.exhaustiveProbes);
+    w.field("p99_margin_cycles", report.p99MarginCycles);
+    w.field("throughput_margin_rps", report.throughputMarginRps);
+    w.key("chosen");
+    writeProbeObject(w, report.chosen);
+    w.key("probes").beginArray();
+    for (const PlanProbe &p : report.probes)
+        writeProbeObject(w, p);
+    w.endArray();
+    w.endObject();
+}
+
+void
+writePlanJson(std::ostream &os, const PlanReport &report)
+{
+    JsonWriter w(os);
+    writePlanObject(w, report);
+    os << '\n';
+}
+
+} // namespace pointacc

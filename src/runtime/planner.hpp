@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Capacity planner: SLO-driven fleet sizing over the serving simulator.
+ *
+ * Every component below this layer answers a *measurement* question —
+ * "what latency does THIS fleet deliver?". Operators ask the inverse,
+ * *sizing* question: "what is the cheapest fleet that meets a latency
+ * SLO for this workload?". The O(log n) discrete-event core makes a
+ * single probe (one FleetScheduler run over the workload's trace)
+ * cheap enough to search over fleet configurations instead of
+ * hand-picking 1/2/4, the way PointAcc's server-class comparison
+ * (Fig. 13) and Mesorasi's latency-vs-resource analysis hand-pick
+ * design points.
+ *
+ * The search space is one numeric axis times a small categorical
+ * cross-product:
+ *
+ *  - fleet size in [minFleetSize, maxFleetSize] (homogeneous copies
+ *    of one instance config — cost == instance count);
+ *  - admission policy (FIFO / SJF / EDF);
+ *  - batcher discipline (enabled, targetK, maxWaitCycles);
+ *  - kernel-map cache on/off.
+ *
+ * Search strategy: the categorical axes are enumerated exhaustively
+ * (they are small by construction); the fleet axis is searched with
+ * monotone galloping + bisection. At a fixed offered load, p99 and
+ * throughput are empirically monotone in fleet size — more instances
+ * never hurt the tail — so the smallest passing size can be bracketed
+ * in O(log maxFleetSize) probes. The assumption is *verified*, not
+ * trusted: after bisection lands on a candidate, up to
+ * PlannerConfig::spotProbes not-yet-probed sizes below it are probed
+ * — and when the gallop found no passing size at all, the same spot
+ * check runs over the whole axis before the combination is declared
+ * infeasible. If any spot probe passes (non-monotone tail, e.g. a
+ * bounded queue shedding the slow tail at small fleets), the planner
+ * falls back to a linear scan of the fleet axis for that combination
+ * and records the violation in PlanReport::monotoneFleetAxis. Probe
+ * results are memoized per (combination, fleet size), every probe is
+ * logged, and probe order is deterministic — equal inputs give
+ * byte-identical PlanReports.
+ *
+ * "Cheapest" means: smallest fleet size, ties broken by categorical
+ * combination order (policies, then batcher points, then cache
+ * options, in the order the search space lists them). planExhaustive
+ * runs the full grid with the same tie-break, so the two agree
+ * whenever the monotonicity assumption holds; bench_serving's plan
+ * sweep gates on exactly that agreement plus a probe budget.
+ *
+ * Invariants (fuzzed by test_runtime_properties): the chosen
+ * configuration meets the SLO when re-simulated; no logged probe with
+ * a smaller fleet size met the SLO; writePlanJson output is
+ * byte-identical across runs; probesSpent never exceeds the exhaustive
+ * grid size. Each probe goes through the virtual probe() hook — the
+ * exact call path plan() uses — so the differential tests can compare
+ * it byte-for-byte against the preserved seed engine
+ * (runtime/reference), and unit tests can inject synthetic
+ * (non-monotone) probe outcomes.
+ */
+
+#ifndef POINTACC_RUNTIME_PLANNER_HPP
+#define POINTACC_RUNTIME_PLANNER_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "core/json.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/serving_stats.hpp"
+#include "runtime/workload.hpp"
+#include "sim/accel_config.hpp"
+
+namespace pointacc {
+
+/** Service-level objective a candidate fleet must meet. Constraints
+ *  set to 0 are unconstrained; with no constraint at all every config
+ *  passes and the planner returns the cheapest grid point. */
+struct SloSpec
+{
+    /** p99 arrival->completion latency bound in cycles (0 = none). */
+    std::uint64_t maxP99Cycles = 0;
+    /** Minimum completed-requests-per-second throughput (0 = none). */
+    double minThroughputRps = 0.0;
+};
+
+/** Does `report` satisfy `slo`? (The planner's pass/fail predicate;
+ *  exposed so tests re-simulate the chosen config and re-judge it.) */
+bool meetsSlo(const ServingReport &report, const SloSpec &slo);
+
+/** One point on the batcher axis of the search space. */
+struct BatcherAxisPoint
+{
+    bool enabled = false;
+    std::uint32_t targetK = 1;
+    std::uint64_t maxWaitCycles = 0;
+};
+
+/** The planner's search space: fleet-size range x categorical axes.
+ *  `base` supplies every SchedulerConfig field not on an axis
+ *  (occupancy, queue depth, maxBatchSize, map-cache parameters). */
+struct PlanSearchSpace
+{
+    std::size_t minFleetSize = 1;
+    std::size_t maxFleetSize = 8;
+    std::vector<QueuePolicy> policies = {QueuePolicy::Fifo};
+    std::vector<BatcherAxisPoint> batchers = {BatcherAxisPoint{}};
+    std::vector<bool> mapCacheOptions = {false};
+    SchedulerConfig base;
+
+    /** Categorical combinations (policies x batchers x cache). */
+    std::size_t
+    comboCount() const
+    {
+        return policies.size() * batchers.size() * mapCacheOptions.size();
+    }
+
+    /** Size of the exhaustive grid: combos x fleet sizes. */
+    std::uint64_t
+    gridSize() const
+    {
+        return static_cast<std::uint64_t>(comboCount()) *
+               static_cast<std::uint64_t>(maxFleetSize - minFleetSize + 1);
+    }
+};
+
+/** One logged probe: a full config plus its headline outcome. */
+struct PlanProbe
+{
+    std::size_t fleetSize = 0;
+    QueuePolicy policy = QueuePolicy::Fifo;
+    bool batching = false;
+    std::uint32_t targetK = 1;
+    std::uint64_t maxWaitCycles = 0;
+    bool mapCacheOn = false;
+    double p99Cycles = 0.0;
+    double throughputRps = 0.0;
+    double dropRate = 0.0;
+    bool meetsSlo = false;
+};
+
+/** Outcome of one planning run. */
+struct PlanReport
+{
+    SloSpec slo;
+    /** At least one grid point met the SLO. */
+    bool feasible = false;
+    /** The cheapest passing configuration (zeroed when infeasible). */
+    PlanProbe chosen;
+    /** Every probe actually simulated, in probe order — the search's
+     *  frontier log. Memoized re-evaluations are not re-logged. */
+    std::vector<PlanProbe> probes;
+    /** == probes.size(); kept explicit for the JSON surface. */
+    std::uint64_t probesSpent = 0;
+    /** Full grid size — what exhaustive search would have spent. */
+    std::uint64_t exhaustiveProbes = 0;
+    /** False when a verification probe (or the exhaustive grid)
+     *  observed a smaller fleet passing where a larger one failed. */
+    bool monotoneFleetAxis = true;
+    /** SLO headroom of the chosen config (0 when the corresponding
+     *  constraint is absent or the plan is infeasible). */
+    double p99MarginCycles = 0.0;
+    double throughputMarginRps = 0.0;
+};
+
+/** The SchedulerConfig a probe describes: `space.base` with the
+ *  probe's categorical-axis values applied — the exact mapping the
+ *  planner prices configurations through, exposed so callers can
+ *  re-simulate a chosen configuration without mirroring the field
+ *  list by hand. */
+SchedulerConfig schedulerConfigFor(const PlanSearchSpace &space,
+                                   const PlanProbe &probe);
+
+/** Serialize a PlanReport (single line + '\n'; schema documented in
+ *  docs/SERVING_JSON.md, pinned by tests/test_report_golden.cpp). */
+void writePlanJson(std::ostream &os, const PlanReport &report);
+
+/** Emit the PlanReport object body into an open writer — the shared
+ *  core of writePlanJson, exposed so bench_serving can embed a plan
+ *  under a key of its own BENCH_serving.json envelope. */
+void writePlanObject(JsonWriter &w, const PlanReport &report);
+
+/** Planner knobs. */
+struct PlannerConfig
+{
+    /** Monotonicity verification: up to this many not-yet-probed fleet
+     *  sizes below the bisection candidate are probed; any passing one
+     *  triggers the linear-scan fallback. 0 trusts monotonicity. */
+    std::size_t spotProbes = 2;
+};
+
+/**
+ * Searches PlanSearchSpace for the cheapest fleet meeting an SLO.
+ * Fleets are homogeneous: `fleet_size` copies of one instance config.
+ */
+class CapacityPlanner
+{
+  public:
+    /**
+     * @param instance       config replicated per fleet member
+     * @param model          service-time oracle (outlives the planner)
+     * @param bucket_scales  the catalog's size buckets (batcher rule)
+     * @param config         search-verification knobs
+     */
+    CapacityPlanner(AcceleratorConfig instance, const ServiceModel &model,
+                    std::vector<double> bucket_scales,
+                    PlannerConfig config = {});
+
+    virtual ~CapacityPlanner() = default;
+
+    const PlannerConfig &config() const { return cfg; }
+
+    /** Gallop + bisect + verify (see file header). Deterministic:
+     *  equal inputs give byte-identical reports. */
+    PlanReport plan(const WorkloadSpec &workload, const SloSpec &slo,
+                    const PlanSearchSpace &space) const;
+
+    /** Probe every grid point (probesSpent == gridSize()) with the
+     *  same tie-break — the oracle the plan sweep gates against. */
+    PlanReport planExhaustive(const WorkloadSpec &workload,
+                              const SloSpec &slo,
+                              const PlanSearchSpace &space) const;
+
+    /**
+     * One probe: serve `trace` on `fleet_size` copies of the instance
+     * config under `scfg`. This is the exact call path plan() prices
+     * configurations through; virtual so tests can (a) compare it
+     * against runServingReference byte-for-byte and (b) inject
+     * synthetic outcomes to exercise the non-monotone fallback.
+     */
+    virtual ServingReport probe(std::size_t fleet_size,
+                                const SchedulerConfig &scfg,
+                                const std::vector<Request> &trace) const;
+
+  private:
+    struct Search;
+
+    AcceleratorConfig instance;
+    const ServiceModel &model;
+    std::vector<double> bucketScales;
+    PlannerConfig cfg;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_RUNTIME_PLANNER_HPP

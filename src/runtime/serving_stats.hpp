@@ -135,6 +135,11 @@ struct ServingReport
     double p99Ms() const { return cyclesToMs(latencyCycles.percentile(0.99)); }
     double meanMs() const { return cyclesToMs(latencyCycles.mean()); }
 
+    /** p99 latency in cycles — the unit SLOs are written in (the
+     *  capacity planner compares it against SloSpec::maxP99Cycles
+     *  without a frequency conversion). */
+    double p99Cycles() const { return latencyCycles.percentile(0.99); }
+
     /** Completed requests per second of simulated time. */
     double
     throughputRps() const

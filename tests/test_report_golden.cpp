@@ -11,6 +11,10 @@
  *  - round-trip checks on every numeric token: parse with strtod and
  *    re-format; the writer's %.6g output must be stable under a
  *    parse/print cycle so archived benchmark JSON diffs cleanly.
+ *
+ * The capacity planner's dump (writePlanJson) is pinned the same two
+ * ways; its schema lives next to the serving schema in
+ * docs/SERVING_JSON.md and is held there by the same CI grep.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/planner.hpp"
 #include "runtime/serving_stats.hpp"
 #include "sim/accelerator.hpp"
 #include "sim/report.hpp"
@@ -92,6 +97,43 @@ fixedServingReport()
     usage.batches = 2;
     usage.requests = 4;
     report.accelerators.push_back(usage);
+    return report;
+}
+
+PlanReport
+fixedPlanReport()
+{
+    PlanReport report;
+    report.slo.maxP99Cycles = 2000;
+    report.slo.minThroughputRps = 0.0;
+    report.feasible = true;
+    report.monotoneFleetAxis = true;
+    report.probesSpent = 2;
+    report.exhaustiveProbes = 8;
+    report.p99MarginCycles = 499.5;
+    report.throughputMarginRps = 0.0;
+
+    PlanProbe miss;
+    miss.fleetSize = 1;
+    miss.policy = QueuePolicy::Fifo;
+    miss.batching = false;
+    miss.targetK = 1;
+    miss.maxWaitCycles = 0;
+    miss.mapCacheOn = false;
+    miss.p99Cycles = 3200.0;
+    miss.throughputRps = 1250.0;
+    miss.dropRate = 0.25;
+    miss.meetsSlo = false;
+
+    PlanProbe hit = miss;
+    hit.fleetSize = 2;
+    hit.p99Cycles = 1500.5;
+    hit.throughputRps = 2500.0;
+    hit.dropRate = 0.0;
+    hit.meetsSlo = true;
+
+    report.chosen = hit;
+    report.probes = {miss, hit};
     return report;
 }
 
@@ -183,6 +225,55 @@ TEST(ReportGolden, ServingJsonMatchesGolden)
         "\"backend_utilization\":0.45}]}\n";
     EXPECT_EQ(os.str(), expected);
     checkNumericRoundTrip(os.str());
+}
+
+TEST(ReportGolden, PlanJsonMatchesGolden)
+{
+    std::ostringstream os;
+    writePlanJson(os, fixedPlanReport());
+    const std::string expected =
+        "{\"planner\":\"capacity\",\"slo_max_p99_cycles\":2000,"
+        "\"slo_min_throughput_rps\":0,\"feasible\":true,"
+        "\"monotone_fleet_axis\":true,\"probes_spent\":2,"
+        "\"exhaustive_probes\":8,\"p99_margin_cycles\":499.5,"
+        "\"throughput_margin_rps\":0,"
+        "\"chosen\":{\"fleet_size\":2,\"policy\":\"fifo\","
+        "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
+        "\"map_cache\":false,\"p99_cycles\":1500.5,"
+        "\"throughput_rps\":2500,\"drop_rate\":0,\"meets_slo\":true},"
+        "\"probes\":[{\"fleet_size\":1,\"policy\":\"fifo\","
+        "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
+        "\"map_cache\":false,\"p99_cycles\":3200,"
+        "\"throughput_rps\":1250,\"drop_rate\":0.25,"
+        "\"meets_slo\":false},{\"fleet_size\":2,\"policy\":\"fifo\","
+        "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
+        "\"map_cache\":false,\"p99_cycles\":1500.5,"
+        "\"throughput_rps\":2500,\"drop_rate\":0,"
+        "\"meets_slo\":true}]}\n";
+    EXPECT_EQ(os.str(), expected);
+    checkNumericRoundTrip(os.str());
+}
+
+TEST(ReportGolden, PlanJsonSchemaKeysPresent)
+{
+    std::ostringstream os;
+    writePlanJson(os, fixedPlanReport());
+    const std::string json = os.str();
+    const std::vector<std::string> keys = {
+        "planner",            "slo_max_p99_cycles",
+        "slo_min_throughput_rps", "feasible",
+        "monotone_fleet_axis", "probes_spent",
+        "exhaustive_probes",  "p99_margin_cycles",
+        "throughput_margin_rps", "chosen",
+        "probes",             "fleet_size",
+        "policy",             "batching",
+        "target_k",           "max_wait_cycles",
+        "map_cache",          "p99_cycles",
+        "throughput_rps",     "drop_rate",
+        "meets_slo"};
+    for (const auto &key : keys)
+        EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos)
+            << "missing key: " << key;
 }
 
 TEST(ReportGolden, ServingJsonSchemaKeysPresent)

@@ -16,6 +16,7 @@
 #include "nn/zoo.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/map_cache.hpp"
+#include "runtime/planner.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
@@ -1107,6 +1108,250 @@ TEST(FleetScheduler, MapCacheMonolithicPublishesAtRunCompletion)
     const auto report = sched.run({r0, r1, r2});
     EXPECT_EQ(report.mapCache.misses, 2u); // r0, and r1 mid-run
     EXPECT_EQ(report.mapCache.hits, 1u);   // r2, after publication
+}
+
+// ---------------------------------------------------------------- //
+//                        Capacity planner                           //
+// ---------------------------------------------------------------- //
+
+/** Tiny workload for planner tests whose probes never read the trace
+ *  (TablePlanner below) or only need a handful of requests. */
+WorkloadSpec
+plannerSpec()
+{
+    WorkloadSpec spec;
+    spec.seed = 5;
+    spec.requestsPerMCycle = 20.0;
+    spec.horizonCycles = 500'000;
+    spec.mix = {{0, 0, 1.0, 0}};
+    return spec;
+}
+
+/**
+ * Planner with a scripted fleet axis: probe(n) passes the SLO (p99
+ * 500 against a 1000-cycle bound) iff `pass[n]` — the seam that lets
+ * the search logic, including the non-monotone fallback, be tested
+ * against exact pass/fail shapes no real workload reproduces on
+ * demand. Also logs every probed size, duplicates included, to prove
+ * the memoization claim (probesSpent counts simulations, and repeat
+ * evaluations never re-simulate).
+ */
+class TablePlanner : public CapacityPlanner
+{
+  public:
+    TablePlanner(const ServiceModel &model, std::vector<bool> pass_by_fleet)
+        : CapacityPlanner(pointAccConfig(), model, {1.0, 2.0},
+                          PlannerConfig{4}),
+          pass(std::move(pass_by_fleet))
+    {
+    }
+
+    ServingReport
+    probe(std::size_t fleet_size, const SchedulerConfig &,
+          const std::vector<Request> &) const override
+    {
+        probedSizes.push_back(fleet_size);
+        const bool ok = fleet_size < pass.size() && pass[fleet_size];
+        ServingReport r;
+        r.horizonCycles = 1'000'000;
+        r.completed = 1;
+        r.latencyCycles.record(ok ? 500.0 : 5000.0);
+        return r;
+    }
+
+    std::vector<bool> pass; ///< indexed by fleet size
+    mutable std::vector<std::size_t> probedSizes;
+};
+
+SloSpec
+p99Slo(std::uint64_t max_cycles)
+{
+    SloSpec slo;
+    slo.maxP99Cycles = max_cycles;
+    return slo;
+}
+
+PlanSearchSpace
+fleetOnlySpace(std::size_t max_fleet)
+{
+    PlanSearchSpace space;
+    space.minFleetSize = 1;
+    space.maxFleetSize = max_fleet;
+    return space;
+}
+
+TEST(CapacityPlanner, GallopAndBisectFindTheCheapestMonotoneFleet)
+{
+    const FixedServiceModel model(1000);
+    // Fleet sizes 1..8; 5 is the smallest passing size.
+    std::vector<bool> pass(9, true);
+    for (std::size_t n = 1; n <= 4; ++n)
+        pass[n] = false;
+    const TablePlanner planner(model, pass);
+
+    const auto report =
+        planner.plan(plannerSpec(), p99Slo(1000), fleetOnlySpace(8));
+    ASSERT_TRUE(report.feasible);
+    EXPECT_EQ(report.chosen.fleetSize, 5u);
+    EXPECT_TRUE(report.chosen.meetsSlo);
+    EXPECT_TRUE(report.monotoneFleetAxis);
+    // Gallop 1,2,4,8 + bisect 6,5 + one spot probe (3): strictly
+    // fewer than the 8-point axis, and every probe simulated once.
+    EXPECT_LT(report.probesSpent, report.exhaustiveProbes);
+    EXPECT_EQ(report.probesSpent, planner.probedSizes.size());
+    for (const auto &p : report.probes)
+        EXPECT_FALSE(p.fleetSize < report.chosen.fleetSize && p.meetsSlo);
+}
+
+TEST(CapacityPlanner, NonMonotoneFleetAxisFallsBackToLinearScan)
+{
+    const FixedServiceModel model(1000);
+    // Pass at 3, fail at 4 and 5, pass from 6 up: bisection alone
+    // would land on 6; the spot verification must catch 3.
+    std::vector<bool> pass(9, false);
+    pass[3] = true;
+    for (std::size_t n = 6; n <= 8; ++n)
+        pass[n] = true;
+    const TablePlanner planner(model, pass);
+
+    const auto report =
+        planner.plan(plannerSpec(), p99Slo(1000), fleetOnlySpace(8));
+    ASSERT_TRUE(report.feasible);
+    EXPECT_EQ(report.chosen.fleetSize, 3u);
+    EXPECT_FALSE(report.monotoneFleetAxis);
+    EXPECT_LE(report.probesSpent, report.exhaustiveProbes);
+    for (const auto &p : report.probes)
+        EXPECT_FALSE(p.fleetSize < report.chosen.fleetSize && p.meetsSlo);
+
+    // The exhaustive oracle agrees on the pick and detects the same
+    // violation from the full grid.
+    const auto grid = planner.planExhaustive(plannerSpec(), p99Slo(1000),
+                                             fleetOnlySpace(8));
+    EXPECT_EQ(grid.chosen.fleetSize, 3u);
+    EXPECT_FALSE(grid.monotoneFleetAxis);
+    EXPECT_EQ(grid.probesSpent, grid.exhaustiveProbes);
+}
+
+TEST(CapacityPlanner, InfeasibleSpaceIsReportedNotInvented)
+{
+    const FixedServiceModel model(1000);
+    const TablePlanner planner(model, std::vector<bool>(9, false));
+    const auto report =
+        planner.plan(plannerSpec(), p99Slo(1000), fleetOnlySpace(8));
+    EXPECT_FALSE(report.feasible);
+    EXPECT_EQ(report.chosen.fleetSize, 0u);
+    EXPECT_EQ(report.p99MarginCycles, 0.0);
+    EXPECT_TRUE(report.monotoneFleetAxis);
+    // Gallop (1, 2, 4, 8) plus the infeasibility spot check over the
+    // sizes it skipped (3, 5, 6, 7 at this planner's spot budget).
+    EXPECT_EQ(report.probesSpent, 8u);
+    EXPECT_LE(report.probesSpent, report.exhaustiveProbes);
+}
+
+TEST(CapacityPlanner, PassOnlyAtASizeTheGallopSkippedIsStillFound)
+{
+    const FixedServiceModel model(1000);
+    // The SLO passes only at fleet 3 — a size galloping (1, 2, 4, 8)
+    // never touches. The infeasibility conclusion must be verified
+    // like a candidate: the spot check finds 3, flags the axis
+    // non-monotone and the linear fallback returns the true optimum
+    // instead of inventing "infeasible".
+    std::vector<bool> pass(9, false);
+    pass[3] = true;
+    const TablePlanner planner(model, pass);
+
+    const auto report =
+        planner.plan(plannerSpec(), p99Slo(1000), fleetOnlySpace(8));
+    ASSERT_TRUE(report.feasible);
+    EXPECT_EQ(report.chosen.fleetSize, 3u);
+    EXPECT_FALSE(report.monotoneFleetAxis);
+    EXPECT_LE(report.probesSpent, report.exhaustiveProbes);
+
+    const auto grid = planner.planExhaustive(plannerSpec(), p99Slo(1000),
+                                             fleetOnlySpace(8));
+    EXPECT_EQ(grid.chosen.fleetSize, report.chosen.fleetSize);
+    EXPECT_FALSE(grid.monotoneFleetAxis);
+}
+
+TEST(CapacityPlanner, CategoricalAxesTieBreakToEarlierCombos)
+{
+    const FixedServiceModel model(1000);
+    // Every size from 2 passes for every combo: the fleet tie must
+    // resolve to the first combo in axis order (FIFO before EDF,
+    // cache off before on).
+    std::vector<bool> pass(5, true);
+    pass[1] = false;
+    const TablePlanner planner(model, pass);
+
+    PlanSearchSpace space = fleetOnlySpace(4);
+    space.policies = {QueuePolicy::Fifo, QueuePolicy::Edf};
+    space.mapCacheOptions = {false, true};
+    const auto report =
+        planner.plan(plannerSpec(), p99Slo(1000), space);
+    ASSERT_TRUE(report.feasible);
+    EXPECT_EQ(report.chosen.fleetSize, 2u);
+    EXPECT_EQ(report.chosen.policy, QueuePolicy::Fifo);
+    EXPECT_FALSE(report.chosen.mapCacheOn);
+
+    const auto grid = planner.planExhaustive(plannerSpec(),
+                                             p99Slo(1000), space);
+    EXPECT_EQ(grid.chosen.fleetSize, report.chosen.fleetSize);
+    EXPECT_EQ(grid.chosen.policy, report.chosen.policy);
+    EXPECT_EQ(grid.chosen.mapCacheOn, report.chosen.mapCacheOn);
+}
+
+TEST(CapacityPlanner, RespectsAFleetRangeFloorAboveOne)
+{
+    const FixedServiceModel model(1000);
+    // Range [3, 20], smallest passing size 8: the gallop must start
+    // at the floor (3, 6, 12, 20...), never probe below it, and the
+    // bisection must still land exactly.
+    std::vector<bool> pass(21, true);
+    for (std::size_t n = 0; n <= 7; ++n)
+        pass[n] = false;
+    const TablePlanner planner(model, pass);
+
+    PlanSearchSpace space;
+    space.minFleetSize = 3;
+    space.maxFleetSize = 20;
+    const auto report =
+        planner.plan(plannerSpec(), p99Slo(1000), space);
+    ASSERT_TRUE(report.feasible);
+    EXPECT_EQ(report.chosen.fleetSize, 8u);
+    EXPECT_TRUE(report.monotoneFleetAxis);
+    for (const auto &p : report.probes) {
+        EXPECT_GE(p.fleetSize, 3u);
+        EXPECT_LE(p.fleetSize, 20u);
+    }
+    EXPECT_LT(report.probesSpent, report.exhaustiveProbes);
+}
+
+TEST(CapacityPlanner, RealProbeMeetsItsOwnReSimulation)
+{
+    // End to end on the real probe path: plan over a fixed-cost
+    // model, then re-run the chosen configuration through a fresh
+    // FleetScheduler and check the planner's recorded numbers.
+    const FixedServiceModel model(40'000, 5'000);
+    CapacityPlanner planner(pointAccConfig(), model, {1.0, 2.0});
+
+    WorkloadSpec spec;
+    spec.seed = 17;
+    spec.requestsPerMCycle = 40.0;
+    spec.horizonCycles = 2'000'000;
+    spec.mix = {{0, 0, 2.0, 0}, {1, 1, 1.0, 0}};
+
+    PlanSearchSpace space = fleetOnlySpace(6);
+    const SloSpec slo = p99Slo(300'000);
+    const auto report = planner.plan(spec, slo, space);
+    ASSERT_TRUE(report.feasible);
+
+    const auto rerun =
+        planner.probe(report.chosen.fleetSize,
+                      schedulerConfigFor(space, report.chosen),
+                      WorkloadGenerator(spec).generate());
+    EXPECT_TRUE(meetsSlo(rerun, slo));
+    EXPECT_EQ(rerun.p99Cycles(), report.chosen.p99Cycles);
+    EXPECT_EQ(rerun.throughputRps(), report.chosen.throughputRps);
 }
 
 // ---------------------------------------------------------------- //

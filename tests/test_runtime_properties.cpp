@@ -32,7 +32,13 @@
  * report-for-report over fuzzed scenarios, pop-for-pop between the
  * indexed admission queue and the seed's linear queue (ties included),
  * and draw-for-draw between the streaming workload generator and a
- * replica of the seed's materializing one.
+ * replica of the seed's materializing one. The capacity planner's
+ * probe path is a further consumer of the production engine and is
+ * held to the same bar (probe-vs-reference byte identity), plus four
+ * planner-level invariants over ~60 seeded workloads: the chosen
+ * config meets the SLO when re-simulated, no cheaper fleet size in
+ * the probe log met it, plan output is byte-identical across runs,
+ * and probes spent never exceed the exhaustive grid size.
  *
  * A scale tier (10^5-request traces, plus a 10^6-request generator
  * memory check) runs only when the binary is invoked with `--scale`
@@ -49,6 +55,8 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "nn/zoo.hpp"
+#include "runtime/planner.hpp"
 #include "runtime/reference.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
@@ -609,6 +617,222 @@ TEST(RuntimeProperties, StreamBuffersOnlyInFlightRequests)
     EXPECT_GT(stream.emitted(), 50'000u);
     EXPECT_LT(stream.peakBuffered(), 4'096u);
     EXPECT_LT(stream.peakBuffered(), stream.emitted() / 20);
+}
+
+// ---------------------------------------------------------------- //
+//                        Capacity planner                           //
+// ---------------------------------------------------------------- //
+
+/** Rebuild the SchedulerConfig a PlanProbe describes (the mirror of
+ *  the planner's combo-to-config mapping, kept here so a drift between
+ *  the two would fail the re-simulation invariant loudly). */
+SchedulerConfig
+configOfProbe(const PlanSearchSpace &space, const PlanProbe &probe)
+{
+    SchedulerConfig scfg = space.base;
+    scfg.policy = probe.policy;
+    scfg.batcher.enabled = probe.batching;
+    scfg.batcher.targetK = probe.targetK;
+    scfg.batcher.maxWaitCycles = probe.maxWaitCycles;
+    scfg.mapCache.enabled = probe.mapCacheOn;
+    return scfg;
+}
+
+TEST(PlannerProperties, SeededWorkloadsHoldAllFourInvariants)
+{
+    // ~60 seeded (workload, search space, SLO) scenarios. The SLO is
+    // calibrated off the best fleet's p99 and randomly tightened or
+    // loosened, so the sweep mixes comfortably-feasible, tight and
+    // infeasible plans.
+    for (std::uint64_t seed = 500; seed < 560; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+
+        PlanSearchSpace space;
+        space.minFleetSize = 1;
+        space.maxFleetSize = 4 + rng.range(5); // 4..8
+        space.policies = {QueuePolicy::Fifo};
+        if (rng.range(2) == 0)
+            space.policies.push_back(QueuePolicy::Sjf);
+        space.batchers = {BatcherAxisPoint{}};
+        if (rng.range(2) == 0)
+            space.batchers.push_back(
+                BatcherAxisPoint{true, 1 + static_cast<std::uint32_t>(
+                                           rng.range(3)),
+                                 rng.range(200'000)});
+        space.mapCacheOptions = {false};
+        if (rng.range(2) == 0)
+            space.mapCacheOptions.push_back(true);
+        space.base.queueDepth = 64 + rng.range(200);
+        space.base.mapCache.capacityEntries = 1 + rng.range(64);
+        space.base.mapCache.hitReadCycles = rng.range(40'000);
+
+        const CapacityPlanner planner(pointAccConfig(), model,
+                                      {1.0, 2.0});
+        const auto trace = WorkloadGenerator(spec).generate();
+        const auto atMax =
+            planner.probe(space.maxFleetSize, space.base, trace);
+        SloSpec slo;
+        slo.maxP99Cycles = 1 + static_cast<std::uint64_t>(
+                                   atMax.p99Cycles() *
+                                   rng.uniform(0.8, 3.0));
+        if (rng.range(3) == 0)
+            slo.minThroughputRps =
+                atMax.throughputRps() * rng.uniform(0.5, 1.1);
+
+        const auto report = planner.plan(spec, slo, space);
+
+        // (d) probe accounting: never more than the exhaustive grid,
+        // and the log is the spend.
+        EXPECT_LE(report.probesSpent, report.exhaustiveProbes);
+        EXPECT_EQ(report.probesSpent, report.probes.size());
+        EXPECT_EQ(report.exhaustiveProbes, space.gridSize());
+
+        // (c) determinism: a second plan is byte-identical.
+        const auto again = planner.plan(spec, slo, space);
+        std::ostringstream first, second;
+        writePlanJson(first, report);
+        writePlanJson(second, again);
+        ASSERT_EQ(first.str(), second.str());
+
+        if (!report.feasible) {
+            EXPECT_EQ(report.chosen.fleetSize, 0u);
+            continue;
+        }
+
+        // (a) the chosen config actually meets the SLO when re-built
+        // from the report and re-simulated from scratch.
+        const auto rerun =
+            planner.probe(report.chosen.fleetSize,
+                          configOfProbe(space, report.chosen), trace);
+        EXPECT_TRUE(meetsSlo(rerun, slo));
+        EXPECT_EQ(rerun.p99Cycles(), report.chosen.p99Cycles);
+        EXPECT_EQ(rerun.throughputRps(), report.chosen.throughputRps);
+
+        // (b) no cheaper fleet size anywhere in the probe log met the
+        // SLO — the pick is minimal over everything actually measured.
+        for (const auto &p : report.probes)
+            EXPECT_FALSE(p.fleetSize < report.chosen.fleetSize &&
+                         p.meetsSlo)
+                << "cheaper passing probe at fleet " << p.fleetSize;
+
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+TEST(RuntimeEquivalence, PlannerProbeMatchesSeedEngineByteForByte)
+{
+    // The planner prices configurations through probe() — a new call
+    // path into the production engine. Extend the PR-4 equivalence
+    // harness to it: on small configs spanning the policy, batching
+    // and cache axes, the probe's serving JSON must match the
+    // preserved seed engine byte for byte.
+    const RandomPhasedServiceModel model(11);
+    const CapacityPlanner planner(pointAccConfig(), model, {1.0, 2.0});
+    Rng rng(0xfeedULL);
+    const auto spec = randomSpec(rng, 11);
+    const auto trace = WorkloadGenerator(spec).generate();
+
+    struct Case
+    {
+        std::size_t fleetSize;
+        SchedulerConfig scfg;
+    };
+    std::vector<Case> cases(3);
+    cases[0].fleetSize = 1;
+    cases[1].fleetSize = 2;
+    cases[1].scfg.policy = QueuePolicy::Sjf;
+    cases[1].scfg.batcher.enabled = true;
+    cases[2].fleetSize = 3;
+    cases[2].scfg.policy = QueuePolicy::Edf;
+    cases[2].scfg.mapCache.enabled = true;
+    cases[2].scfg.mapCache.capacityEntries = 32;
+    cases[2].scfg.mapCache.hitReadCycles = 4'000;
+
+    for (const auto &c : cases) {
+        SCOPED_TRACE("fleet " + std::to_string(c.fleetSize));
+        const auto viaPlanner = planner.probe(c.fleetSize, c.scfg, trace);
+        const std::vector<AcceleratorConfig> fleet(c.fleetSize,
+                                                   pointAccConfig());
+        const auto reference = runServingReference(
+            fleet, model, {1.0, 2.0}, c.scfg, trace);
+        ASSERT_EQ(servingJsonOf(viaPlanner), servingJsonOf(reference));
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                   Bench row-order independence                    //
+// ---------------------------------------------------------------- //
+
+TEST(RuntimeProperties, BenchRowJsonIsIndependentOfRowOrder)
+{
+    // bench_serving runs many sweep rows in one process, sharing only
+    // the SimServiceModel (whose memoized profiles are pure values);
+    // workload generators, schedulers and reports are rebuilt per
+    // row. Pin that contract: serving three scenario rows forward,
+    // reversed, and against per-row fresh models must produce the
+    // same per-scenario JSON — any state leaking between rows (stats
+    // not reset, an RNG not reseeded, a poisoned profile cache) shows
+    // up as an order-dependent row.
+    ServingCatalog catalog;
+    catalog.networks = {pointNet()};
+    catalog.bucketScales = {0.03, 0.06};
+
+    struct Scenario
+    {
+        WorkloadSpec spec;
+        SchedulerConfig scfg;
+        std::size_t fleetSize;
+    };
+    std::vector<Scenario> scenarios(3);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        auto &s = scenarios[i];
+        s.spec.seed = 900 + i;
+        s.spec.requestsPerMCycle = 20.0 + 10.0 * static_cast<double>(i);
+        s.spec.horizonCycles = 1'500'000;
+        s.spec.mix = {{0, 0, 2.0, 0, 0, 0.5}, {0, 1, 1.0, 0, 1, 0.0}};
+        s.fleetSize = 1 + i % 2;
+    }
+    scenarios[0].scfg.policy = QueuePolicy::Fifo;
+    scenarios[1].scfg.policy = QueuePolicy::Sjf;
+    scenarios[1].scfg.batcher.enabled = true;
+    scenarios[2].scfg.policy = QueuePolicy::Fifo;
+    scenarios[2].scfg.mapCache.enabled = true;
+    scenarios[2].scfg.mapCache.capacityEntries = 64;
+    scenarios[2].scfg.mapCache.hitReadCycles = 2'000;
+
+    const auto runRow = [&](const SimServiceModel &model,
+                            const Scenario &s) {
+        const std::vector<AcceleratorConfig> fleet(s.fleetSize,
+                                                   pointAccConfig());
+        FleetScheduler sched(fleet, model, catalog.bucketScales, s.scfg);
+        return servingJsonOf(
+            sched.run(WorkloadGenerator(s.spec).generate()));
+    };
+
+    std::vector<std::string> forward(3), reversed(3), isolated(3);
+    {
+        const SimServiceModel model(catalog);
+        for (std::size_t i = 0; i < scenarios.size(); ++i)
+            forward[i] = runRow(model, scenarios[i]);
+    }
+    {
+        const SimServiceModel model(catalog);
+        for (std::size_t i = scenarios.size(); i-- > 0;)
+            reversed[i] = runRow(model, scenarios[i]);
+    }
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const SimServiceModel model(catalog);
+        isolated[i] = runRow(model, scenarios[i]);
+    }
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        SCOPED_TRACE("scenario " + std::to_string(i));
+        EXPECT_EQ(forward[i], reversed[i]);
+        EXPECT_EQ(forward[i], isolated[i]);
+    }
 }
 
 // ---------------------------------------------------------------- //
