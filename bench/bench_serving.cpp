@@ -28,14 +28,26 @@
  *     exhaustive-search optimum while spending strictly fewer probes,
  *     within a fixed probe budget. `--smoke` shrinks this sweep to a
  *     2-probe exhaustive micro-grid for the sanitized CI pass.
+ *  8. traffic programs (`--sweep traffic`, opt-in like plan): a
+ *     flash-crowd program (runtime/traffic) is sized by the
+ *     CapacityPlanner, then replayed against (a) that static fleet
+ *     and (b) the reactive autoscaler (runtime/autoscaler) starting
+ *     from a one-instance floor. Gates: the planner's fleet holds its
+ *     p99 SLO through the crowd, the autoscaler scales up at least
+ *     once and converges (no scale action in the final 10% of the
+ *     horizon), and its powered-instance-cycle total undercuts static
+ *     provisioning — quantifying exactly what static sizing buys.
+ *     `--smoke` shrinks it to structural checks for the sanitized
+ *     pass.
  *
  * Results print as a table and are dumped to BENCH_serving.json for
  * the machine-readable perf trajectory (a `plan` object is appended
- * when the plan sweep ran). `--sweep <name>` (fleet, policy,
- * batching, pipeline, wait-for-k, cache, plan, all) restricts the
- * run — CI uses `--sweep cache --quick` for the sanitized pass —
- * and `--quick` shrinks the arrival horizon. The exit code reflects
- * only the acceptance gates of the sweeps that actually ran.
+ * when the plan sweep ran, a `traffic` object when the traffic sweep
+ * ran). `--sweep <name>` (fleet, policy, batching, pipeline,
+ * wait-for-k, cache, plan, traffic, all) restricts the run — CI uses
+ * `--sweep cache --quick` for the sanitized pass — and `--quick`
+ * shrinks the arrival horizon. The exit code reflects only the
+ * acceptance gates of the sweeps that actually ran.
  *
  * State hygiene: every sweep derives its WorkloadSpec from one const
  * `base` and owns its mutations locally; the only object shared
@@ -56,6 +68,7 @@
 #include "runtime/planner.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
+#include "runtime/traffic.hpp"
 #include "runtime/workload.hpp"
 #include "sim/accel_config.hpp"
 
@@ -167,9 +180,25 @@ printRow(const Row &r)
         r.report.batchSize.mean(), hit);
 }
 
+/** Headline numbers of the traffic sweep's static-vs-autoscaler
+ *  comparison, serialized as the `traffic` envelope object. */
+struct TrafficComparison
+{
+    std::string program;
+    std::uint64_t sloP99Cycles = 0;
+    std::size_t staticFleetSize = 0;
+    std::uint64_t staticInstanceCycles = 0;
+    std::uint64_t autoscalerInstanceCycles = 0;
+    std::int64_t instanceCyclesSaved = 0;
+    std::uint64_t scaleUps = 0;
+    std::uint64_t scaleDowns = 0;
+    bool staticMeetsSlo = false;
+    bool converged = false;
+};
+
 void
 writeRows(std::ostream &os, const std::vector<Row> &rows,
-          const PlanReport *plan)
+          const PlanReport *plan, const TrafficComparison *traffic)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -208,6 +237,22 @@ writeRows(std::ostream &os, const std::vector<Row> &rows,
     if (plan != nullptr) {
         w.key("plan");
         writePlanObject(w, *plan);
+    }
+    if (traffic != nullptr) {
+        w.key("traffic").beginObject();
+        w.field("program", traffic->program);
+        w.field("slo_p99_cycles", traffic->sloP99Cycles);
+        w.field("static_fleet_size",
+                static_cast<std::uint64_t>(traffic->staticFleetSize));
+        w.field("static_instance_cycles", traffic->staticInstanceCycles);
+        w.field("autoscaler_instance_cycles",
+                traffic->autoscalerInstanceCycles);
+        w.field("instance_cycles_saved", traffic->instanceCyclesSaved);
+        w.field("scale_ups", traffic->scaleUps);
+        w.field("scale_downs", traffic->scaleDowns);
+        w.field("static_meets_slo", traffic->staticMeetsSlo);
+        w.field("converged", traffic->converged);
+        w.endObject();
     }
     w.endObject();
     os << '\n';
@@ -262,7 +307,8 @@ main(int argc, char **argv)
     static const char *const kSweeps[] = {"all",      "fleet",
                                           "policy",   "batching",
                                           "pipeline", "wait-for-k",
-                                          "cache",    "plan"};
+                                          "cache",    "plan",
+                                          "traffic"};
     bool knownSweep = false;
     for (const char *const s : kSweeps)
         knownSweep = knownSweep || sweepSel == s;
@@ -270,13 +316,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "error: unknown --sweep '%s' (expected fleet, "
                      "policy, batching, pipeline, wait-for-k, cache, "
-                     "plan or all)\n",
+                     "plan, traffic or all)\n",
                      sweepSel.c_str());
         return 2;
     }
-    if (smoke && sweepSel != "plan") {
-        std::fprintf(stderr,
-                     "error: --smoke applies to --sweep plan only\n");
+    if (smoke && sweepSel != "plan" && sweepSel != "traffic") {
+        std::fprintf(stderr, "error: --smoke applies to --sweep plan "
+                             "or --sweep traffic only\n");
         return 2;
     }
     const auto selected = [&](const char *name) {
@@ -284,8 +330,10 @@ main(int argc, char **argv)
     };
     // The plan sweep runs a planner *and* its exhaustive cross-check
     // grid (dozens of extra serving runs), so it is opt-in rather
-    // than part of `all`; CI invokes it explicitly.
+    // than part of `all`; CI invokes it explicitly. The traffic sweep
+    // is opt-in for the same reason (it runs its own planner search).
     const bool planSelected = sweepSel == "plan";
+    const bool trafficSelected = sweepSel == "traffic";
 
     bench::banner("Serving runtime: fleets of PointAcc under open load",
                   "runtime/ subsystem (beyond the paper)");
@@ -556,6 +604,152 @@ main(int argc, char **argv)
         bench::rule(122);
     }
 
+    // Sweep 8 (`--sweep traffic`, opt-in): the closed loop. A flash
+    // crowd (6x the base rate over 20% of the horizon) is sized by
+    // the CapacityPlanner, then the same program runs against (a) the
+    // planner's static fleet and (b) the reactive autoscaler starting
+    // from one instance — static capacity vs reactive cost, on one
+    // trace.
+    TrafficComparison trafficCmp;
+    SloSpec trafficSlo;
+    ServingReport trafficStaticRep;
+    ServingReport trafficAutoRep;
+    std::uint64_t trafficHorizon = 0;
+    bool trafficRan = false;
+    if (trafficSelected) {
+        WorkloadSpec tbase = frozenBase;
+        tbase.horizonCycles = smoke     ? 6'000'000
+                              : (quick ? 60'000'000 : 200'000'000);
+        tbase.requestsPerMCycle = 0.6 * capacityPerMCycle;
+        trafficHorizon = tbase.horizonCycles;
+        const TrafficProgram program =
+            flashCrowdProgram(tbase, 6.0, 0.3, 0.2);
+
+        CapacityPlanner planner(pointAccConfig(), model,
+                                model.catalog().bucketScales);
+        PlanSearchSpace space;
+        space.minFleetSize = 1;
+        space.maxFleetSize = 8;
+        space.base = makeConfig(QueuePolicy::Fifo, false);
+
+        // SLO calibrated off the most provisioned point with 25%
+        // slack: feasible inside the range, but the crowd makes it
+        // unreachable for an undersized fleet.
+        TrafficTelemetry telem;
+        const auto trace = materialize(program, &telem);
+        const auto calib =
+            planner.probe(space.maxFleetSize, space.base, trace);
+        trafficSlo.maxP99Cycles =
+            static_cast<std::uint64_t>(1.25 * calib.p99Cycles()) + 1;
+
+        const PlanReport sized =
+            planner.plan(program, trafficSlo, space);
+        const std::size_t staticN =
+            sized.feasible ? sized.chosen.fleetSize : space.maxFleetSize;
+
+        std::printf("traffic: %s %.2f -> %.2f req/Mcycle over %llu "
+                    "Mcycles, SLO p99 <= %.3f ms, planner fleet %zu "
+                    "(%s)\n",
+                    program.name.c_str(), telem.basePerMCycle,
+                    telem.peakPerMCycle,
+                    static_cast<unsigned long long>(
+                        tbase.horizonCycles / 1'000'000),
+                    static_cast<double>(trafficSlo.maxP99Cycles) /
+                        (pointAccConfig().freqGHz * 1e6),
+                    staticN, sized.feasible ? "feasible" : "infeasible");
+
+        // (a) The static fleet the planner sized, over the program's
+        // materialized trace.
+        const SchedulerConfig staticCfg =
+            schedulerConfigFor(space, sized.chosen);
+        {
+            std::vector<AcceleratorConfig> fleet(staticN,
+                                                 pointAccConfig());
+            FleetScheduler sched(fleet, model,
+                                 model.catalog().bucketScales,
+                                 staticCfg);
+            trafficStaticRep = sched.run(trace);
+            trafficStaticRep.traffic = telem;
+        }
+
+        // (b) The autoscaler over the same pool, starting from one
+        // instance, driven through the *streaming* entry point. The
+        // queue-depth thresholds do the steady-state work; the p99
+        // trigger (2x the SLO) catches a crowd the queue bound alone
+        // would admit slowly. Spin-up and cooldown are two evaluation
+        // periods each — the reactive lag the comparison prices.
+        SchedulerConfig autoCfg = staticCfg;
+        autoCfg.autoscaler.enabled = true;
+        autoCfg.autoscaler.minInstances = 1;
+        autoCfg.autoscaler.maxInstances =
+            static_cast<std::uint32_t>(staticN);
+        autoCfg.autoscaler.initialInstances = 1;
+        autoCfg.autoscaler.evalIntervalCycles =
+            tbase.horizonCycles / 100;
+        autoCfg.autoscaler.queueHighDepth = smoke ? 4 : 16;
+        autoCfg.autoscaler.queueLowDepth = 2;
+        autoCfg.autoscaler.p99HighCycles = 2 * trafficSlo.maxP99Cycles;
+        autoCfg.autoscaler.spinUpCycles =
+            2 * autoCfg.autoscaler.evalIntervalCycles;
+        autoCfg.autoscaler.cooldownCycles =
+            2 * autoCfg.autoscaler.evalIntervalCycles;
+        {
+            std::vector<AcceleratorConfig> pool(staticN,
+                                                pointAccConfig());
+            FleetScheduler sched(pool, model,
+                                 model.catalog().bucketScales, autoCfg);
+            TrafficStream stream(program);
+            trafficAutoRep = sched.run(stream);
+            trafficAutoRep.traffic = stream.telemetry();
+        }
+
+        const auto rowOf = [&](const ServingReport &rep,
+                               std::size_t fleetSize) {
+            Row row;
+            row.sweep = "traffic";
+            row.process = toString(tbase.arrivals);
+            row.offeredPerMCycle = tbase.requestsPerMCycle;
+            row.fleetSize = fleetSize;
+            row.policy = toString(staticCfg.policy);
+            row.batching = staticCfg.batcher.enabled;
+            row.occupancy = toString(staticCfg.occupancy);
+            row.report = rep;
+            return row;
+        };
+        rows.push_back(rowOf(trafficStaticRep, staticN));
+        printRow(rows.back());
+        rows.push_back(rowOf(trafficAutoRep, staticN));
+        printRow(rows.back());
+
+        // Headline comparison: instance-cycles the autoscaler left
+        // unpowered vs keeping the static fleet up for its whole run.
+        const std::uint64_t staticCost =
+            static_cast<std::uint64_t>(staticN) *
+            trafficAutoRep.horizonCycles;
+        trafficCmp.program = program.name;
+        trafficCmp.sloP99Cycles = trafficSlo.maxP99Cycles;
+        trafficCmp.staticFleetSize = staticN;
+        trafficCmp.staticInstanceCycles = staticCost;
+        trafficCmp.autoscalerInstanceCycles =
+            trafficAutoRep.autoscaler.instanceCycles;
+        trafficCmp.instanceCyclesSaved =
+            static_cast<std::int64_t>(staticCost) -
+            static_cast<std::int64_t>(
+                trafficAutoRep.autoscaler.instanceCycles);
+        trafficCmp.scaleUps = trafficAutoRep.autoscaler.scaleUps;
+        trafficCmp.scaleDowns = trafficAutoRep.autoscaler.scaleDowns;
+        trafficCmp.staticMeetsSlo =
+            meetsSlo(trafficStaticRep, trafficSlo);
+        trafficCmp.converged = true;
+        for (const auto &s :
+             trafficAutoRep.autoscaler.timeline.samples)
+            if (s.cycle >= trafficHorizon - trafficHorizon / 10 &&
+                s.action != 0)
+                trafficCmp.converged = false;
+        trafficRan = true;
+        bench::rule(122);
+    }
+
     bool ok = true;
 
     // Acceptance check 0: profiling is memoized across sweep rows —
@@ -680,10 +874,94 @@ main(int argc, char **argv)
                     sized ? "OK" : "VIOLATED");
     }
 
+    // Acceptance check 5 (traffic sweep): the closed-loop gate. Full
+    // and quick runs demand the real outcome — the planner's fleet
+    // rides out the crowd inside its SLO, the autoscaler reacts (>= 1
+    // scale-up), settles (no scale action in the final 10% of the
+    // horizon) and undercuts static provisioning on instance-cycles.
+    // The smoke run keeps the structural half: a real plan, honest
+    // conservation and scaling accounting, savings never negative.
+    if (trafficRan) {
+        const auto &as = trafficAutoRep.autoscaler;
+        const bool conserved =
+            trafficStaticRep.generated ==
+                trafficStaticRep.admitted + trafficStaticRep.dropped &&
+            trafficStaticRep.admitted ==
+                trafficStaticRep.completed +
+                    trafficStaticRep.leftoverQueued &&
+            trafficAutoRep.generated ==
+                trafficAutoRep.admitted + trafficAutoRep.dropped &&
+            trafficAutoRep.admitted ==
+                trafficAutoRep.completed +
+                    trafficAutoRep.leftoverQueued &&
+            trafficStaticRep.leftoverQueued == 0 &&
+            trafficAutoRep.leftoverQueued == 0;
+        const bool accounted =
+            as.evals == as.timeline.samples.size() &&
+            as.instanceCycles <=
+                trafficCmp.staticInstanceCycles &&
+            as.peakProvisioned <= trafficCmp.staticFleetSize;
+        if (smoke) {
+            const bool pass = conserved && accounted && as.evals > 0 &&
+                              trafficCmp.instanceCyclesSaved >= 0;
+            ok = ok && pass;
+            std::printf("traffic smoke: conservation %s, %llu evals, "
+                        "%llu/%llu instance-cycles: %s\n",
+                        conserved ? "holds" : "broken",
+                        static_cast<unsigned long long>(as.evals),
+                        static_cast<unsigned long long>(
+                            as.instanceCycles),
+                        static_cast<unsigned long long>(
+                            trafficCmp.staticInstanceCycles),
+                        pass ? "OK" : "VIOLATED");
+        } else {
+            const bool sloHolds = trafficCmp.staticMeetsSlo;
+            ok = ok && sloHolds;
+            std::printf("traffic static fleet %zu through the crowd: "
+                        "p99 %.3f ms vs SLO %.3f ms: %s\n",
+                        trafficCmp.staticFleetSize,
+                        trafficStaticRep.p99Ms(),
+                        static_cast<double>(trafficCmp.sloP99Cycles) /
+                            (pointAccConfig().freqGHz * 1e6),
+                        sloHolds ? "OK" : "VIOLATED");
+            const bool reacted =
+                as.scaleUps >= 1 && trafficCmp.converged;
+            ok = ok && reacted && conserved && accounted;
+            std::printf("traffic autoscaler: %llu up / %llu down, "
+                        "peak %u of %zu, converged %s, conservation "
+                        "%s: %s\n",
+                        static_cast<unsigned long long>(as.scaleUps),
+                        static_cast<unsigned long long>(as.scaleDowns),
+                        as.peakProvisioned, trafficCmp.staticFleetSize,
+                        trafficCmp.converged ? "yes" : "no",
+                        conserved ? "holds" : "broken",
+                        reacted && conserved && accounted
+                            ? "OK"
+                            : "VIOLATED");
+            const bool saves = trafficCmp.instanceCyclesSaved > 0;
+            ok = ok && saves;
+            std::printf("traffic instance-cycles: autoscaler %llu vs "
+                        "static %llu (saved %lld, %.0f%%): %s\n",
+                        static_cast<unsigned long long>(
+                            as.instanceCycles),
+                        static_cast<unsigned long long>(
+                            trafficCmp.staticInstanceCycles),
+                        static_cast<long long>(
+                            trafficCmp.instanceCyclesSaved),
+                        100.0 *
+                            static_cast<double>(
+                                trafficCmp.instanceCyclesSaved) /
+                            static_cast<double>(
+                                trafficCmp.staticInstanceCycles),
+                        saves ? "OK" : "VIOLATED");
+        }
+    }
+
     if (!jsonPath.empty()) {
         std::ofstream jf(jsonPath);
         writeRows(jf, rows,
-                  planRan || smokeRan ? &planReport : nullptr);
+                  planRan || smokeRan ? &planReport : nullptr,
+                  trafficRan ? &trafficCmp : nullptr);
         jf.flush();
         if (jf.good())
             std::printf("wrote %s\n", jsonPath.c_str());

@@ -4,13 +4,15 @@
 # stricter bar than the seed sources), the Release-only scale tier and
 # simulator-performance floor gate (bench_simperf), the capacity-
 # planner gate (bench_serving --sweep plan: planner pick must equal
-# exhaustive search with strictly fewer probes), a schema-doc check
-# that keeps docs/SERVING_JSON.md in lockstep with writeServingJson
-# and writePlanJson, followed by an ASan+UBSan build that re-runs the
+# exhaustive search with strictly fewer probes), the closed-loop
+# traffic gate (bench_serving --sweep traffic: static plan vs reactive
+# autoscaler over a flash-crowd program), a schema-doc check that
+# keeps docs/SERVING_JSON.md in lockstep with writeServingJson and
+# writePlanJson, followed by an ASan+UBSan build that re-runs the
 # runtime test suites (the event loop and the property/fuzz sweeps are
 # where lifetime/overflow bugs would hide), the map-cache bench sweep,
-# a sanitized 10^5-request smoke of the discrete-event core and a
-# 2-probe planner smoke.
+# a sanitized 10^5-request smoke of the discrete-event core, a 2-probe
+# planner smoke and a traffic/autoscaler smoke.
 # Suitable as a GitHub Actions step:
 #
 #   - name: Build and test
@@ -62,6 +64,14 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # invocation and its own JSON.
 "${BUILD_DIR}/bench_serving" --sweep plan --quick \
     --json "${BUILD_DIR}/BENCH_serving_plan.json"
+
+# Closed-loop traffic gate: plan a static fleet for a flash-crowd
+# traffic program, then serve the same program reactively with the
+# autoscaler. The static fleet must hold the SLO through the spike;
+# the autoscaler must actually scale, converge after the crowd passes,
+# conserve requests, and save instance-cycles vs static provisioning.
+"${BUILD_DIR}/bench_serving" --sweep traffic --quick \
+    --json "${BUILD_DIR}/BENCH_serving_traffic.json"
 
 # Schema-doc check: every JSON key writeServingJson and writePlanJson
 # emit must be documented (in backticks) in docs/SERVING_JSON.md, so
@@ -116,3 +126,10 @@ ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 # ASan+UBSan (the unsanitized plan gate above already enforced search
 # quality).
 "${SAN_BUILD_DIR}/bench_serving" --sweep plan --smoke --no-json
+
+# Sanitized smoke of the traffic/autoscaler closed loop: a short
+# flash-crowd program through planning, the piecewise-rate stream,
+# scaling events and graceful drain under ASan+UBSan (structural
+# checks only; the unsanitized traffic gate above enforced the SLO
+# and savings acceptance).
+"${SAN_BUILD_DIR}/bench_serving" --sweep traffic --smoke --no-json

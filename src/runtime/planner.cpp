@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/logging.hpp"
+#include "runtime/traffic.hpp"
 
 namespace pointacc {
 
@@ -108,6 +109,15 @@ struct CapacityPlanner::Search
         : planner(planner_), slo(slo_), space(space_),
           combos(enumerateCombos(space_)),
           trace(WorkloadGenerator(workload).generate())
+    {
+    }
+
+    /** Same search over a pre-materialized trace (the traffic-program
+     *  entry point shares one trace across every probe). */
+    Search(const CapacityPlanner &planner_, std::vector<Request> trace_,
+           const SloSpec &slo_, const PlanSearchSpace &space_)
+        : planner(planner_), slo(slo_), space(space_),
+          combos(enumerateCombos(space_)), trace(std::move(trace_))
     {
     }
 
@@ -312,6 +322,20 @@ CapacityPlanner::plan(const WorkloadSpec &workload, const SloSpec &slo,
 {
     validate(slo, space);
     Search search(*this, workload, slo, space);
+    bool monotone = true;
+    std::vector<std::optional<std::size_t>> perCombo;
+    perCombo.reserve(search.combos.size());
+    for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
+        perCombo.push_back(search.cheapestFleet(ci, monotone));
+    return search.finish(perCombo, monotone);
+}
+
+PlanReport
+CapacityPlanner::plan(const TrafficProgram &program, const SloSpec &slo,
+                      const PlanSearchSpace &space) const
+{
+    validate(slo, space);
+    Search search(*this, materialize(program), slo, space);
     bool monotone = true;
     std::vector<std::optional<std::size_t>> perCombo;
     perCombo.reserve(search.combos.size());

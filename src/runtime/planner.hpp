@@ -214,6 +214,14 @@ class CapacityPlanner
     PlanReport plan(const WorkloadSpec &workload, const SloSpec &slo,
                     const PlanSearchSpace &space) const;
 
+    /** Same search over a non-stationary traffic program
+     *  (runtime/traffic): the program's trace is materialized once and
+     *  shared across every probe, so the planner sizes the fleet for
+     *  the program's *peak* — "does this fleet survive Monday
+     *  morning?" asked as a sizing question. */
+    PlanReport plan(const TrafficProgram &program, const SloSpec &slo,
+                    const PlanSearchSpace &space) const;
+
     /** Probe every grid point (probesSpent == gridSize()) with the
      *  same tie-break — the oracle the plan sweep gates against. */
     PlanReport planExhaustive(const WorkloadSpec &workload,

@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 #include <map>
 #include <optional>
@@ -217,6 +218,12 @@ FleetScheduler::FleetScheduler(std::vector<AcceleratorConfig> fleet_,
 {
     if (fleet.empty())
         fatal("fleet needs at least one accelerator");
+    // Resolve the autoscaler config against the concrete fleet now so
+    // a bad policy (floor above ceiling, ceiling above the fleet)
+    // fails at construction, not mid-simulation.
+    if (cfg.autoscaler.enabled)
+        cfg.autoscaler =
+            resolveAutoscalerConfig(cfg.autoscaler, fleet.size());
     for (const auto &acc : fleet) {
         if (acc.freqGHz != fleet.front().freqGHz)
             fatal("mixed-frequency fleets are not supported");
@@ -274,6 +281,16 @@ struct InFlight
     std::vector<std::pair<MapCacheKey, MapCacheEntry>> inserts;
 };
 
+/** Autoscaler lifecycle of one instance. Without the autoscaler every
+ *  instance is Active forever (byte-identical legacy behavior). */
+enum class Life : std::uint8_t
+{
+    Active,     ///< powered, accepting dispatches
+    SpinningUp, ///< powered (burning cycles) but not yet accepting
+    Draining,   ///< powered, finishing in-flight work, accepting nothing
+    Off,        ///< unpowered
+};
+
 /**
  * One accelerator as a two-stage pipeline: the front slot is the
  * Mapping Unit (a batch occupies it from dispatch until the back-end
@@ -284,7 +301,9 @@ struct InFlight
  * frontStamp/backStamp are lazy-invalidation generations for the
  * global event heap: each (re)fill of a slot bumps its stamp, so a
  * heap entry for a slot that has since emptied or been refilled is
- * recognized as stale when popped and discarded.
+ * recognized as stale when popped and discarded. lifeStamp plays the
+ * same role for SpinUp events (a scale-down that cancels a pending
+ * spin-up orphans its event).
  */
 struct AccelState
 {
@@ -297,10 +316,14 @@ struct AccelState
      *  must count wall-clock coverage, not summed service. */
     std::uint64_t coveredUntil = 0;
     AcceleratorUsage usage;
+    Life life = Life::Active;
+    std::uint64_t lifeStamp = 0;
 
     bool
     canAccept(OccupancyModel model) const
     {
+        if (life != Life::Active)
+            return false;
         return model == OccupancyModel::Pipelined
                    ? !front.has_value()
                    : !front.has_value() && !back.has_value();
@@ -318,10 +341,12 @@ struct Event
 {
     enum class Kind : std::uint8_t
     {
-        MapDone, ///< a front slot's mapping phase completes
-        RunDone, ///< a back slot's service completes
-        Timer,   ///< earliest wait-for-K hold deadline
-        Arrival, ///< the source's next request arrives
+        MapDone,   ///< a front slot's mapping phase completes
+        RunDone,   ///< a back slot's service completes
+        Timer,     ///< earliest wait-for-K hold deadline
+        Arrival,   ///< the source's next request arrives
+        ScaleEval, ///< periodic autoscaler policy evaluation
+        SpinUp,    ///< a powering-on instance becomes Active
     };
 
     std::uint64_t at = 0;
@@ -390,6 +415,50 @@ FleetScheduler::run(RequestSource &source) const
     for (std::size_t i = 0; i < fleet.size(); ++i)
         accels[i].usage.name =
             fleet[i].name + "#" + std::to_string(i);
+
+    // ---- Reactive autoscaling (runtime/autoscaler) ---------------- //
+    // Disabled (the default): every instance stays Active and none of
+    // this code runs — the event stream and report are byte-identical
+    // to pre-autoscaler builds. Enabled: the configured fleet is the
+    // *pool*; only instances the policy has powered serve.
+    const AutoscalerConfig &asCfg = cfg.autoscaler;
+    const bool asEnabled = asCfg.enabled;
+    AutoscalerPolicy policy(asCfg);
+    AutoscalerStats asStats;
+    std::uint64_t evalGen = 0;
+    // Powered-instance integral: instanceCycles accumulates
+    // poweredCount * elapsed at every power transition. Spin-up and
+    // drain both count — they burn power without serving, which is
+    // exactly the reactive-scaling cost the traffic gate measures.
+    std::uint32_t poweredCount = 0;
+    std::uint64_t lastPowerChange = 0;
+    const auto notePower = [&](std::uint64_t now, int delta) {
+        asStats.instanceCycles +=
+            static_cast<std::uint64_t>(poweredCount) *
+            (now - lastPowerChange);
+        lastPowerChange = now;
+        poweredCount = static_cast<std::uint32_t>(
+            static_cast<int>(poweredCount) + delta);
+    };
+    // What the policy sees as capacity: powered instances that are not
+    // on their way out (a draining instance no longer absorbs load).
+    const auto decisionProvisioned = [&]() {
+        std::uint32_t n = 0;
+        for (const auto &a : accels)
+            if (a.life == Life::Active || a.life == Life::SpinningUp)
+                n += 1;
+        return n;
+    };
+    // Completion latencies since the last evaluation — the windowed
+    // p99 signal.
+    std::vector<std::uint64_t> windowLat;
+    if (asEnabled) {
+        for (std::size_t i = asCfg.initialInstances; i < accels.size();
+             ++i)
+            accels[i].life = Life::Off;
+        poweredCount = asCfg.initialInstances;
+        asStats.peakProvisioned = asCfg.initialInstances;
+    }
 
     // Accelerator class per instance: the index of the first fleet
     // member with the same config name. Dispatch prices a batch once
@@ -472,7 +541,13 @@ FleetScheduler::run(RequestSource &source) const
             if (r.deadlineCycle > 0 && unit.doneAt > r.deadlineCycle)
                 report.deadlineMisses += 1;
             report.completed += 1;
+            if (asEnabled)
+                windowLat.push_back(unit.doneAt - r.arrivalCycle);
         }
+        // Graceful drain made countable: work finished by an instance
+        // that was already decommissioned when it completed.
+        if (asEnabled && acc.life == Life::Draining)
+            asStats.drainedBatches += 1;
         // Busy-interval union: residency intervals arrive in
         // nondecreasing start order (the pipeline is FIFO per
         // instance), so a running high-water mark suffices.
@@ -527,6 +602,14 @@ FleetScheduler::run(RequestSource &source) const
                 }
             }
             break;
+        }
+        // A draining instance powers off the moment its pipeline
+        // empties — graceful drain complete, every in-flight batch
+        // finished and recorded.
+        if (asEnabled && acc.life == Life::Draining && !acc.front &&
+            !acc.back) {
+            acc.life = Life::Off;
+            notePower(now, -1);
         }
     };
 
@@ -704,6 +787,118 @@ FleetScheduler::run(RequestSource &source) const
         }
     };
 
+    // Is there anything left to serve or scale for? Gates the
+    // recurring autoscaler events so an idle, drained simulation
+    // terminates instead of evaluating forever (and so the reported
+    // horizon is the work's horizon, not the policy's).
+    const auto hasWork = [&]() {
+        if (!queue.empty() || source.peek() != nullptr)
+            return true;
+        for (const auto &a : accels)
+            if (a.front || a.back)
+                return true;
+        return false;
+    };
+
+    // One autoscaler policy evaluation at `now`: read the windowed
+    // signals, decide, apply. Scale-up prefers resurrecting a draining
+    // instance (still powered, nothing was torn down — instantly
+    // Active) over powering a cold one, which pays spinUpCycles before
+    // accepting work. Scale-down first cancels a pending spin-up
+    // (nothing in flight to drain), else retires the highest-index
+    // Active instance gracefully: it stops accepting dispatches but
+    // finishes its pipeline (see service()'s drain completion).
+    const auto evaluateScaling = [&](std::uint64_t now) {
+        std::uint64_t windowP99 = 0;
+        if (!windowLat.empty()) {
+            const std::size_t idx =
+                (windowLat.size() * 99 + 99) / 100 - 1;
+            std::nth_element(windowLat.begin(),
+                             windowLat.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     std::min(idx,
+                                              windowLat.size() - 1)),
+                             windowLat.end());
+            windowP99 =
+                windowLat[std::min(idx, windowLat.size() - 1)];
+        }
+        windowLat.clear();
+        const std::uint64_t depth = queue.size();
+        const int action =
+            policy.decide(now, depth, windowP99, decisionProvisioned());
+        if (action > 0) {
+            bool applied = false;
+            for (auto &a : accels) {
+                if (a.life == Life::Draining) {
+                    a.life = Life::Active; // resurrect: no power change
+                    applied = true;
+                    break;
+                }
+            }
+            if (!applied) {
+                for (std::size_t i = 0; i < accels.size(); ++i) {
+                    AccelState &a = accels[i];
+                    if (a.life != Life::Off)
+                        continue;
+                    notePower(now, +1);
+                    if (asCfg.spinUpCycles == 0) {
+                        a.life = Life::Active;
+                    } else {
+                        a.life = Life::SpinningUp;
+                        a.lifeStamp += 1;
+                        pushEv(now + asCfg.spinUpCycles,
+                               Event::Kind::SpinUp,
+                               static_cast<std::uint32_t>(i),
+                               a.lifeStamp);
+                    }
+                    applied = true;
+                    break;
+                }
+            }
+            if (applied)
+                asStats.scaleUps += 1;
+        } else if (action < 0) {
+            bool applied = false;
+            for (std::size_t i = accels.size(); i-- > 0;) {
+                AccelState &a = accels[i];
+                if (a.life != Life::SpinningUp)
+                    continue;
+                a.life = Life::Off;
+                a.lifeStamp += 1; // orphan the pending SpinUp event
+                notePower(now, -1);
+                applied = true;
+                break;
+            }
+            if (!applied) {
+                for (std::size_t i = accels.size(); i-- > 0;) {
+                    AccelState &a = accels[i];
+                    if (a.life != Life::Active)
+                        continue;
+                    if (!a.front && !a.back) {
+                        a.life = Life::Off; // idle: off immediately
+                        notePower(now, -1);
+                    } else {
+                        a.life = Life::Draining;
+                    }
+                    applied = true;
+                    break;
+                }
+            }
+            if (applied)
+                asStats.scaleDowns += 1;
+        }
+        const std::uint32_t provisioned = decisionProvisioned();
+        asStats.peakProvisioned =
+            std::max(asStats.peakProvisioned, provisioned);
+        asStats.evals += 1;
+        asStats.timeline.samples.push_back(
+            ScalingSample{now, depth, windowP99, provisioned,
+                          static_cast<std::int64_t>(action)});
+        evalGen += 1;
+        pushEv(now + asCfg.evalIntervalCycles, Event::Kind::ScaleEval,
+               0, evalGen);
+    };
+
     // Stale-entry filter for the lazy-invalidation heap: an event is
     // live only while the slot (or timer generation) it describes
     // still exists unchanged.
@@ -722,6 +917,15 @@ FleetScheduler::run(RequestSource &source) const
             return timerAt != kNever && e.stamp == timerGen;
           case Event::Kind::Arrival:
             return true;
+          case Event::Kind::ScaleEval:
+            // The recurring evaluation dies with the work: a drained,
+            // idle simulation must terminate, not tick forever.
+            return asEnabled && e.stamp == evalGen && hasWork();
+          case Event::Kind::SpinUp: {
+            const AccelState &a = accels[e.accel];
+            return a.life == Life::SpinningUp &&
+                   a.lifeStamp == e.stamp && hasWork();
+          }
         }
         return false;
     };
@@ -732,6 +936,11 @@ FleetScheduler::run(RequestSource &source) const
     if (source.peek() != nullptr) {
         pushEv(source.peek()->arrivalCycle, Event::Kind::Arrival, 0, 0);
         arrivalQueued = true;
+    }
+    if (asEnabled) {
+        evalGen = 1;
+        pushEv(asCfg.evalIntervalCycles, Event::Kind::ScaleEval, 0,
+               evalGen);
     }
 
     std::uint64_t clock = 0;
@@ -752,6 +961,7 @@ FleetScheduler::run(RequestSource &source) const
         // the seed serviced every instance per iteration for the same
         // reason.
         due.clear();
+        bool evalDue = false;
         while (!events.empty() && events.top().at <= clock) {
             const Event e = events.top();
             events.pop();
@@ -769,6 +979,16 @@ FleetScheduler::run(RequestSource &source) const
               case Event::Kind::Arrival:
                 arrivalQueued = false;
                 break;
+              case Event::Kind::ScaleEval:
+                // Applied after the service sweep so the policy sees
+                // this cycle's completions in its window.
+                evalDue = true;
+                break;
+              case Event::Kind::SpinUp:
+                // Spin-up finished: the instance starts accepting
+                // work this cycle (power was counted at the decision).
+                accels[e.accel].life = Life::Active;
+                break;
             }
         }
 
@@ -780,6 +1000,12 @@ FleetScheduler::run(RequestSource &source) const
         due.erase(std::unique(due.begin(), due.end()), due.end());
         for (const std::uint32_t a : due)
             service(a, clock);
+
+        // Scale decisions land before dispatch: a zero-spin-up
+        // activation serves this very cycle, and a decommissioned
+        // instance stops accepting before new work is placed.
+        if (evalDue)
+            evaluateScaling(clock);
 
         // Drain backlog onto freed stages before admitting, so a
         // same-cycle arrival is not dropped against queue space the
@@ -811,6 +1037,15 @@ FleetScheduler::run(RequestSource &source) const
     report.mapCache = mapCache.stats();
     for (auto &acc : accels)
         report.accelerators.push_back(acc.usage);
+    if (asEnabled) {
+        notePower(clock, 0); // close the powered-instance integral
+        asStats.enabled = true;
+        asStats.minInstances = asCfg.minInstances;
+        asStats.maxInstances = asCfg.maxInstances;
+        asStats.finalProvisioned = decisionProvisioned();
+        asStats.timeline.bucketCycles = asCfg.evalIntervalCycles;
+        report.autoscaler = std::move(asStats);
+    }
     return report;
 }
 

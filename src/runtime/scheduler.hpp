@@ -6,9 +6,10 @@
  * The per-inference simulator (sim/accelerator) prices one run of one
  * network; this layer composes those prices into a serving system. A
  * global cycle clock advances through a single binary-heap event
- * queue over four event kinds — request arrivals (pulled lazily from
+ * queue over six event kinds — request arrivals (pulled lazily from
  * a RequestSource), mapping-phase completions, back-end completions,
- * and batcher timers (wait-for-K holds); entries are
+ * batcher timers (wait-for-K holds), and — when the autoscaler is
+ * enabled — policy evaluations and instance spin-ups; entries are
  * sequence-numbered and lazily invalidated by slot/timer generation
  * stamps, so the loop is O(log events) per step instead of the seed's
  * per-iteration rescan of every instance (the seed loop survives
@@ -79,6 +80,7 @@
 #include <vector>
 
 #include "nn/network.hpp"
+#include "runtime/autoscaler.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/map_cache.hpp"
 #include "runtime/queue.hpp"
@@ -245,6 +247,10 @@ struct SchedulerConfig
     MapCacheConfig mapCache;
     /** Admission queue bound; overload beyond it sheds load. */
     std::size_t queueDepth = 1024;
+    /** Reactive fleet scaling (runtime/autoscaler). Disabled by
+     *  default: the whole fleet serves from cycle 0 and the scheduler
+     *  output is byte-identical to pre-autoscaler builds. */
+    AutoscalerConfig autoscaler;
 };
 
 /** Discrete-event serving simulation over a fleet of accelerators. */

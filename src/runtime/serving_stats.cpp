@@ -25,6 +25,12 @@ servingSummaryText(const ServingReport &report)
            << report.mapCache.evictions << " evictions)"
            << std::setprecision(3);
     }
+    if (report.autoscaler.enabled) {
+        os << ", autoscaler " << report.autoscaler.scaleUps << " up / "
+           << report.autoscaler.scaleDowns << " down (peak "
+           << report.autoscaler.peakProvisioned << ", final "
+           << report.autoscaler.finalProvisioned << ")";
+    }
     if (!report.accelerators.empty()) {
         os << ", util";
         for (const auto &acc : report.accelerators) {
@@ -66,6 +72,44 @@ writeServingJson(std::ostream &os, const ServingReport &report)
     w.field("map_cache_bytes_saved", report.mapCache.bytesSaved);
     w.field("map_cache_cycles_saved", report.mapCache.cyclesSaved);
     w.field("map_cache_hit_rate", report.mapCache.hitRate());
+    // Conditional blocks: a run without a traffic program or an
+    // autoscaler emits neither, keeping stationary fixed-fleet output
+    // byte-identical to pre-traffic builds (golden + differential
+    // fuzz both pin that).
+    if (report.traffic.present) {
+        w.field("traffic_program", report.traffic.program);
+        w.field("traffic_segments", report.traffic.segments);
+        w.field("traffic_base_per_mcycle", report.traffic.basePerMCycle);
+        w.field("traffic_peak_per_mcycle", report.traffic.peakPerMCycle);
+        w.field("traffic_churn_interval_cycles",
+                report.traffic.churnIntervalCycles);
+        w.field("traffic_churn_events", report.traffic.churnEvents);
+    }
+    if (report.autoscaler.enabled) {
+        const AutoscalerStats &as = report.autoscaler;
+        w.field("autoscaler_min_instances", as.minInstances);
+        w.field("autoscaler_max_instances", as.maxInstances);
+        w.field("autoscaler_evals", as.evals);
+        w.field("autoscaler_scale_ups", as.scaleUps);
+        w.field("autoscaler_scale_downs", as.scaleDowns);
+        w.field("autoscaler_instance_cycles", as.instanceCycles);
+        w.field("autoscaler_peak_provisioned", as.peakProvisioned);
+        w.field("autoscaler_final_provisioned", as.finalProvisioned);
+        w.field("autoscaler_drained_batches", as.drainedBatches);
+        w.field("autoscaler_timeline_bucket_cycles",
+                as.timeline.bucketCycles);
+        w.key("autoscaler_timeline").beginArray();
+        for (const auto &s : as.timeline.samples) {
+            w.beginObject();
+            w.field("cycle", s.cycle);
+            w.field("queue_depth", s.queueDepth);
+            w.field("window_p99_cycles", s.windowP99Cycles);
+            w.field("provisioned", s.provisioned);
+            w.field("action", s.action);
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.key("accelerators").beginArray();
     for (const auto &acc : report.accelerators) {
         w.beginObject();

@@ -34,7 +34,9 @@
 #include <vector>
 
 #include "core/stats.hpp"
+#include "runtime/autoscaler.hpp"
 #include "runtime/map_cache.hpp"
+#include "runtime/traffic.hpp"
 
 namespace pointacc {
 
@@ -123,6 +125,17 @@ struct ServingReport
     std::vector<std::uint64_t> completionCycles;
 
     std::vector<AcceleratorUsage> accelerators;
+
+    /** Autoscaler outcome; default-disabled. The autoscaler_* JSON
+     *  block is emitted only when enabled, so unscaled reports stay
+     *  byte-identical to pre-autoscaler output. */
+    AutoscalerStats autoscaler;
+
+    /** Traffic-program shape the run served, when the caller drove a
+     *  TrafficStream (filled by the bench/example harnesses, not the
+     *  scheduler — the scheduler only sees a RequestSource). The
+     *  traffic_* JSON block is emitted only when present. */
+    TrafficTelemetry traffic;
 
     double
     cyclesToMs(double cycles) const

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <stdexcept>
 
-#include "core/logging.hpp"
 #include "core/rng.hpp"
 
 namespace pointacc {
@@ -19,31 +19,42 @@ toString(ArrivalProcess process)
     return "?";
 }
 
-WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec) : wspec(std::move(spec))
+void
+validateWorkloadSpec(const WorkloadSpec &spec)
 {
-    if (wspec.mix.empty())
-        fatal("workload mix must not be empty");
-    if (wspec.requestsPerMCycle <= 0.0)
-        fatal("offered load must be positive");
-    if (wspec.arrivals == ArrivalProcess::Bursty && wspec.meanBurstSize < 1)
-        fatal("mean burst size must be >= 1");
+    if (spec.mix.empty())
+        throw std::invalid_argument("workload mix must not be empty");
+    if (!std::isfinite(spec.requestsPerMCycle) ||
+        spec.requestsPerMCycle <= 0.0)
+        throw std::invalid_argument(
+            "offered load (requestsPerMCycle) must be positive and "
+            "finite");
+    if (spec.arrivals == ArrivalProcess::Bursty && spec.meanBurstSize < 1)
+        throw std::invalid_argument("mean burst size must be >= 1");
     double total = 0.0;
-    for (const auto &cls : wspec.mix) {
-        if (cls.weight < 0.0)
-            fatal("mix weights must be non-negative");
-        if (cls.mapReuseProb < 0.0 || cls.mapReuseProb > 1.0)
-            fatal("mapReuseProb must be in [0, 1]");
+    for (const auto &cls : spec.mix) {
+        if (!std::isfinite(cls.weight) || cls.weight < 0.0)
+            throw std::invalid_argument(
+                "mix weights must be non-negative and finite");
+        if (!(cls.mapReuseProb >= 0.0 && cls.mapReuseProb <= 1.0))
+            throw std::invalid_argument(
+                "mapReuseProb must be in [0, 1]");
         total += cls.weight;
     }
     if (total <= 0.0)
-        fatal("mix weights must sum to a positive value");
+        throw std::invalid_argument(
+            "mix weights must sum to a positive value");
 }
 
-namespace {
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec) : wspec(std::move(spec))
+{
+    validateWorkloadSpec(wspec);
+}
 
-/** Exponential variate with the given mean (inverse-CDF, portable). */
+namespace detail {
+
 double
-exponential(Rng &rng, double mean)
+exponentialDraw(Rng &rng, double mean)
 {
     double u = rng.uniform();
     if (u > 1.0 - 1e-12)
@@ -51,11 +62,11 @@ exponential(Rng &rng, double mean)
     return -std::log(1.0 - u) * mean;
 }
 
-/** Weighted class pick. */
 std::size_t
-pickClass(Rng &rng, const std::vector<RequestClass> &mix, double totalWeight)
+pickWeightedClass(Rng &rng, const std::vector<RequestClass> &mix,
+                  double total_weight)
 {
-    double r = rng.uniform() * totalWeight;
+    double r = rng.uniform() * total_weight;
     for (std::size_t i = 0; i < mix.size(); ++i) {
         r -= mix[i].weight;
         if (r <= 0.0)
@@ -64,11 +75,12 @@ pickClass(Rng &rng, const std::vector<RequestClass> &mix, double totalWeight)
     return mix.size() - 1;
 }
 
-} // namespace
+} // namespace detail
 
 WorkloadStream::WorkloadStream(const WorkloadSpec &spec)
     : wspec(spec), rng(spec.seed)
 {
+    validateWorkloadSpec(wspec);
     for (const auto &cls : wspec.mix)
         totalWeight += cls.weight;
     // Bursty traffic keeps the same mean rate by thinning the event
@@ -83,7 +95,7 @@ WorkloadStream::WorkloadStream(const WorkloadSpec &spec)
         wspec.requestsPerMCycle / 1e6 / perEvent;
     meanGap = 1.0 / eventRatePerCycle;
     // First inter-event gap (the seed loop's first draw).
-    clock = exponential(rng, meanGap);
+    clock = detail::exponentialDraw(rng, meanGap);
     nextEventCycle = static_cast<std::uint64_t>(clock);
     exhausted = nextEventCycle >= wspec.horizonCycles;
 }
@@ -108,8 +120,8 @@ WorkloadStream::refill()
         std::uint64_t count = 1;
         if (bursty && wspec.meanBurstSize > 1)
             count = 1 + rng.range(2 * wspec.meanBurstSize - 1);
-        const auto &cls =
-            wspec.mix[pickClass(rng, wspec.mix, totalWeight)];
+        const auto &cls = wspec.mix[detail::pickWeightedClass(
+            rng, wspec.mix, totalWeight)];
         for (std::uint64_t i = 0; i < count; ++i) {
             Request r;
             r.id = nextId++;
@@ -139,7 +151,7 @@ WorkloadStream::refill()
         // Draw the next event's gap now: its cycle is the release
         // threshold for everything buffered so far. Same position in
         // the RNG sequence as the seed loop's next iteration.
-        clock += exponential(rng, meanGap);
+        clock += detail::exponentialDraw(rng, meanGap);
         const auto next = static_cast<std::uint64_t>(clock);
         if (next >= wspec.horizonCycles)
             exhausted = true;

@@ -127,6 +127,33 @@ struct Request
     std::uint64_t estimatedCycles = 0;
 };
 
+/**
+ * Validate a WorkloadSpec, throwing std::invalid_argument with a
+ * descriptive message on the first violation: empty mix, non-positive
+ * or non-finite offered load, bursty arrivals with meanBurstSize < 1,
+ * negative or non-finite class weights, mapReuseProb outside [0, 1],
+ * or a mix whose weights sum to zero. Both WorkloadGenerator and
+ * WorkloadStream call this on construction, so a bad spec can never
+ * silently generate a nonsense trace (the seed accepted e.g. negative
+ * rates and mapReuseProb > 1 without complaint).
+ */
+void validateWorkloadSpec(const WorkloadSpec &spec);
+
+namespace detail {
+
+/** Exponential variate with the given mean — the seed generator's
+ *  exact inverse-CDF expression, shared so every arrival process
+ *  (stationary or piecewise-rate, see runtime/traffic) performs
+ *  byte-identical draws. */
+double exponentialDraw(Rng &rng, double mean);
+
+/** Weighted class pick over `mix` (the seed's linear scan). */
+std::size_t pickWeightedClass(Rng &rng,
+                              const std::vector<RequestClass> &mix,
+                              double total_weight);
+
+} // namespace detail
+
 /** Global arrival order: arrival cycle, ties broken by id. Both the
  *  generator and the scheduler sort by this, so they can never drift. */
 inline bool

@@ -100,6 +100,42 @@ fixedServingReport()
     return report;
 }
 
+/** fixedServingReport plus the conditional traffic_* / autoscaler_*
+ *  blocks populated — the golden for an autoscaled traffic-program
+ *  run. (fixedServingReport itself stays block-free, pinning that
+ *  stationary fixed-fleet output is byte-identical to pre-traffic
+ *  builds.) */
+ServingReport
+fixedAutoscaledServingReport()
+{
+    ServingReport report = fixedServingReport();
+    report.traffic.present = true;
+    report.traffic.program = "flash_crowd";
+    report.traffic.segments = 3;
+    report.traffic.basePerMCycle = 25.0;
+    report.traffic.peakPerMCycle = 150.0;
+    report.traffic.churnIntervalCycles = 250'000;
+    report.traffic.churnEvents = 3;
+
+    AutoscalerStats &as = report.autoscaler;
+    as.enabled = true;
+    as.minInstances = 1;
+    as.maxInstances = 4;
+    as.evals = 2;
+    as.scaleUps = 1;
+    as.scaleDowns = 1;
+    as.instanceCycles = 1'500'000;
+    as.peakProvisioned = 2;
+    as.finalProvisioned = 1;
+    as.drainedBatches = 1;
+    as.timeline.bucketCycles = 500'000;
+    as.timeline.samples = {
+        ScalingSample{500'000, 6, 250'000, 2, 1},
+        ScalingSample{1'000'000, 1, 125'000, 1, -1},
+    };
+    return report;
+}
+
 PlanReport
 fixedPlanReport()
 {
@@ -225,6 +261,80 @@ TEST(ReportGolden, ServingJsonMatchesGolden)
         "\"backend_utilization\":0.45}]}\n";
     EXPECT_EQ(os.str(), expected);
     checkNumericRoundTrip(os.str());
+}
+
+TEST(ReportGolden, AutoscaledServingJsonMatchesGolden)
+{
+    std::ostringstream os;
+    writeServingJson(os, fixedAutoscaledServingReport());
+    const std::string expected =
+        "{\"freq_ghz\":1,\"horizon_cycles\":1000000,"
+        "\"occupancy\":\"pipelined\",\"batch_holds\":3,"
+        "\"generated\":4,\"admitted\":4,\"dropped\":0,"
+        "\"completed\":4,\"leftover_queued\":0,\"deadline_misses\":1,"
+        "\"throughput_rps\":4000,\"drop_rate\":0,"
+        "\"latency_ms_mean\":0.0025,\"latency_ms_p50\":0.003,"
+        "\"latency_ms_p95\":0.004,\"latency_ms_p99\":0.004,"
+        "\"queue_wait_cycles_mean\":250,\"batch_size_mean\":2,"
+        "\"map_cache_hits\":3,\"map_cache_misses\":1,"
+        "\"map_cache_insertions\":1,\"map_cache_evictions\":0,"
+        "\"map_cache_bytes_saved\":1536,\"map_cache_cycles_saved\":2700,"
+        "\"map_cache_hit_rate\":0.75,"
+        "\"traffic_program\":\"flash_crowd\",\"traffic_segments\":3,"
+        "\"traffic_base_per_mcycle\":25,"
+        "\"traffic_peak_per_mcycle\":150,"
+        "\"traffic_churn_interval_cycles\":250000,"
+        "\"traffic_churn_events\":3,"
+        "\"autoscaler_min_instances\":1,\"autoscaler_max_instances\":4,"
+        "\"autoscaler_evals\":2,\"autoscaler_scale_ups\":1,"
+        "\"autoscaler_scale_downs\":1,"
+        "\"autoscaler_instance_cycles\":1500000,"
+        "\"autoscaler_peak_provisioned\":2,"
+        "\"autoscaler_final_provisioned\":1,"
+        "\"autoscaler_drained_batches\":1,"
+        "\"autoscaler_timeline_bucket_cycles\":500000,"
+        "\"autoscaler_timeline\":[{\"cycle\":500000,\"queue_depth\":6,"
+        "\"window_p99_cycles\":250000,\"provisioned\":2,\"action\":1},"
+        "{\"cycle\":1000000,\"queue_depth\":1,"
+        "\"window_p99_cycles\":125000,\"provisioned\":1,"
+        "\"action\":-1}],"
+        "\"accelerators\":[{\"name\":\"PointAcc#0\","
+        "\"busy_cycles\":500000,\"map_busy_cycles\":100000,"
+        "\"backend_busy_cycles\":450000,\"batches\":2,\"requests\":4,"
+        "\"utilization\":0.5,\"map_utilization\":0.1,"
+        "\"backend_utilization\":0.45}]}\n";
+    EXPECT_EQ(os.str(), expected);
+    checkNumericRoundTrip(os.str());
+}
+
+TEST(ReportGolden, AutoscaledServingJsonSchemaKeysPresent)
+{
+    std::ostringstream os;
+    writeServingJson(os, fixedAutoscaledServingReport());
+    const std::string json = os.str();
+    const std::vector<std::string> keys = {
+        "traffic_program",      "traffic_segments",
+        "traffic_base_per_mcycle", "traffic_peak_per_mcycle",
+        "traffic_churn_interval_cycles", "traffic_churn_events",
+        "autoscaler_min_instances", "autoscaler_max_instances",
+        "autoscaler_evals",     "autoscaler_scale_ups",
+        "autoscaler_scale_downs", "autoscaler_instance_cycles",
+        "autoscaler_peak_provisioned", "autoscaler_final_provisioned",
+        "autoscaler_drained_batches",
+        "autoscaler_timeline_bucket_cycles", "autoscaler_timeline",
+        "cycle",                "queue_depth",
+        "window_p99_cycles",    "provisioned",
+        "action"};
+    for (const auto &key : keys)
+        EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos)
+            << "missing key: " << key;
+
+    // And the block really is conditional: the stationary fixed
+    // report must not leak a single traffic_*/autoscaler_* key.
+    std::ostringstream plain;
+    writeServingJson(plain, fixedServingReport());
+    EXPECT_EQ(plain.str().find("traffic_"), std::string::npos);
+    EXPECT_EQ(plain.str().find("autoscaler_"), std::string::npos);
 }
 
 TEST(ReportGolden, PlanJsonMatchesGolden)

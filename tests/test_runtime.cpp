@@ -2,9 +2,11 @@
  * @file
  * Tests for the serving runtime: deterministic replay, queue-policy
  * ordering, batcher compatibility, conservation of requests through
- * the scheduler, per-accelerator utilization bounds, and the
- * kernel-map cache (eviction policies, counters, and hand-computed
- * hit/miss schedules).
+ * the scheduler, per-accelerator utilization bounds, the kernel-map
+ * cache (eviction policies, counters, and hand-computed hit/miss
+ * schedules), traffic-program validation and presets, and the
+ * reactive autoscaler (config validation, the windowed decision
+ * function, and a hand-computed spin-up/graceful-drain schedule).
  */
 
 #include <gtest/gtest.h>
@@ -12,14 +14,17 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "nn/zoo.hpp"
+#include "runtime/autoscaler.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/map_cache.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
+#include "runtime/traffic.hpp"
 #include "runtime/workload.hpp"
 #include "sim/accel_config.hpp"
 #include "sim/report.hpp"
@@ -1408,6 +1413,269 @@ TEST(SimServiceModel, EndToEndServingRunIsConsistent)
     for (const auto &acc : report.accelerators)
         EXPECT_LE(acc.utilization(report.horizonCycles), 1.0);
     EXPECT_GT(report.throughputRps(), 0.0);
+}
+
+// ---------------------------------------------------------------- //
+//                  Traffic programs & autoscaler                    //
+// ---------------------------------------------------------------- //
+
+TEST(Workload, ValidationRejectsBadSpecs)
+{
+    // The seed accepted these silently (negative rates generated an
+    // empty or nonsense trace); both entry points now refuse at
+    // construction with std::invalid_argument.
+    EXPECT_NO_THROW(WorkloadGenerator{basicSpec()});
+
+    auto bad = basicSpec();
+    bad.mix.clear();
+    EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+
+    bad = basicSpec();
+    bad.requestsPerMCycle = -3.0;
+    EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+
+    bad = basicSpec();
+    bad.requestsPerMCycle = 0.0;
+    EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+
+    bad = basicSpec(ArrivalProcess::Bursty);
+    bad.meanBurstSize = 0;
+    EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+
+    bad = basicSpec();
+    bad.mix[0].mapReuseProb = 1.5;
+    EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+
+    bad = basicSpec();
+    bad.mix[0].weight = -1.0;
+    EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+
+    // The streaming entry point validates too, including the
+    // degenerate all-zero-weight mix (an infinite-loop class pick in
+    // the seed).
+    bad = basicSpec();
+    for (auto &cls : bad.mix)
+        cls.weight = 0.0;
+    EXPECT_THROW(WorkloadStream{bad}, std::invalid_argument);
+}
+
+TEST(Traffic, ValidationRejectsBadPrograms)
+{
+    TrafficProgram program;
+    program.base = basicSpec();
+    EXPECT_NO_THROW(validateTrafficProgram(program));
+
+    program.phases = {{1'000, 60.0}, {1'000, 80.0}}; // equal starts
+    EXPECT_THROW(validateTrafficProgram(program), std::invalid_argument);
+
+    program.phases = {{5'000, 60.0}, {1'000, 80.0}}; // decreasing
+    EXPECT_THROW(validateTrafficProgram(program), std::invalid_argument);
+
+    program.phases = {{1'000, 0.0}}; // rate must be positive
+    EXPECT_THROW(validateTrafficProgram(program), std::invalid_argument);
+
+    program.phases = {{1'000, -5.0}};
+    EXPECT_THROW(validateTrafficProgram(program), std::invalid_argument);
+
+    program.phases.clear();
+    program.base.requestsPerMCycle = -1.0; // bad base propagates
+    EXPECT_THROW(validateTrafficProgram(program), std::invalid_argument);
+    EXPECT_THROW(TrafficStream{program}, std::invalid_argument);
+}
+
+TEST(Traffic, PresetShapesAndPeakRates)
+{
+    const auto base = basicSpec();
+
+    const auto flash = flashCrowdProgram(base, 6.0, 0.3, 0.2);
+    EXPECT_NO_THROW(validateTrafficProgram(flash));
+    EXPECT_DOUBLE_EQ(flash.peakRequestsPerMCycle(),
+                     6.0 * base.requestsPerMCycle);
+    // Spike up at ~30% of the horizon, back to base at ~50%.
+    ASSERT_EQ(flash.phases.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(flash.phases[0].startCycle),
+                0.3 * static_cast<double>(base.horizonCycles), 1.0);
+    EXPECT_DOUBLE_EQ(flash.phases[0].requestsPerMCycle,
+                     6.0 * base.requestsPerMCycle);
+    EXPECT_DOUBLE_EQ(flash.phases[1].requestsPerMCycle,
+                     base.requestsPerMCycle);
+    EXPECT_THROW(flashCrowdProgram(base, 0.0, 0.3, 0.2),
+                 std::invalid_argument);
+    EXPECT_THROW(flashCrowdProgram(base, 2.0, 1.5, 0.2),
+                 std::invalid_argument);
+    EXPECT_THROW(flashCrowdProgram(base, 2.0, 0.9, 0.5),
+                 std::invalid_argument);
+
+    // Eight steps per period sample the raised cosine at mid-period
+    // exactly, so the peak rate is exactly peak_factor * base.
+    const auto diurnal = diurnalProgram(base, 2'000'000, 3.0, 8);
+    EXPECT_NO_THROW(validateTrafficProgram(diurnal));
+    EXPECT_DOUBLE_EQ(diurnal.peakRequestsPerMCycle(),
+                     3.0 * base.requestsPerMCycle);
+    EXPECT_THROW(diurnalProgram(base, 0, 3.0, 8), std::invalid_argument);
+    EXPECT_THROW(diurnalProgram(base, 2'000'000, 0.5, 8),
+                 std::invalid_argument);
+    EXPECT_THROW(diurnalProgram(base, 2'000'000, 3.0, 1),
+                 std::invalid_argument);
+}
+
+TEST(Autoscaler, ConfigValidationAndDefaults)
+{
+    AutoscalerConfig cfg;
+    cfg.enabled = true;
+    const auto resolved = resolveAutoscalerConfig(cfg, 4);
+    EXPECT_EQ(resolved.maxInstances, 4u);     // 0 = whole fleet
+    EXPECT_EQ(resolved.initialInstances, 1u); // 0 = the floor
+
+    auto bad = cfg;
+    bad.minInstances = 0;
+    EXPECT_THROW(resolveAutoscalerConfig(bad, 4), std::invalid_argument);
+
+    bad = cfg;
+    bad.maxInstances = 5; // larger than the fleet
+    EXPECT_THROW(resolveAutoscalerConfig(bad, 4), std::invalid_argument);
+
+    bad = cfg;
+    bad.minInstances = 3;
+    bad.maxInstances = 2;
+    EXPECT_THROW(resolveAutoscalerConfig(bad, 4), std::invalid_argument);
+
+    bad = cfg;
+    bad.maxInstances = 2;
+    bad.initialInstances = 4; // outside [min, max]
+    EXPECT_THROW(resolveAutoscalerConfig(bad, 4), std::invalid_argument);
+
+    bad = cfg;
+    bad.evalIntervalCycles = 0;
+    EXPECT_THROW(resolveAutoscalerConfig(bad, 4), std::invalid_argument);
+
+    bad = cfg;
+    bad.queueLowDepth = bad.queueHighDepth;
+    EXPECT_THROW(resolveAutoscalerConfig(bad, 4), std::invalid_argument);
+}
+
+TEST(Autoscaler, PolicyDecidesFromWindowedSignals)
+{
+    AutoscalerConfig cfg;
+    cfg.enabled = true;
+    cfg.minInstances = 1;
+    cfg.maxInstances = 4;
+    cfg.queueHighDepth = 8;
+    cfg.queueLowDepth = 2;
+    cfg.p99HighCycles = 1'000'000;
+    cfg.cooldownCycles = 100'000;
+    AutoscalerPolicy policy(resolveAutoscalerConfig(cfg, 4));
+
+    // Queue pressure scales up.
+    EXPECT_EQ(policy.decide(0, 8, 0, 2), 1);
+    // Cooldown holds even under heavy pressure...
+    EXPECT_EQ(policy.decide(50'000, 20, 0, 3), 0);
+    // ...and releases once it elapses.
+    EXPECT_EQ(policy.decide(100'000, 20, 0, 3), 1);
+    // Tail pressure alone (empty queue) also scales up.
+    EXPECT_EQ(policy.decide(300'000, 0, 2'000'000, 3), 1);
+    // At the ceiling, pressure holds rather than overshooting.
+    EXPECT_EQ(policy.decide(500'000, 20, 0, 4), 0);
+    // Quiet and drained scales down...
+    EXPECT_EQ(policy.decide(700'000, 1, 0, 2), -1);
+    // ...but never through the floor.
+    EXPECT_EQ(policy.decide(900'000, 0, 0, 1), 0);
+}
+
+TEST(Autoscaler, SpinUpDelayAndGracefulDrainOracle)
+{
+    // Hand-checkable closed loop: four identical 100'000-cycle
+    // requests arrive at cycle 0 on a two-instance fleet with one
+    // instance powered.
+    //
+    //   t=0       instance 0 takes r0 (queued: r1 r2 r3)
+    //   t=10'000  eval: depth 3 >= 2 -> scale up; 5'000-cycle spin-up
+    //   t=15'000  instance 1 powers on and takes r1
+    //   t=100'000 instance 0 finishes r0, takes r2
+    //   t=115'000 instance 1 finishes r1, takes r3
+    //   t=120'000 eval: queue empty -> scale down; instance 1 is busy
+    //             so it drains: finishes r3, then powers off
+    //   t=200'000 instance 0 finishes r2
+    //   t=215'000 instance 1 finishes r3 while draining
+    const FixedServiceModel model(100'000);
+    SchedulerConfig scfg;
+    scfg.occupancy = OccupancyModel::Monolithic;
+    scfg.batcher.enabled = false; // singleton dispatches
+    scfg.autoscaler.enabled = true;
+    scfg.autoscaler.minInstances = 1;
+    scfg.autoscaler.initialInstances = 1;
+    scfg.autoscaler.evalIntervalCycles = 10'000;
+    scfg.autoscaler.queueHighDepth = 2;
+    scfg.autoscaler.queueLowDepth = 0;
+    scfg.autoscaler.spinUpCycles = 5'000;
+    FleetScheduler sched({pointAccConfig(), pointAccConfig()}, model,
+                         {1.0}, scfg);
+
+    std::vector<Request> trace;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        trace.push_back(makeRequest(i, 0));
+    const auto report = sched.run(trace);
+
+    EXPECT_EQ(report.completed, 4u);
+    EXPECT_EQ(report.dropped, 0u);
+    const std::vector<std::uint64_t> expected = {100'000, 115'000,
+                                                 200'000, 215'000};
+    EXPECT_EQ(report.completionCycles, expected);
+    EXPECT_EQ(report.horizonCycles, 215'000u);
+
+    const auto &as = report.autoscaler;
+    ASSERT_TRUE(as.enabled);
+    EXPECT_EQ(as.scaleUps, 1u);
+    EXPECT_EQ(as.scaleDowns, 1u);
+    EXPECT_EQ(as.drainedBatches, 1u); // r3 finished while draining
+    EXPECT_EQ(as.peakProvisioned, 2u);
+    EXPECT_EQ(as.finalProvisioned, 1u);
+    // Power integral: one instance for [0, 10'000), two from the
+    // scale-up decision (spin-up burns power) until the drain
+    // completes at 215'000.
+    EXPECT_EQ(as.instanceCycles, 10'000u + 2u * 205'000u);
+    // The saving the traffic gate reports: static 2-instance cost
+    // would be 430'000 instance-cycles.
+    EXPECT_LT(as.instanceCycles, 2 * report.horizonCycles);
+}
+
+TEST(Autoscaler, WaitForKBatcherSurvivesScaling)
+{
+    // Structural companion to the oracle above: slow arrivals under a
+    // wait-for-K batcher while the autoscaler retires idle capacity.
+    // Holds, timers, drains and scaling events interleave; nothing may
+    // leak or double-complete.
+    const FixedServiceModel model(20'000, 2'000);
+    SchedulerConfig scfg;
+    scfg.queueDepth = 256;
+    scfg.batcher.enabled = true;
+    scfg.batcher.targetK = 4;
+    scfg.batcher.maxBatchSize = 8;
+    scfg.batcher.maxWaitCycles = 30'000;
+    scfg.autoscaler.enabled = true;
+    scfg.autoscaler.minInstances = 1;
+    scfg.autoscaler.initialInstances = 3;
+    scfg.autoscaler.evalIntervalCycles = 40'000;
+    scfg.autoscaler.queueHighDepth = 50;
+    scfg.autoscaler.queueLowDepth = 6;
+    scfg.autoscaler.spinUpCycles = 10'000;
+    FleetScheduler sched(
+        {pointAccConfig(), pointAccConfig(), pointAccConfig()}, model,
+        {1.0}, scfg);
+
+    const auto report = sched.run(denseTrace(40, 20'000));
+    EXPECT_EQ(report.generated, 40u);
+    EXPECT_EQ(report.dropped, 0u);
+    EXPECT_EQ(report.completed, 40u);
+    EXPECT_EQ(report.leftoverQueued, 0u);
+    EXPECT_GT(report.batchHolds, 0u); // wait-for-K actually held
+
+    const auto &as = report.autoscaler;
+    ASSERT_TRUE(as.enabled);
+    EXPECT_GE(as.scaleDowns, 1u); // idle capacity was retired
+    EXPECT_GE(as.finalProvisioned, 1u);
+    EXPECT_EQ(as.evals, as.timeline.samples.size());
+    EXPECT_LE(as.instanceCycles, 3 * report.horizonCycles);
 }
 
 // ---------------------------------------------------------------- //

@@ -40,6 +40,15 @@
  * the probe log met it, plan output is byte-identical across runs,
  * and probes spent never exceed the exhaustive grid size.
  *
+ * The traffic/autoscaling layer (runtime/traffic, runtime/autoscaler)
+ * is held to the same bar: per-segment arrival counts match the
+ * analytic MMPP expectation, a phase-free churn-free program is
+ * draw-for-draw the stationary stream, schedule files round-trip
+ * exactly (and serve byte-identically, with malformed input rejected),
+ * and autoscaled runs keep every serving invariant while remaining
+ * byte-identical across repeats and across the streaming/materialized
+ * entry points.
+ *
  * A scale tier (10^5-request traces, plus a 10^6-request generator
  * memory check) runs only when the binary is invoked with `--scale`
  * (scripts/ci.sh does), so the quick ctest pass stays fast.
@@ -51,7 +60,9 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -60,6 +71,7 @@
 #include "runtime/reference.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
+#include "runtime/traffic.hpp"
 #include "runtime/workload.hpp"
 #include "sim/accel_config.hpp"
 
@@ -760,6 +772,248 @@ TEST(RuntimeEquivalence, PlannerProbeMatchesSeedEngineByteForByte)
         const auto reference = runServingReference(
             fleet, model, {1.0, 2.0}, c.scfg, trace);
         ASSERT_EQ(servingJsonOf(viaPlanner), servingJsonOf(reference));
+    }
+}
+
+// ---------------------------------------------------------------- //
+//                 Traffic programs & autoscaling                    //
+// ---------------------------------------------------------------- //
+
+TEST(TrafficProperties, SegmentArrivalCountsMatchAnalyticRates)
+{
+    // MMPP conservation: over 60 seeds, the arrivals landing inside
+    // each piecewise-rate segment match rate * length / 1e6 within
+    // sampling tolerance. Segment counts of a piecewise-constant-rate
+    // Poisson process are exactly Poisson(rate * length), so a
+    // 6-sigma band keeps ~180 checks deterministic-in-practice while
+    // catching a rate applied to the wrong segment (a >= 2x error
+    // under these programs).
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 0x7f4a7c15ULL);
+        TrafficProgram program;
+        program.base.seed = seed;
+        program.base.horizonCycles = 6'000'000;
+        program.base.requestsPerMCycle = rng.uniform(20.0, 60.0);
+        program.base.mix = {{0, 0, 1.0, 0}};
+        const double mid =
+            rng.uniform(2.5, 4.0) * program.base.requestsPerMCycle;
+        const double late =
+            rng.uniform(0.2, 0.6) * program.base.requestsPerMCycle;
+        program.phases = {{2'000'000, mid}, {4'000'000, late}};
+
+        const auto trace = materialize(program);
+        std::array<double, 3> counts{};
+        for (const auto &r : trace)
+            counts[r.arrivalCycle < 2'000'000   ? 0
+                   : r.arrivalCycle < 4'000'000 ? 1
+                                                : 2] += 1.0;
+        const std::array<double, 3> rates = {
+            program.base.requestsPerMCycle, mid, late};
+        for (std::size_t s = 0; s < 3; ++s) {
+            const double expected = rates[s] * 2'000'000 / 1e6;
+            EXPECT_NEAR(counts[s], expected,
+                        6.0 * std::sqrt(expected) + 6.0)
+                << "segment " << s;
+        }
+    }
+}
+
+TEST(TrafficProperties, StationaryProgramMatchesWorkloadStream)
+{
+    // The anchor property: a program with no phases and no churn is
+    // the stationary stream — draw for draw, across the fuzzed spec
+    // space (both arrival processes, deadlines, reuse streams).
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng rng(seed * 0x51ed2701ULL);
+        const auto spec = randomSpec(rng, seed);
+        TrafficProgram program;
+        program.base = spec;
+        const auto viaTraffic = materialize(program);
+        const auto viaWorkload = WorkloadGenerator(spec).generate();
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        ASSERT_EQ(viaTraffic.size(), viaWorkload.size());
+        for (std::size_t i = 0; i < viaTraffic.size(); ++i)
+            ASSERT_TRUE(sameRequest(viaTraffic[i], viaWorkload[i]))
+                << "trace diverged at index " << i;
+    }
+}
+
+TEST(TrafficProperties, ChurnRetiresStreamFrameHistory)
+{
+    // mapReuseProb = 1 on a single stream: without churn one cloudId
+    // repeats across the whole trace; with churn every crossed epoch
+    // boundary forces the next frame fresh.
+    TrafficProgram program;
+    program.base.seed = 5;
+    program.base.requestsPerMCycle = 40.0;
+    program.base.horizonCycles = 4'000'000;
+    program.base.mix = {{0, 0, 1.0, 0, 0, 1.0}};
+
+    TrafficTelemetry plain;
+    const auto noChurn = materialize(program, &plain);
+    ASSERT_FALSE(noChurn.empty());
+    std::set<std::uint64_t> plainIds;
+    for (const auto &r : noChurn)
+        plainIds.insert(r.cloudId);
+    EXPECT_EQ(plainIds.size(), 1u);
+    EXPECT_TRUE(plain.present);
+    EXPECT_EQ(plain.segments, 1u);
+    EXPECT_DOUBLE_EQ(plain.basePerMCycle, plain.peakPerMCycle);
+    EXPECT_EQ(plain.churnEvents, 0u);
+
+    program.churn.intervalCycles = 1'000'000;
+    TrafficTelemetry churned;
+    const auto withChurn = materialize(program, &churned);
+    EXPECT_EQ(churned.churnIntervalCycles, 1'000'000u);
+    EXPECT_GT(churned.churnEvents, 0u);
+    std::set<std::uint64_t> churnedIds;
+    for (const auto &r : withChurn)
+        churnedIds.insert(r.cloudId);
+    // One fresh frame per crossed boundary at most (an empty epoch
+    // crosses a boundary without minting a cloudId), and at least one
+    // beyond the original single frame.
+    EXPECT_GE(churnedIds.size(), 2u);
+    EXPECT_LE(churnedIds.size(), churned.churnEvents + 1);
+}
+
+TEST(TrafficProperties, ScheduleRoundTripIsExactAndServesIdentically)
+{
+    // writeSchedule -> readSchedule must reproduce the request vector
+    // field for field, and the replayed schedule must serve to a
+    // byte-identical report.
+    for (std::uint64_t seed = 40; seed < 52; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 0x9e3779b9ULL);
+        TrafficProgram program;
+        program.base = randomSpec(rng, seed);
+        program.phases = {
+            {program.base.horizonCycles / 3,
+             rng.uniform(1.5, 4.0) * program.base.requestsPerMCycle},
+            {2 * program.base.horizonCycles / 3,
+             program.base.requestsPerMCycle}};
+        if (rng.range(2) == 0)
+            program.churn.intervalCycles =
+                100'000 + rng.range(program.base.horizonCycles / 3);
+
+        const auto trace = materialize(program);
+        std::stringstream file;
+        writeSchedule(file, trace);
+        const auto replayed = readSchedule(file);
+        ASSERT_EQ(replayed.size(), trace.size());
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            ASSERT_TRUE(sameRequest(trace[i], replayed[i]))
+                << "round trip diverged at index " << i;
+
+        const RandomPhasedServiceModel model(seed);
+        const auto scfg = randomConfig(rng);
+        FleetScheduler sched({pointAccConfig(), pointAccEdgeConfig()},
+                             model, {1.0, 2.0}, scfg);
+        ASSERT_EQ(servingJsonOf(sched.run(trace)),
+                  servingJsonOf(sched.run(replayed)));
+    }
+}
+
+TEST(TrafficProperties, MalformedSchedulesThrow)
+{
+    const auto parse = [](const std::string &text) {
+        std::istringstream is(text);
+        return readSchedule(is);
+    };
+    EXPECT_THROW(parse(""), std::invalid_argument);
+    EXPECT_THROW(parse("wrong-magic v1 1\n"), std::invalid_argument);
+    EXPECT_THROW(parse("pointacc-schedule v9 0\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse("pointacc-schedule v1 2\n"
+                       "0 0 0 1 100 0\n"),
+                 std::invalid_argument); // truncated
+    EXPECT_THROW(parse("pointacc-schedule v1 1\n"
+                       "0 0 0 1 abc 0\n"),
+                 std::invalid_argument); // garbage field
+    EXPECT_THROW(parse("pointacc-schedule v1 2\n"
+                       "0 0 0 1 500 0\n"
+                       "1 0 0 2 100 0\n"),
+                 std::invalid_argument); // out of arrival order
+
+    const auto ok = parse("pointacc-schedule v1 1\n"
+                          "7 1 0 9 100 600\n");
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_EQ(ok[0].id, 7u);
+    EXPECT_EQ(ok[0].networkId, 1u);
+    EXPECT_EQ(ok[0].sizeBucket, 0u);
+    EXPECT_EQ(ok[0].cloudId, 9u);
+    EXPECT_EQ(ok[0].arrivalCycle, 100u);
+    EXPECT_EQ(ok[0].deadlineCycle, 600u);
+}
+
+TEST(AutoscalerProperties, ScaledRunsConserveAndAreByteIdentical)
+{
+    // Fuzz the closed loop: random traffic programs (flash phase +
+    // optional churn) over random fleets and scheduler configs with
+    // the autoscaler enabled. Every run must keep the serving
+    // invariants, the autoscaler's own accounting must balance, and
+    // repeats — streaming or materialized — must be byte-identical.
+    for (std::uint64_t seed = 600; seed < 625; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        TrafficProgram program;
+        program.base = randomSpec(rng, seed);
+        program.phases = {
+            {program.base.horizonCycles / 4,
+             rng.uniform(2.0, 5.0) * program.base.requestsPerMCycle},
+            {program.base.horizonCycles / 2,
+             program.base.requestsPerMCycle}};
+        if (rng.range(2) == 0)
+            program.churn.intervalCycles =
+                50'000 + rng.range(program.base.horizonCycles / 4);
+
+        auto scfg = randomConfig(rng);
+        const auto fleet = randomFleet(rng);
+        scfg.autoscaler.enabled = true;
+        scfg.autoscaler.minInstances = 1;
+        scfg.autoscaler.initialInstances =
+            1 + static_cast<std::uint32_t>(rng.range(fleet.size()));
+        scfg.autoscaler.evalIntervalCycles = 20'000 + rng.range(150'000);
+        scfg.autoscaler.queueHighDepth = 4 + rng.range(28);
+        scfg.autoscaler.queueLowDepth = rng.range(4);
+        scfg.autoscaler.p99HighCycles =
+            rng.range(2) == 0 ? 100'000 + rng.range(400'000) : 0;
+        scfg.autoscaler.spinUpCycles = rng.range(80'000);
+        scfg.autoscaler.cooldownCycles = rng.range(150'000);
+
+        FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+        TrafficStream stream(program);
+        const auto report = sched.run(stream);
+        checkInvariants(report, seed);
+
+        const auto &as = report.autoscaler;
+        ASSERT_TRUE(as.enabled);
+        EXPECT_EQ(as.evals, as.timeline.samples.size());
+        std::uint64_t ups = 0, downs = 0;
+        for (const auto &s : as.timeline.samples) {
+            EXPECT_GE(s.provisioned, as.minInstances);
+            EXPECT_LE(s.provisioned, as.maxInstances);
+            ups += s.action > 0 ? 1 : 0;
+            downs += s.action < 0 ? 1 : 0;
+        }
+        EXPECT_EQ(ups, as.scaleUps);
+        EXPECT_EQ(downs, as.scaleDowns);
+        EXPECT_LE(as.peakProvisioned,
+                  static_cast<std::uint32_t>(fleet.size()));
+        EXPECT_GE(as.finalProvisioned, as.minInstances);
+        EXPECT_LE(as.instanceCycles,
+                  fleet.size() * report.horizonCycles);
+
+        // Byte-identical on a repeat, and streaming == materialized.
+        TrafficStream again(program);
+        ASSERT_EQ(servingJsonOf(report),
+                  servingJsonOf(sched.run(again)));
+        ASSERT_EQ(servingJsonOf(report),
+                  servingJsonOf(sched.run(materialize(program))));
+
+        if (HasFatalFailure())
+            return;
     }
 }
 
