@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace pointacc {
 
@@ -10,8 +11,10 @@ Summary::percentile(double p) const
 {
     if (samples.empty())
         return 0.0;
-    if (scratch.size() != samples.size())
+    if (scratchStale || scratch.size() != samples.size()) {
         scratch = samples;
+        scratchStale = false;
+    }
     const double clamped = std::clamp(p, 0.0, 1.0);
     const auto rank = static_cast<std::size_t>(
         clamped * static_cast<double>(scratch.size() - 1) + 0.5);
@@ -21,14 +24,48 @@ Summary::percentile(double p) const
     return scratch[rank];
 }
 
+void
+Summary::merge(const Summary &other)
+{
+    if (other.samples.empty())
+        return;
+    const bool wasEmpty = samples.empty();
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    total += other.total;
+    if (wasEmpty) {
+        lo = other.lo;
+        hi = other.hi;
+    } else {
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+    scratchStale = true;
+}
+
+void
+Summary::clear()
+{
+    samples.clear();
+    total = 0.0;
+    lo = 0.0;
+    hi = 0.0;
+    scratchStale = true;
+}
+
 double
 geomean(const std::vector<double> &values)
 {
     if (values.empty())
         return 0.0;
     double logSum = 0.0;
-    for (double v : values)
+    for (double v : values) {
+        if (v <= 0.0)
+            throw std::invalid_argument(
+                "geomean: non-positive sample (geometric means are "
+                "defined over strictly positive values)");
         logSum += std::log(v);
+    }
     return std::exp(logSum / static_cast<double>(values.size()));
 }
 

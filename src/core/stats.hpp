@@ -58,6 +58,7 @@ class Summary
     {
         samples.push_back(v);
         total += v;
+        scratchStale = true;
         if (samples.size() == 1) {
             lo = hi = v;
         } else {
@@ -65,6 +66,17 @@ class Summary
             if (v > hi) hi = v;
         }
     }
+
+    /** Fold another summary into this one, as if every sample of
+     *  `other` had been record()ed here (append order: ours first,
+     *  then other's — percentiles are permutation-invariant, so the
+     *  merged summary equals a single-summary run over the union).
+     *  The shard-merge primitive behind bench_simperf's per-shard
+     *  event loops. */
+    void merge(const Summary &other);
+
+    /** Reset to the freshly constructed state (capacity retained). */
+    void clear();
 
     /** Pre-size the sample buffer (million-request runs would otherwise
      *  pay log2(n) reallocations; the values recorded are unchanged). */
@@ -98,16 +110,28 @@ class Summary
 
   private:
     std::vector<double> samples;
-    /** Selection workspace, refreshed lazily when samples grew. Its
-     *  ordering between calls is irrelevant (rank selection over a
-     *  multiset of values is permutation-invariant). */
+    /** Selection workspace, refreshed lazily whenever the sample set
+     *  changed (the explicit dirty flag below — a size comparison
+     *  would miss same-size mutations such as clear()+re-record or a
+     *  merge() that lands back on a previous size). Its ordering
+     *  between calls is irrelevant (rank selection over a multiset of
+     *  values is permutation-invariant). */
     mutable std::vector<double> scratch;
+    /** True whenever `samples` changed since scratch last mirrored
+     *  it; every mutation path must set it. */
+    mutable bool scratchStale = true;
     double total = 0.0;
     double lo = 0.0;
     double hi = 0.0;
 };
 
-/** Geometric mean of a vector of positive values (0 when empty). */
+/**
+ * Geometric mean of a vector of strictly positive values (0 when
+ * empty). Zero or negative samples throw std::invalid_argument: a
+ * zero would silently collapse the mean to 0 through log(0) = -inf
+ * and a negative would poison it with NaN, so a non-positive ratio
+ * reaching this function is always a caller bug worth failing loudly.
+ */
 double geomean(const std::vector<double> &values);
 
 } // namespace pointacc

@@ -233,5 +233,96 @@ TEST(Stats, GeomeanMatchesHandComputed)
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
 }
 
+TEST(Stats, GeomeanRejectsNonPositiveSamples)
+{
+    // log(0) = -inf used to collapse the mean to 0 silently; a
+    // negative sample used to poison it with NaN. Both now fail loud.
+    EXPECT_THROW(geomean({1.0, 0.0, 4.0}), std::invalid_argument);
+    EXPECT_THROW(geomean({-2.0}), std::invalid_argument);
+    EXPECT_THROW(geomean({3.0, -1.0}), std::invalid_argument);
+    // Empty stays the documented 0.0, not a throw.
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, PercentileSeesSameSizeMutations)
+{
+    // Regression: the selection scratch used to refresh only when
+    // samples.size() changed, so any same-size mutation (clear() +
+    // re-record, a size-preserving merge sequence) selected over the
+    // STALE values. The dirty flag must catch it.
+    Summary s;
+    for (double v : {10.0, 20.0, 30.0})
+        s.record(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 20.0); // seeds the scratch
+
+    s.clear();
+    for (double v : {1.0, 2.0, 3.0}) // same count as before
+        s.record(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(Stats, ClearResetsToFreshState)
+{
+    Summary s;
+    s.record(5.0);
+    s.record(7.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+    s.record(9.0);
+    EXPECT_DOUBLE_EQ(s.min(), 9.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 9.0);
+}
+
+TEST(Stats, MergeMatchesSingleSummaryRun)
+{
+    // merge(a, b) must equal one summary fed the union, in every
+    // moment and percentile — the property the sharded bench relies
+    // on when it folds per-shard reports into one.
+    Summary a, b, all;
+    for (double v : {5.0, 1.0, 9.0}) {
+        a.record(v);
+        all.record(v);
+    }
+    for (double v : {2.0, 14.0}) {
+        b.record(v);
+        all.record(v);
+    }
+    a.percentile(0.5); // seed a's scratch: merge must invalidate it
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    for (double p : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p)) << p;
+}
+
+TEST(Stats, MergeHandlesEmptySummaries)
+{
+    Summary empty, s;
+    s.record(3.0);
+    s.merge(empty); // no-op
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.min(), 3.0);
+
+    Summary into;
+    into.merge(s); // empty absorbs: min/max come from the source
+    EXPECT_EQ(into.count(), 1u);
+    EXPECT_DOUBLE_EQ(into.min(), 3.0);
+    EXPECT_DOUBLE_EQ(into.max(), 3.0);
+    EXPECT_DOUBLE_EQ(into.percentile(0.5), 3.0);
+
+    Summary e1, e2;
+    e1.merge(e2);
+    EXPECT_EQ(e1.count(), 0u);
+}
+
 } // namespace
 } // namespace pointacc
