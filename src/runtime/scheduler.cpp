@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <unordered_set>
@@ -143,9 +144,24 @@ SimServiceModel::profile(const AcceleratorConfig &cfg,
     simAssert(bucket < cat.bucketScales.size(),
               "size bucket outside the serving catalog");
     const Key key{cfg.name, network_id, bucket};
-    const auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    // Fast path: the triple is already profiled. Concurrent probes
+    // hit this read-side lock on every dispatch, so it must stay
+    // shared (never exclusive) once the memo is warm.
+    {
+        std::shared_lock<std::shared_mutex> lock(memoMutex);
+        const auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+
+    // Slow path: first profile of this triple. Take the exclusive
+    // lock and re-check — two threads can both miss the shared-lock
+    // lookup, and only the first to get here may simulate (the meter
+    // counts real simulator runs, one per distinct triple).
+    std::unique_lock<std::shared_mutex> lock(memoMutex);
+    const auto again = cache.find(key);
+    if (again != cache.end())
+        return again->second;
 
     const auto &net = cat.networks[network_id];
     const auto &cloud = cloudFor(network_id, bucket);

@@ -75,6 +75,7 @@
 
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -189,6 +190,18 @@ class ServiceModel
  * ServiceModel backed by the PointAcc simulator. Profiles lazily and
  * memoizes per (accelerator name, network, bucket); a homogeneous
  * 4-instance fleet profiles each pair exactly once.
+ *
+ * Thread safety: one model instance may be shared by concurrent
+ * probes (the ProbeExecutor runs planner probes and bench rows in
+ * parallel against a single model). The memo caches and the
+ * profiled-runs meter sit behind a shared mutex — lookups of an
+ * already-profiled triple take the (uncontended, read-side) shared
+ * lock; only a first-time profile of a triple takes the exclusive
+ * lock, re-checks, and simulates. Each distinct triple is therefore
+ * still simulated exactly once per process, whatever the thread
+ * count, and profiledRuns() keeps its memoization-meter meaning.
+ * Measured (docs/PERFORMANCE.md): the read-side lock is invisible
+ * next to the event-loop work a probe does per request.
  */
 class SimServiceModel : public ServiceModel
 {
@@ -207,7 +220,12 @@ class SimServiceModel : public ServiceModel
      *  meter. Across any number of sweep rows in one process this must
      *  equal the number of distinct (accelerator class, network,
      *  bucket) triples profiled; bench_serving gates on it. */
-    std::uint64_t profiledRuns() const { return numProfiledRuns; }
+    std::uint64_t
+    profiledRuns() const
+    {
+        std::shared_lock<std::shared_mutex> lock(memoMutex);
+        return numProfiledRuns;
+    }
 
   private:
     const PointCloud &cloudFor(std::uint32_t network_id,
@@ -215,6 +233,9 @@ class SimServiceModel : public ServiceModel
 
     ServingCatalog cat;
     using Key = std::tuple<std::string, std::uint32_t, std::uint32_t>;
+    /** Guards every mutable member below: shared for memo hits,
+     *  exclusive for first-time profiling (see class comment). */
+    mutable std::shared_mutex memoMutex;
     mutable std::map<Key, ServiceProfile> cache;
     mutable std::map<std::pair<std::uint32_t, std::uint32_t>, PointCloud>
         clouds;

@@ -15,6 +15,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "nn/zoo.hpp"
 #include "runtime/autoscaler.hpp"
@@ -1681,6 +1682,54 @@ TEST(Autoscaler, WaitForKBatcherSurvivesScaling)
 // ---------------------------------------------------------------- //
 //                         Report output                             //
 // ---------------------------------------------------------------- //
+
+TEST(SimServiceModel, ConcurrentProfilingIsRaceFreeAndMemoizedOnce)
+{
+    // ThreadSanitizer repro for the pre-executor data race: profile()
+    // mutates the memo caches and the profiled-runs meter, and the
+    // moment two probes share one model those writes collide. Hammer
+    // the same triples from several threads; under TSan the unfixed
+    // model reports the race, and with any synchronization scheme the
+    // meter must still count each distinct triple exactly once and
+    // every thread must read identical profiles.
+    ServingCatalog catalog;
+    catalog.networks = {pointNet(), pointNetPPClass()};
+    catalog.bucketScales = {0.02, 0.04};
+    SimServiceModel model(catalog);
+    const auto cfg = pointAccConfig();
+
+    constexpr std::size_t kThreads = 4;
+    constexpr int kRounds = 16;
+    std::vector<std::vector<ServiceProfile>> seen(kThreads);
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < kThreads; ++t)
+            threads.emplace_back([&model, &cfg, &seen, t] {
+                for (int round = 0; round < kRounds; ++round)
+                    for (std::uint32_t n = 0; n < 2; ++n)
+                        for (std::uint32_t b = 0; b < 2; ++b)
+                            seen[t].push_back(model.profile(cfg, n, b));
+            });
+        for (auto &th : threads)
+            th.join();
+    }
+
+    // One real simulator run per distinct (class, network, bucket)
+    // triple, however many threads raced to be first.
+    EXPECT_EQ(model.profiledRuns(), 4u);
+
+    // Every thread observed the same memoized values.
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(seen[t].size(), seen[0].size());
+        for (std::size_t i = 0; i < seen[t].size(); ++i) {
+            EXPECT_EQ(seen[t][i].totalCycles, seen[0][i].totalCycles);
+            EXPECT_EQ(seen[t][i].mappingCycles,
+                      seen[0][i].mappingCycles);
+            EXPECT_EQ(seen[t][i].weightLoadCycles,
+                      seen[0][i].weightLoadCycles);
+        }
+    }
+}
 
 TEST(ServingStats, JsonAndTextOutputs)
 {
