@@ -49,6 +49,16 @@
  * shrinks the arrival horizon. The exit code reflects only the
  * acceptance gates of the sweeps that actually ran.
  *
+ * `--threads N` (default 1 = serial, 0 = one per hardware thread)
+ * runs each sweep's scenario matrix on a work-stealing ProbeExecutor
+ * and hands the planner the same thread budget for speculative
+ * probes. Rows come back in declaration order whatever the execution
+ * interleaving, and every scenario is a pure function of its (spec,
+ * config) inputs, so BENCH_serving.json is byte-identical to a serial
+ * run; for the planner that identity is gated here — the parallel
+ * plan is re-run serially and the two writePlanJson outputs must
+ * match byte for byte.
+ *
  * State hygiene: every sweep derives its WorkloadSpec from one const
  * `base` and owns its mutations locally; the only object shared
  * across rows is the SimServiceModel, whose memoized profiles are
@@ -57,14 +67,18 @@
  * tests/test_runtime_properties.cpp pins that property.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/json.hpp"
 #include "nn/zoo.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
@@ -289,6 +303,7 @@ main(int argc, char **argv)
     std::string sweepSel = "all";
     bool quick = false;
     bool smoke = false;
+    std::size_t threadsArg = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
@@ -300,6 +315,9 @@ main(int argc, char **argv)
             quick = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threadsArg = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
     }
     // An unknown sweep name would select nothing, skip every
     // acceptance gate and exit 0 — reject it so a typoed CI
@@ -347,6 +365,18 @@ main(int argc, char **argv)
     catalog.bucketScales = {0.05, 0.1};
     SimServiceModel model(catalog);
 
+    // Scenario executor: every sweep row is a pure function of its
+    // (spec, config) inputs, so rows run as tasks and merge back in
+    // declaration order — the table and the JSON cannot tell serial
+    // from parallel apart. The model's profiling memo is internally
+    // synchronized (first profiler wins, everyone reads one value).
+    const std::size_t poolThreads =
+        ProbeExecutor::resolveThreads(threadsArg);
+    ProbeExecutor pool(poolThreads);
+    std::printf("threads: %zu (%s)\n", poolThreads,
+                poolThreads == 0 ? "serial, inline"
+                                 : "work-stealing pool");
+
     // Price the mix against one PointAcc to express offered load in
     // fractions of single-instance capacity.
     const auto cfgServer = pointAccConfig();
@@ -392,27 +422,36 @@ main(int argc, char **argv)
     if (selected("fleet")) {
         WorkloadSpec spec = frozenBase;
         spec.requestsPerMCycle = 1.5 * capacityPerMCycle;
-        for (const std::size_t fleetSize : {1u, 2u, 4u}) {
-            fleetRows.push_back(
-                runScenario("fleet", model, fleetSize, spec,
-                            makeConfig(QueuePolicy::Fifo, false)));
-            rows.push_back(fleetRows.back());
-            printRow(rows.back());
+        std::vector<std::function<Row()>> tasks;
+        for (const std::size_t fleetSize : {1u, 2u, 4u})
+            tasks.push_back([&model, spec, fleetSize] {
+                return runScenario("fleet", model, fleetSize, spec,
+                                   makeConfig(QueuePolicy::Fifo, false));
+            });
+        fleetRows = pool.map(std::move(tasks));
+        for (const Row &row : fleetRows) {
+            rows.push_back(row);
+            printRow(row);
         }
         bench::rule(122);
     }
 
     // Sweep 2: FIFO vs SJF, one instance, rising load.
     if (selected("policy")) {
+        std::vector<std::function<Row()>> tasks;
         for (const double frac : {0.6, 0.9, 1.2}) {
             WorkloadSpec spec = frozenBase;
             spec.requestsPerMCycle = frac * capacityPerMCycle;
             for (const QueuePolicy pol :
-                 {QueuePolicy::Fifo, QueuePolicy::Sjf}) {
-                rows.push_back(runScenario("policy", model, 1, spec,
-                                           makeConfig(pol, false)));
-                printRow(rows.back());
-            }
+                 {QueuePolicy::Fifo, QueuePolicy::Sjf})
+                tasks.push_back([&model, spec, pol] {
+                    return runScenario("policy", model, 1, spec,
+                                       makeConfig(pol, false));
+                });
+        }
+        for (Row &row : pool.map(std::move(tasks))) {
+            printRow(row);
+            rows.push_back(std::move(row));
         }
         bench::rule(122);
     }
@@ -429,11 +468,16 @@ main(int argc, char **argv)
 
     // Sweep 3: batching on/off under bursty single-network traffic.
     if (selected("batching")) {
-        for (const bool batching : {false, true}) {
-            rows.push_back(
-                runScenario("batching", model, 1, burstSpec,
-                            makeConfig(QueuePolicy::Fifo, batching)));
-            printRow(rows.back());
+        std::vector<std::function<Row()>> tasks;
+        for (const bool batching : {false, true})
+            tasks.push_back([&model, &burstSpec, batching] {
+                return runScenario(
+                    "batching", model, 1, burstSpec,
+                    makeConfig(QueuePolicy::Fifo, batching));
+            });
+        for (Row &row : pool.map(std::move(tasks))) {
+            printRow(row);
+            rows.push_back(std::move(row));
         }
         bench::rule(122);
     }
@@ -447,19 +491,24 @@ main(int argc, char **argv)
     // saturated, where capacity is what sets the tail.
     std::vector<std::pair<Row, Row>> pipelinePairs; // (mono, pipe)
     if (selected("pipeline")) {
+        std::vector<std::function<Row()>> tasks;
         for (const std::size_t fleetSize : {1u, 2u}) {
             WorkloadSpec spec = frozenBase;
             spec.requestsPerMCycle =
                 1.5 * capacityPerMCycle * static_cast<double>(fleetSize);
-            Row mono = runScenario(
-                "pipeline", model, fleetSize, spec,
-                makeConfig(QueuePolicy::Fifo, false,
-                           OccupancyModel::Monolithic));
+            for (const OccupancyModel occ :
+                 {OccupancyModel::Monolithic, OccupancyModel::Pipelined})
+                tasks.push_back([&model, spec, fleetSize, occ] {
+                    return runScenario(
+                        "pipeline", model, fleetSize, spec,
+                        makeConfig(QueuePolicy::Fifo, false, occ));
+                });
+        }
+        std::vector<Row> pipeRows = pool.map(std::move(tasks));
+        for (std::size_t i = 0; i + 1 < pipeRows.size(); i += 2) {
+            Row &mono = pipeRows[i];
+            Row &pipe = pipeRows[i + 1];
             printRow(mono);
-            Row pipe = runScenario(
-                "pipeline", model, fleetSize, spec,
-                makeConfig(QueuePolicy::Fifo, false,
-                           OccupancyModel::Pipelined));
             printRow(pipe);
             rows.push_back(mono);
             rows.push_back(pipe);
@@ -474,13 +523,18 @@ main(int argc, char **argv)
     if (selected("wait-for-k")) {
         const std::uint64_t maxWait =
             static_cast<std::uint64_t>(2.0 * pnCycles);
-        for (const std::uint32_t k : {1u, 4u, 8u}) {
-            rows.push_back(runScenario(
-                "wait-for-k", model, 1, burstSpec,
-                makeConfig(QueuePolicy::Fifo, true,
-                           OccupancyModel::Pipelined, k,
-                           k > 1 ? maxWait : 0)));
-            printRow(rows.back());
+        std::vector<std::function<Row()>> tasks;
+        for (const std::uint32_t k : {1u, 4u, 8u})
+            tasks.push_back([&model, &burstSpec, maxWait, k] {
+                return runScenario(
+                    "wait-for-k", model, 1, burstSpec,
+                    makeConfig(QueuePolicy::Fifo, true,
+                               OccupancyModel::Pipelined, k,
+                               k > 1 ? maxWait : 0));
+            });
+        for (Row &row : pool.map(std::move(tasks))) {
+            printRow(row);
+            rows.push_back(std::move(row));
         }
         bench::rule(122);
     }
@@ -507,23 +561,34 @@ main(int argc, char **argv)
         // but far cheaper than re-sorting: model it as a small fixed
         // read per request.
         cacheOn.mapCache.hitReadCycles = 2'000;
+        std::vector<std::function<Row()>> tasks;
         for (const std::size_t fleetSize : {1u, 2u}) {
             streamSpec.requestsPerMCycle =
                 1.5 * capacityPerMCycle * static_cast<double>(fleetSize);
             for (const double reuse : {0.0, 0.5, 0.9}) {
                 for (auto &cls : streamSpec.mix)
                     cls.mapReuseProb = reuse;
-                Row off = runScenario(
-                    "map-cache", model, fleetSize, streamSpec,
-                    makeConfig(QueuePolicy::Fifo, false));
-                printRow(off);
-                Row on = runScenario("map-cache", model, fleetSize,
-                                     streamSpec, cacheOn);
-                printRow(on);
-                rows.push_back(off);
-                rows.push_back(on);
-                cachePairs.emplace_back(std::move(off), std::move(on));
+                tasks.push_back([&model, streamSpec, fleetSize] {
+                    return runScenario(
+                        "map-cache", model, fleetSize, streamSpec,
+                        makeConfig(QueuePolicy::Fifo, false));
+                });
+                tasks.push_back([&model, streamSpec, fleetSize,
+                                 &cacheOn] {
+                    return runScenario("map-cache", model, fleetSize,
+                                       streamSpec, cacheOn);
+                });
             }
+        }
+        std::vector<Row> cacheRows = pool.map(std::move(tasks));
+        for (std::size_t i = 0; i + 1 < cacheRows.size(); i += 2) {
+            Row &off = cacheRows[i];
+            Row &on = cacheRows[i + 1];
+            printRow(off);
+            printRow(on);
+            rows.push_back(off);
+            rows.push_back(on);
+            cachePairs.emplace_back(std::move(off), std::move(on));
         }
         bench::rule(122);
     }
@@ -538,9 +603,14 @@ main(int argc, char **argv)
     PlanReport exhaustiveReport;
     bool planRan = false;
     bool smokeRan = false;
+    bool planDifferentialRan = false;
+    bool planParallelIdentical = true;
     if (planSelected) {
+        PlannerConfig plannerCfg;
+        plannerCfg.threads = threadsArg;
         CapacityPlanner planner(pointAccConfig(), model,
-                                model.catalog().bucketScales);
+                                model.catalog().bucketScales,
+                                plannerCfg);
         if (smoke) {
             WorkloadSpec spec = frozenBase;
             spec.horizonCycles = 5'000'000;
@@ -590,6 +660,24 @@ main(int argc, char **argv)
                 planner.planExhaustive(planSpec, slo, space);
             planRan = true;
 
+            // Differential gate: when probes ran in parallel, the
+            // report must still be byte-identical to a serial plan —
+            // speculation may spend extra simulations, never change
+            // the probe log, the pick or a single serialized byte.
+            if (poolThreads > 0) {
+                CapacityPlanner serialPlanner(
+                    pointAccConfig(), model,
+                    model.catalog().bucketScales);
+                const PlanReport serialReport =
+                    serialPlanner.plan(planSpec, slo, space);
+                std::ostringstream parallelJson, serialJson;
+                writePlanJson(parallelJson, planReport);
+                writePlanJson(serialJson, serialReport);
+                planParallelIdentical =
+                    parallelJson.str() == serialJson.str();
+                planDifferentialRan = true;
+            }
+
             std::printf("capacity plan: SLO p99 <= %llu cycles over "
                         "fleet %zu..%zu x {fifo,sjf} x {cache off,on} "
                         "(%llu grid points)\n",
@@ -625,8 +713,11 @@ main(int argc, char **argv)
         const TrafficProgram program =
             flashCrowdProgram(tbase, 6.0, 0.3, 0.2);
 
+        PlannerConfig plannerCfg;
+        plannerCfg.threads = threadsArg;
         CapacityPlanner planner(pointAccConfig(), model,
-                                model.catalog().bucketScales);
+                                model.catalog().bucketScales,
+                                plannerCfg);
         PlanSearchSpace space;
         space.minFleetSize = 1;
         space.maxFleetSize = 8;
@@ -858,6 +949,13 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(budget),
                     planReport.monotoneFleetAxis ? "yes" : "no",
                     fewer && inBudget ? "OK" : "VIOLATED");
+        if (planDifferentialRan) {
+            ok = ok && planParallelIdentical;
+            std::printf("parallel plan byte-identical to serial "
+                        "(%zu-thread speculation): %s\n",
+                        poolThreads,
+                        planParallelIdentical ? "OK" : "VIOLATED");
+        }
     }
     if (smokeRan) {
         // The sanitized smoke just has to complete a real plan and

@@ -25,6 +25,20 @@
  *    engine by >= 10x, and match it byte-identically on the
  *    cross-check trace.
  *
+ * `--threads N` (default 1 = serial, 0 = one per hardware thread)
+ * runs the matrix rows and the sharded tier on a work-stealing
+ * ProbeExecutor. Beyond the matrix, the parallel path adds a *sharded*
+ * tier: fleet 256 as 16 disjoint sub-fleets of 16, each serving an
+ * independent 1/16 slice of a 10^7-request offered load in its own
+ * event loop, merged deterministically in shard order
+ * (mergeShardReports). The shard count is fixed — never derived from
+ * the thread count — so the merged report is byte-identical whatever
+ * --threads says; a small sharded row is re-run serially and
+ * byte-compared to prove it. On a 4+-core runner with --threads >= 4
+ * the tier must clear its own stored floor (>= 3x the single-thread
+ * anchor floor); on smaller machines the floor is reported but not
+ * gated, because there is no parallel speedup to measure.
+ *
  * Results go to BENCH_simperf.json. `--quick` runs the anchor row and
  * one small row (CI's Release-stage configuration); `--smoke` runs a
  * single 10^5-request row with no floor gate (CI's sanitized stage,
@@ -34,14 +48,18 @@
  */
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/json.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/reference.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
@@ -67,6 +85,27 @@ constexpr std::uint64_t kAnchorRequests = 1'000'000;
 
 /** Requests in the seed-baseline measurement (see file header). */
 constexpr std::uint64_t kBaselineRequests = 100'000;
+
+/** Sharded-tier shape: 16 sub-fleets of 16 (fleet 256 total) over a
+ *  10^7-request offered load. The shard count is a constant, not a
+ *  function of --threads: output must not depend on parallelism. */
+constexpr std::size_t kShardCount = 16;
+constexpr std::size_t kShardFleet = 16;
+constexpr std::uint64_t kShardTierRequests = 10'000'000;
+
+/** Requests in the sharded determinism cross-check row (run twice —
+ *  parallel and serial — and byte-compared). */
+constexpr std::uint64_t kShardCheckRequests = 100'000;
+
+/**
+ * Multi-thread floor: the sharded tier on a 4+-core runner with
+ * --threads >= 4 must sustain >= 3x the single-thread anchor floor.
+ * Like kFloorRequestsPerSec it is deliberately conservative —
+ * variance never trips it, losing the parallelism (or the O(log n)
+ * core) does. Gated only when both the flag and the hardware provide
+ * >= 4 threads; update procedure: docs/PERFORMANCE.md.
+ */
+constexpr double kShardFloorRequestsPerSec = 750'000.0;
 
 /**
  * Fixed phase table: deterministic costs spanning map-bound,
@@ -103,6 +142,8 @@ class TableServiceModel : public ServiceModel
 struct Row
 {
     std::size_t fleetSize = 0;
+    /** Shards the row was split into (0 = unsharded event loop). */
+    std::size_t shards = 0;
     std::uint64_t targetRequests = 0;
     std::uint64_t generated = 0;
     std::uint64_t completed = 0;
@@ -192,6 +233,56 @@ runRow(const TableServiceModel &model, std::size_t fleet_size,
     return row;
 }
 
+/**
+ * The sharded tier: split `total_requests` across kShardCount
+ * independent sub-fleet event loops (each fleet kShardFleet, its own
+ * workload slice at 1/kShardCount of the offered rate, seed mixed
+ * with the shard index), run them as executor tasks, and merge in
+ * shard order. The merged report — returned through `merged_out` for
+ * the determinism cross-check — depends only on the shard constants,
+ * never on how many threads executed them.
+ */
+Row
+runShardedRow(const TableServiceModel &model, ProbeExecutor &pool,
+              std::uint64_t total_requests, ServingReport *merged_out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::function<ServingReport()>> tasks;
+    tasks.reserve(kShardCount);
+    for (std::size_t shard = 0; shard < kShardCount; ++shard) {
+        tasks.push_back([&model, shard, total_requests] {
+            WorkloadSpec spec =
+                benchSpec(kShardFleet, total_requests / kShardCount);
+            spec.seed += 7919 * static_cast<decltype(spec.seed)>(shard);
+            const std::vector<AcceleratorConfig> fleet(kShardFleet,
+                                                       pointAccConfig());
+            FleetScheduler sched(fleet, model, {1.0, 2.0},
+                                 benchConfig(kShardFleet));
+            WorkloadGenerator gen(spec);
+            WorkloadStream stream = gen.stream();
+            return sched.run(stream);
+        });
+    }
+    const std::vector<ServingReport> shards = pool.map(std::move(tasks));
+    const ServingReport merged = mergeShardReports(shards);
+    const double ms = wallMsSince(t0);
+
+    Row row;
+    row.fleetSize = kShardCount * kShardFleet;
+    row.shards = kShardCount;
+    row.targetRequests = total_requests;
+    row.generated = merged.generated;
+    row.completed = merged.completed;
+    row.dropped = merged.dropped;
+    row.loopEvents = merged.loopEvents;
+    row.wallMs = ms;
+    row.requestsPerSec = static_cast<double>(merged.generated) / (ms / 1e3);
+    row.eventsPerSec = static_cast<double>(merged.loopEvents) / (ms / 1e3);
+    if (merged_out != nullptr)
+        *merged_out = merged;
+    return row;
+}
+
 void
 printRow(const Row &r)
 {
@@ -212,6 +303,7 @@ main(int argc, char **argv)
     std::string jsonPath = "BENCH_simperf.json";
     bool quick = false;
     bool smoke = false;
+    std::size_t threadsArg = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
@@ -221,10 +313,14 @@ main(int argc, char **argv)
             quick = true;
         else if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threadsArg = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
         else {
             std::fprintf(stderr,
                          "error: unknown argument '%s' (expected "
-                         "--json <path>, --no-json, --quick, --smoke)\n",
+                         "--json <path>, --no-json, --quick, --smoke, "
+                         "--threads <n>)\n",
                          argv[i]);
             return 2;
         }
@@ -234,6 +330,12 @@ main(int argc, char **argv)
                   "runtime/ subsystem (beyond the paper)");
 
     const TableServiceModel model;
+    const std::size_t poolThreads =
+        ProbeExecutor::resolveThreads(threadsArg);
+    ProbeExecutor pool(poolThreads);
+    std::printf("threads: %zu (%s)\n", poolThreads,
+                poolThreads == 0 ? "serial, inline"
+                                 : "work-stealing pool");
 
     std::vector<std::pair<std::size_t, std::uint64_t>> matrix;
     if (smoke) {
@@ -252,14 +354,28 @@ main(int argc, char **argv)
                 "events", "drop", "req/s", "events/s", "wall ms");
     bench::rule(78);
 
-    std::vector<Row> rows;
-    rows.reserve(matrix.size()); // `anchor` points into rows below
+    // Each matrix row is one executor task; map() hands the rows back
+    // in declaration order however the workers interleaved, so the
+    // table and BENCH_simperf.json keep their serial layout. (Rows
+    // time themselves, so concurrent rows share cores — the anchor
+    // floor is conservative enough to absorb that.)
+    std::vector<std::function<Row()>> rowTasks;
+    rowTasks.reserve(matrix.size());
+    for (const auto &[fleetSize, requests] : matrix)
+        rowTasks.push_back([&model, fleetSize = fleetSize,
+                            requests = requests] {
+            return runRow(model, fleetSize, requests);
+        });
+    std::vector<Row> rows = pool.map(std::move(rowTasks));
+    // Sharded-tier rows are appended below; reserving now keeps the
+    // `anchor` pointer into `rows` stable across those push_backs.
+    rows.reserve(rows.size() + 2);
     const Row *anchor = nullptr;
-    for (const auto &[fleetSize, requests] : matrix) {
-        rows.push_back(runRow(model, fleetSize, requests));
-        printRow(rows.back());
-        if (fleetSize == kAnchorFleet && requests == kAnchorRequests)
-            anchor = &rows.back();
+    for (const Row &row : rows) {
+        printRow(row);
+        if (row.shards == 0 && row.fleetSize == kAnchorFleet &&
+            row.targetRequests == kAnchorRequests)
+            anchor = &row;
     }
     bench::rule(78);
 
@@ -320,20 +436,85 @@ main(int argc, char **argv)
                     "skipped\n");
     }
 
+    // ------------------------------------------------------------ //
+    // Sharded tier: fleet 256 via 16 per-shard event loops.        //
+    // ------------------------------------------------------------ //
+
+    bool shardedDeterministic = true;
+    bool shardFloorGated = false;
+    double shardRps = 0.0;
+    if (!smoke) {
+        std::printf("\nsharded tier: fleet %zu as %zu x %zu shards, "
+                    "%llu requests\n",
+                    kShardCount * kShardFleet, kShardCount, kShardFleet,
+                    static_cast<unsigned long long>(kShardTierRequests));
+        bench::rule(78);
+        const Row shardRow =
+            runShardedRow(model, pool, kShardTierRequests, nullptr);
+        printRow(shardRow);
+        rows.push_back(shardRow);
+        shardRps = shardRow.requestsPerSec;
+
+        // Determinism gate: the same (small) sharded row through the
+        // pool and through an inline serial executor must merge to a
+        // byte-identical report — thread count must never leak into
+        // output. Always enforced: it needs threads, not cores.
+        ServingReport pooled, serial;
+        const Row checkRow = runShardedRow(model, pool,
+                                           kShardCheckRequests, &pooled);
+        rows.push_back(checkRow);
+        ProbeExecutor inlinePool(0);
+        runShardedRow(model, inlinePool, kShardCheckRequests, &serial);
+        std::ostringstream pooledJson, serialJson;
+        writeServingJson(pooledJson, pooled);
+        writeServingJson(serialJson, serial);
+        shardedDeterministic = pooledJson.str() == serialJson.str();
+        ok = ok && shardedDeterministic;
+        std::printf("sharded merge byte-identical, parallel vs serial "
+                    "(%llu requests): %s\n",
+                    static_cast<unsigned long long>(kShardCheckRequests),
+                    shardedDeterministic ? "OK" : "VIOLATED");
+
+        // The multi-thread floor measures parallel speedup, so it
+        // gates only when the flag and the hardware both provide >= 4
+        // threads (the "4+-core runner" the floor was stored on).
+        const std::size_t hwThreads = std::max(
+            1u, std::thread::hardware_concurrency());
+        shardFloorGated = poolThreads >= 4 && hwThreads >= 4;
+        const bool aboveShardFloor =
+            shardRps >= kShardFloorRequestsPerSec;
+        if (shardFloorGated)
+            ok = ok && aboveShardFloor;
+        std::printf("sharded tier: %.0f req/s (multi-thread floor %.0f, "
+                    "3x anchor floor): %s%s\n",
+                    shardRps, kShardFloorRequestsPerSec,
+                    aboveShardFloor ? "OK" : "VIOLATED",
+                    shardFloorGated
+                        ? ""
+                        : " [not gated: needs --threads >= 4 on a "
+                          "4+-core runner]");
+    }
+
     if (!jsonPath.empty()) {
         std::ofstream jf(jsonPath);
         JsonWriter w(jf);
         w.beginObject();
         w.field("bench", "simperf");
+        w.field("threads", static_cast<std::uint64_t>(poolThreads));
         w.field("floor_requests_per_sec", kFloorRequestsPerSec);
         w.field("seed_requests_per_sec", seedRps);
         w.field("speedup_vs_seed", speedup);
         w.field("engines_byte_identical", crossChecked);
+        w.field("shard_floor_requests_per_sec", kShardFloorRequestsPerSec);
+        w.field("shard_floor_gated", shardFloorGated);
+        w.field("sharded_requests_per_sec", shardRps);
+        w.field("sharded_merge_deterministic", shardedDeterministic);
         w.key("rows").beginArray();
         for (const auto &r : rows) {
             w.beginObject();
             w.field("fleet_size",
                     static_cast<std::uint64_t>(r.fleetSize));
+            w.field("shards", static_cast<std::uint64_t>(r.shards));
             w.field("target_requests", r.targetRequests);
             w.field("generated", r.generated);
             w.field("completed", r.completed);

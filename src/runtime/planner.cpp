@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/logging.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/traffic.hpp"
 
 namespace pointacc {
@@ -93,22 +94,51 @@ validate(const SloSpec &, const PlanSearchSpace &space)
 
 /** Per-plan() state: the shared trace, the probe log and the
  *  (combo, fleet size) -> log index memo that makes re-evaluations
- *  free (and keeps probesSpent an honest count of simulations). */
+ *  free (and keeps probesSpent an honest count of simulations).
+ *
+ *  Parallelism (PlannerConfig::threads > 1) is pure *speculation*: the
+ *  search pre-submits probes it expects to need (gallop chains for
+ *  every combo, bisection brackets, spot picks, scan ranges) to a
+ *  work-stealing executor, then runs the exact serial search logic,
+ *  which consumes a finished future when one exists and simulates
+ *  inline when not. Only serially-requested probes enter the log, in
+ *  serial order — speculative misses burn cycles, never bytes — so
+ *  the PlanReport is byte-identical to a serial plan. In inline mode
+ *  (threads resolves to 0) speculation is skipped entirely and the
+ *  probe set is exactly the pre-executor planner's. */
 struct CapacityPlanner::Search
 {
+    /** Headline metrics of one simulated probe — what a speculative
+     *  task computes; pure function of (combo, fleet size). */
+    struct ProbeMetrics
+    {
+        double p99Cycles = 0.0;
+        double throughputRps = 0.0;
+        double dropRate = 0.0;
+        bool meetsSlo = false;
+    };
+
     const CapacityPlanner &planner;
     const SloSpec &slo;
     const PlanSearchSpace &space;
     std::vector<Combo> combos;
     std::vector<Request> trace;
+    // Declared before `inflight` so outstanding futures are destroyed
+    // before the pool they reference.
+    ProbeExecutor executor;
     std::vector<PlanProbe> log;
     std::map<std::pair<std::size_t, std::size_t>, std::size_t> memo;
+    /** Speculative probes in flight, keyed like the memo. */
+    std::map<std::pair<std::size_t, std::size_t>,
+             ProbeExecutor::Future<ProbeMetrics>>
+        inflight;
 
     Search(const CapacityPlanner &planner_, const WorkloadSpec &workload,
            const SloSpec &slo_, const PlanSearchSpace &space_)
         : planner(planner_), slo(slo_), space(space_),
           combos(enumerateCombos(space_)),
-          trace(WorkloadGenerator(workload).generate())
+          trace(WorkloadGenerator(workload).generate()),
+          executor(ProbeExecutor::resolveThreads(planner_.cfg.threads))
     {
     }
 
@@ -117,7 +147,8 @@ struct CapacityPlanner::Search
     Search(const CapacityPlanner &planner_, std::vector<Request> trace_,
            const SloSpec &slo_, const PlanSearchSpace &space_)
         : planner(planner_), slo(slo_), space(space_),
-          combos(enumerateCombos(space_)), trace(std::move(trace_))
+          combos(enumerateCombos(space_)), trace(std::move(trace_)),
+          executor(ProbeExecutor::resolveThreads(planner_.cfg.threads))
     {
     }
 
@@ -125,6 +156,64 @@ struct CapacityPlanner::Search
     probed(std::size_t combo_index, std::size_t fleet_size) const
     {
         return memo.count({combo_index, fleet_size}) != 0;
+    }
+
+    /** Simulate one probe and distill the headline metrics. Safe to
+     *  call from worker threads: planner.probe is const over shared
+     *  immutable state and the service model memo is internally
+     *  synchronized (scheduler.hpp). */
+    ProbeMetrics
+    computeMetrics(std::size_t combo_index, std::size_t fleet_size) const
+    {
+        PlanProbe p = probeOf(combos[combo_index]);
+        p.fleetSize = fleet_size;
+        const ServingReport report = planner.probe(
+            fleet_size, schedulerConfigFor(space, p), trace);
+        ProbeMetrics m;
+        m.p99Cycles = report.p99Cycles();
+        m.throughputRps = report.throughputRps();
+        m.dropRate = report.dropRate();
+        m.meetsSlo = meetsSlo(report, slo);
+        return m;
+    }
+
+    /** Pre-submit (combo, fleet size) to the executor if it is not
+     *  already probed or in flight. No-op in inline mode: serial plans
+     *  must execute exactly the serial probe set. */
+    void
+    speculate(std::size_t combo_index, std::size_t fleet_size)
+    {
+        if (executor.threadCount() == 0)
+            return;
+        const auto key = std::make_pair(combo_index, fleet_size);
+        if (memo.count(key) != 0 || inflight.count(key) != 0)
+            return;
+        inflight.emplace(
+            key, executor.submit([this, combo_index, fleet_size] {
+                return computeMetrics(combo_index, fleet_size);
+            }));
+    }
+
+    /** Speculate the gallop chain (min, 2*min, ... ceil) — the sizes
+     *  the serial gallop probes until its first pass. */
+    void
+    speculateGallop(std::size_t combo_index)
+    {
+        std::size_t n = space.minFleetSize;
+        while (true) {
+            speculate(combo_index, n);
+            if (n == space.maxFleetSize)
+                break;
+            n = std::min(space.maxFleetSize, n * 2);
+        }
+    }
+
+    void
+    speculateRange(std::size_t combo_index, std::size_t from,
+                   std::size_t to)
+    {
+        for (std::size_t s = from; s <= to; ++s)
+            speculate(combo_index, s);
     }
 
     const PlanProbe &
@@ -137,12 +226,18 @@ struct CapacityPlanner::Search
 
         PlanProbe p = probeOf(combos[combo_index]);
         p.fleetSize = fleet_size;
-        const ServingReport report = planner.probe(
-            fleet_size, schedulerConfigFor(space, p), trace);
-        p.p99Cycles = report.p99Cycles();
-        p.throughputRps = report.throughputRps();
-        p.dropRate = report.dropRate();
-        p.meetsSlo = meetsSlo(report, slo);
+        ProbeMetrics m;
+        const auto fit = inflight.find(key);
+        if (fit != inflight.end()) {
+            m = fit->second.get();
+            inflight.erase(fit);
+        } else {
+            m = computeMetrics(combo_index, fleet_size);
+        }
+        p.p99Cycles = m.p99Cycles;
+        p.throughputRps = m.throughputRps;
+        p.dropRate = m.dropRate;
+        p.meetsSlo = m.meetsSlo;
         memo.emplace(key, log.size());
         log.push_back(p);
         return log.back();
@@ -172,6 +267,10 @@ struct CapacityPlanner::Search
             picks.push_back(unprobed[(i + 1) * unprobed.size() / (k + 1)]);
         std::sort(picks.begin(), picks.end());
         picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+        // Every pick is consumed, so speculating all of them up front
+        // is pure win (and cannot change the probe set).
+        for (const std::size_t s : picks)
+            speculate(combo_index, s);
         bool pass = false;
         for (const std::size_t s : picks)
             pass = probeAt(combo_index, s).meetsSlo || pass;
@@ -183,6 +282,8 @@ struct CapacityPlanner::Search
     std::optional<std::size_t>
     linearScan(std::size_t combo_index)
     {
+        speculateRange(combo_index, space.minFleetSize,
+                       space.maxFleetSize);
         for (std::size_t s = space.minFleetSize; s <= space.maxFleetSize;
              ++s)
             if (probeAt(combo_index, s).meetsSlo)
@@ -236,6 +337,12 @@ struct CapacityPlanner::Search
         if (haveFail) {
             std::size_t lo = lastFail; // fails
             std::size_t hi = candidate; // passes
+            // Bisection probes depend on each other, so parallelism
+            // comes from speculating the whole bracket interior: at
+            // most gallop-gap-sized, and every midpoint the bisection
+            // can visit lies inside it.
+            if (hi - lo > 1)
+                speculateRange(combo_index, lo + 1, hi - 1);
             while (hi - lo > 1) {
                 const std::size_t mid = lo + (hi - lo) / 2;
                 if (probeAt(combo_index, mid).meetsSlo)
@@ -322,6 +429,10 @@ CapacityPlanner::plan(const WorkloadSpec &workload, const SloSpec &slo,
 {
     validate(slo, space);
     Search search(*this, workload, slo, space);
+    // Every combo's gallop chain is known before any probe runs —
+    // prefetch them all so the combos' searches overlap on the pool.
+    for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
+        search.speculateGallop(ci);
     bool monotone = true;
     std::vector<std::optional<std::size_t>> perCombo;
     perCombo.reserve(search.combos.size());
@@ -336,6 +447,8 @@ CapacityPlanner::plan(const TrafficProgram &program, const SloSpec &slo,
 {
     validate(slo, space);
     Search search(*this, materialize(program), slo, space);
+    for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
+        search.speculateGallop(ci);
     bool monotone = true;
     std::vector<std::optional<std::size_t>> perCombo;
     perCombo.reserve(search.combos.size());
@@ -351,6 +464,9 @@ CapacityPlanner::planExhaustive(const WorkloadSpec &workload,
 {
     validate(slo, space);
     Search search(*this, workload, slo, space);
+    // The exhaustive grid is fully known up front: speculate all of it.
+    for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
+        search.speculateRange(ci, space.minFleetSize, space.maxFleetSize);
     bool monotone = true;
     std::vector<std::optional<std::size_t>> perCombo;
     perCombo.reserve(search.combos.size());

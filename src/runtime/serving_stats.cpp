@@ -1,11 +1,60 @@
 #include "runtime/serving_stats.hpp"
 
+#include <algorithm>
 #include <iomanip>
+#include <iterator>
 #include <sstream>
 
 #include "core/json.hpp"
+#include "core/logging.hpp"
 
 namespace pointacc {
+
+ServingReport
+mergeShardReports(const std::vector<ServingReport> &shards)
+{
+    simAssert(!shards.empty(), "mergeShardReports needs >= 1 shard");
+    ServingReport merged;
+    merged.freqGHz = shards.front().freqGHz;
+    merged.occupancy = shards.front().occupancy;
+    for (const ServingReport &shard : shards) {
+        merged.horizonCycles =
+            std::max(merged.horizonCycles, shard.horizonCycles);
+        merged.batchHolds += shard.batchHolds;
+        merged.loopEvents += shard.loopEvents;
+        merged.generated += shard.generated;
+        merged.admitted += shard.admitted;
+        merged.dropped += shard.dropped;
+        merged.completed += shard.completed;
+        merged.leftoverQueued += shard.leftoverQueued;
+        merged.deadlineMisses += shard.deadlineMisses;
+        merged.latencyCycles.merge(shard.latencyCycles);
+        merged.queueWaitCycles.merge(shard.queueWaitCycles);
+        merged.batchSize.merge(shard.batchSize);
+        merged.mapCache.hits += shard.mapCache.hits;
+        merged.mapCache.misses += shard.mapCache.misses;
+        merged.mapCache.insertions += shard.mapCache.insertions;
+        merged.mapCache.evictions += shard.mapCache.evictions;
+        merged.mapCache.bytesSaved += shard.mapCache.bytesSaved;
+        merged.mapCache.cyclesSaved += shard.mapCache.cyclesSaved;
+        // Each shard's completion stream is non-decreasing; a sorted
+        // merge keeps the fleet-level stream non-decreasing too (the
+        // invariant the property suite checks on every report).
+        std::vector<std::uint64_t> completions;
+        completions.reserve(merged.completionCycles.size() +
+                            shard.completionCycles.size());
+        std::merge(merged.completionCycles.begin(),
+                   merged.completionCycles.end(),
+                   shard.completionCycles.begin(),
+                   shard.completionCycles.end(),
+                   std::back_inserter(completions));
+        merged.completionCycles = std::move(completions);
+        merged.accelerators.insert(merged.accelerators.end(),
+                                   shard.accelerators.begin(),
+                                   shard.accelerators.end());
+    }
+    return merged;
+}
 
 std::string
 servingSummaryText(const ServingReport &report)

@@ -173,6 +173,26 @@ struct ServingReport
     }
 };
 
+/**
+ * Merge per-shard reports from a sharded simulation (bench_simperf's
+ * parallel tier: disjoint sub-fleets each serving a slice of the
+ * offered load) into one fleet-level report. Deterministic: shards are
+ * folded in vector order whatever order they were simulated in, so a
+ * sharded run's report is a pure function of the shard list —
+ * independent of thread count.
+ *
+ * Semantics: counters and busy cycles sum; latency/wait/batch
+ * summaries merge (Summary::merge); completionCycles are merged as
+ * sorted sequences so the fleet-level stream stays non-decreasing;
+ * horizon is the max over shards (the fleet's span is its slowest
+ * shard's span); accelerators concatenate in shard order; freqGHz and
+ * occupancy are taken from the first shard (shards are homogeneous by
+ * construction — the caller splits one fleet, it does not mix
+ * configs). Autoscaler and traffic telemetry stay default: the sharded
+ * tier drives neither.
+ */
+ServingReport mergeShardReports(const std::vector<ServingReport> &shards);
+
 /** One-paragraph operator summary. */
 std::string servingSummaryText(const ServingReport &report);
 

@@ -52,13 +52,24 @@
  * A scale tier (10^5-request traces, plus a 10^6-request generator
  * memory check) runs only when the binary is invoked with `--scale`
  * (scripts/ci.sh does), so the quick ctest pass stays fast.
+ *
+ * `--threads N` shards the big seeded loops across a work-stealing
+ * ProbeExecutor (each seed is an independent scenario; gtest assertion
+ * recording is thread-safe on pthread platforms). The default is 1 —
+ * plain ctest runs stay serial — and results are seed-for-seed the
+ * same either way. The parallel planner itself is pinned by
+ * PlannerProperties.ParallelPlanIsByteIdenticalToSerial: >= 20 seeded
+ * configs where a threads=3 plan must serialize byte-identically to
+ * the serial plan.
  */
 
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
@@ -67,6 +78,7 @@
 
 #include "core/rng.hpp"
 #include "nn/zoo.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/reference.hpp"
 #include "runtime/scheduler.hpp"
@@ -80,6 +92,10 @@ namespace {
 
 /** Set by main() when the binary runs with --scale. */
 bool scaleTierEnabled = false;
+
+/** Set by main() from --threads N; 1 (the default) keeps every seed
+ *  loop on the caller thread, so plain ctest runs are serial. */
+std::size_t propertyThreads = 1;
 
 constexpr std::uint32_t kNetworks = 3;
 constexpr std::uint32_t kBuckets = 2;
@@ -232,10 +248,33 @@ checkInvariants(const ServingReport &report, std::uint64_t seed)
     EXPECT_EQ(served, report.completed);
 }
 
+/**
+ * Run fn(seed) for every seed in [first, last), sharded across a
+ * work-stealing pool when the binary runs with --threads N (serial
+ * otherwise: resolveThreads(1) is inline execution). Each seed is an
+ * independent scenario — its own Rng, model and scheduler — and gtest
+ * assertion recording is thread-safe on pthread platforms, so the
+ * outcome is seed-for-seed identical to the serial loop. An ASSERT
+ * failure aborts only its own seed's task (gtest returns from the
+ * enclosing body, here the per-seed closure), never a neighbour's.
+ */
+void
+forEachSeed(std::uint64_t first, std::uint64_t last,
+            const std::function<void(std::uint64_t)> &fn)
+{
+    ProbeExecutor pool(ProbeExecutor::resolveThreads(propertyThreads));
+    std::vector<ProbeExecutor::Future<void>> inflight;
+    inflight.reserve(static_cast<std::size_t>(last - first));
+    for (std::uint64_t seed = first; seed < last; ++seed)
+        inflight.push_back(pool.submit([&fn, seed] { fn(seed); }));
+    for (auto &f : inflight)
+        f.get();
+}
+
 TEST(RuntimeProperties, RandomSweepsHoldInvariants)
 {
     // >= 100 seeded scenarios across the whole config space.
-    for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    forEachSeed(1, 121, [](std::uint64_t seed) {
         Rng rng(seed * 0x9e3779b9ULL);
         const RandomPhasedServiceModel model(seed);
         const auto spec = randomSpec(rng, seed);
@@ -264,9 +303,7 @@ TEST(RuntimeProperties, RandomSweepsHoldInvariants)
             EXPECT_EQ(report.mapCache.hits + report.mapCache.misses, 0u)
                 << "seed " << seed;
         }
-        if (HasFatalFailure())
-            return; // one broken seed is enough diagnostics
-    }
+    });
 }
 
 TEST(RuntimeProperties, PipelinedNeverCompletesLessThanMonolithic)
@@ -274,7 +311,7 @@ TEST(RuntimeProperties, PipelinedNeverCompletesLessThanMonolithic)
     // At equal fleet and workload, pipelining only adds capacity:
     // with an unbounded queue (no drops) the pipelined makespan must
     // not exceed the monolithic one on a FIFO single instance.
-    for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    forEachSeed(200, 230, [](std::uint64_t seed) {
         Rng rng(seed);
         const RandomPhasedServiceModel model(seed);
         auto spec = randomSpec(rng, seed);
@@ -293,7 +330,7 @@ TEST(RuntimeProperties, PipelinedNeverCompletesLessThanMonolithic)
         SCOPED_TRACE("seed " + std::to_string(seed));
         EXPECT_EQ(pipeReport.completed, monoReport.completed);
         EXPECT_LE(pipeReport.horizonCycles, monoReport.horizonCycles);
-    }
+    });
 }
 
 TEST(RuntimeProperties, ServingStatsAreByteIdenticalAcrossRuns)
@@ -350,7 +387,7 @@ TEST(RuntimeProperties, MapCacheNeverSlowsASingleInstance)
     // request, under both occupancy models.
     for (const auto occupancy :
          {OccupancyModel::Pipelined, OccupancyModel::Monolithic}) {
-        for (std::uint64_t seed = 300; seed < 330; ++seed) {
+        forEachSeed(300, 330, [occupancy](std::uint64_t seed) {
             Rng rng(seed);
             const RandomPhasedServiceModel model(seed);
             auto spec = randomSpec(rng, seed);
@@ -384,7 +421,7 @@ TEST(RuntimeProperties, MapCacheNeverSlowsASingleInstance)
                           offReport.completionCycles[i])
                     << "request index " << i;
             EXPECT_LE(onReport.horizonCycles, offReport.horizonCycles);
-        }
+        });
     }
 }
 
@@ -407,7 +444,7 @@ TEST(RuntimeEquivalence, ProductionEngineMatchesSeedEngineByteForByte)
     // fuzzed scenario space and compare the serialized reports byte
     // for byte (policies, occupancy models, batching, wait-for-K and
     // the map cache all flow through the JSON).
-    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    forEachSeed(1, 61, [](std::uint64_t seed) {
         Rng rng(seed * 0x9e3779b9ULL);
         const RandomPhasedServiceModel model(seed);
         const auto spec = randomSpec(rng, seed);
@@ -422,7 +459,7 @@ TEST(RuntimeEquivalence, ProductionEngineMatchesSeedEngineByteForByte)
                                                    trace);
         ASSERT_EQ(servingJsonOf(production), servingJsonOf(reference))
             << "engines diverged at seed " << seed;
-    }
+    });
 }
 
 /** Replica of the seed's materializing generator (pre-streaming),
@@ -656,7 +693,7 @@ TEST(PlannerProperties, SeededWorkloadsHoldAllFourInvariants)
     // calibrated off the best fleet's p99 and randomly tightened or
     // loosened, so the sweep mixes comfortably-feasible, tight and
     // infeasible plans.
-    for (std::uint64_t seed = 500; seed < 560; ++seed) {
+    forEachSeed(500, 560, [](std::uint64_t seed) {
         SCOPED_TRACE("seed " + std::to_string(seed));
         Rng rng(seed * 0x9e3779b97f4a7c15ULL);
         const RandomPhasedServiceModel model(seed);
@@ -711,7 +748,7 @@ TEST(PlannerProperties, SeededWorkloadsHoldAllFourInvariants)
 
         if (!report.feasible) {
             EXPECT_EQ(report.chosen.fleetSize, 0u);
-            continue;
+            return;
         }
 
         // (a) the chosen config actually meets the SLO when re-built
@@ -729,9 +766,80 @@ TEST(PlannerProperties, SeededWorkloadsHoldAllFourInvariants)
             EXPECT_FALSE(p.fleetSize < report.chosen.fleetSize &&
                          p.meetsSlo)
                 << "cheaper passing probe at fleet " << p.fleetSize;
+    });
+}
 
-        if (HasFatalFailure())
-            return;
+TEST(PlannerProperties, ParallelPlanIsByteIdenticalToSerial)
+{
+    // The executor's planner integration is pure speculation: worker
+    // threads only precompute probes the serial search may request,
+    // and results are logged in the order the serial search consumes
+    // them. So a threads=3 plan must serialize byte-identically to
+    // the threads=1 reference — probe log, spend, pick, feasibility,
+    // everything writePlanJson emits — across >= 20 seeded (workload,
+    // search space, SLO) scenarios. Deliberately a plain serial seed
+    // loop: each iteration already runs a 3-worker pool inside.
+    for (std::uint64_t seed = 800; seed < 824; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+
+        PlanSearchSpace space;
+        space.minFleetSize = 1;
+        space.maxFleetSize = 4 + rng.range(5); // 4..8
+        space.policies = {QueuePolicy::Fifo};
+        if (rng.range(2) == 0)
+            space.policies.push_back(QueuePolicy::Sjf);
+        space.batchers = {BatcherAxisPoint{}};
+        if (rng.range(2) == 0)
+            space.batchers.push_back(
+                BatcherAxisPoint{true, 1 + static_cast<std::uint32_t>(
+                                           rng.range(3)),
+                                 rng.range(200'000)});
+        space.mapCacheOptions = {false};
+        if (rng.range(2) == 0)
+            space.mapCacheOptions.push_back(true);
+        space.base.queueDepth = 64 + rng.range(200);
+        space.base.mapCache.capacityEntries = 1 + rng.range(64);
+        space.base.mapCache.hitReadCycles = rng.range(40'000);
+
+        PlannerConfig parallelCfg;
+        parallelCfg.threads = 3;
+        const CapacityPlanner serial(pointAccConfig(), model,
+                                     {1.0, 2.0});
+        const CapacityPlanner parallel(pointAccConfig(), model,
+                                       {1.0, 2.0}, parallelCfg);
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        const auto atMax =
+            serial.probe(space.maxFleetSize, space.base, trace);
+        SloSpec slo;
+        slo.maxP99Cycles = 1 + static_cast<std::uint64_t>(
+                                   atMax.p99Cycles() *
+                                   rng.uniform(0.8, 3.0));
+        if (rng.range(3) == 0)
+            slo.minThroughputRps =
+                atMax.throughputRps() * rng.uniform(0.5, 1.1);
+
+        std::ostringstream serialJson, parallelJson;
+        writePlanJson(serialJson, serial.plan(spec, slo, space));
+        writePlanJson(parallelJson, parallel.plan(spec, slo, space));
+        EXPECT_EQ(serialJson.str(), parallelJson.str())
+            << "speculative plan diverged from serial";
+
+        // The exhaustive grid speculates every point up front — the
+        // widest fan-out the planner has; spot-check it on a quarter
+        // of the seeds to keep the suite fast.
+        if (seed % 4 == 0) {
+            std::ostringstream serialEx, parallelEx;
+            writePlanJson(serialEx,
+                          serial.planExhaustive(spec, slo, space));
+            writePlanJson(parallelEx,
+                          parallel.planExhaustive(spec, slo, space));
+            EXPECT_EQ(serialEx.str(), parallelEx.str())
+                << "speculative exhaustive plan diverged from serial";
+        }
     }
 }
 
@@ -1175,16 +1283,23 @@ TEST(RuntimePropertiesScale, MillionRequestStreamStaysBounded)
 } // namespace pointacc
 
 /**
- * Custom main: gtest_main's is not linked once this one exists. The
- * only addition is the --scale flag gating the scale tier above (CI's
- * Release and sanitized stages pass it; plain ctest stays fast).
+ * Custom main: gtest_main's is not linked once this one exists. Two
+ * additions over the stock runner: the --scale flag gating the scale
+ * tier above (CI's Release and sanitized stages pass it; plain ctest
+ * stays fast), and --threads N sharding the big seed loops across a
+ * work-stealing pool (CI's TSan stage passes 4; the default of 1
+ * keeps plain runs serial and results are identical either way).
  */
 int
 main(int argc, char **argv)
 {
     ::testing::InitGoogleTest(&argc, argv);
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--scale") == 0)
             pointacc::scaleTierEnabled = true;
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            pointacc::propertyThreads = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+    }
     return RUN_ALL_TESTS();
 }
