@@ -12,16 +12,27 @@
 # runtime test suites (the event loop and the property/fuzz sweeps are
 # where lifetime/overflow bugs would hide), the map-cache bench sweep,
 # a sanitized 10^5-request smoke of the discrete-event core, a 2-probe
-# planner smoke and a traffic/autoscaler smoke.
+# planner smoke and a traffic/autoscaler smoke, and finally a
+# TSan build that runs the executor unit suite and the sharded
+# property sweeps with a 4-worker pool (the only stage that exercises
+# real thread interleavings — Release gates above are also routed
+# through --threads 4, but their byte-identity gates would mask a
+# data race that TSan catches directly).
+#
+# The Release gates pass --threads 4 everywhere the executor has a
+# consumer (bench rows, planner speculation, sharded simperf tier,
+# property seed loops): every byte-identity gate then pins parallel
+# output to the serial reference on every CI run.
 # Suitable as a GitHub Actions step:
 #
 #   - name: Build and test
 #     run: ./scripts/ci.sh
 #
 # Environment:
-#   BUILD_DIR      build tree location            (default: build-ci)
-#   SAN_BUILD_DIR  sanitizer build tree location  (default: build-asan)
-#   JOBS           parallel build jobs            (default: nproc)
+#   BUILD_DIR       build tree location            (default: build-ci)
+#   SAN_BUILD_DIR   sanitizer build tree location  (default: build-asan)
+#   TSAN_BUILD_DIR  TSan build tree location       (default: build-tsan)
+#   JOBS            parallel build jobs            (default: nproc)
 
 set -euo pipefail
 
@@ -29,6 +40,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-ci}"
 SAN_BUILD_DIR="${SAN_BUILD_DIR:-build-asan}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B "${BUILD_DIR}" -S . \
@@ -43,26 +55,35 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 # size, the two-stage pipeline must beat monolithic occupancy at equal
 # fleet size, the kernel-map cache must strictly improve p99 or
 # throughput at reuse >= 0.5, and profiling must stay memoized across
-# rows (the bench exits non-zero on violation).
-"${BUILD_DIR}/bench_serving" --json "${BUILD_DIR}/BENCH_serving.json"
+# rows (the bench exits non-zero on violation). --threads 4 routes the
+# sweep rows through the work-stealing pool; declaration-order merge
+# keeps the JSON byte-identical to a serial run.
+"${BUILD_DIR}/bench_serving" --threads 4 \
+    --json "${BUILD_DIR}/BENCH_serving.json"
 
 # Release-stage scale tier: 10^5-request property sweeps (conservation,
 # determinism, byte-identity with the preserved seed engine) that the
-# quick ctest pass skips.
-"${BUILD_DIR}/test_runtime_properties" --scale
+# quick ctest pass skips; the seed loops shard across 4 workers.
+"${BUILD_DIR}/test_runtime_properties" --scale --threads 4
 
 # Simulator-performance gate (Release, -O2/-O3 -DNDEBUG): the O(log n)
 # discrete-event core must clear the stored requests-per-second floor
 # on the anchor row (10^6 requests, fleet 16), beat the preserved seed
-# engine >= 10x, and match it byte-identically on a shared trace. See
+# engine >= 10x, and match it byte-identically on a shared trace. With
+# --threads 4 the sharded tier (fleet 256, 10^7 requests) also runs:
+# its merge-determinism gate always applies, and its multi-thread
+# requests-per-second floor gates on 4+-core runners. See
 # docs/PERFORMANCE.md for the floor-update procedure.
-"${BUILD_DIR}/bench_simperf" --quick --json "${BUILD_DIR}/BENCH_simperf.json"
+"${BUILD_DIR}/bench_simperf" --quick --threads 4 \
+    --json "${BUILD_DIR}/BENCH_simperf.json"
 
 # Capacity-planner gate: on a quick grid the planner's pick must equal
 # the exhaustive-search optimum while spending strictly fewer probes
 # (within the probe budget). Opt-in sweep, so it gets its own
-# invocation and its own JSON.
-"${BUILD_DIR}/bench_serving" --sweep plan --quick \
+# invocation and its own JSON. --threads 4 turns on speculative
+# probing, and the bench's differential gate re-plans serially and
+# requires byte-identical plan JSON.
+"${BUILD_DIR}/bench_serving" --sweep plan --quick --threads 4 \
     --json "${BUILD_DIR}/BENCH_serving_plan.json"
 
 # Closed-loop traffic gate: plan a static fleet for a flash-crowd
@@ -107,11 +128,11 @@ cmake -B "${SAN_BUILD_DIR}" -S . \
 
 cmake --build "${SAN_BUILD_DIR}" -j "${JOBS}" \
     --target test_runtime test_runtime_properties test_report_golden \
-             bench_serving bench_simperf
+             test_executor bench_serving bench_simperf
 
 ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
     --no-tests=error \
-    -R 'test_runtime|test_runtime_properties|test_report_golden'
+    -R 'test_runtime|test_runtime_properties|test_report_golden|test_executor'
 
 "${SAN_BUILD_DIR}/bench_serving" --sweep cache --quick --no-json
 
@@ -133,3 +154,26 @@ ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 # checks only; the unsanitized traffic gate above enforced the SLO
 # and savings acceptance).
 "${SAN_BUILD_DIR}/bench_serving" --sweep traffic --smoke --no-json
+
+# TSan pass over the threaded paths: the executor unit suite (steal
+# races, exception propagation, nested get, destructor drain) and the
+# property sweeps with a 4-worker pool (the seed loops shard, and
+# PlannerProperties runs speculative planning against SimServiceModel's
+# shared_mutex-guarded memo caches — exactly the shared state this PR
+# introduced). TSan excludes ASan by construction, so it needs its own
+# tree; benches and examples are skipped (their byte-identity gates ran
+# above, and a TSan'd 10^7-request tier would dominate CI wall-clock
+# without adding interleaving coverage the suites don't already have).
+cmake -B "${TSAN_BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPOINTACC_TSAN=ON \
+    -DPOINTACC_WERROR=ON \
+    -DPOINTACC_BUILD_BENCH=OFF \
+    -DPOINTACC_BUILD_EXAMPLES=OFF
+
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+    --target test_executor test_runtime_properties
+
+"${TSAN_BUILD_DIR}/test_executor"
+
+"${TSAN_BUILD_DIR}/test_runtime_properties" --threads 4
