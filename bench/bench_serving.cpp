@@ -28,7 +28,22 @@
  *     exhaustive-search optimum while spending strictly fewer probes,
  *     within a fixed probe budget. `--smoke` shrinks this sweep to a
  *     2-probe exhaustive micro-grid for the sanitized CI pass.
- *  8. traffic programs (`--sweep traffic`, opt-in like plan): a
+ *  8. heterogeneous capacity planning (`--sweep hetero`, opt-in like
+ *     plan): a two-kind composition lattice — a 2 GHz server-class
+ *     PointAcc and a 1 GHz PointAcc.Edge (Table 3's split, with the
+ *     server clock raised so the wall-clock event axis genuinely
+ *     converts two frequencies) — searched under the watts objective
+ *     with a binding watt budget. Gates: the lattice pick equals the
+ *     exhaustive oracle's while spending strictly fewer probes, the
+ *     budget excludes real lattice points, the parallel plan is
+ *     byte-identical to serial, and a uniform-1 GHz mixed
+ *     server+edge fleet served by the production scheduler is
+ *     byte-identical to the frozen cycle-domain reference engine
+ *     (the time-domain migration's identity check on a fleet the
+ *     homogeneous differential suite cannot build). `--smoke`
+ *     shrinks the lattice to 3 compositions of structural checks for
+ *     the sanitized passes.
+ *  9. traffic programs (`--sweep traffic`, opt-in like plan): a
  *     flash-crowd program (runtime/traffic) is sized by the
  *     CapacityPlanner, then replayed against (a) that static fleet
  *     and (b) the reactive autoscaler (runtime/autoscaler) starting
@@ -43,8 +58,9 @@
  * Results print as a table and are dumped to BENCH_serving.json for
  * the machine-readable perf trajectory (a `plan` object is appended
  * when the plan sweep ran, a `traffic` object when the traffic sweep
- * ran). `--sweep <name>` (fleet, policy, batching, pipeline,
- * wait-for-k, cache, plan, traffic, all) restricts the run — CI uses
+ * ran, a `hetero_plan` object when the hetero sweep ran).
+ * `--sweep <name>` (fleet, policy, batching, pipeline,
+ * wait-for-k, cache, plan, hetero, traffic, all) restricts the run — CI uses
  * `--sweep cache --quick` for the sanitized pass — and `--quick`
  * shrinks the arrival horizon. The exit code reflects only the
  * acceptance gates of the sweeps that actually ran.
@@ -80,6 +96,7 @@
 #include "nn/zoo.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/planner.hpp"
+#include "runtime/reference.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/serving_stats.hpp"
 #include "runtime/traffic.hpp"
@@ -212,7 +229,8 @@ struct TrafficComparison
 
 void
 writeRows(std::ostream &os, const std::vector<Row> &rows,
-          const PlanReport *plan, const TrafficComparison *traffic)
+          const PlanReport *plan, const PlanReport *hetero_plan,
+          const TrafficComparison *traffic)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -252,6 +270,10 @@ writeRows(std::ostream &os, const std::vector<Row> &rows,
         w.key("plan");
         writePlanObject(w, *plan);
     }
+    if (hetero_plan != nullptr) {
+        w.key("hetero_plan");
+        writePlanObject(w, *hetero_plan);
+    }
     if (traffic != nullptr) {
         w.key("traffic").beginObject();
         w.field("program", traffic->program);
@@ -276,22 +298,42 @@ writeRows(std::ostream &os, const std::vector<Row> &rows,
 bool
 samePlanChoice(const PlanProbe &a, const PlanProbe &b)
 {
-    return a.fleetSize == b.fleetSize && a.policy == b.policy &&
+    return a.fleetSize == b.fleetSize &&
+           a.composition == b.composition && a.policy == b.policy &&
            a.batching == b.batching && a.targetK == b.targetK &&
            a.maxWaitCycles == b.maxWaitCycles &&
            a.mapCacheOn == b.mapCacheOn;
 }
 
 void
-printPlanProbe(const PlanProbe &p, double freq_ghz)
+printPlanProbe(const PlanProbe &p)
 {
+    // p99 is on the wall-clock event axis: ns -> ms is frequency-free.
     std::printf("plan      %-8s %7s %5zu %6s %5s %4s | %9.0f %8s %8s "
                 "%8.3f %6s %6.2f %5s %5s\n",
                 "-", "-", p.fleetSize, toString(p.policy).c_str(),
                 p.batching ? "on" : "off", p.mapCacheOn ? "$on" : "$off",
-                p.throughputRps, "-", "-",
-                p.p99Cycles / (freq_ghz * 1e6), p.meetsSlo ? "MEET" : "miss",
-                100.0 * p.dropRate, "-", "-");
+                p.throughputRps, "-", "-", p.p99Cycles / 1e6,
+                p.meetsSlo ? "MEET" : "miss", 100.0 * p.dropRate, "-",
+                "-");
+}
+
+void
+printHeteroProbe(const PlanProbe &p)
+{
+    char comp[16];
+    if (p.composition.size() == 2)
+        std::snprintf(comp, sizeof comp, "%zu+%zue", p.composition[0],
+                      p.composition[1]);
+    else
+        std::snprintf(comp, sizeof comp, "%zu", p.fleetSize);
+    std::printf("hetero    %-8s %7.1fW %5s %6s %5s %4s | %9.0f %8s %8s "
+                "%8.3f %6s %6.2f %5s %5s\n",
+                "-", p.cost, comp, toString(p.policy).c_str(),
+                p.batching ? "on" : "off", p.mapCacheOn ? "$on" : "$off",
+                p.throughputRps, "-", "-", p.p99Cycles / 1e6,
+                p.meetsSlo ? "MEET" : "miss", 100.0 * p.dropRate, "-",
+                "-");
 }
 
 } // namespace
@@ -326,7 +368,7 @@ main(int argc, char **argv)
                                           "policy",   "batching",
                                           "pipeline", "wait-for-k",
                                           "cache",    "plan",
-                                          "traffic"};
+                                          "hetero",   "traffic"};
     bool knownSweep = false;
     for (const char *const s : kSweeps)
         knownSweep = knownSweep || sweepSel == s;
@@ -334,13 +376,14 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "error: unknown --sweep '%s' (expected fleet, "
                      "policy, batching, pipeline, wait-for-k, cache, "
-                     "plan, traffic or all)\n",
+                     "plan, hetero, traffic or all)\n",
                      sweepSel.c_str());
         return 2;
     }
-    if (smoke && sweepSel != "plan" && sweepSel != "traffic") {
-        std::fprintf(stderr, "error: --smoke applies to --sweep plan "
-                             "or --sweep traffic only\n");
+    if (smoke && sweepSel != "plan" && sweepSel != "hetero" &&
+        sweepSel != "traffic") {
+        std::fprintf(stderr, "error: --smoke applies to --sweep plan, "
+                             "--sweep hetero or --sweep traffic only\n");
         return 2;
     }
     const auto selected = [&](const char *name) {
@@ -351,6 +394,7 @@ main(int argc, char **argv)
     // than part of `all`; CI invokes it explicitly. The traffic sweep
     // is opt-in for the same reason (it runs its own planner search).
     const bool planSelected = sweepSel == "plan";
+    const bool heteroSelected = sweepSel == "hetero";
     const bool trafficSelected = sweepSel == "traffic";
 
     bench::banner("Serving runtime: fleets of PointAcc under open load",
@@ -687,12 +731,149 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             space.gridSize()));
             for (const auto &p : planReport.probes)
-                printPlanProbe(p, pointAccConfig().freqGHz);
+                printPlanProbe(p);
         }
         bench::rule(122);
     }
 
-    // Sweep 8 (`--sweep traffic`, opt-in): the closed loop. A flash
+    // Sweep 8 (`--sweep hetero`, opt-in): heterogeneous cost-aware
+    // capacity planning on the wall-clock event axis. The lattice
+    // mixes a 2 GHz server-class PointAcc (distinct name: the service
+    // model memoizes per accelerator class) with the 1 GHz edge part,
+    // under the watts objective and a binding watt budget; the
+    // planner's ray search must agree with the exhaustive lattice
+    // oracle while spending strictly fewer probes. A separate
+    // differential gate pins the time-domain migration itself: a
+    // uniform-1 GHz mixed server+edge fleet — which the homogeneous
+    // property suite can never build — served by the production
+    // scheduler must be byte-identical to the frozen cycle-domain
+    // reference engine, because ns == cycles at 1 GHz.
+    PlanReport heteroPlan;
+    PlanReport heteroExhaustive;
+    bool heteroRan = false;
+    bool heteroSmokeRan = false;
+    bool heteroDifferentialRan = false;
+    bool heteroParallelIdentical = true;
+    bool heteroNsIdentical = false;
+    std::uint64_t heteroUnboundedComps = 0;
+    std::uint64_t heteroBoundedComps = 0;
+    if (heteroSelected) {
+        AcceleratorConfig server = pointAccConfig();
+        server.name = "PointAcc@2GHz";
+        server.freqGHz = 2.0;
+        const AcceleratorConfig edge = pointAccEdgeConfig();
+
+        PlannerConfig plannerCfg;
+        plannerCfg.threads = threadsArg;
+        CapacityPlanner planner(server, model,
+                                model.catalog().bucketScales,
+                                plannerCfg);
+
+        PlanSearchSpace space;
+        space.base = makeConfig(QueuePolicy::Fifo, false);
+        space.objective = PlanObjective::Watts;
+        InstanceKindSpec serverKind;
+        serverKind.config = server;
+        serverKind.minCount = 0;
+        serverKind.maxCount = smoke ? 1 : 10;
+        InstanceKindSpec edgeKind;
+        edgeKind.config = edge;
+        edgeKind.minCount = 0;
+        edgeKind.maxCount = smoke ? 1 : 2;
+        space.kinds = {serverKind, edgeKind};
+
+        WorkloadSpec spec = frozenBase;
+        spec.horizonCycles = smoke     ? 5'000'000
+                             : (quick ? 40'000'000 : 120'000'000);
+        spec.requestsPerMCycle =
+            (smoke ? 1.2 : 2.5) * capacityPerMCycle;
+        const auto trace = WorkloadGenerator(spec).generate();
+
+        // SLO calibrated off a mid-lattice composition: feasible, but
+        // not trivially so at the lattice floor.
+        const std::vector<std::size_t> calibComp =
+            smoke ? std::vector<std::size_t>{1, 1}
+                  : std::vector<std::size_t>{4, 1};
+        const auto calib =
+            planner.probeComposition(space, calibComp, space.base, trace);
+        SloSpec slo;
+        slo.maxP99Cycles =
+            static_cast<std::uint64_t>(calib.p99Cycles()) + 1;
+
+        // Watt budget: on the full lattice it must exclude real
+        // compositions (binding) while keeping headroom above the
+        // calibration point; the smoke lattice is too small to cut.
+        heteroUnboundedComps = space.compositionCount();
+        if (!smoke) {
+            space.maxCostBudget = 7.0 * nominalWatts(server) +
+                                  2.0 * nominalWatts(edge);
+            heteroBoundedComps = space.compositionCount();
+        } else {
+            heteroBoundedComps = heteroUnboundedComps;
+        }
+
+        if (smoke) {
+            heteroPlan = planner.planExhaustive(spec, slo, space);
+            heteroExhaustive = heteroPlan;
+            heteroSmokeRan = true;
+        } else {
+            heteroPlan = planner.plan(spec, slo, space);
+            heteroExhaustive = planner.planExhaustive(spec, slo, space);
+            heteroRan = true;
+            if (poolThreads > 0) {
+                CapacityPlanner serialPlanner(
+                    server, model, model.catalog().bucketScales);
+                const PlanReport serialReport =
+                    serialPlanner.plan(spec, slo, space);
+                std::ostringstream parallelJson, serialJson;
+                writePlanJson(parallelJson, heteroPlan);
+                writePlanJson(serialJson, serialReport);
+                heteroParallelIdentical =
+                    parallelJson.str() == serialJson.str();
+                heteroDifferentialRan = true;
+            }
+            std::printf("hetero plan: SLO p99 <= %.3f ms over server "
+                        "0..%zu x edge 0..%zu under %.1f W budget "
+                        "(%llu of %llu compositions in budget)\n",
+                        static_cast<double>(slo.maxP99Cycles) / 1e6,
+                        serverKind.maxCount, edgeKind.maxCount,
+                        space.maxCostBudget,
+                        static_cast<unsigned long long>(
+                            heteroBoundedComps),
+                        static_cast<unsigned long long>(
+                            heteroUnboundedComps));
+            for (const auto &p : heteroPlan.probes)
+                printHeteroProbe(p);
+        }
+
+        // Time-domain identity gate: at a uniform 1 GHz the ns event
+        // axis coincides with the cycle axis, so the production
+        // scheduler serving a *mixed* server+edge fleet must emit the
+        // exact bytes of the frozen reference engine.
+        {
+            const std::vector<AcceleratorConfig> mixedFleet{
+                pointAccConfig(), pointAccEdgeConfig()};
+            WorkloadSpec nsSpec = frozenBase;
+            nsSpec.horizonCycles = smoke ? 5'000'000 : 20'000'000;
+            nsSpec.requestsPerMCycle = 1.5 * capacityPerMCycle;
+            const auto nsTrace = WorkloadGenerator(nsSpec).generate();
+            const SchedulerConfig nsCfg =
+                makeConfig(QueuePolicy::Fifo, false);
+            FleetScheduler sched(mixedFleet, model,
+                                 model.catalog().bucketScales, nsCfg);
+            const ServingReport prod = sched.run(nsTrace);
+            const ServingReport ref = runServingReference(
+                mixedFleet, model, model.catalog().bucketScales, nsCfg,
+                nsTrace);
+            std::ostringstream prodJson, refJson;
+            writeServingJson(prodJson, prod);
+            writeServingJson(refJson, ref);
+            heteroNsIdentical = prodJson.str() == refJson.str();
+        }
+        bench::rule(122);
+    }
+
+    // Sweep 9 (`--sweep traffic`, opt-in): the closed loop. A flash
     // crowd (6x the base rate over 20% of the horizon) is sized by
     // the CapacityPlanner, then the same program runs against (a) the
     // planner's static fleet and (b) the reactive autoscaler starting
@@ -849,7 +1030,12 @@ main(int argc, char **argv)
     // it. One accelerator class here, so the distinct-triple ceiling
     // is networks x buckets.
     {
+        // The hetero sweep introduces two more accelerator classes
+        // (the renamed 2 GHz server and the edge part); every other
+        // path profiles only the stock server class.
+        const std::uint64_t classes = heteroSelected ? 3 : 1;
         const std::uint64_t maxTriples =
+            classes *
             static_cast<std::uint64_t>(catalog.networks.size()) *
             static_cast<std::uint64_t>(catalog.bucketScales.size());
         const bool memoized = model.profiledRuns() <= maxTriples;
@@ -972,7 +1158,86 @@ main(int argc, char **argv)
                     sized ? "OK" : "VIOLATED");
     }
 
-    // Acceptance check 5 (traffic sweep): the closed-loop gate. Full
+    // Acceptance check 5 (hetero sweep): the mixed-fleet pick must
+    // equal the exhaustive lattice oracle's under the watt-budget
+    // objective while spending strictly fewer probes; the budget must
+    // be binding (it cut real lattice points); the parallel plan must
+    // serialize byte-identically to serial; and the uniform-1 GHz
+    // mixed fleet must reproduce the frozen reference engine byte for
+    // byte.
+    if (heteroRan) {
+        const bool bothFeasible =
+            heteroPlan.feasible && heteroExhaustive.feasible;
+        const bool samePick =
+            bothFeasible &&
+            samePlanChoice(heteroPlan.chosen, heteroExhaustive.chosen);
+        ok = ok && samePick;
+        const auto compText = [](const PlanProbe &p) {
+            std::string s;
+            for (std::size_t k = 0; k < p.composition.size(); ++k)
+                s += (k ? "+" : "") + std::to_string(p.composition[k]);
+            return s.empty() ? std::string("-") : s;
+        };
+        std::printf("hetero vs exhaustive: composition %s (%.1f W) vs "
+                    "%s (%.1f W): %s\n",
+                    compText(heteroPlan.chosen).c_str(),
+                    heteroPlan.chosen.cost,
+                    compText(heteroExhaustive.chosen).c_str(),
+                    heteroExhaustive.chosen.cost,
+                    samePick ? "OK" : "VIOLATED");
+        const bool fewer =
+            heteroPlan.probesSpent < heteroExhaustive.probesSpent;
+        const bool budgetBinding =
+            heteroBoundedComps < heteroUnboundedComps;
+        ok = ok && fewer && budgetBinding;
+        std::printf("hetero probe spend: %llu of %llu lattice points "
+                    "(budget cut %llu -> %llu compositions, monotone "
+                    "rays: %s): %s\n",
+                    static_cast<unsigned long long>(
+                        heteroPlan.probesSpent),
+                    static_cast<unsigned long long>(
+                        heteroExhaustive.probesSpent),
+                    static_cast<unsigned long long>(
+                        heteroUnboundedComps),
+                    static_cast<unsigned long long>(heteroBoundedComps),
+                    heteroPlan.monotoneFleetAxis ? "yes" : "no",
+                    fewer && budgetBinding ? "OK" : "VIOLATED");
+        if (heteroDifferentialRan) {
+            ok = ok && heteroParallelIdentical;
+            std::printf("parallel hetero plan byte-identical to serial "
+                        "(%zu-thread speculation): %s\n",
+                        poolThreads,
+                        heteroParallelIdentical ? "OK" : "VIOLATED");
+        }
+    }
+    if (heteroSmokeRan) {
+        // The sanitized smoke keeps the structural half: a real
+        // exhaustive lattice plan over 3 compositions ({1,0}, {0,1},
+        // {1,1} — the empty fleet is excluded by construction), every
+        // probe carrying a 2-kind composition and a positive cost.
+        bool shaped = heteroPlan.probesSpent == 3 &&
+                      heteroPlan.exhaustiveProbes == 3;
+        for (const auto &p : heteroPlan.probes)
+            shaped = shaped && p.composition.size() == 2 &&
+                     p.cost > 0.0 &&
+                     p.fleetSize ==
+                         p.composition[0] + p.composition[1];
+        ok = ok && shaped;
+        std::printf("hetero smoke: %llu probes over a 3-composition "
+                    "lattice, feasible=%s: %s\n",
+                    static_cast<unsigned long long>(
+                        heteroPlan.probesSpent),
+                    heteroPlan.feasible ? "yes" : "no",
+                    shaped ? "OK" : "VIOLATED");
+    }
+    if (heteroRan || heteroSmokeRan) {
+        ok = ok && heteroNsIdentical;
+        std::printf("uniform-1GHz mixed fleet vs frozen cycle-domain "
+                    "reference (byte-identical serving JSON): %s\n",
+                    heteroNsIdentical ? "OK" : "VIOLATED");
+    }
+
+    // Acceptance check 6 (traffic sweep): the closed-loop gate. Full
     // and quick runs demand the real outcome — the planner's fleet
     // rides out the crowd inside its SLO, the autoscaler reacts (>= 1
     // scale-up), settles (no scale action in the final 10% of the
@@ -1059,6 +1324,7 @@ main(int argc, char **argv)
         std::ofstream jf(jsonPath);
         writeRows(jf, rows,
                   planRan || smokeRan ? &planReport : nullptr,
+                  heteroRan || heteroSmokeRan ? &heteroPlan : nullptr,
                   trafficRan ? &trafficCmp : nullptr);
         jf.flush();
         if (jf.good())

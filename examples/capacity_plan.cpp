@@ -13,6 +13,10 @@
  *  4. Compare against exhaustive grid search: same answer, a fraction
  *     of the probes.
  *  5. Dump the machine-readable PlanReport (writePlanJson).
+ *  6. Ask the heterogeneous question: the paper's Table 3
+ *     server/edge split as a composition lattice under the watts
+ *     objective — the cheapest mixed fleet, in nominal watts, that
+ *     holds the same SLO inside a watt budget.
  */
 
 #include <cstdio>
@@ -112,5 +116,44 @@ main()
     std::ostringstream json;
     writePlanJson(json, plan);
     std::printf("\nJSON: %s", json.str().c_str());
+
+    // 6. The heterogeneous question. Kinds are the paper's Table 3
+    // parts; cost is nominal watts per instance (static leakage plus
+    // the MAC array at full issue), and the budget caps the whole
+    // composition — the planner searches the lattice ray by ray with
+    // the same gallop+bisect and returns the cheapest passing mix.
+    PlanSearchSpace hetero;
+    InstanceKindSpec server;
+    server.config = pointAccConfig();
+    server.maxCount = 8;
+    InstanceKindSpec edge;
+    edge.config = pointAccEdgeConfig();
+    edge.maxCount = 4;
+    hetero.kinds = {server, edge};
+    hetero.objective = PlanObjective::Watts;
+    hetero.maxCostBudget = 6.0 * nominalWatts(server.config);
+    hetero.policies = {QueuePolicy::Fifo};
+    hetero.batchers = {BatcherAxisPoint{}};
+    hetero.mapCacheOptions = {true};
+    hetero.base = space.base;
+
+    const PlanReport mixed = planner.plan(spec, slo, hetero);
+    std::printf("\nwatt-budget lattice: %s %.2f W/instance, %s "
+                "%.2f W/instance, budget %.1f W\n",
+                server.config.name.c_str(),
+                nominalWatts(server.config), edge.config.name.c_str(),
+                nominalWatts(edge.config), hetero.maxCostBudget);
+    if (!mixed.feasible) {
+        std::printf("no composition inside the budget meets the SLO\n");
+        return 1;
+    }
+    std::printf("cheapest mix: %zu x %s + %zu x %s = %.2f W "
+                "(p99 %.2f Mcycles, %.0f req/s, %llu of %llu probes)\n",
+                mixed.chosen.composition[0], server.config.name.c_str(),
+                mixed.chosen.composition[1], edge.config.name.c_str(),
+                mixed.chosen.cost, mixed.chosen.p99Cycles / 1e6,
+                mixed.chosen.throughputRps,
+                static_cast<unsigned long long>(mixed.probesSpent),
+                static_cast<unsigned long long>(mixed.exhaustiveProbes));
     return 0;
 }

@@ -4,20 +4,24 @@
 # stricter bar than the seed sources), the Release-only scale tier and
 # simulator-performance floor gate (bench_simperf), the capacity-
 # planner gate (bench_serving --sweep plan: planner pick must equal
-# exhaustive search with strictly fewer probes), the closed-loop
-# traffic gate (bench_serving --sweep traffic: static plan vs reactive
-# autoscaler over a flash-crowd program), a schema-doc check that
+# exhaustive search with strictly fewer probes), the heterogeneous
+# lattice gate (bench_serving --sweep hetero: watt-budgeted server +
+# edge composition plan vs the exhaustive lattice, plus uniform-1GHz
+# mixed-fleet byte-identity with the frozen cycle-domain engine), the
+# closed-loop traffic gate (bench_serving --sweep traffic: static
+# plan vs reactive autoscaler over a flash-crowd program), a
+# schema-doc check that
 # keeps docs/SERVING_JSON.md in lockstep with writeServingJson and
 # writePlanJson, followed by an ASan+UBSan build that re-runs the
 # runtime test suites (the event loop and the property/fuzz sweeps are
 # where lifetime/overflow bugs would hide), the map-cache bench sweep,
-# a sanitized 10^5-request smoke of the discrete-event core, a 2-probe
-# planner smoke and a traffic/autoscaler smoke, and finally a
-# TSan build that runs the executor unit suite and the sharded
-# property sweeps with a 4-worker pool (the only stage that exercises
-# real thread interleavings — Release gates above are also routed
-# through --threads 4, but their byte-identity gates would mask a
-# data race that TSan catches directly).
+# a sanitized 10^5-request smoke of the discrete-event core, 2-probe
+# planner, hetero-lattice and traffic/autoscaler smokes, and finally a
+# TSan build that runs the executor unit suite, the sharded property
+# sweeps and a threaded hetero-lattice smoke with a 4-worker pool (the
+# only stage that exercises real thread interleavings — Release gates
+# above are also routed through --threads 4, but their byte-identity
+# gates would mask a data race that TSan catches directly).
 #
 # The Release gates pass --threads 4 everywhere the executor has a
 # consumer (bench rows, planner speculation, sharded simperf tier,
@@ -86,6 +90,16 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 "${BUILD_DIR}/bench_serving" --sweep plan --quick --threads 4 \
     --json "${BUILD_DIR}/BENCH_serving_plan.json"
 
+# Heterogeneous-lattice gate: plan a watt-budgeted server + edge
+# composition under the watts objective. The budget must actually
+# bind, the lattice pick must equal the exhaustive lattice optimum
+# with strictly fewer probes, a --threads 4 plan must serialize
+# byte-identically to a serial re-plan, and a mixed-class fleet at
+# uniform 1 GHz must serve byte-identically to the frozen
+# cycle-domain reference engine (the ns-axis identity gate).
+"${BUILD_DIR}/bench_serving" --sweep hetero --quick --threads 4 \
+    --json "${BUILD_DIR}/BENCH_serving_hetero.json"
+
 # Closed-loop traffic gate: plan a static fleet for a flash-crowd
 # traffic program, then serve the same program reactively with the
 # autoscaler. The static fleet must hold the SLO through the spike;
@@ -148,6 +162,13 @@ ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 # quality).
 "${SAN_BUILD_DIR}/bench_serving" --sweep plan --smoke --no-json
 
+# Sanitized smoke of the heterogeneous lattice: a tiny two-kind
+# composition grid through the exhaustive lattice search, the
+# composition JSON and the mixed-fleet 1 GHz identity check under
+# ASan+UBSan (the unsanitized hetero gate above enforced search
+# quality and the probe budget).
+"${SAN_BUILD_DIR}/bench_serving" --sweep hetero --smoke --no-json
+
 # Sanitized smoke of the traffic/autoscaler closed loop: a short
 # flash-crowd program through planning, the piecewise-rate stream,
 # scaling events and graceful drain under ASan+UBSan (structural
@@ -156,24 +177,30 @@ ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 "${SAN_BUILD_DIR}/bench_serving" --sweep traffic --smoke --no-json
 
 # TSan pass over the threaded paths: the executor unit suite (steal
-# races, exception propagation, nested get, destructor drain) and the
+# races, exception propagation, nested get, destructor drain), the
 # property sweeps with a 4-worker pool (the seed loops shard, and
-# PlannerProperties runs speculative planning against SimServiceModel's
-# shared_mutex-guarded memo caches — exactly the shared state this PR
-# introduced). TSan excludes ASan by construction, so it needs its own
-# tree; benches and examples are skipped (their byte-identity gates ran
-# above, and a TSan'd 10^7-request tier would dominate CI wall-clock
-# without adding interleaving coverage the suites don't already have).
+# PlannerProperties runs speculative planning — including the hetero
+# composition lattice — against SimServiceModel's shared_mutex-guarded
+# memo caches), and a threaded hetero-lattice smoke, which is the one
+# path where concurrent probes profile two accelerator classes plus an
+# overclocked variant through the shared memo. TSan excludes ASan by
+# construction, so it needs its own tree; the remaining benches and
+# the examples are skipped (their byte-identity gates ran above, and a
+# TSan'd 10^7-request tier would dominate CI wall-clock without adding
+# interleaving coverage the suites don't already have).
 cmake -B "${TSAN_BUILD_DIR}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPOINTACC_TSAN=ON \
     -DPOINTACC_WERROR=ON \
-    -DPOINTACC_BUILD_BENCH=OFF \
+    -DPOINTACC_BUILD_BENCH=ON \
     -DPOINTACC_BUILD_EXAMPLES=OFF
 
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
-    --target test_executor test_runtime_properties
+    --target test_executor test_runtime_properties bench_serving
 
 "${TSAN_BUILD_DIR}/test_executor"
 
 "${TSAN_BUILD_DIR}/test_runtime_properties" --threads 4
+
+"${TSAN_BUILD_DIR}/bench_serving" --sweep hetero --smoke --threads 4 \
+    --no-json

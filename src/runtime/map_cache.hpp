@@ -97,9 +97,9 @@ struct MapCacheConfig
 /** What one cached kernel-map set is worth. */
 struct MapCacheEntry
 {
-    /** Mapping-phase cycles the inserting miss paid for these maps
-     *  (informational; a hit's actual saving is priced against the
-     *  instance it dispatches to — see recordHit). */
+    /** Mapping-phase event-axis ns the inserting miss paid for these
+     *  maps (informational; a hit's actual saving is priced against
+     *  the instance it dispatches to — see recordHit). */
     std::uint64_t mapCycles = 0;
     /** Modelled size of the stored maps in bytes. */
     std::uint64_t mapBytes = 0;
@@ -114,7 +114,9 @@ struct MapCacheStats
     std::uint64_t evictions = 0;
     /** Kernel-map bytes whose recomputation a hit avoided. */
     std::uint64_t bytesSaved = 0;
-    /** Mapping-phase cycles hits avoided (net of the read cost). */
+    /** Mapping-phase event-axis ns hits avoided (net of the read
+     *  cost); the scheduler converts the skipped mapping from the
+     *  dispatched instance's cycles before crediting. */
     std::uint64_t cyclesSaved = 0;
 
     double

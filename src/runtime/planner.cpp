@@ -1,8 +1,10 @@
 #include "runtime/planner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <optional>
+#include <tuple>
 #include <utility>
 
 #include "core/logging.hpp"
@@ -10,6 +12,39 @@
 #include "runtime/traffic.hpp"
 
 namespace pointacc {
+
+std::string
+toString(PlanObjective objective)
+{
+    switch (objective) {
+      case PlanObjective::Instances: return "instances";
+      case PlanObjective::Watts: return "watts";
+      case PlanObjective::Price: return "price";
+    }
+    return "?";
+}
+
+double
+nominalWatts(const AcceleratorConfig &config)
+{
+    // pJ/MAC x MACs/cycle x cycles/ns = pJ/ns = mW; 1e-3 -> W.
+    const double macsPerCycle = static_cast<double>(config.mxu.rows) *
+                                static_cast<double>(config.mxu.cols);
+    return config.energy.staticPowerW +
+           config.energy.macPJ * macsPerCycle * config.freqGHz * 1e-3;
+}
+
+std::vector<AcceleratorConfig>
+fleetFor(const PlanSearchSpace &space,
+         const std::vector<std::size_t> &composition)
+{
+    simAssert(composition.size() == space.kinds.size(),
+              "composition must have one count per kind");
+    std::vector<AcceleratorConfig> fleet;
+    for (std::size_t k = 0; k < composition.size(); ++k)
+        fleet.insert(fleet.end(), composition[k], space.kinds[k].config);
+    return fleet;
+}
 
 bool
 meetsSlo(const ServingReport &report, const SloSpec &slo)
@@ -74,27 +109,161 @@ probeOf(const Combo &combo)
     return p;
 }
 
+/** Unit objective cost of one instance of kind `kind_index` (1.0 on
+ *  the legacy homogeneous axis, where cost == instance count). */
+double
+unitCost(const PlanSearchSpace &space, std::size_t kind_index)
+{
+    if (space.kinds.empty())
+        return 1.0;
+    const InstanceKindSpec &kind = space.kinds[kind_index];
+    switch (space.objective) {
+      case PlanObjective::Instances:
+        return 1.0;
+      case PlanObjective::Watts:
+        return kind.watts > 0.0 ? kind.watts : nominalWatts(kind.config);
+      case PlanObjective::Price:
+        return kind.price;
+    }
+    return 0.0;
+}
+
+/**
+ * One axis-parallel ray of the composition lattice: the counts of
+ * kinds 1..K-1 are fixed (`rest`), the kind-0 count runs over the
+ * inclusive [lo, hi] axis. The legacy homogeneous space is the single
+ * ray with empty `rest` and [minFleetSize, maxFleetSize]; cost along a
+ * ray is restCost + n * unit0, strictly increasing in n because every
+ * active unit cost is validated positive.
+ */
+struct LatticeRay
+{
+    std::vector<std::size_t> rest;
+    std::size_t lo = 1;
+    std::size_t hi = 1;
+    double restCost = 0.0;
+};
+
+/** Enumerate the lattice's rays in deterministic lex order over the
+ *  fixed kinds (kind 1 most significant). Rays the cost budget rules
+ *  out entirely — or whose only composition would field zero
+ *  instances — are dropped here, so compositionCount(), the searches
+ *  and the exhaustive oracle all agree on the valid lattice. */
+std::vector<LatticeRay>
+enumerateRays(const PlanSearchSpace &space)
+{
+    std::vector<LatticeRay> rays;
+    if (space.kinds.empty()) {
+        if (space.maxFleetSize < space.minFleetSize)
+            return rays;
+        LatticeRay ray;
+        ray.lo = space.minFleetSize;
+        ray.hi = space.maxFleetSize;
+        rays.push_back(ray);
+        return rays;
+    }
+    const double unit0 = unitCost(space, 0);
+    const std::size_t fixedKinds = space.kinds.size() - 1;
+    std::vector<std::size_t> rest;
+    rest.reserve(fixedKinds);
+    for (std::size_t k = 1; k < space.kinds.size(); ++k)
+        rest.push_back(space.kinds[k].minCount);
+    while (true) {
+        LatticeRay ray;
+        ray.rest = rest;
+        std::size_t restSum = 0;
+        for (std::size_t k = 0; k < fixedKinds; ++k) {
+            restSum += rest[k];
+            ray.restCost +=
+                static_cast<double>(rest[k]) * unitCost(space, k + 1);
+        }
+        ray.lo = space.kinds[0].minCount;
+        ray.hi = space.kinds[0].maxCount;
+        // A composition must field >= 1 instance: on the all-zero ray
+        // the kind-0 axis starts at 1.
+        if (restSum == 0 && ray.lo == 0)
+            ray.lo = 1;
+        if (space.maxCostBudget > 0.0) {
+            const double slack = space.maxCostBudget - ray.restCost;
+            const double maxN = std::floor(slack / unit0 + 1e-9);
+            if (maxN < static_cast<double>(ray.lo)) {
+                ray.hi = 0;
+                ray.lo = 1; // empty: skip below
+            } else {
+                ray.hi = std::min(
+                    ray.hi, static_cast<std::size_t>(maxN));
+            }
+        }
+        if (ray.lo <= ray.hi)
+            rays.push_back(std::move(ray));
+        // Odometer increment, last fixed kind fastest.
+        std::size_t k = fixedKinds;
+        while (k > 0) {
+            --k;
+            if (rest[k] < space.kinds[k + 1].maxCount) {
+                ++rest[k];
+                for (std::size_t j = k + 1; j < fixedKinds; ++j)
+                    rest[j] = space.kinds[j + 1].minCount;
+                break;
+            }
+            if (k == 0)
+                return rays;
+        }
+        if (fixedKinds == 0)
+            return rays;
+    }
+}
+
 void
 validate(const SloSpec &, const PlanSearchSpace &space)
 {
-    if (space.minFleetSize == 0)
-        fatal("plan search space needs minFleetSize >= 1");
-    if (space.maxFleetSize < space.minFleetSize)
-        fatal("plan search space needs maxFleetSize >= minFleetSize");
     if (space.policies.empty() || space.batchers.empty() ||
         space.mapCacheOptions.empty())
         fatal("plan search space axes must be non-empty");
+    if (space.kinds.empty()) {
+        if (space.minFleetSize == 0)
+            fatal("plan search space needs minFleetSize >= 1");
+        if (space.maxFleetSize < space.minFleetSize)
+            fatal("plan search space needs maxFleetSize >= minFleetSize");
+        if (space.objective != PlanObjective::Instances)
+            fatal("watts/price objectives need a non-empty kind list");
+        if (space.maxCostBudget > 0.0)
+            fatal("a cost budget needs a non-empty kind list");
+        return;
+    }
+    std::size_t sumMax = 0;
+    for (std::size_t k = 0; k < space.kinds.size(); ++k) {
+        const InstanceKindSpec &kind = space.kinds[k];
+        if (kind.maxCount < kind.minCount)
+            fatal("plan kind needs maxCount >= minCount");
+        sumMax += kind.maxCount;
+        if (!(unitCost(space, k) > 0.0))
+            fatal("plan kinds need a positive unit cost under the "
+                  "active objective");
+    }
+    if (sumMax == 0)
+        fatal("plan kind lattice cannot field any instance");
 }
 
 } // namespace
+
+std::uint64_t
+PlanSearchSpace::compositionCount() const
+{
+    std::uint64_t count = 0;
+    for (const LatticeRay &ray : enumerateRays(*this))
+        count += static_cast<std::uint64_t>(ray.hi - ray.lo + 1);
+    return count;
+}
 
 // ---------------------------------------------------------------- //
 //                         Search context                            //
 // ---------------------------------------------------------------- //
 
 /** Per-plan() state: the shared trace, the probe log and the
- *  (combo, fleet size) -> log index memo that makes re-evaluations
- *  free (and keeps probesSpent an honest count of simulations).
+ *  (combo, ray, kind-0 count) -> log index memo that makes
+ *  re-evaluations free (and keeps probesSpent an honest count of
+ *  simulations).
  *
  *  Parallelism (PlannerConfig::threads > 1) is pure *speculation*: the
  *  search pre-submits probes it expects to need (gallop chains for
@@ -118,25 +287,29 @@ struct CapacityPlanner::Search
         bool meetsSlo = false;
     };
 
+    using Key = std::tuple<std::size_t, std::size_t, std::size_t>;
+
     const CapacityPlanner &planner;
     const SloSpec &slo;
     const PlanSearchSpace &space;
     std::vector<Combo> combos;
+    std::vector<LatticeRay> rays;
+    /** Kind-0 unit cost (1.0 on the homogeneous axis). */
+    double unit0 = 1.0;
     std::vector<Request> trace;
     // Declared before `inflight` so outstanding futures are destroyed
     // before the pool they reference.
     ProbeExecutor executor;
     std::vector<PlanProbe> log;
-    std::map<std::pair<std::size_t, std::size_t>, std::size_t> memo;
+    std::map<Key, std::size_t> memo;
     /** Speculative probes in flight, keyed like the memo. */
-    std::map<std::pair<std::size_t, std::size_t>,
-             ProbeExecutor::Future<ProbeMetrics>>
-        inflight;
+    std::map<Key, ProbeExecutor::Future<ProbeMetrics>> inflight;
 
     Search(const CapacityPlanner &planner_, const WorkloadSpec &workload,
            const SloSpec &slo_, const PlanSearchSpace &space_)
         : planner(planner_), slo(slo_), space(space_),
-          combos(enumerateCombos(space_)),
+          combos(enumerateCombos(space_)), rays(enumerateRays(space_)),
+          unit0(unitCost(space_, 0)),
           trace(WorkloadGenerator(workload).generate()),
           executor(ProbeExecutor::resolveThreads(planner_.cfg.threads))
     {
@@ -147,15 +320,46 @@ struct CapacityPlanner::Search
     Search(const CapacityPlanner &planner_, std::vector<Request> trace_,
            const SloSpec &slo_, const PlanSearchSpace &space_)
         : planner(planner_), slo(slo_), space(space_),
-          combos(enumerateCombos(space_)), trace(std::move(trace_)),
+          combos(enumerateCombos(space_)), rays(enumerateRays(space_)),
+          unit0(unitCost(space_, 0)), trace(std::move(trace_)),
           executor(ProbeExecutor::resolveThreads(planner_.cfg.threads))
     {
     }
 
-    bool
-    probed(std::size_t combo_index, std::size_t fleet_size) const
+    /** The composition (count vector) of lattice point n on a ray;
+     *  empty on the legacy homogeneous axis. */
+    std::vector<std::size_t>
+    compositionOf(const LatticeRay &ray, std::size_t n) const
     {
-        return memo.count({combo_index, fleet_size}) != 0;
+        if (space.kinds.empty())
+            return {};
+        std::vector<std::size_t> c;
+        c.reserve(space.kinds.size());
+        c.push_back(n);
+        c.insert(c.end(), ray.rest.begin(), ray.rest.end());
+        return c;
+    }
+
+    std::size_t
+    fleetSizeOf(const LatticeRay &ray, std::size_t n) const
+    {
+        std::size_t total = n;
+        for (const std::size_t count : ray.rest)
+            total += count;
+        return total;
+    }
+
+    double
+    costOf(const LatticeRay &ray, std::size_t n) const
+    {
+        return ray.restCost + static_cast<double>(n) * unit0;
+    }
+
+    bool
+    probed(std::size_t combo_index, std::size_t ray_index,
+           std::size_t n) const
+    {
+        return memo.count({combo_index, ray_index, n}) != 0;
     }
 
     /** Simulate one probe and distill the headline metrics. Safe to
@@ -163,12 +367,21 @@ struct CapacityPlanner::Search
      *  immutable state and the service model memo is internally
      *  synchronized (scheduler.hpp). */
     ProbeMetrics
-    computeMetrics(std::size_t combo_index, std::size_t fleet_size) const
+    computeMetrics(std::size_t combo_index, std::size_t ray_index,
+                   std::size_t n) const
     {
+        const LatticeRay &ray = rays[ray_index];
         PlanProbe p = probeOf(combos[combo_index]);
-        p.fleetSize = fleet_size;
-        const ServingReport report = planner.probe(
-            fleet_size, schedulerConfigFor(space, p), trace);
+        p.fleetSize = fleetSizeOf(ray, n);
+        const SchedulerConfig scfg = schedulerConfigFor(space, p);
+        // kinds-empty plans go through the legacy probe() hook so
+        // existing overrides (differential gates, fault injection)
+        // keep intercepting every homogeneous probe.
+        const ServingReport report =
+            space.kinds.empty()
+                ? planner.probe(n, scfg, trace)
+                : planner.probeComposition(space, compositionOf(ray, n),
+                                           scfg, trace);
         ProbeMetrics m;
         m.p99Cycles = report.p99Cycles();
         m.throughputRps = report.throughputRps();
@@ -177,62 +390,68 @@ struct CapacityPlanner::Search
         return m;
     }
 
-    /** Pre-submit (combo, fleet size) to the executor if it is not
+    /** Pre-submit (combo, ray, n) to the executor if it is not
      *  already probed or in flight. No-op in inline mode: serial plans
      *  must execute exactly the serial probe set. */
     void
-    speculate(std::size_t combo_index, std::size_t fleet_size)
+    speculate(std::size_t combo_index, std::size_t ray_index,
+              std::size_t n)
     {
         if (executor.threadCount() == 0)
             return;
-        const auto key = std::make_pair(combo_index, fleet_size);
+        const Key key{combo_index, ray_index, n};
         if (memo.count(key) != 0 || inflight.count(key) != 0)
             return;
         inflight.emplace(
-            key, executor.submit([this, combo_index, fleet_size] {
-                return computeMetrics(combo_index, fleet_size);
+            key, executor.submit([this, combo_index, ray_index, n] {
+                return computeMetrics(combo_index, ray_index, n);
             }));
     }
 
-    /** Speculate the gallop chain (min, 2*min, ... ceil) — the sizes
-     *  the serial gallop probes until its first pass. */
+    /** Speculate a ray's gallop chain (lo, then doubling to hi) — the
+     *  lattice points the serial gallop probes until its first pass. */
     void
-    speculateGallop(std::size_t combo_index)
+    speculateGallop(std::size_t combo_index, std::size_t ray_index)
     {
-        std::size_t n = space.minFleetSize;
+        const LatticeRay &ray = rays[ray_index];
+        std::size_t n = ray.lo;
         while (true) {
-            speculate(combo_index, n);
-            if (n == space.maxFleetSize)
+            speculate(combo_index, ray_index, n);
+            if (n >= ray.hi)
                 break;
-            n = std::min(space.maxFleetSize, n * 2);
+            n = n == 0 ? 1 : std::min(ray.hi, n * 2);
         }
     }
 
     void
-    speculateRange(std::size_t combo_index, std::size_t from,
-                   std::size_t to)
+    speculateRange(std::size_t combo_index, std::size_t ray_index,
+                   std::size_t from, std::size_t to)
     {
         for (std::size_t s = from; s <= to; ++s)
-            speculate(combo_index, s);
+            speculate(combo_index, ray_index, s);
     }
 
     const PlanProbe &
-    probeAt(std::size_t combo_index, std::size_t fleet_size)
+    probeAt(std::size_t combo_index, std::size_t ray_index,
+            std::size_t n)
     {
-        const auto key = std::make_pair(combo_index, fleet_size);
+        const Key key{combo_index, ray_index, n};
         const auto it = memo.find(key);
         if (it != memo.end())
             return log[it->second];
 
+        const LatticeRay &ray = rays[ray_index];
         PlanProbe p = probeOf(combos[combo_index]);
-        p.fleetSize = fleet_size;
+        p.fleetSize = fleetSizeOf(ray, n);
+        p.composition = compositionOf(ray, n);
+        p.cost = costOf(ray, n);
         ProbeMetrics m;
         const auto fit = inflight.find(key);
         if (fit != inflight.end()) {
             m = fit->second.get();
             inflight.erase(fit);
         } else {
-            m = computeMetrics(combo_index, fleet_size);
+            m = computeMetrics(combo_index, ray_index, n);
         }
         p.p99Cycles = m.p99Cycles;
         p.throughputRps = m.throughputRps;
@@ -245,20 +464,20 @@ struct CapacityPlanner::Search
 
     /**
      * Monotonicity spot check: probe up to spotProbes not-yet-probed
-     * sizes in [from, to], evenly spaced; true when any passes.
-     * Galloping + bisection can only ever observe fails-below-passes
-     * (they never probe above a known pass), so a violation is
-     * detectable *only* by these extra probes.
+     * lattice points in [from, to] on one ray, evenly spaced; true
+     * when any passes. Galloping + bisection can only ever observe
+     * fails-below-passes (they never probe above a known pass), so a
+     * violation is detectable *only* by these extra probes.
      */
     bool
-    spotCheckFindsPass(std::size_t combo_index, std::size_t from,
-                       std::size_t to)
+    spotCheckFindsPass(std::size_t combo_index, std::size_t ray_index,
+                       std::size_t from, std::size_t to)
     {
         if (to < from || planner.cfg.spotProbes == 0)
             return false;
         std::vector<std::size_t> unprobed;
         for (std::size_t s = from; s <= to; ++s)
-            if (!probed(combo_index, s))
+            if (!probed(combo_index, ray_index, s))
                 unprobed.push_back(s);
         const std::size_t k =
             std::min(planner.cfg.spotProbes, unprobed.size());
@@ -270,65 +489,68 @@ struct CapacityPlanner::Search
         // Every pick is consumed, so speculating all of them up front
         // is pure win (and cannot change the probe set).
         for (const std::size_t s : picks)
-            speculate(combo_index, s);
+            speculate(combo_index, ray_index, s);
         bool pass = false;
         for (const std::size_t s : picks)
-            pass = probeAt(combo_index, s).meetsSlo || pass;
+            pass = probeAt(combo_index, ray_index, s).meetsSlo || pass;
         return pass;
     }
 
-    /** The exact fallback: first passing size over the whole axis
-     *  (memoized probes are free), whatever the pass/fail shape. */
+    /** The exact fallback: first (cheapest) passing point over the
+     *  whole ray (memoized probes are free), whatever the pass/fail
+     *  shape. */
     std::optional<std::size_t>
-    linearScan(std::size_t combo_index)
+    linearScan(std::size_t combo_index, std::size_t ray_index)
     {
-        speculateRange(combo_index, space.minFleetSize,
-                       space.maxFleetSize);
-        for (std::size_t s = space.minFleetSize; s <= space.maxFleetSize;
-             ++s)
-            if (probeAt(combo_index, s).meetsSlo)
+        const LatticeRay &ray = rays[ray_index];
+        speculateRange(combo_index, ray_index, ray.lo, ray.hi);
+        for (std::size_t s = ray.lo; s <= ray.hi; ++s)
+            if (probeAt(combo_index, ray_index, s).meetsSlo)
                 return s;
         return std::nullopt;
     }
 
     /**
-     * Cheapest passing fleet size for one combo: gallop up from
-     * minFleetSize doubling until a size passes (or maxFleetSize
-     * fails), bisect the (last fail, first pass] bracket, then spot-
-     * verify monotonicity below the candidate — and, when the gallop
-     * found no pass at all, over the whole axis before concluding
-     * infeasibility. A passing spot probe demotes the combo to a
-     * linear scan and clears `monotone`.
+     * Cheapest passing lattice point on one (combo, ray): gallop up
+     * from the ray's floor doubling until a point passes (or the
+     * ceiling fails), bisect the (last fail, first pass] bracket, then
+     * spot-verify monotonicity below the candidate — and, when the
+     * gallop found no pass at all, over the whole ray before
+     * concluding infeasibility. A passing spot probe demotes the ray
+     * to a linear scan and clears `monotone`.
      */
     std::optional<std::size_t>
-    cheapestFleet(std::size_t combo_index, bool &monotone)
+    cheapestOnRay(std::size_t combo_index, std::size_t ray_index,
+                  bool &monotone)
     {
-        const std::size_t floorSize = space.minFleetSize;
-        const std::size_t ceilSize = space.maxFleetSize;
+        const LatticeRay &ray = rays[ray_index];
+        const std::size_t floorN = ray.lo;
+        const std::size_t ceilN = ray.hi;
 
-        std::size_t n = floorSize;
+        std::size_t n = floorN;
         std::optional<std::size_t> firstPass;
         std::size_t lastFail = 0;
         bool haveFail = false;
         while (true) {
-            if (probeAt(combo_index, n).meetsSlo) {
+            if (probeAt(combo_index, ray_index, n).meetsSlo) {
                 firstPass = n;
                 break;
             }
             haveFail = true;
             lastFail = n;
-            if (n == ceilSize)
+            if (n >= ceilN)
                 break;
-            n = std::min(ceilSize, n * 2);
+            n = n == 0 ? 1 : std::min(ceilN, n * 2);
         }
-        // Under the monotone assumption, maxFleetSize failing means
-        // every size fails — but that conclusion deserves the same
-        // verification a candidate gets: a non-monotone axis can pass
-        // only at sizes the gallop skipped.
+        // Under the monotone assumption, the ceiling failing means
+        // every point fails — but that conclusion deserves the same
+        // verification a candidate gets: a non-monotone ray can pass
+        // only at points the gallop skipped.
         if (!firstPass) {
-            if (spotCheckFindsPass(combo_index, floorSize, ceilSize)) {
+            if (spotCheckFindsPass(combo_index, ray_index, floorN,
+                                   ceilN)) {
                 monotone = false;
-                return linearScan(combo_index);
+                return linearScan(combo_index, ray_index);
             }
             return std::nullopt;
         }
@@ -342,10 +564,10 @@ struct CapacityPlanner::Search
             // most gallop-gap-sized, and every midpoint the bisection
             // can visit lies inside it.
             if (hi - lo > 1)
-                speculateRange(combo_index, lo + 1, hi - 1);
+                speculateRange(combo_index, ray_index, lo + 1, hi - 1);
             while (hi - lo > 1) {
                 const std::size_t mid = lo + (hi - lo) / 2;
-                if (probeAt(combo_index, mid).meetsSlo)
+                if (probeAt(combo_index, ray_index, mid).meetsSlo)
                     hi = mid;
                 else
                     lo = mid;
@@ -354,37 +576,60 @@ struct CapacityPlanner::Search
         }
 
         // Verify the candidate: a pass below it means the monotone
-        // shortcut was unsound for this combo.
-        if (candidate > floorSize &&
-            spotCheckFindsPass(combo_index, floorSize, candidate - 1)) {
+        // shortcut was unsound for this ray.
+        if (candidate > floorN &&
+            spotCheckFindsPass(combo_index, ray_index, floorN,
+                               candidate - 1)) {
             monotone = false;
-            return linearScan(combo_index); // a pass exists: non-empty
+            // A pass exists, so the scan is non-empty.
+            return linearScan(combo_index, ray_index);
         }
         return candidate;
     }
 
-    /** Assemble the report: cheapest fleet wins, ties to the earliest
-     *  combo; margins against the active constraints. */
+    /** Assemble the report: smallest objective cost wins, ties broken
+     *  by total instance count and then enumeration order (combo-major,
+     *  then ray); margins against the active constraints. */
     PlanReport
-    finish(const std::vector<std::optional<std::size_t>> &per_combo,
+    finish(const std::vector<std::vector<std::optional<std::size_t>>>
+               &per_combo_ray,
            bool monotone)
     {
         PlanReport report;
         report.slo = slo;
+        report.objective = space.objective;
+        report.costBudget = space.maxCostBudget;
         report.exhaustiveProbes = space.gridSize();
         report.monotoneFleetAxis = monotone;
 
-        std::optional<std::size_t> bestCombo;
-        for (std::size_t ci = 0; ci < per_combo.size(); ++ci) {
-            if (!per_combo[ci])
-                continue;
-            if (!bestCombo || *per_combo[ci] < *per_combo[*bestCombo])
-                bestCombo = ci;
+        bool haveBest = false;
+        std::size_t bestCi = 0, bestRi = 0, bestN = 0;
+        double bestCost = 0.0;
+        std::size_t bestFleet = 0;
+        for (std::size_t ci = 0; ci < per_combo_ray.size(); ++ci) {
+            for (std::size_t ri = 0; ri < per_combo_ray[ci].size();
+                 ++ri) {
+                if (!per_combo_ray[ci][ri])
+                    continue;
+                const std::size_t n = *per_combo_ray[ci][ri];
+                const double cost = costOf(rays[ri], n);
+                const std::size_t fleet = fleetSizeOf(rays[ri], n);
+                const bool better =
+                    !haveBest || cost < bestCost ||
+                    (cost == bestCost && fleet < bestFleet);
+                if (better) {
+                    haveBest = true;
+                    bestCi = ci;
+                    bestRi = ri;
+                    bestN = n;
+                    bestCost = cost;
+                    bestFleet = fleet;
+                }
+            }
         }
-        if (bestCombo) {
+        if (haveBest) {
             report.feasible = true;
-            report.chosen =
-                probeAt(*bestCombo, *per_combo[*bestCombo]);
+            report.chosen = probeAt(bestCi, bestRi, bestN);
             if (slo.maxP99Cycles > 0)
                 report.p99MarginCycles =
                     static_cast<double>(slo.maxP99Cycles) -
@@ -423,22 +668,40 @@ CapacityPlanner::probe(std::size_t fleet_size,
     return sched.run(trace);
 }
 
+ServingReport
+CapacityPlanner::probeComposition(
+    const PlanSearchSpace &space,
+    const std::vector<std::size_t> &composition,
+    const SchedulerConfig &scfg, const std::vector<Request> &trace) const
+{
+    const std::vector<AcceleratorConfig> fleet =
+        fleetFor(space, composition);
+    simAssert(!fleet.empty(), "probeComposition needs a non-empty fleet");
+    FleetScheduler sched(fleet, model, bucketScales, scfg);
+    return sched.run(trace);
+}
+
 PlanReport
 CapacityPlanner::plan(const WorkloadSpec &workload, const SloSpec &slo,
                       const PlanSearchSpace &space) const
 {
     validate(slo, space);
     Search search(*this, workload, slo, space);
-    // Every combo's gallop chain is known before any probe runs —
-    // prefetch them all so the combos' searches overlap on the pool.
+    // Every (combo, ray) gallop chain is known before any probe runs —
+    // prefetch them all so the per-ray searches overlap on the pool.
     for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
-        search.speculateGallop(ci);
+        for (std::size_t ri = 0; ri < search.rays.size(); ++ri)
+            search.speculateGallop(ci, ri);
     bool monotone = true;
-    std::vector<std::optional<std::size_t>> perCombo;
-    perCombo.reserve(search.combos.size());
-    for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
-        perCombo.push_back(search.cheapestFleet(ci, monotone));
-    return search.finish(perCombo, monotone);
+    std::vector<std::vector<std::optional<std::size_t>>> perComboRay(
+        search.combos.size());
+    for (std::size_t ci = 0; ci < search.combos.size(); ++ci) {
+        perComboRay[ci].reserve(search.rays.size());
+        for (std::size_t ri = 0; ri < search.rays.size(); ++ri)
+            perComboRay[ci].push_back(
+                search.cheapestOnRay(ci, ri, monotone));
+    }
+    return search.finish(perComboRay, monotone);
 }
 
 PlanReport
@@ -448,13 +711,18 @@ CapacityPlanner::plan(const TrafficProgram &program, const SloSpec &slo,
     validate(slo, space);
     Search search(*this, materialize(program), slo, space);
     for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
-        search.speculateGallop(ci);
+        for (std::size_t ri = 0; ri < search.rays.size(); ++ri)
+            search.speculateGallop(ci, ri);
     bool monotone = true;
-    std::vector<std::optional<std::size_t>> perCombo;
-    perCombo.reserve(search.combos.size());
-    for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
-        perCombo.push_back(search.cheapestFleet(ci, monotone));
-    return search.finish(perCombo, monotone);
+    std::vector<std::vector<std::optional<std::size_t>>> perComboRay(
+        search.combos.size());
+    for (std::size_t ci = 0; ci < search.combos.size(); ++ci) {
+        perComboRay[ci].reserve(search.rays.size());
+        for (std::size_t ri = 0; ri < search.rays.size(); ++ri)
+            perComboRay[ci].push_back(
+                search.cheapestOnRay(ci, ri, monotone));
+    }
+    return search.finish(perComboRay, monotone);
 }
 
 PlanReport
@@ -466,27 +734,32 @@ CapacityPlanner::planExhaustive(const WorkloadSpec &workload,
     Search search(*this, workload, slo, space);
     // The exhaustive grid is fully known up front: speculate all of it.
     for (std::size_t ci = 0; ci < search.combos.size(); ++ci)
-        search.speculateRange(ci, space.minFleetSize, space.maxFleetSize);
+        for (std::size_t ri = 0; ri < search.rays.size(); ++ri)
+            search.speculateRange(ci, ri, search.rays[ri].lo,
+                                  search.rays[ri].hi);
     bool monotone = true;
-    std::vector<std::optional<std::size_t>> perCombo;
-    perCombo.reserve(search.combos.size());
+    std::vector<std::vector<std::optional<std::size_t>>> perComboRay(
+        search.combos.size());
     for (std::size_t ci = 0; ci < search.combos.size(); ++ci) {
-        std::optional<std::size_t> cheapest;
-        bool seenPass = false;
-        for (std::size_t s = space.minFleetSize; s <= space.maxFleetSize;
-             ++s) {
-            const bool pass = search.probeAt(ci, s).meetsSlo;
-            if (pass && !cheapest)
-                cheapest = s;
-            // The exhaustive grid judges monotonicity exactly: a fail
-            // above any pass is a violation.
-            if (seenPass && !pass)
-                monotone = false;
-            seenPass = seenPass || pass;
+        perComboRay[ci].reserve(search.rays.size());
+        for (std::size_t ri = 0; ri < search.rays.size(); ++ri) {
+            const LatticeRay &ray = search.rays[ri];
+            std::optional<std::size_t> cheapest;
+            bool seenPass = false;
+            for (std::size_t s = ray.lo; s <= ray.hi; ++s) {
+                const bool pass = search.probeAt(ci, ri, s).meetsSlo;
+                if (pass && !cheapest)
+                    cheapest = s;
+                // The exhaustive grid judges (per-ray) monotonicity
+                // exactly: a fail above any pass is a violation.
+                if (seenPass && !pass)
+                    monotone = false;
+                seenPass = seenPass || pass;
+            }
+            perComboRay[ci].push_back(cheapest);
         }
-        perCombo.push_back(cheapest);
     }
-    return search.finish(perCombo, monotone);
+    return search.finish(perComboRay, monotone);
 }
 
 // ---------------------------------------------------------------- //
@@ -500,6 +773,16 @@ writeProbeObject(JsonWriter &w, const PlanProbe &p)
 {
     w.beginObject();
     w.field("fleet_size", static_cast<std::uint64_t>(p.fleetSize));
+    // Lattice probes carry their count vector; homogeneous probes
+    // omit it (fleet_size is the whole story), keeping legacy plan
+    // output shaped as before modulo the cost field.
+    if (!p.composition.empty()) {
+        w.key("composition").beginArray();
+        for (const std::size_t count : p.composition)
+            w.value(static_cast<std::uint64_t>(count));
+        w.endArray();
+    }
+    w.field("cost", p.cost);
     w.field("policy", toString(p.policy));
     w.field("batching", p.batching);
     w.field("target_k", p.targetK);
@@ -519,6 +802,8 @@ writePlanObject(JsonWriter &w, const PlanReport &report)
 {
     w.beginObject();
     w.field("planner", "capacity");
+    w.field("objective", toString(report.objective));
+    w.field("cost_budget", report.costBudget);
     w.field("slo_max_p99_cycles", report.slo.maxP99Cycles);
     w.field("slo_min_throughput_rps", report.slo.minThroughputRps);
     w.field("feasible", report.feasible);

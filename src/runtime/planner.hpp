@@ -12,39 +12,51 @@
  * (Fig. 13) and Mesorasi's latency-vs-resource analysis hand-pick
  * design points.
  *
- * The search space is one numeric axis times a small categorical
+ * The search space is a numeric lattice times a small categorical
  * cross-product:
  *
- *  - fleet size in [minFleetSize, maxFleetSize] (homogeneous copies
- *    of one instance config — cost == instance count);
+ *  - the fleet lattice: either the legacy homogeneous axis (fleet
+ *    size in [minFleetSize, maxFleetSize], copies of one instance
+ *    config, cost == instance count) or — when PlanSearchSpace::kinds
+ *    is non-empty — a composition lattice over heterogeneous instance
+ *    kinds (e.g. PointAcc server + PointAcc.Edge, the paper's Table 3
+ *    split): a composition is a per-kind count vector, its cost the
+ *    count-weighted sum of unit costs under the configured objective
+ *    (instances, nominal watts through the EnergyModel constants, or
+ *    price), optionally capped by a cost budget;
  *  - admission policy (FIFO / SJF / EDF);
  *  - batcher discipline (enabled, targetK, maxWaitCycles);
  *  - kernel-map cache on/off.
  *
  * Search strategy: the categorical axes are enumerated exhaustively
- * (they are small by construction); the fleet axis is searched with
+ * (they are small by construction). The lattice is decomposed into
+ * axis-parallel *rays*: fix the counts of every kind but the first
+ * (one ray per such tuple; the homogeneous axis is the one ray of the
+ * one-kind lattice), then search the kind-0 count along each ray with
  * monotone galloping + bisection. At a fixed offered load, p99 and
- * throughput are empirically monotone in fleet size — more instances
- * never hurt the tail — so the smallest passing size can be bracketed
- * in O(log maxFleetSize) probes. The assumption is *verified*, not
- * trusted: after bisection lands on a candidate, up to
- * PlannerConfig::spotProbes not-yet-probed sizes below it are probed
- * — and when the gallop found no passing size at all, the same spot
- * check runs over the whole axis before the combination is declared
- * infeasible. If any spot probe passes (non-monotone tail, e.g. a
- * bounded queue shedding the slow tail at small fleets), the planner
- * falls back to a linear scan of the fleet axis for that combination
- * and records the violation in PlanReport::monotoneFleetAxis. Probe
- * results are memoized per (combination, fleet size), every probe is
- * logged, and probe order is deterministic — equal inputs give
- * byte-identical PlanReports.
+ * throughput are empirically monotone in instance count — more
+ * instances never hurt the tail — and cost is strictly increasing
+ * along the ray, so the cheapest passing composition on a ray is the
+ * smallest passing kind-0 count, bracketed in O(log axis) probes. The
+ * assumption is *verified*, not trusted: after bisection lands on a
+ * candidate, up to PlannerConfig::spotProbes not-yet-probed counts
+ * below it are probed — and when the gallop found no passing count at
+ * all, the same spot check runs over the whole ray before it is
+ * declared infeasible. If any spot probe passes (non-monotone tail,
+ * e.g. a bounded queue shedding the slow tail at small fleets), the
+ * planner falls back to a linear scan of that ray and records the
+ * violation in PlanReport::monotoneFleetAxis. Probe results are
+ * memoized per (combination, composition), every probe is logged, and
+ * probe order is deterministic — equal inputs give byte-identical
+ * PlanReports.
  *
- * "Cheapest" means: smallest fleet size, ties broken by categorical
- * combination order (policies, then batcher points, then cache
- * options, in the order the search space lists them). planExhaustive
- * runs the full grid with the same tie-break, so the two agree
- * whenever the monotonicity assumption holds; bench_serving's plan
- * sweep gates on exactly that agreement plus a probe budget.
+ * "Cheapest" means: smallest objective cost over every ray's minimum,
+ * ties broken by total instance count and then enumeration order
+ * (categorical combination — policies, then batcher points, then
+ * cache options — then ray order). planExhaustive runs the full grid
+ * with the same tie-break, so the two agree whenever the per-ray
+ * monotonicity assumption holds; bench_serving's plan and hetero
+ * sweeps gate on exactly that agreement plus a probe budget.
  *
  * Invariants (fuzzed by test_runtime_properties): the chosen
  * configuration meets the SLO when re-simulated; no logged probe with
@@ -95,6 +107,43 @@ struct BatcherAxisPoint
     std::uint64_t maxWaitCycles = 0;
 };
 
+/** What the lattice search minimizes. Instances is the legacy cost
+ *  (every instance counts 1); Watts and Price weight each kind by its
+ *  unit cost and require a non-empty kind list. */
+enum class PlanObjective
+{
+    Instances,
+    Watts,
+    Price,
+};
+
+std::string toString(PlanObjective objective);
+
+/**
+ * Nominal power draw of one instance in watts, priced through the
+ * config's EnergyModel constants: static leakage plus the MAC array
+ * at full issue — macPJ pJ/MAC x rows x cols MACs/cycle x freqGHz
+ * cycles/ns = pJ/ns = mW, so x 1e-3 watts. The default unit cost of
+ * the Watts objective (Table 3: the server-class part draws an order
+ * of magnitude more than the edge part).
+ */
+double nominalWatts(const AcceleratorConfig &config);
+
+/** One instance kind on the heterogeneous composition lattice. */
+struct InstanceKindSpec
+{
+    AcceleratorConfig config;
+    /** Unit cost under PlanObjective::Watts; 0 (the default) derives
+     *  it from the config via nominalWatts(). */
+    double watts = 0.0;
+    /** Unit cost under PlanObjective::Price (any currency; must be
+     *  positive when the Price objective is active). */
+    double price = 1.0;
+    /** Instance-count range of this kind on the lattice. */
+    std::size_t minCount = 0;
+    std::size_t maxCount = 4;
+};
+
 /** The planner's search space: fleet-size range x categorical axes.
  *  `base` supplies every SchedulerConfig field not on an axis
  *  (occupancy, queue depth, maxBatchSize, map-cache parameters). */
@@ -107,6 +156,21 @@ struct PlanSearchSpace
     std::vector<bool> mapCacheOptions = {false};
     SchedulerConfig base;
 
+    /** Heterogeneous composition lattice. Empty (the default) keeps
+     *  the legacy homogeneous axis: [minFleetSize, maxFleetSize]
+     *  copies of the planner's instance config. Non-empty replaces
+     *  that axis with count vectors over these kinds (min/maxFleetSize
+     *  are then ignored); a composition must field >= 1 instance. */
+    std::vector<InstanceKindSpec> kinds;
+
+    /** Cost the search minimizes. Watts/Price require `kinds`. */
+    PlanObjective objective = PlanObjective::Instances;
+
+    /** Composition cost ceiling in objective units ("the watt
+     *  budget"); compositions costing more are excluded from the
+     *  lattice entirely. 0 = unbounded. Lattice only. */
+    double maxCostBudget = 0.0;
+
     /** Categorical combinations (policies x batchers x cache). */
     std::size_t
     comboCount() const
@@ -114,19 +178,37 @@ struct PlanSearchSpace
         return policies.size() * batchers.size() * mapCacheOptions.size();
     }
 
-    /** Size of the exhaustive grid: combos x fleet sizes. */
+    /** Lattice points: fleet sizes on the homogeneous axis, or valid
+     *  (in-range, non-empty, within-budget) compositions. */
+    std::uint64_t compositionCount() const;
+
+    /** Size of the exhaustive grid: combos x lattice points. */
     std::uint64_t
     gridSize() const
     {
         return static_cast<std::uint64_t>(comboCount()) *
-               static_cast<std::uint64_t>(maxFleetSize - minFleetSize + 1);
+               compositionCount();
     }
 };
+
+/** The concrete fleet a lattice composition describes: count_k copies
+ *  of each kind's config, in kind order — the exact fleet-expansion
+ *  rule every lattice probe prices through. */
+std::vector<AcceleratorConfig>
+fleetFor(const PlanSearchSpace &space,
+         const std::vector<std::size_t> &composition);
 
 /** One logged probe: a full config plus its headline outcome. */
 struct PlanProbe
 {
+    /** Total instances fielded (== sum of `composition` on the
+     *  lattice). */
     std::size_t fleetSize = 0;
+    /** Per-kind instance counts in space.kinds order; empty on the
+     *  legacy homogeneous axis (fleetSize carries the count). */
+    std::vector<std::size_t> composition;
+    /** Objective cost of this fleet (== fleetSize under Instances). */
+    double cost = 0.0;
     QueuePolicy policy = QueuePolicy::Fifo;
     bool batching = false;
     std::uint32_t targetK = 1;
@@ -142,6 +224,10 @@ struct PlanProbe
 struct PlanReport
 {
     SloSpec slo;
+    /** The objective the search minimized (echoed from the space). */
+    PlanObjective objective = PlanObjective::Instances;
+    /** The space's composition cost ceiling (0 = unbounded). */
+    double costBudget = 0.0;
     /** At least one grid point met the SLO. */
     bool feasible = false;
     /** The cheapest passing configuration (zeroed when infeasible). */
@@ -154,7 +240,8 @@ struct PlanReport
     /** Full grid size — what exhaustive search would have spent. */
     std::uint64_t exhaustiveProbes = 0;
     /** False when a verification probe (or the exhaustive grid)
-     *  observed a smaller fleet passing where a larger one failed. */
+     *  observed, along some lattice ray, a smaller fleet passing where
+     *  a larger one failed. */
     bool monotoneFleetAxis = true;
     /** SLO headroom of the chosen config (0 when the corresponding
      *  constraint is absent or the plan is infeasible). */
@@ -200,7 +287,9 @@ struct PlannerConfig
 
 /**
  * Searches PlanSearchSpace for the cheapest fleet meeting an SLO.
- * Fleets are homogeneous: `fleet_size` copies of one instance config.
+ * With an empty kind list, fleets are homogeneous (`fleet_size`
+ * copies of one instance config); with kinds, fleets are the
+ * compositions fleetFor expands.
  */
 class CapacityPlanner
 {
@@ -248,6 +337,20 @@ class CapacityPlanner
     virtual ServingReport probe(std::size_t fleet_size,
                                 const SchedulerConfig &scfg,
                                 const std::vector<Request> &trace) const;
+
+    /**
+     * One lattice probe: serve `trace` on the fleet `composition`
+     * expands to (fleetFor) under `scfg`. Every heterogeneous plan
+     * prices compositions through this hook — virtual for the same
+     * differential / fault-injection reasons as probe(), which stays
+     * the hook for kinds-empty spaces so legacy overrides keep
+     * working unchanged.
+     */
+    virtual ServingReport
+    probeComposition(const PlanSearchSpace &space,
+                     const std::vector<std::size_t> &composition,
+                     const SchedulerConfig &scfg,
+                     const std::vector<Request> &trace) const;
 
   private:
     struct Search;

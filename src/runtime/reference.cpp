@@ -259,9 +259,14 @@ runServingReference(const std::vector<AcceleratorConfig> &fleet,
     }
 
     std::vector<RefAccelState> accels(fleet.size());
-    for (std::size_t i = 0; i < fleet.size(); ++i)
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
         accels[i].usage.name =
             fleet[i].name + "#" + std::to_string(i);
+        // Schema plumbing only (AcceleratorUsage grew the field for
+        // the ns-axis JSON): the engine's arithmetic stays the frozen
+        // cycle-domain seed loop.
+        accels[i].usage.freqGHz = fleet[i].freqGHz;
+    }
 
     const AcceleratorConfig &reference = fleet.front();
 

@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <limits>
 #include <map>
@@ -62,6 +63,30 @@ ServiceModel::layerConfigHash(std::uint32_t network_id) const
     Fnv1a f;
     f.mix(static_cast<std::uint64_t>(network_id));
     return f.h;
+}
+
+std::uint64_t
+cyclesToNs(std::uint64_t cycles, double freq_ghz)
+{
+    // 1 GHz is the identity by construction, not by arithmetic: the
+    // differential gates compare the ns engine byte-for-byte against
+    // the cycle-domain reference, so the uniform-frequency path must
+    // be exempt from any floating-point round trip.
+    if (freq_ghz == 1.0)
+        return cycles;
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(cycles) / freq_ghz));
+}
+
+PhaseProfile
+phasesToNs(const PhaseProfile &phases, double freq_ghz)
+{
+    PhaseProfile ns;
+    const std::uint64_t totalNs = cyclesToNs(phases.total(), freq_ghz);
+    ns.mapCycles = std::min(cyclesToNs(phases.mapCycles, freq_ghz),
+                            totalNs);
+    ns.backendCycles = totalNs - ns.mapCycles;
+    return ns;
 }
 
 std::uint64_t
@@ -241,15 +266,20 @@ FleetScheduler::FleetScheduler(std::vector<AcceleratorConfig> fleet_,
         cfg.autoscaler =
             resolveAutoscalerConfig(cfg.autoscaler, fleet.size());
     for (const auto &acc : fleet) {
-        if (acc.freqGHz != fleet.front().freqGHz)
-            fatal("mixed-frequency fleets are not supported");
-        // Service profiles are memoized per config *name*; two members
-        // sharing a name but differing in the fields that drive cost
-        // would silently share wrong profiles.
+        // Frequencies may differ across members (each instance's
+        // profiled cycles convert to the ns event axis at dispatch),
+        // but every frequency must be a real clock.
+        if (!(acc.freqGHz > 0.0))
+            fatal("fleet members need a positive clock frequency");
+        // Service profiles and converted phase splits are memoized per
+        // config *name*; two members sharing a name but differing in
+        // the fields that drive cost (frequency included) would
+        // silently share wrong prices.
         for (const auto &other : fleet) {
             if (acc.name != other.name)
                 continue;
             const bool same =
+                acc.freqGHz == other.freqGHz &&
                 acc.mxu.rows == other.mxu.rows &&
                 acc.mxu.cols == other.mxu.cols &&
                 acc.mpu.mergerWidth == other.mpu.mergerWidth &&
@@ -428,9 +458,11 @@ FleetScheduler::run(RequestSource &source) const
     }
 
     std::vector<AccelState> accels(fleet.size());
-    for (std::size_t i = 0; i < fleet.size(); ++i)
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
         accels[i].usage.name =
             fleet[i].name + "#" + std::to_string(i);
+        accels[i].usage.freqGHz = fleet[i].freqGHz;
+    }
 
     // ---- Reactive autoscaling (runtime/autoscaler) ---------------- //
     // Disabled (the default): every instance stays Active and none of
@@ -490,9 +522,10 @@ FleetScheduler::run(RequestSource &source) const
         }
     }
 
-    // SJF/EDF estimates are priced against the lead accelerator; on a
-    // heterogeneous fleet relative job ordering is what matters, and
-    // network cost ratios are stable across classes.
+    // SJF/EDF estimates are priced against the lead accelerator, in ns
+    // on the event axis; on a heterogeneous fleet relative job
+    // ordering is what matters, and network cost ratios are stable
+    // across classes.
     const AcceleratorConfig &reference = fleet.front();
     // Admission estimate per (network, bucket): the profile call is
     // deterministic, so memoizing it against the reference instance
@@ -504,10 +537,13 @@ FleetScheduler::run(RequestSource &source) const
         auto it = estCache.find(key);
         if (it == estCache.end())
             it = estCache
-                     .emplace(key, model
-                                       .profile(reference, r.networkId,
-                                                r.sizeBucket)
-                                       .totalCycles)
+                     .emplace(key,
+                              cyclesToNs(model
+                                             .profile(reference,
+                                                      r.networkId,
+                                                      r.sizeBucket)
+                                             .totalCycles,
+                                         reference.freqGHz))
                      .first;
         return it->second;
     };
@@ -708,7 +744,10 @@ FleetScheduler::run(RequestSource &source) const
             // price once per class (precomputed classOf indices — the
             // seed keyed the same memo by config-name strings; a
             // homogeneous fleet pays a single batchPhases pass per
-            // dispatch either way).
+            // dispatch either way). The profiled cycles convert to the
+            // ns event axis here, at this class's own clock — the one
+            // point where the per-instance cycle domain meets the
+            // global wall clock.
             std::vector<std::optional<PhaseProfile>> classPhases(
                 fleet.size());
             std::size_t best = accels.size();
@@ -719,8 +758,9 @@ FleetScheduler::run(RequestSource &source) const
                     continue;
                 auto &memo = classPhases[classOf[i]];
                 if (!memo) {
-                    const PhaseProfile full =
-                        model.batchPhases(fleet[i], batch);
+                    const PhaseProfile full = phasesToNs(
+                        model.batchPhases(fleet[i], batch),
+                        fleet[i].freqGHz);
                     PhaseProfile ph;
                     if (cfg.occupancy == OccupancyModel::Pipelined) {
                         ph = full;
@@ -758,12 +798,15 @@ FleetScheduler::run(RequestSource &source) const
                 if (hitBatch) {
                     // Savings are priced against the instance the hit
                     // actually dispatched to — on a heterogeneous
-                    // fleet the skipped mapping differs per class.
+                    // fleet the skipped mapping differs per class —
+                    // and land in the counters as event-axis ns.
                     for (const auto &r : batch.requests) {
                         const auto p = model.profile(
                             fleet[best], r.networkId, r.sizeBucket);
-                        mapCache.recordHit(keyOf(r),
-                                           p.phases().mapCycles);
+                        mapCache.recordHit(
+                            keyOf(r),
+                            cyclesToNs(p.phases().mapCycles,
+                                       fleet[best].freqGHz));
                     }
                 } else {
                     // Misses publish their maps at mapping completion;
@@ -779,8 +822,10 @@ FleetScheduler::run(RequestSource &source) const
                             fleet[best], r.networkId, r.sizeBucket);
                         unit.inserts.emplace_back(
                             keyOf(r),
-                            MapCacheEntry{p.phases().mapCycles,
-                                          p.mapBytes});
+                            MapCacheEntry{
+                                cyclesToNs(p.phases().mapCycles,
+                                           fleet[best].freqGHz),
+                                p.mapBytes});
                     }
                 }
             }

@@ -5,8 +5,8 @@
  *
  * The per-inference simulator (sim/accelerator) prices one run of one
  * network; this layer composes those prices into a serving system. A
- * global cycle clock advances through a single binary-heap event
- * queue over six event kinds — request arrivals (pulled lazily from
+ * global wall-clock axis in nanoseconds (uint64_t ticks) advances
+ * through a single binary-heap event queue over six event kinds — request arrivals (pulled lazily from
  * a RequestSource), mapping-phase completions, back-end completions,
  * batcher timers (wait-for-K holds), and — when the autoscaler is
  * enabled — policy evaluations and instance spin-ups; entries are
@@ -65,9 +65,19 @@
  * and an enabled map cache never finishes later than a disabled one
  * (single-instance FIFO, batching off).
  *
- * Assumption: all fleet members run at the same clock frequency (true
- * of both Table 3 configs); the constructor rejects mixed-frequency
- * fleets so cycle arithmetic stays exact.
+ * Clock domains: each fleet member carries its own
+ * AcceleratorConfig::freqGHz, and mixed-frequency fleets are first-
+ * class (the paper's server-vs-edge split, Table 3). Profiled costs
+ * live in per-instance cycles; the scheduler converts them to the ns
+ * event axis at dispatch (cyclesToNs / phasesToNs below), so two
+ * instances of different clocks interleave on one queue exactly.
+ * Request timestamps, deadlines, config knobs named *Cycles
+ * (batcher.maxWaitCycles, mapCache.hitReadCycles, autoscaler
+ * intervals) and every ServingReport timestamp are event-axis ticks —
+ * nanoseconds. At 1 GHz one cycle is one ns, the conversion is the
+ * identity, and the ns-domain engine is byte-identical to the frozen
+ * cycle-domain seed engine (runtime/reference); the differential
+ * suite in test_runtime_properties pins that on every CI run.
  */
 
 #ifndef POINTACC_RUNTIME_SCHEDULER_HPP
@@ -115,6 +125,19 @@ struct PhaseProfile
 
     std::uint64_t total() const { return mapCycles + backendCycles; }
 };
+
+/**
+ * Convert `cycles` at `freq_ghz` to nanoseconds on the global event
+ * axis. Exact (the identity) at 1 GHz — the property the differential
+ * gates against the cycle-domain reference engine rely on; otherwise
+ * rounded to the nearest ns.
+ */
+std::uint64_t cyclesToNs(std::uint64_t cycles, double freq_ghz);
+
+/** A phase split converted to ns. The total is converted once and the
+ *  map phase clamped into it, so the ns phases partition the ns total
+ *  exactly — per-phase rounding can never create or lose a tick. */
+PhaseProfile phasesToNs(const PhaseProfile &phases, double freq_ghz);
 
 /** Profiled cost of one (network, bucket) on one accelerator class. */
 struct ServiceProfile
@@ -279,8 +302,10 @@ class FleetScheduler
 {
   public:
     /**
-     * @param fleet          one config per accelerator instance (all at
-     *                       the same clock frequency)
+     * @param fleet          one config per accelerator instance; clock
+     *                       frequencies may differ per member (each
+     *                       instance's profiled cycles convert to the
+     *                       ns event axis at dispatch)
      * @param model          service-time oracle (outlives the scheduler)
      * @param bucket_scales  the catalog's size buckets (batcher rule)
      * @param config         queue/batch policy knobs

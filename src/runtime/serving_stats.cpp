@@ -96,7 +96,11 @@ writeServingJson(std::ostream &os, const ServingReport &report)
     JsonWriter w(os);
     w.beginObject();
     w.field("freq_ghz", report.freqGHz);
+    // The event axis is wall time: horizon_ns is the honest name,
+    // horizon_cycles the legacy alias (equal ticks; cycles only at
+    // 1 GHz). Both are kept so archived BENCH_*.json diffs cleanly.
     w.field("horizon_cycles", report.horizonCycles);
+    w.field("horizon_ns", report.horizonCycles);
     w.field("occupancy",
             report.occupancy.empty() ? "monolithic" : report.occupancy);
     w.field("batch_holds", report.batchHolds);
@@ -112,7 +116,11 @@ writeServingJson(std::ostream &os, const ServingReport &report)
     w.field("latency_ms_p50", report.p50Ms());
     w.field("latency_ms_p95", report.p95Ms());
     w.field("latency_ms_p99", report.p99Ms());
+    w.field("latency_ns_p50", report.latencyCycles.percentile(0.50));
+    w.field("latency_ns_p95", report.latencyCycles.percentile(0.95));
+    w.field("latency_ns_p99", report.latencyCycles.percentile(0.99));
     w.field("queue_wait_cycles_mean", report.queueWaitCycles.mean());
+    w.field("queue_wait_ns_mean", report.queueWaitCycles.mean());
     w.field("batch_size_mean", report.batchSize.mean());
     w.field("map_cache_hits", report.mapCache.hits);
     w.field("map_cache_misses", report.mapCache.misses);
@@ -163,9 +171,13 @@ writeServingJson(std::ostream &os, const ServingReport &report)
     for (const auto &acc : report.accelerators) {
         w.beginObject();
         w.field("name", acc.name);
+        w.field("freq_ghz", acc.freqGHz);
         w.field("busy_cycles", acc.busyCycles);
+        w.field("busy_ns", acc.busyCycles);
         w.field("map_busy_cycles", acc.mapBusyCycles);
+        w.field("map_busy_ns", acc.mapBusyCycles);
         w.field("backend_busy_cycles", acc.backendBusyCycles);
+        w.field("backend_busy_ns", acc.backendBusyCycles);
         w.field("batches", acc.batches);
         w.field("requests", acc.requests);
         w.field("utilization", acc.utilization(report.horizonCycles));

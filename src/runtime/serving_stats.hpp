@@ -40,17 +40,24 @@
 
 namespace pointacc {
 
-/** Per-accelerator service accounting. */
+/** Per-accelerator service accounting. The busy counters are ticks on
+ *  the global ns event axis (equal to this instance's cycles only at
+ *  1 GHz; multiply by freqGHz for actual clock cycles) — the *Cycles
+ *  field names survive the time-domain migration so the frozen
+ *  reference engine and its differential gates stay untouched. */
 struct AcceleratorUsage
 {
     std::string name;
-    /** Cycles during which >= 1 batch was somewhere on the instance
-     *  (union of per-batch residency intervals, so overlapped phases
-     *  are not double-counted and utilization stays <= 1). */
+    /** This instance's clock, for converting its busy ns to cycles. */
+    double freqGHz = 1.0;
+    /** Event-axis ns during which >= 1 batch was somewhere on the
+     *  instance (union of per-batch residency intervals, so overlapped
+     *  phases are not double-counted and utilization stays <= 1). */
     std::uint64_t busyCycles = 0;
-    /** Cycles the Mapping Unit front-end stage spent mapping. */
+    /** Event-axis ns the Mapping Unit front-end stage spent mapping. */
     std::uint64_t mapBusyCycles = 0;
-    /** Cycles the Matrix Unit + memory back-end stage spent serving. */
+    /** Event-axis ns the Matrix Unit + memory back-end stage spent
+     *  serving. */
     std::uint64_t backendBusyCycles = 0;
     std::uint64_t batches = 0;
     std::uint64_t requests = 0;
@@ -86,11 +93,18 @@ struct AcceleratorUsage
     }
 };
 
-/** Result of one serving simulation. */
+/** Result of one serving simulation. Every timestamp, latency and
+ *  span below is measured on the global wall-clock event axis in
+ *  nanoseconds; the *Cycles field and key names are kept (they are
+ *  numerically identical at the 1 GHz configs both Table 3 parts use,
+ *  and renaming them would churn the frozen reference engine), with
+ *  honest *_ns keys emitted alongside in writeServingJson. */
 struct ServingReport
 {
+    /** Lead (first) instance's clock — informational; conversions
+     *  below are frequency-free because the axis is already ns. */
     double freqGHz = 1.0;
-    /** Simulated span: max(last arrival, last completion) cycles. */
+    /** Simulated span: max(last arrival, last completion) ns. */
     std::uint64_t horizonCycles = 0;
     /** Occupancy model the scheduler ran ("monolithic"/"pipelined"). */
     std::string occupancy;
@@ -137,10 +151,14 @@ struct ServingReport
      *  traffic_* JSON block is emitted only when present. */
     TrafficTelemetry traffic;
 
+    /** Event-axis ns -> milliseconds. Frequency-free: the axis is
+     *  wall time, so a mixed-frequency fleet needs no per-instance
+     *  bookkeeping here (and at 1 GHz this is bit-identical to the
+     *  pre-migration cycles/(freq*1e6) conversion). */
     double
-    cyclesToMs(double cycles) const
+    cyclesToMs(double ns) const
     {
-        return cycles / (freqGHz * 1e6);
+        return ns / 1e6;
     }
 
     double p50Ms() const { return cyclesToMs(latencyCycles.percentile(0.50)); }
@@ -148,19 +166,19 @@ struct ServingReport
     double p99Ms() const { return cyclesToMs(latencyCycles.percentile(0.99)); }
     double meanMs() const { return cyclesToMs(latencyCycles.mean()); }
 
-    /** p99 latency in cycles — the unit SLOs are written in (the
-     *  capacity planner compares it against SloSpec::maxP99Cycles
-     *  without a frequency conversion). */
+    /** p99 latency in event-axis ns — the unit SLOs are written in
+     *  (the capacity planner compares it against SloSpec::maxP99Cycles
+     *  without any conversion). */
     double p99Cycles() const { return latencyCycles.percentile(0.99); }
 
-    /** Completed requests per second of simulated time. */
+    /** Completed requests per second of simulated wall time. */
     double
     throughputRps() const
     {
         if (horizonCycles == 0)
             return 0.0;
         const double seconds =
-            static_cast<double>(horizonCycles) / (freqGHz * 1e9);
+            static_cast<double>(horizonCycles) / 1e9;
         return static_cast<double>(completed) / seconds;
     }
 

@@ -151,6 +151,7 @@ fixedPlanReport()
 
     PlanProbe miss;
     miss.fleetSize = 1;
+    miss.cost = 1.0; // Instances objective: cost == fleet size
     miss.policy = QueuePolicy::Fifo;
     miss.batching = false;
     miss.targetK = 1;
@@ -163,7 +164,54 @@ fixedPlanReport()
 
     PlanProbe hit = miss;
     hit.fleetSize = 2;
+    hit.cost = 2.0;
     hit.p99Cycles = 1500.5;
+    hit.throughputRps = 2500.0;
+    hit.dropRate = 0.0;
+    hit.meetsSlo = true;
+
+    report.chosen = hit;
+    report.probes = {miss, hit};
+    return report;
+}
+
+/** A heterogeneous lattice plan: two-kind compositions priced under
+ *  the Watts objective against a watt budget — pins the composition
+ *  array, the objective echo and the cost fields. */
+PlanReport
+fixedHeteroPlanReport()
+{
+    PlanReport report;
+    report.slo.maxP99Cycles = 2000;
+    report.slo.minThroughputRps = 0.0;
+    report.objective = PlanObjective::Watts;
+    report.costBudget = 120.5;
+    report.feasible = true;
+    report.monotoneFleetAxis = true;
+    report.probesSpent = 2;
+    report.exhaustiveProbes = 12;
+    report.p99MarginCycles = 250.0;
+    report.throughputMarginRps = 0.0;
+
+    PlanProbe miss;
+    miss.fleetSize = 1;
+    miss.composition = {1, 0};
+    miss.cost = 14.096; // one Table 3 server at nominal watts
+    miss.policy = QueuePolicy::Fifo;
+    miss.batching = false;
+    miss.targetK = 1;
+    miss.maxWaitCycles = 0;
+    miss.mapCacheOn = false;
+    miss.p99Cycles = 3200.0;
+    miss.throughputRps = 1250.0;
+    miss.dropRate = 0.25;
+    miss.meetsSlo = false;
+
+    PlanProbe hit = miss;
+    hit.fleetSize = 3;
+    hit.composition = {2, 1};
+    hit.cost = 29.648; // two servers plus one edge
+    hit.p99Cycles = 1750.0;
     hit.throughputRps = 2500.0;
     hit.dropRate = 0.0;
     hit.meetsSlo = true;
@@ -243,20 +291,26 @@ TEST(ReportGolden, ServingJsonMatchesGolden)
     writeServingJson(os, fixedServingReport());
     const std::string expected =
         "{\"freq_ghz\":1,\"horizon_cycles\":1000000,"
+        "\"horizon_ns\":1000000,"
         "\"occupancy\":\"pipelined\",\"batch_holds\":3,"
         "\"generated\":4,\"admitted\":4,\"dropped\":0,"
         "\"completed\":4,\"leftover_queued\":0,\"deadline_misses\":1,"
         "\"throughput_rps\":4000,\"drop_rate\":0,"
         "\"latency_ms_mean\":0.0025,\"latency_ms_p50\":0.003,"
         "\"latency_ms_p95\":0.004,\"latency_ms_p99\":0.004,"
-        "\"queue_wait_cycles_mean\":250,\"batch_size_mean\":2,"
+        "\"latency_ns_p50\":3000,\"latency_ns_p95\":4000,"
+        "\"latency_ns_p99\":4000,"
+        "\"queue_wait_cycles_mean\":250,\"queue_wait_ns_mean\":250,"
+        "\"batch_size_mean\":2,"
         "\"map_cache_hits\":3,\"map_cache_misses\":1,"
         "\"map_cache_insertions\":1,\"map_cache_evictions\":0,"
         "\"map_cache_bytes_saved\":1536,\"map_cache_cycles_saved\":2700,"
         "\"map_cache_hit_rate\":0.75,"
-        "\"accelerators\":[{\"name\":\"PointAcc#0\","
-        "\"busy_cycles\":500000,\"map_busy_cycles\":100000,"
-        "\"backend_busy_cycles\":450000,\"batches\":2,\"requests\":4,"
+        "\"accelerators\":[{\"name\":\"PointAcc#0\",\"freq_ghz\":1,"
+        "\"busy_cycles\":500000,\"busy_ns\":500000,"
+        "\"map_busy_cycles\":100000,\"map_busy_ns\":100000,"
+        "\"backend_busy_cycles\":450000,\"backend_busy_ns\":450000,"
+        "\"batches\":2,\"requests\":4,"
         "\"utilization\":0.5,\"map_utilization\":0.1,"
         "\"backend_utilization\":0.45}]}\n";
     EXPECT_EQ(os.str(), expected);
@@ -269,13 +323,17 @@ TEST(ReportGolden, AutoscaledServingJsonMatchesGolden)
     writeServingJson(os, fixedAutoscaledServingReport());
     const std::string expected =
         "{\"freq_ghz\":1,\"horizon_cycles\":1000000,"
+        "\"horizon_ns\":1000000,"
         "\"occupancy\":\"pipelined\",\"batch_holds\":3,"
         "\"generated\":4,\"admitted\":4,\"dropped\":0,"
         "\"completed\":4,\"leftover_queued\":0,\"deadline_misses\":1,"
         "\"throughput_rps\":4000,\"drop_rate\":0,"
         "\"latency_ms_mean\":0.0025,\"latency_ms_p50\":0.003,"
         "\"latency_ms_p95\":0.004,\"latency_ms_p99\":0.004,"
-        "\"queue_wait_cycles_mean\":250,\"batch_size_mean\":2,"
+        "\"latency_ns_p50\":3000,\"latency_ns_p95\":4000,"
+        "\"latency_ns_p99\":4000,"
+        "\"queue_wait_cycles_mean\":250,\"queue_wait_ns_mean\":250,"
+        "\"batch_size_mean\":2,"
         "\"map_cache_hits\":3,\"map_cache_misses\":1,"
         "\"map_cache_insertions\":1,\"map_cache_evictions\":0,"
         "\"map_cache_bytes_saved\":1536,\"map_cache_cycles_saved\":2700,"
@@ -298,9 +356,11 @@ TEST(ReportGolden, AutoscaledServingJsonMatchesGolden)
         "{\"cycle\":1000000,\"queue_depth\":1,"
         "\"window_p99_cycles\":125000,\"provisioned\":1,"
         "\"action\":-1}],"
-        "\"accelerators\":[{\"name\":\"PointAcc#0\","
-        "\"busy_cycles\":500000,\"map_busy_cycles\":100000,"
-        "\"backend_busy_cycles\":450000,\"batches\":2,\"requests\":4,"
+        "\"accelerators\":[{\"name\":\"PointAcc#0\",\"freq_ghz\":1,"
+        "\"busy_cycles\":500000,\"busy_ns\":500000,"
+        "\"map_busy_cycles\":100000,\"map_busy_ns\":100000,"
+        "\"backend_busy_cycles\":450000,\"backend_busy_ns\":450000,"
+        "\"batches\":2,\"requests\":4,"
         "\"utilization\":0.5,\"map_utilization\":0.1,"
         "\"backend_utilization\":0.45}]}\n";
     EXPECT_EQ(os.str(), expected);
@@ -342,20 +402,22 @@ TEST(ReportGolden, PlanJsonMatchesGolden)
     std::ostringstream os;
     writePlanJson(os, fixedPlanReport());
     const std::string expected =
-        "{\"planner\":\"capacity\",\"slo_max_p99_cycles\":2000,"
+        "{\"planner\":\"capacity\",\"objective\":\"instances\","
+        "\"cost_budget\":0,\"slo_max_p99_cycles\":2000,"
         "\"slo_min_throughput_rps\":0,\"feasible\":true,"
         "\"monotone_fleet_axis\":true,\"probes_spent\":2,"
         "\"exhaustive_probes\":8,\"p99_margin_cycles\":499.5,"
         "\"throughput_margin_rps\":0,"
-        "\"chosen\":{\"fleet_size\":2,\"policy\":\"fifo\","
+        "\"chosen\":{\"fleet_size\":2,\"cost\":2,\"policy\":\"fifo\","
         "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
         "\"map_cache\":false,\"p99_cycles\":1500.5,"
         "\"throughput_rps\":2500,\"drop_rate\":0,\"meets_slo\":true},"
-        "\"probes\":[{\"fleet_size\":1,\"policy\":\"fifo\","
+        "\"probes\":[{\"fleet_size\":1,\"cost\":1,\"policy\":\"fifo\","
         "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
         "\"map_cache\":false,\"p99_cycles\":3200,"
         "\"throughput_rps\":1250,\"drop_rate\":0.25,"
-        "\"meets_slo\":false},{\"fleet_size\":2,\"policy\":\"fifo\","
+        "\"meets_slo\":false},{\"fleet_size\":2,\"cost\":2,"
+        "\"policy\":\"fifo\","
         "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
         "\"map_cache\":false,\"p99_cycles\":1500.5,"
         "\"throughput_rps\":2500,\"drop_rate\":0,"
@@ -364,26 +426,69 @@ TEST(ReportGolden, PlanJsonMatchesGolden)
     checkNumericRoundTrip(os.str());
 }
 
+TEST(ReportGolden, HeteroPlanJsonMatchesGolden)
+{
+    std::ostringstream os;
+    writePlanJson(os, fixedHeteroPlanReport());
+    const std::string expected =
+        "{\"planner\":\"capacity\",\"objective\":\"watts\","
+        "\"cost_budget\":120.5,\"slo_max_p99_cycles\":2000,"
+        "\"slo_min_throughput_rps\":0,\"feasible\":true,"
+        "\"monotone_fleet_axis\":true,\"probes_spent\":2,"
+        "\"exhaustive_probes\":12,\"p99_margin_cycles\":250,"
+        "\"throughput_margin_rps\":0,"
+        "\"chosen\":{\"fleet_size\":3,\"composition\":[2,1],"
+        "\"cost\":29.648,\"policy\":\"fifo\","
+        "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
+        "\"map_cache\":false,\"p99_cycles\":1750,"
+        "\"throughput_rps\":2500,\"drop_rate\":0,\"meets_slo\":true},"
+        "\"probes\":[{\"fleet_size\":1,\"composition\":[1,0],"
+        "\"cost\":14.096,\"policy\":\"fifo\","
+        "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
+        "\"map_cache\":false,\"p99_cycles\":3200,"
+        "\"throughput_rps\":1250,\"drop_rate\":0.25,"
+        "\"meets_slo\":false},{\"fleet_size\":3,"
+        "\"composition\":[2,1],\"cost\":29.648,\"policy\":\"fifo\","
+        "\"batching\":false,\"target_k\":1,\"max_wait_cycles\":0,"
+        "\"map_cache\":false,\"p99_cycles\":1750,"
+        "\"throughput_rps\":2500,\"drop_rate\":0,"
+        "\"meets_slo\":true}]}\n";
+    EXPECT_EQ(os.str(), expected);
+    checkNumericRoundTrip(os.str());
+
+    // The composition array is lattice-only: the homogeneous plan
+    // must not emit it.
+    std::ostringstream plain;
+    writePlanJson(plain, fixedPlanReport());
+    EXPECT_EQ(plain.str().find("composition"), std::string::npos);
+}
+
 TEST(ReportGolden, PlanJsonSchemaKeysPresent)
 {
     std::ostringstream os;
     writePlanJson(os, fixedPlanReport());
     const std::string json = os.str();
     const std::vector<std::string> keys = {
-        "planner",            "slo_max_p99_cycles",
+        "planner",            "objective",
+        "cost_budget",        "slo_max_p99_cycles",
         "slo_min_throughput_rps", "feasible",
         "monotone_fleet_axis", "probes_spent",
         "exhaustive_probes",  "p99_margin_cycles",
         "throughput_margin_rps", "chosen",
         "probes",             "fleet_size",
-        "policy",             "batching",
-        "target_k",           "max_wait_cycles",
-        "map_cache",          "p99_cycles",
-        "throughput_rps",     "drop_rate",
-        "meets_slo"};
+        "cost",               "policy",
+        "batching",           "target_k",
+        "max_wait_cycles",    "map_cache",
+        "p99_cycles",         "throughput_rps",
+        "drop_rate",          "meets_slo"};
     for (const auto &key : keys)
         EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos)
             << "missing key: " << key;
+
+    // Lattice-only key, pinned on the hetero fixture.
+    std::ostringstream hetero;
+    writePlanJson(hetero, fixedHeteroPlanReport());
+    EXPECT_NE(hetero.str().find("\"composition\":"), std::string::npos);
 }
 
 TEST(ReportGolden, ServingJsonSchemaKeysPresent)
@@ -395,23 +500,27 @@ TEST(ReportGolden, ServingJsonSchemaKeysPresent)
     const std::string json = os.str();
     const std::vector<std::string> keys = {
         "freq_ghz",          "horizon_cycles",
-        "occupancy",         "batch_holds",
-        "generated",         "admitted",
-        "dropped",           "completed",
-        "leftover_queued",   "deadline_misses",
-        "throughput_rps",    "drop_rate",
-        "latency_ms_mean",   "latency_ms_p50",
-        "latency_ms_p95",    "latency_ms_p99",
-        "queue_wait_cycles_mean", "batch_size_mean",
+        "horizon_ns",        "occupancy",
+        "batch_holds",       "generated",
+        "admitted",          "dropped",
+        "completed",         "leftover_queued",
+        "deadline_misses",   "throughput_rps",
+        "drop_rate",         "latency_ms_mean",
+        "latency_ms_p50",    "latency_ms_p95",
+        "latency_ms_p99",    "latency_ns_p50",
+        "latency_ns_p95",    "latency_ns_p99",
+        "queue_wait_cycles_mean", "queue_wait_ns_mean",
+        "batch_size_mean",
         "map_cache_hits",    "map_cache_misses",
         "map_cache_insertions", "map_cache_evictions",
         "map_cache_bytes_saved", "map_cache_cycles_saved",
         "map_cache_hit_rate",
         "accelerators",      "busy_cycles",
-        "map_busy_cycles",   "backend_busy_cycles",
-        "batches",           "requests",
-        "utilization",       "map_utilization",
-        "backend_utilization"};
+        "busy_ns",           "map_busy_cycles",
+        "map_busy_ns",       "backend_busy_cycles",
+        "backend_busy_ns",   "batches",
+        "requests",          "utilization",
+        "map_utilization",   "backend_utilization"};
     for (const auto &key : keys)
         EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos)
             << "missing key: " << key;

@@ -954,6 +954,102 @@ TEST(FleetScheduler, PipelineOracleMixedTraceWithGaps)
     EXPECT_EQ(acc.busyCycles, 220u);
 }
 
+/** Per-accelerator-class phase table in each class's OWN clock
+ *  domain (cycles), keyed by config name — the scheduler converts to
+ *  the wall-clock ns axis at dispatch, which is exactly what the
+ *  heterogeneous oracle below pins. */
+class ClassPhasedServiceModel : public ServiceModel
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t mapCycles;
+        std::uint64_t backendCycles;
+    };
+
+    explicit ClassPhasedServiceModel(
+        std::map<std::string, Entry> entries)
+        : table(std::move(entries))
+    {}
+
+    ServiceProfile
+    profile(const AcceleratorConfig &cfg, std::uint32_t,
+            std::uint32_t) const override
+    {
+        const Entry &e = table.at(cfg.name);
+        ServiceProfile p;
+        p.totalCycles = e.mapCycles + e.backendCycles;
+        p.mappingCycles = e.mapCycles;
+        p.computeCycles = e.backendCycles;
+        return p;
+    }
+
+  private:
+    std::map<std::string, Entry> table;
+};
+
+/**
+ * Hand-computed heterogeneous-fleet oracle on the wall-clock event
+ * axis: a 2 GHz server (100 map + 200 backend cycles in its own clock
+ * -> 150 ns total, split 50 map + 100 backend after the clamp-into-
+ * total conversion) next to a 1 GHz edge part (120 + 240 cycles ->
+ * 120 + 240 ns, the identity). FIFO, no batching, pipelined. Trace:
+ * r0 and r1 at t=0, r2 at t=50 ns.
+ *
+ *   r0 at 0:  server (done 0+50+100 = 150 ns) beats edge (360) ->
+ *             server: mapDone 50, backDone 150.
+ *   r1 at 0:  server front busy, edge free -> edge: mapDone 120,
+ *             backDone 360.
+ *   r2 at 50: server front freed by r0's handoff, edge front busy ->
+ *             server: mapDone 100, backStart max(100, 150) = 150,
+ *             backDone 250.
+ */
+TEST(FleetScheduler, HeterogeneousFleetWallClockOracle)
+{
+    AcceleratorConfig server = pointAccConfig();
+    server.name = "Server@2GHz";
+    server.freqGHz = 2.0;
+    const AcceleratorConfig edge = pointAccEdgeConfig();
+
+    const ClassPhasedServiceModel model(
+        {{server.name, {100, 200}}, {edge.name, {120, 240}}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+    FleetScheduler sched({server, edge}, model, {1.0}, scfg);
+
+    const auto report = sched.run(
+        {makeRequest(0, 0), makeRequest(1, 0), makeRequest(2, 50)});
+    ASSERT_EQ(report.completionCycles.size(), 3u);
+    EXPECT_EQ(report.completionCycles[0], 150u);
+    EXPECT_EQ(report.completionCycles[1], 250u);
+    EXPECT_EQ(report.completionCycles[2], 360u);
+    EXPECT_EQ(report.horizonCycles, 360u);
+
+    // Latencies in completion order: r0 150-0, r2 250-50, r1 360-0.
+    ASSERT_EQ(report.latencyCycles.count(), 3u);
+    EXPECT_EQ(report.latencyCycles.data()[0], 150.0);
+    EXPECT_EQ(report.latencyCycles.data()[1], 200.0);
+    EXPECT_EQ(report.latencyCycles.data()[2], 360.0);
+
+    // Per-instance accounting, all in event-axis ns: the server ran
+    // r0 and r2 (maps 50+50, backends 100+100, resident 0..250), the
+    // edge ran r1 alone (resident 0..360). Each instance reports its
+    // own clock for the ns -> cycles conversion.
+    ASSERT_EQ(report.accelerators.size(), 2u);
+    const auto &srv = report.accelerators[0];
+    EXPECT_EQ(srv.freqGHz, 2.0);
+    EXPECT_EQ(srv.requests, 2u);
+    EXPECT_EQ(srv.mapBusyCycles, 100u);
+    EXPECT_EQ(srv.backendBusyCycles, 200u);
+    EXPECT_EQ(srv.busyCycles, 250u);
+    const auto &edg = report.accelerators[1];
+    EXPECT_EQ(edg.freqGHz, 1.0);
+    EXPECT_EQ(edg.requests, 1u);
+    EXPECT_EQ(edg.mapBusyCycles, 120u);
+    EXPECT_EQ(edg.backendBusyCycles, 240u);
+    EXPECT_EQ(edg.busyCycles, 360u);
+}
+
 // ---------------------------------------------------------------- //
 //                Kernel-map cache through the scheduler             //
 // ---------------------------------------------------------------- //

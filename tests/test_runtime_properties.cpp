@@ -40,6 +40,23 @@
  * the probe log met it, plan output is byte-identical across runs,
  * and probes spent never exceed the exhaustive grid size.
  *
+ * Since the wall-clock migration, the production engine prices events
+ * in nanoseconds (each instance converts its cycle costs through its
+ * freqGHz at dispatch) while the preserved seed engine still prices
+ * raw cycles — so the byte-identity gates double as the time-domain
+ * differential harness: every fleet the equivalence sweeps build runs
+ * at the default 1 GHz, where cycles-to-ns is the identity, and any
+ * conversion leak (a rounding, a double round-trip, a missed clamp)
+ * shows up as a byte diff. Mixed-frequency fleets (0.5 / 1 / 2 GHz),
+ * which have no cycle-domain reference, are pinned by the
+ * conservation sweep plus byte-identical repeatability; the
+ * heterogeneous composition lattice by its own planner invariants:
+ * the chosen composition re-simulates to meet the SLO, no
+ * cheaper-cost passing composition exists in the probe log, probes
+ * price their compositions exactly as the objective rule says, plans
+ * are byte-identical across runs and across threads=4 vs serial, and
+ * lattice probe spend never exceeds the exhaustive composition grid.
+ *
  * The traffic/autoscaling layer (runtime/traffic, runtime/autoscaler)
  * is held to the same bar: per-segment arrival counts match the
  * analytic MMPP expectation, a phase-free churn-free program is
@@ -65,6 +82,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdlib>
@@ -306,6 +324,60 @@ TEST(RuntimeProperties, RandomSweepsHoldInvariants)
     });
 }
 
+TEST(RuntimeProperties, MixedFrequencyFleetsHoldInvariants)
+{
+    // The wall-clock axis must keep every conservation and
+    // utilization invariant when instances tick at different rates:
+    // each instance converts its cycle costs to event-axis ns at
+    // dispatch (0.5 / 1 / 2 GHz here), so there is no cycle-domain
+    // reference to diff against — the invariants plus byte-identical
+    // repeatability are the contract.
+    forEachSeed(1100, 1130, [](std::uint64_t seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        const auto scfg = randomConfig(rng);
+
+        std::vector<AcceleratorConfig> fleet;
+        const std::size_t size = 1 + rng.range(3);
+        for (std::size_t i = 0; i < size; ++i) {
+            AcceleratorConfig cfg = rng.range(2) == 0
+                                        ? pointAccConfig()
+                                        : pointAccEdgeConfig();
+            // A clock rate is part of the serving class: same-name
+            // fleet members must share a config, so the name carries
+            // the frequency.
+            const char *const tags[3] = {"@0.5GHz", "@1GHz", "@2GHz"};
+            const double freqs[3] = {0.5, 1.0, 2.0};
+            const std::uint64_t pick = rng.range(3);
+            cfg.freqGHz = freqs[pick];
+            cfg.name += tags[pick];
+            fleet.push_back(cfg);
+        }
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        std::string dumps[2];
+        ServingReport report;
+        for (auto &dump : dumps) {
+            FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+            report = sched.run(trace);
+            std::ostringstream os;
+            writeServingJson(os, report);
+            dump = os.str();
+        }
+        EXPECT_EQ(dumps[0], dumps[1])
+            << "mixed-frequency run is not repeatable";
+        EXPECT_EQ(report.generated, trace.size());
+        checkInvariants(report, seed);
+
+        // The report echoes each instance's clock rate.
+        ASSERT_EQ(report.accelerators.size(), fleet.size());
+        for (std::size_t i = 0; i < fleet.size(); ++i)
+            EXPECT_EQ(report.accelerators[i].freqGHz, fleet[i].freqGHz);
+    });
+}
+
 TEST(RuntimeProperties, PipelinedNeverCompletesLessThanMonolithic)
 {
     // At equal fleet and workload, pipelining only adds capacity:
@@ -440,10 +512,15 @@ servingJsonOf(const ServingReport &report)
 TEST(RuntimeEquivalence, ProductionEngineMatchesSeedEngineByteForByte)
 {
     // The O(log n) core's contract is behavioral identity with the
-    // seed loop — not "close", identical. Run both engines over the
-    // fuzzed scenario space and compare the serialized reports byte
-    // for byte (policies, occupancy models, batching, wait-for-K and
-    // the map cache all flow through the JSON).
+    // seed loop — not "close", identical. Since the wall-clock
+    // migration this is also the time-domain differential gate: the
+    // production engine prices in ns, the seed engine in raw cycles,
+    // and every fleet here ticks at the default 1 GHz — where the
+    // conversion is the identity, so any ns leak is a byte diff.
+    // Run both engines over 60 fuzzed scenarios and compare the
+    // serialized reports byte for byte (policies, occupancy models,
+    // batching, wait-for-K and the map cache all flow through the
+    // JSON).
     forEachSeed(1, 61, [](std::uint64_t seed) {
         Rng rng(seed * 0x9e3779b9ULL);
         const RandomPhasedServiceModel model(seed);
@@ -880,6 +957,241 @@ TEST(RuntimeEquivalence, PlannerProbeMatchesSeedEngineByteForByte)
         const auto reference = runServingReference(
             fleet, model, {1.0, 2.0}, c.scfg, trace);
         ASSERT_EQ(servingJsonOf(viaPlanner), servingJsonOf(reference));
+    }
+}
+
+// ---------------------------------------------------------------- //
+//              Heterogeneous composition lattice                    //
+// ---------------------------------------------------------------- //
+
+/** Unit objective cost of one instance of space.kinds[k] — the test's
+ *  independent mirror of the planner's pricing rule, so a drift
+ *  between the two fails the cost cross-check loudly. */
+double
+kindUnitCost(const PlanSearchSpace &space, std::size_t k)
+{
+    const InstanceKindSpec &kind = space.kinds[k];
+    switch (space.objective) {
+    case PlanObjective::Instances:
+        return 1.0;
+    case PlanObjective::Watts:
+        return kind.watts > 0.0 ? kind.watts : nominalWatts(kind.config);
+    case PlanObjective::Price:
+        return kind.price;
+    }
+    return 1.0;
+}
+
+double
+compositionCost(const PlanSearchSpace &space,
+                const std::vector<std::size_t> &composition)
+{
+    double cost = 0.0;
+    for (std::size_t k = 0; k < composition.size(); ++k)
+        cost +=
+            static_cast<double>(composition[k]) * kindUnitCost(space, k);
+    return cost;
+}
+
+/** Seeded two-kind lattice: a (sometimes overclocked) server kind
+ *  plus the Table 3 edge kind, a random objective, and a watt/price
+ *  budget on roughly half the seeds. */
+PlanSearchSpace
+randomLatticeSpace(Rng &rng)
+{
+    PlanSearchSpace space;
+    InstanceKindSpec server;
+    server.config = pointAccConfig();
+    if (rng.range(2) == 0) {
+        // Distinct name: profile memos key on the class name, and a
+        // 2 GHz server is a different serving class than a 1 GHz one.
+        server.config.name = "PointAcc@2GHz";
+        server.config.freqGHz = 2.0;
+    }
+    server.maxCount = 2 + rng.range(4); // 2..5
+    InstanceKindSpec edge;
+    edge.config = pointAccEdgeConfig();
+    edge.minCount = rng.range(3) == 0 ? 1 : 0;
+    edge.maxCount = 1 + rng.range(3); // 1..3
+    space.kinds = {server, edge};
+
+    const std::uint64_t obj = rng.range(3);
+    space.objective = obj == 0   ? PlanObjective::Instances
+                      : obj == 1 ? PlanObjective::Watts
+                                 : PlanObjective::Price;
+    if (space.objective == PlanObjective::Price) {
+        space.kinds[0].price = rng.uniform(4.0, 12.0);
+        space.kinds[1].price = rng.uniform(0.5, 3.0);
+    }
+    if (rng.range(2) == 0) {
+        // A budget between "one server plus the mandatory edges" and
+        // the full lattice keeps at least one composition affordable
+        // while usually pruning the expensive corner.
+        const double full = compositionCost(
+            space,
+            {space.kinds[0].maxCount, space.kinds[1].maxCount});
+        const double floor =
+            kindUnitCost(space, 0) +
+            static_cast<double>(space.kinds[1].minCount) *
+                kindUnitCost(space, 1);
+        space.maxCostBudget =
+            std::max(floor, full * rng.uniform(0.4, 1.0));
+    }
+
+    space.policies = {QueuePolicy::Fifo};
+    if (rng.range(2) == 0)
+        space.policies.push_back(QueuePolicy::Sjf);
+    space.batchers = {BatcherAxisPoint{}};
+    space.mapCacheOptions = {false};
+    if (rng.range(2) == 0)
+        space.mapCacheOptions.push_back(true);
+    space.base.queueDepth = 64 + rng.range(200);
+    space.base.mapCache.capacityEntries = 1 + rng.range(64);
+    space.base.mapCache.hitReadCycles = rng.range(40'000);
+    return space;
+}
+
+TEST(PlannerProperties, HeteroLatticeSeedsHoldInvariants)
+{
+    // >= 24 seeded (workload, two-kind lattice, objective, budget,
+    // SLO) scenarios over the composition lattice — the hetero
+    // analogue of SeededWorkloadsHoldAllFourInvariants, plus the
+    // lattice-only contracts: compositions stay inside their kind
+    // ranges and the budget, and every probe's cost matches the
+    // test's own mirror of the objective pricing rule.
+    forEachSeed(1200, 1228, [](std::uint64_t seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        const auto space = randomLatticeSpace(rng);
+
+        const CapacityPlanner planner(pointAccConfig(), model,
+                                      {1.0, 2.0});
+        const auto trace = WorkloadGenerator(spec).generate();
+        const auto atMax = planner.probeComposition(
+            space,
+            {space.kinds[0].maxCount, space.kinds[1].maxCount},
+            space.base, trace);
+        SloSpec slo;
+        slo.maxP99Cycles = 1 + static_cast<std::uint64_t>(
+                                   atMax.p99Cycles() *
+                                   rng.uniform(0.8, 3.0));
+        if (rng.range(3) == 0)
+            slo.minThroughputRps =
+                atMax.throughputRps() * rng.uniform(0.5, 1.1);
+
+        const auto report = planner.plan(spec, slo, space);
+
+        // Probe accounting: the ray gallop never spends more than
+        // the exhaustive composition grid, and the log is the spend.
+        EXPECT_LE(report.probesSpent, report.exhaustiveProbes);
+        EXPECT_EQ(report.probesSpent, report.probes.size());
+        EXPECT_EQ(report.exhaustiveProbes, space.gridSize());
+        EXPECT_EQ(report.objective, space.objective);
+        EXPECT_EQ(report.costBudget, space.maxCostBudget);
+
+        // Lattice contracts, probe by probe.
+        for (const auto &p : report.probes) {
+            ASSERT_EQ(p.composition.size(), space.kinds.size());
+            std::size_t total = 0;
+            for (std::size_t k = 0; k < p.composition.size(); ++k) {
+                EXPECT_GE(p.composition[k], space.kinds[k].minCount);
+                EXPECT_LE(p.composition[k], space.kinds[k].maxCount);
+                total += p.composition[k];
+            }
+            EXPECT_GE(total, 1u);
+            EXPECT_EQ(p.fleetSize, total);
+            EXPECT_DOUBLE_EQ(p.cost,
+                             compositionCost(space, p.composition));
+            if (space.maxCostBudget > 0.0)
+                EXPECT_LE(p.cost, space.maxCostBudget + 1e-9);
+        }
+
+        // Determinism: a second plan is byte-identical.
+        const auto again = planner.plan(spec, slo, space);
+        std::ostringstream first, second;
+        writePlanJson(first, report);
+        writePlanJson(second, again);
+        ASSERT_EQ(first.str(), second.str());
+
+        if (!report.feasible) {
+            EXPECT_EQ(report.chosen.fleetSize, 0u);
+            return;
+        }
+
+        // The chosen composition actually meets the SLO when re-built
+        // from the report and re-simulated from scratch.
+        const auto rerun = planner.probeComposition(
+            space, report.chosen.composition,
+            configOfProbe(space, report.chosen), trace);
+        EXPECT_TRUE(meetsSlo(rerun, slo));
+        EXPECT_EQ(rerun.p99Cycles(), report.chosen.p99Cycles);
+        EXPECT_EQ(rerun.throughputRps(), report.chosen.throughputRps);
+
+        // No cheaper-cost passing composition anywhere in the probe
+        // log — and at equal cost, none fielding fewer instances.
+        for (const auto &p : report.probes) {
+            EXPECT_FALSE(p.meetsSlo && p.cost < report.chosen.cost)
+                << "cheaper passing composition at cost " << p.cost;
+            EXPECT_FALSE(p.meetsSlo && p.cost == report.chosen.cost &&
+                         p.fleetSize < report.chosen.fleetSize)
+                << "equal-cost smaller passing fleet " << p.fleetSize;
+        }
+    });
+}
+
+TEST(PlannerProperties, HeteroParallelPlanIsByteIdenticalToSerial)
+{
+    // Same speculation-is-pure argument as the homogeneous pin, on
+    // the composition lattice: a threads=4 plan over a two-kind
+    // space must serialize byte-identically to the serial plan,
+    // across >= 24 seeded scenarios. Deliberately a plain serial
+    // seed loop: each iteration runs a 4-worker pool inside.
+    for (std::uint64_t seed = 1300; seed < 1324; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        const auto space = randomLatticeSpace(rng);
+
+        PlannerConfig parallelCfg;
+        parallelCfg.threads = 4;
+        const CapacityPlanner serial(pointAccConfig(), model,
+                                     {1.0, 2.0});
+        const CapacityPlanner parallel(pointAccConfig(), model,
+                                       {1.0, 2.0}, parallelCfg);
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        const auto atMax = serial.probeComposition(
+            space,
+            {space.kinds[0].maxCount, space.kinds[1].maxCount},
+            space.base, trace);
+        SloSpec slo;
+        slo.maxP99Cycles = 1 + static_cast<std::uint64_t>(
+                                   atMax.p99Cycles() *
+                                   rng.uniform(0.8, 3.0));
+        if (rng.range(3) == 0)
+            slo.minThroughputRps =
+                atMax.throughputRps() * rng.uniform(0.5, 1.1);
+
+        std::ostringstream serialJson, parallelJson;
+        writePlanJson(serialJson, serial.plan(spec, slo, space));
+        writePlanJson(parallelJson, parallel.plan(spec, slo, space));
+        EXPECT_EQ(serialJson.str(), parallelJson.str())
+            << "speculative lattice plan diverged from serial";
+
+        // Exhaustive lattice fan-out, spot-checked on a quarter of
+        // the seeds to keep the suite fast.
+        if (seed % 4 == 0) {
+            std::ostringstream serialEx, parallelEx;
+            writePlanJson(serialEx,
+                          serial.planExhaustive(spec, slo, space));
+            writePlanJson(parallelEx,
+                          parallel.planExhaustive(spec, slo, space));
+            EXPECT_EQ(serialEx.str(), parallelEx.str())
+                << "speculative exhaustive lattice plan diverged";
+        }
     }
 }
 
