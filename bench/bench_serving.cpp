@@ -54,13 +54,28 @@
  *     provisioning — quantifying exactly what static sizing buys.
  *     `--smoke` shrinks it to structural checks for the sanitized
  *     pass.
+ * 10. fault injection (`--sweep faults`, opt-in like plan): five
+ *     scenarios on a two-instance fleet — fault-free baseline, a
+ *     scheduled mid-horizon crash with bounded-backoff retries, a
+ *     straggler window, a stochastic MTBF/MTTR process and hedged
+ *     re-dispatch — plus three gates: (a) an enabled-but-empty fault
+ *     program leaves the 1 GHz production engine byte-identical to
+ *     the frozen cycle-domain reference; (b) the availability-mode
+ *     planner (PlanSearchSpace::faults) pays for spare capacity, and
+ *     that spare rides out a crash the nominal fleet provably fails;
+ *     (c) every faulted row keeps the extended conservation identity
+ *     admitted = completed + failed + leftover and goodput <=
+ *     throughput. `--smoke` keeps the rows and identity gate but
+ *     relaxes (b) to structural checks (short horizons make the
+ *     nominal fleet's SLO miss a coin flip).
  *
  * Results print as a table and are dumped to BENCH_serving.json for
  * the machine-readable perf trajectory (a `plan` object is appended
  * when the plan sweep ran, a `traffic` object when the traffic sweep
- * ran, a `hetero_plan` object when the hetero sweep ran).
+ * ran, a `hetero_plan` object when the hetero sweep ran, a `faults`
+ * object when the faults sweep ran).
  * `--sweep <name>` (fleet, policy, batching, pipeline,
- * wait-for-k, cache, plan, hetero, traffic, all) restricts the run — CI uses
+ * wait-for-k, cache, plan, hetero, traffic, faults, all) restricts the run — CI uses
  * `--sweep cache --quick` for the sanitized pass — and `--quick`
  * shrinks the arrival horizon. The exit code reflects only the
  * acceptance gates of the sweeps that actually ran.
@@ -227,10 +242,25 @@ struct TrafficComparison
     bool converged = false;
 };
 
+/** Headline numbers of the faults sweep's availability-plan gate,
+ *  serialized as the `faults` envelope object. */
+struct FaultsComparison
+{
+    std::uint64_t sloP99Cycles = 0;
+    std::size_t nominalFleetSize = 0;
+    std::size_t availabilityFleetSize = 0;
+    double nominalP99UnderFaultMs = 0.0;
+    double availabilityP99UnderFaultMs = 0.0;
+    bool bothFeasible = false;
+    bool nominalFailsUnderFault = false;
+    bool availabilityHoldsUnderFault = false;
+};
+
 void
 writeRows(std::ostream &os, const std::vector<Row> &rows,
           const PlanReport *plan, const PlanReport *hetero_plan,
-          const TrafficComparison *traffic)
+          const TrafficComparison *traffic,
+          const FaultsComparison *faults)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -255,6 +285,8 @@ writeRows(std::ostream &os, const std::vector<Row> &rows,
         w.field("latency_ms_p99", r.report.p99Ms());
         w.field("drop_rate", r.report.dropRate());
         w.field("completed", r.report.completed);
+        w.field("failed", r.report.failed);
+        w.field("goodput_rps", r.report.goodputRps());
         w.field("deadline_misses", r.report.deadlineMisses);
         w.field("batch_size_mean", r.report.batchSize.mean());
         w.field("batch_holds", r.report.batchHolds);
@@ -263,6 +295,13 @@ writeRows(std::ostream &os, const std::vector<Row> &rows,
         w.field("map_cache_evictions", r.report.mapCache.evictions);
         w.field("map_cache_bytes_saved", r.report.mapCache.bytesSaved);
         w.field("map_cache_hit_rate", r.report.mapCache.hitRate());
+        if (r.report.faults.enabled) {
+            w.field("fault_crashes", r.report.faults.crashes);
+            w.field("fault_recoveries", r.report.faults.recoveries);
+            w.field("fault_failovers", r.report.faults.failovers);
+            w.field("retry_attempts", r.report.faults.retryAttempts);
+            w.field("retry_hedges", r.report.faults.hedges);
+        }
         w.endObject();
     }
     w.endArray();
@@ -288,6 +327,24 @@ writeRows(std::ostream &os, const std::vector<Row> &rows,
         w.field("scale_downs", traffic->scaleDowns);
         w.field("static_meets_slo", traffic->staticMeetsSlo);
         w.field("converged", traffic->converged);
+        w.endObject();
+    }
+    if (faults != nullptr) {
+        w.key("faults").beginObject();
+        w.field("slo_p99_cycles", faults->sloP99Cycles);
+        w.field("nominal_fleet_size",
+                static_cast<std::uint64_t>(faults->nominalFleetSize));
+        w.field("availability_fleet_size",
+                static_cast<std::uint64_t>(faults->availabilityFleetSize));
+        w.field("nominal_p99_under_fault_ms",
+                faults->nominalP99UnderFaultMs);
+        w.field("availability_p99_under_fault_ms",
+                faults->availabilityP99UnderFaultMs);
+        w.field("both_feasible", faults->bothFeasible);
+        w.field("nominal_fails_under_fault",
+                faults->nominalFailsUnderFault);
+        w.field("availability_holds_under_fault",
+                faults->availabilityHoldsUnderFault);
         w.endObject();
     }
     w.endObject();
@@ -368,7 +425,8 @@ main(int argc, char **argv)
                                           "policy",   "batching",
                                           "pipeline", "wait-for-k",
                                           "cache",    "plan",
-                                          "hetero",   "traffic"};
+                                          "hetero",   "traffic",
+                                          "faults"};
     bool knownSweep = false;
     for (const char *const s : kSweeps)
         knownSweep = knownSweep || sweepSel == s;
@@ -376,14 +434,15 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "error: unknown --sweep '%s' (expected fleet, "
                      "policy, batching, pipeline, wait-for-k, cache, "
-                     "plan, hetero, traffic or all)\n",
+                     "plan, hetero, traffic, faults or all)\n",
                      sweepSel.c_str());
         return 2;
     }
     if (smoke && sweepSel != "plan" && sweepSel != "hetero" &&
-        sweepSel != "traffic") {
-        std::fprintf(stderr, "error: --smoke applies to --sweep plan, "
-                             "--sweep hetero or --sweep traffic only\n");
+        sweepSel != "traffic" && sweepSel != "faults") {
+        std::fprintf(stderr,
+                     "error: --smoke applies to --sweep plan, --sweep "
+                     "hetero, --sweep traffic or --sweep faults only\n");
         return 2;
     }
     const auto selected = [&](const char *name) {
@@ -396,6 +455,7 @@ main(int argc, char **argv)
     const bool planSelected = sweepSel == "plan";
     const bool heteroSelected = sweepSel == "hetero";
     const bool trafficSelected = sweepSel == "traffic";
+    const bool faultsSelected = sweepSel == "faults";
 
     bench::banner("Serving runtime: fleets of PointAcc under open load",
                   "runtime/ subsystem (beyond the paper)");
@@ -1022,6 +1082,181 @@ main(int argc, char **argv)
         bench::rule(122);
     }
 
+    // Sweep 10 (`--sweep faults`, opt-in): fault injection and
+    // failure-aware serving. Five scenarios on a two-instance fleet
+    // at 1.25x fleet capacity — the persistent backlog keeps both
+    // instances busy, so a mid-horizon crash always catches work in
+    // flight — then the three gates described in the header:
+    // reference byte-identity with an enabled-but-empty program, the
+    // availability-mode capacity plan, and extended conservation per
+    // row.
+    FaultsComparison faultsCmp;
+    std::vector<Row> faultRows;
+    bool faultsIdentical = false;
+    bool faultsRan = false;
+    if (faultsSelected) {
+        WorkloadSpec fbase = frozenBase;
+        fbase.horizonCycles = smoke     ? 5'000'000
+                              : (quick ? 30'000'000 : 100'000'000);
+        fbase.requestsPerMCycle = 2.5 * capacityPerMCycle;
+        const std::uint64_t H = fbase.horizonCycles;
+
+        RetryPolicy retry;
+        retry.enabled = true;
+        retry.maxRetries = 3;
+        retry.backoffBaseNs = 1'000;
+
+        const auto scenario = [&](const char *name,
+                                  const FaultProgram &program,
+                                  const RetryPolicy &rp) {
+            SchedulerConfig scfg = makeConfig(QueuePolicy::Fifo, false);
+            scfg.faults = program;
+            scfg.retry = rp;
+            faultRows.push_back(runScenario(name, model, 2, fbase, scfg));
+            rows.push_back(faultRows.back());
+            printRow(rows.back());
+        };
+
+        // At a uniform 1 GHz the arrival horizon in cycles is the
+        // fault horizon in ns.
+        FaultProgram crash;
+        crash.enabled = true;
+        crash.horizonNs = 2 * H;
+        crash.crashes.push_back(CrashWindow{0, H / 2, H / 4});
+
+        FaultProgram straggle;
+        straggle.enabled = true;
+        straggle.horizonNs = 2 * H;
+        straggle.stragglers.push_back(
+            StragglerWindow{0, 3 * H / 10, 3 * H / 10, 2.5});
+
+        FaultProgram mtbf;
+        mtbf.enabled = true;
+        mtbf.horizonNs = H;
+        mtbf.mtbfNs = H / 3;
+        mtbf.mttrNs = H / 30;
+        mtbf.seed = 11;
+
+        RetryPolicy hedged = retry;
+        hedged.hedgeDelayNs =
+            static_cast<std::uint64_t>(8.0 * meanCycles);
+
+        scenario("flt-none", FaultProgram{}, RetryPolicy{});
+        scenario("flt-crash", crash, retry);
+        scenario("flt-strag", straggle, RetryPolicy{});
+        scenario("flt-mtbf", mtbf, retry);
+        scenario("flt-hedge", crash, hedged);
+
+        // Gate (a): an *enabled* fault program that materializes no
+        // events must leave the fault-aware production engine
+        // byte-identical to the frozen cycle-domain reference (which
+        // predates faults entirely) — the fault machinery is pay-for-
+        // what-you-use on the hot path.
+        {
+            const std::vector<AcceleratorConfig> pair{pointAccConfig(),
+                                                      pointAccConfig()};
+            WorkloadSpec nsSpec = frozenBase;
+            nsSpec.horizonCycles = smoke ? 5'000'000 : 20'000'000;
+            nsSpec.requestsPerMCycle = 1.5 * capacityPerMCycle;
+            const auto nsTrace = WorkloadGenerator(nsSpec).generate();
+            const SchedulerConfig plainCfg =
+                makeConfig(QueuePolicy::Fifo, false);
+            SchedulerConfig emptyCfg = plainCfg;
+            emptyCfg.faults.enabled = true; // no windows, no rates
+            FleetScheduler sched(pair, model,
+                                 model.catalog().bucketScales, emptyCfg);
+            const ServingReport prod = sched.run(nsTrace);
+            const ServingReport ref = runServingReference(
+                pair, model, model.catalog().bucketScales, plainCfg,
+                nsTrace);
+            std::ostringstream prodJson, refJson;
+            writeServingJson(prodJson, prod);
+            writeServingJson(refJson, ref);
+            faultsIdentical = prodJson.str() == refJson.str();
+        }
+
+        // Gate (b): availability-aware capacity planning. At 2.2x
+        // single-instance load the smallest un-saturated fleet is 3;
+        // the SLO is calibrated off that fleet fault-free with 50%
+        // slack, so the nominal plan picks it. Replanning with a
+        // mid-horizon crash of one instance in the search space must
+        // pay for a spare — and the spare must be what lets the fleet
+        // hold the SLO through the crash the nominal fleet fails.
+        {
+            WorkloadSpec pspec = frozenBase;
+            pspec.horizonCycles = smoke     ? 5'000'000
+                                  : (quick ? 30'000'000 : 80'000'000);
+            pspec.requestsPerMCycle = 2.2 * capacityPerMCycle;
+            const std::uint64_t PH = pspec.horizonCycles;
+
+            FaultProgram outage;
+            outage.enabled = true;
+            outage.horizonNs = 2 * PH;
+            outage.crashes.push_back(CrashWindow{0, 3 * PH / 10, PH / 2});
+
+            PlannerConfig plannerCfg;
+            plannerCfg.threads = threadsArg;
+            CapacityPlanner planner(pointAccConfig(), model,
+                                    model.catalog().bucketScales,
+                                    plannerCfg);
+            PlanSearchSpace space;
+            space.minFleetSize = 1;
+            space.maxFleetSize = 6;
+            space.base = makeConfig(QueuePolicy::Fifo, false);
+
+            const auto trace = WorkloadGenerator(pspec).generate();
+            const auto calib = planner.probe(3, space.base, trace);
+            SloSpec slo;
+            slo.maxP99Cycles =
+                static_cast<std::uint64_t>(1.5 * calib.p99Cycles()) + 1;
+
+            const PlanReport nominal = planner.plan(pspec, slo, space);
+
+            PlanSearchSpace availSpace = space;
+            availSpace.faults = outage;
+            availSpace.retry = retry;
+            const PlanReport avail = planner.plan(pspec, slo, availSpace);
+
+            // Re-probe both chosen fleets under the outage, on the
+            // same trace: the premium must be what holds the SLO.
+            const std::size_t nominalN =
+                nominal.feasible ? nominal.chosen.fleetSize : 3;
+            const std::size_t availN = avail.feasible
+                                           ? avail.chosen.fleetSize
+                                           : space.maxFleetSize;
+            const SchedulerConfig faultedCfg =
+                schedulerConfigFor(availSpace, avail.chosen);
+            const auto nominalUnderFault =
+                planner.probe(nominalN, faultedCfg, trace);
+            const auto availUnderFault =
+                planner.probe(availN, faultedCfg, trace);
+
+            faultsCmp.sloP99Cycles = slo.maxP99Cycles;
+            faultsCmp.nominalFleetSize = nominalN;
+            faultsCmp.availabilityFleetSize = availN;
+            faultsCmp.nominalP99UnderFaultMs = nominalUnderFault.p99Ms();
+            faultsCmp.availabilityP99UnderFaultMs =
+                availUnderFault.p99Ms();
+            faultsCmp.bothFeasible = nominal.feasible && avail.feasible;
+            faultsCmp.nominalFailsUnderFault =
+                !meetsSlo(nominalUnderFault, slo);
+            faultsCmp.availabilityHoldsUnderFault =
+                meetsSlo(availUnderFault, slo);
+
+            std::printf(
+                "faults plan: SLO p99 <= %.3f ms at %.2f req/Mcycle; "
+                "nominal fleet %zu (p99 %.3f ms under crash), "
+                "availability fleet %zu (p99 %.3f ms under crash)\n",
+                static_cast<double>(slo.maxP99Cycles) /
+                    (pointAccConfig().freqGHz * 1e6),
+                pspec.requestsPerMCycle, nominalN,
+                faultsCmp.nominalP99UnderFaultMs, availN,
+                faultsCmp.availabilityP99UnderFaultMs);
+        }
+        faultsRan = true;
+        bench::rule(122);
+    }
+
     bool ok = true;
 
     // Acceptance check 0: profiling is memoized across sweep rows —
@@ -1320,12 +1555,111 @@ main(int argc, char **argv)
         }
     }
 
+    // Acceptance check 7 (faults sweep): the robustness gates. (c)
+    // first — extended conservation and the goodput bound on every
+    // row, faulted or not; then observability (the scheduled crash
+    // caught work in flight and retried it, the stochastic process
+    // crashed at least once, hedging issued at least one hedge); then
+    // (a) reference byte-identity; then (b) the availability plan —
+    // strict in full/quick runs, structural under --smoke.
+    if (faultsRan) {
+        bool conserved = true;
+        bool goodputBounded = true;
+        for (const auto &r : faultRows) {
+            const auto &rep = r.report;
+            conserved = conserved &&
+                        rep.generated == rep.admitted + rep.dropped &&
+                        rep.admitted == rep.completed + rep.failed +
+                                            rep.leftoverQueued;
+            goodputBounded = goodputBounded &&
+                             rep.goodputRps() <= rep.throughputRps();
+        }
+        ok = ok && conserved && goodputBounded;
+        std::printf("faults conservation (admitted = completed + "
+                    "failed + leftover) and goodput <= throughput on "
+                    "%zu rows: %s\n",
+                    faultRows.size(),
+                    conserved && goodputBounded ? "OK" : "VIOLATED");
+
+        const auto &crashRep = faultRows[1].report;  // flt-crash
+        const auto &stragRep = faultRows[2].report;  // flt-strag
+        const auto &mtbfRep = faultRows[3].report;   // flt-mtbf
+        const auto &hedgeRep = faultRows[4].report;  // flt-hedge
+        const bool observed =
+            crashRep.faults.crashes >= 1 &&
+            crashRep.faults.inflightFailed >= 1 &&
+            crashRep.faults.retryAttempts >= 1 &&
+            stragRep.faults.stragglerWindows >= 1 &&
+            mtbfRep.faults.crashes >= 1 && hedgeRep.faults.hedges >= 1;
+        ok = ok && observed;
+        std::printf(
+            "faults observability: crash row %llu crashes / %llu "
+            "in-flight kills / %llu retries, straggler row %llu "
+            "windows, mtbf row %llu crashes, hedge row %llu hedges: "
+            "%s\n",
+            static_cast<unsigned long long>(crashRep.faults.crashes),
+            static_cast<unsigned long long>(
+                crashRep.faults.inflightFailed),
+            static_cast<unsigned long long>(
+                crashRep.faults.retryAttempts),
+            static_cast<unsigned long long>(
+                stragRep.faults.stragglerWindows),
+            static_cast<unsigned long long>(mtbfRep.faults.crashes),
+            static_cast<unsigned long long>(hedgeRep.faults.hedges),
+            observed ? "OK" : "VIOLATED");
+
+        ok = ok && faultsIdentical;
+        std::printf("faults empty-program byte-identity vs reference "
+                    "engine: %s\n",
+                    faultsIdentical ? "OK" : "VIOLATED");
+
+        if (smoke) {
+            const bool structural =
+                faultsCmp.bothFeasible &&
+                faultsCmp.availabilityFleetSize >=
+                    faultsCmp.nominalFleetSize &&
+                faultsCmp.availabilityHoldsUnderFault;
+            ok = ok && structural;
+            std::printf("faults plan smoke: nominal %zu -> "
+                        "availability %zu, availability holds under "
+                        "crash %s: %s\n",
+                        faultsCmp.nominalFleetSize,
+                        faultsCmp.availabilityFleetSize,
+                        faultsCmp.availabilityHoldsUnderFault ? "yes"
+                                                              : "no",
+                        structural ? "OK" : "VIOLATED");
+        } else {
+            const bool premium =
+                faultsCmp.bothFeasible &&
+                faultsCmp.availabilityFleetSize >
+                    faultsCmp.nominalFleetSize;
+            const bool decisive = faultsCmp.nominalFailsUnderFault &&
+                                  faultsCmp.availabilityHoldsUnderFault;
+            ok = ok && premium && decisive;
+            std::printf(
+                "faults availability plan: nominal %zu (p99 %.3f ms "
+                "under crash, %s) vs availability %zu (p99 %.3f ms, "
+                "%s) against SLO %.3f ms: %s\n",
+                faultsCmp.nominalFleetSize,
+                faultsCmp.nominalP99UnderFaultMs,
+                faultsCmp.nominalFailsUnderFault ? "misses" : "meets",
+                faultsCmp.availabilityFleetSize,
+                faultsCmp.availabilityP99UnderFaultMs,
+                faultsCmp.availabilityHoldsUnderFault ? "meets"
+                                                      : "misses",
+                static_cast<double>(faultsCmp.sloP99Cycles) /
+                    (pointAccConfig().freqGHz * 1e6),
+                premium && decisive ? "OK" : "VIOLATED");
+        }
+    }
+
     if (!jsonPath.empty()) {
         std::ofstream jf(jsonPath);
         writeRows(jf, rows,
                   planRan || smokeRan ? &planReport : nullptr,
                   heteroRan || heteroSmokeRan ? &heteroPlan : nullptr,
-                  trafficRan ? &trafficCmp : nullptr);
+                  trafficRan ? &trafficCmp : nullptr,
+                  faultsRan ? &faultsCmp : nullptr);
         jf.flush();
         if (jf.good())
             std::printf("wrote %s\n", jsonPath.c_str());

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Buying availability: sizing a fleet that holds its SLO through a
+ * crash, then watching the spare earn its keep.
+ *
+ *  1. Define a catalog and a steady mixed workload at 2.2x one
+ *     instance's capacity, plus a fault program: one instance crashes
+ *     mid-run and stays down for half the horizon, in-flight work is
+ *     killed, and a bounded-backoff retry policy re-admits the
+ *     victims.
+ *  2. Size the fleet twice with the CapacityPlanner: once fault-free
+ *     (the nominal plan) and once with the fault program in the
+ *     search space (the availability plan) — every candidate is then
+ *     probed *under the crash*, so the planner pays for a spare
+ *     exactly when the SLO needs one.
+ *  3. Serve the same trace with both fleets under the same crash and
+ *     compare: the nominal fleet blows its p99 while the outage eats
+ *     its headroom; the availability fleet rides it out.
+ *  4. Read the failure ledger — crashes, killed batches, retries,
+ *     failovers (victims completing on another instance), goodput vs
+ *     raw throughput.
+ *  5. Dump the availability run's machine-readable report
+ *     (writeServingJson: the fault_* / retry_* block rides along).
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "nn/zoo.hpp"
+#include "runtime/faults.hpp"
+#include "runtime/planner.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/workload.hpp"
+#include "sim/accel_config.hpp"
+
+using namespace pointacc;
+
+int
+main()
+{
+    // 1. Catalog, workload, and the outage. 2.2x single-instance load
+    // means three healthy instances run comfortably (73% utilization)
+    // and two saturate — losing one of three is exactly the regime
+    // availability sizing is about.
+    ServingCatalog catalog;
+    catalog.networks = {pointNet(), miniMinkowskiUNet()};
+    catalog.bucketScales = {0.05, 0.1};
+    SimServiceModel model(catalog);
+
+    WorkloadSpec spec;
+    spec.seed = 29;
+    spec.horizonCycles = 60'000'000; // 60 ms of arrivals at 1 GHz
+    spec.mix = {
+        {0, 0, 3.0, 0}, // PointNet objects, bulk of traffic
+        {1, 1, 1.0, 0}, // segmentation scenes, the heavy tail
+    };
+
+    // Price the mix against one instance to express load in fractions
+    // of single-instance capacity.
+    double meanCycles = 0.0;
+    double totalWeight = 0.0;
+    for (const auto &cls : spec.mix) {
+        const auto p = model.profile(pointAccConfig(), cls.networkId,
+                                     cls.sizeBucket);
+        meanCycles += cls.weight * static_cast<double>(p.totalCycles);
+        totalWeight += cls.weight;
+    }
+    meanCycles /= totalWeight;
+    spec.requestsPerMCycle = 2.2 * 1e6 / meanCycles;
+
+    FaultProgram outage;
+    outage.enabled = true;
+    outage.horizonNs = 2 * spec.horizonCycles;
+    outage.crashes.push_back(CrashWindow{
+        0, spec.horizonCycles / 4, spec.horizonCycles / 2});
+
+    RetryPolicy retry;
+    retry.enabled = true;
+    retry.maxRetries = 3;
+    retry.backoffBaseNs = 1'000;
+
+    std::printf("load %.2f req/Mcycle (2.2x one instance); instance 0 "
+                "crashes at %llu Mcycles for %llu Mcycles\n",
+                spec.requestsPerMCycle,
+                static_cast<unsigned long long>(
+                    outage.crashes[0].atNs / 1'000'000),
+                static_cast<unsigned long long>(
+                    outage.crashes[0].downForNs / 1'000'000));
+
+    // 2. Two plans over the same search space: the only difference is
+    // whether candidates are probed under the outage.
+    const std::vector<Request> trace = WorkloadGenerator(spec).generate();
+
+    PlanSearchSpace space;
+    space.minFleetSize = 1;
+    space.maxFleetSize = 6;
+    space.base.queueDepth = 256;
+
+    CapacityPlanner planner(pointAccConfig(), model, catalog.bucketScales);
+
+    // SLO: 50% headroom over the smallest un-saturated fleet's
+    // fault-free p99 — generous in good weather, binding in bad.
+    const ServingReport calib = planner.probe(3, space.base, trace);
+    SloSpec slo;
+    slo.maxP99Cycles =
+        static_cast<std::uint64_t>(1.5 * calib.p99Cycles()) + 1;
+
+    const PlanReport nominal = planner.plan(spec, slo, space);
+
+    PlanSearchSpace availSpace = space;
+    availSpace.faults = outage;
+    availSpace.retry = retry;
+    const PlanReport avail = planner.plan(spec, slo, availSpace);
+
+    if (!nominal.feasible || !avail.feasible) {
+        std::printf("no fleet in [1, %zu] holds the SLO\n",
+                    space.maxFleetSize);
+        return 1;
+    }
+    std::printf("SLO p99 <= %.2f ms: nominal plan %zu instances, "
+                "availability plan %zu (the spare)\n",
+                static_cast<double>(slo.maxP99Cycles) / 1e6,
+                nominal.chosen.fleetSize, avail.chosen.fleetSize);
+
+    // 3. Same trace, same crash, both fleets. The scheduler config
+    // carries the fault program and retry policy; the planner's
+    // schedulerConfigFor maps a chosen probe back to that config.
+    const SchedulerConfig faultedCfg =
+        schedulerConfigFor(availSpace, avail.chosen);
+    const auto runUnderOutage = [&](std::size_t fleetSize) {
+        const std::vector<AcceleratorConfig> fleet(fleetSize,
+                                                   pointAccConfig());
+        FleetScheduler sched(fleet, model, catalog.bucketScales,
+                             faultedCfg);
+        return sched.run(trace);
+    };
+    const ServingReport nominalRep =
+        runUnderOutage(nominal.chosen.fleetSize);
+    const ServingReport availRep = runUnderOutage(avail.chosen.fleetSize);
+
+    // 4. The failure ledger, side by side.
+    const auto line = [&](const char *label, const ServingReport &rep,
+                          std::size_t fleetSize) {
+        std::printf("%-14s %zu instances: p99 %6.2f ms (%s), goodput "
+                    "%5.0f of %5.0f rps, %llu in-flight kills, %llu "
+                    "retries, %llu failovers, %llu failed\n",
+                    label, fleetSize, rep.p99Ms(),
+                    meetsSlo(rep, slo) ? "meets SLO" : "MISSES SLO",
+                    rep.goodputRps(), rep.throughputRps(),
+                    static_cast<unsigned long long>(
+                        rep.faults.inflightFailed),
+                    static_cast<unsigned long long>(
+                        rep.faults.retryAttempts),
+                    static_cast<unsigned long long>(
+                        rep.faults.failovers),
+                    static_cast<unsigned long long>(rep.failed));
+    };
+    std::printf("\nunder the outage:\n");
+    line("nominal:", nominalRep, nominal.chosen.fleetSize);
+    line("availability:", availRep, avail.chosen.fleetSize);
+
+    // 5. Machine-readable report of the availability run: the fault
+    // block (fault_* / retry_* keys) appears because faults ran.
+    std::ostringstream json;
+    writeServingJson(json, availRep);
+    std::printf("\nJSON: %s", json.str().c_str());
+    return 0;
+}

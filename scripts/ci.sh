@@ -9,14 +9,19 @@
 # edge composition plan vs the exhaustive lattice, plus uniform-1GHz
 # mixed-fleet byte-identity with the frozen cycle-domain engine), the
 # closed-loop traffic gate (bench_serving --sweep traffic: static
-# plan vs reactive autoscaler over a flash-crowd program), a
+# plan vs reactive autoscaler over a flash-crowd program), the fault
+# injection gate (bench_serving --sweep faults: crash/straggler/
+# retry/hedge scenarios, empty-program byte-identity with the frozen
+# reference, extended conservation, and an availability plan whose
+# spare rides out a crash the nominal fleet fails), a
 # schema-doc check that
 # keeps docs/SERVING_JSON.md in lockstep with writeServingJson and
 # writePlanJson, followed by an ASan+UBSan build that re-runs the
 # runtime test suites (the event loop and the property/fuzz sweeps are
 # where lifetime/overflow bugs would hide), the map-cache bench sweep,
 # a sanitized 10^5-request smoke of the discrete-event core, 2-probe
-# planner, hetero-lattice and traffic/autoscaler smokes, and finally a
+# planner, hetero-lattice, traffic/autoscaler and fault-injection
+# smokes, and finally a
 # TSan build that runs the executor unit suite, the sharded property
 # sweeps and a threaded hetero-lattice smoke with a 4-worker pool (the
 # only stage that exercises real thread interleavings — Release gates
@@ -108,6 +113,16 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 "${BUILD_DIR}/bench_serving" --sweep traffic --quick \
     --json "${BUILD_DIR}/BENCH_serving_traffic.json"
 
+# Fault-injection gate: crash / straggler / MTBF / hedged scenarios
+# with retries, the empty-program byte-identity check against the
+# frozen reference engine, extended conservation (admitted =
+# completed + failed + leftover, goodput <= throughput) on every row,
+# and the availability plan: replanning with a mid-horizon crash in
+# the search space must pay for a spare, the nominal fleet must miss
+# the SLO under that crash, and the availability fleet must hold it.
+"${BUILD_DIR}/bench_serving" --sweep faults --quick --threads 4 \
+    --json "${BUILD_DIR}/BENCH_serving_faults.json"
+
 # Schema-doc check: every JSON key writeServingJson and writePlanJson
 # emit must be documented (in backticks) in docs/SERVING_JSON.md, so
 # the published schemas can never silently drift from the writers.
@@ -175,6 +190,13 @@ ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 # checks only; the unsanitized traffic gate above enforced the SLO
 # and savings acceptance).
 "${SAN_BUILD_DIR}/bench_serving" --sweep traffic --smoke --no-json
+
+# Sanitized smoke of fault injection: short-horizon crash / straggler
+# / MTBF / hedge scenarios through the kill/retry/hedge event paths,
+# the busy-counter give-backs and the fault JSON block under
+# ASan+UBSan (structural plan checks only; the unsanitized faults
+# gate above enforced the availability outcome).
+"${SAN_BUILD_DIR}/bench_serving" --sweep faults --smoke --no-json
 
 # TSan pass over the threaded paths: the executor unit suite (steal
 # races, exception propagation, nested get, destructor drain), the

@@ -1,0 +1,177 @@
+#include "runtime/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/rng.hpp"
+#include "runtime/workload.hpp"
+
+namespace pointacc {
+
+namespace {
+
+[[noreturn]] void
+reject(const std::string &what)
+{
+    throw std::invalid_argument("FaultProgram: " + what);
+}
+
+[[noreturn]] void
+rejectRetry(const std::string &what)
+{
+    throw std::invalid_argument("RetryPolicy: " + what);
+}
+
+} // namespace
+
+void
+validateFaultProgram(const FaultProgram &program)
+{
+    if (!program.enabled)
+        return;
+    if (program.mtbfNs > 0 && program.mttrNs == 0)
+        reject("stochastic faults need a positive mean time to "
+               "recover (mttrNs) alongside mtbfNs");
+    if (program.mtbfNs == 0 && program.mttrNs > 0)
+        reject("mttrNs without mtbfNs names no stochastic process; "
+               "set both or neither");
+    if (program.mtbfNs > 0 && program.horizonNs == 0)
+        reject("stochastic faults need a positive horizonNs to "
+               "generate into");
+    for (const CrashWindow &c : program.crashes) {
+        if (program.horizonNs > 0 && c.atNs > program.horizonNs)
+            reject("crash scheduled at " + std::to_string(c.atNs) +
+                   " ns, beyond the " +
+                   std::to_string(program.horizonNs) + " ns horizon");
+    }
+    // Straggler windows: each must be a real slowdown over a real
+    // window, and two windows on one instance must not overlap (the
+    // per-instance factor would be ambiguous at the overlap).
+    std::map<std::uint32_t, std::vector<std::pair<std::uint64_t,
+                                                  std::uint64_t>>>
+        perInstance;
+    for (const StragglerWindow &s : program.stragglers) {
+        if (!(std::isfinite(s.slowdown)) || s.slowdown <= 1.0)
+            reject("straggler slowdown must be a finite factor > 1");
+        if (s.durationNs == 0)
+            reject("straggler windows need a positive duration");
+        if (program.horizonNs > 0 && s.atNs > program.horizonNs)
+            reject("straggler scheduled at " + std::to_string(s.atNs) +
+                   " ns, beyond the " +
+                   std::to_string(program.horizonNs) + " ns horizon");
+        perInstance[s.instance].emplace_back(s.atNs,
+                                             s.atNs + s.durationNs);
+    }
+    for (auto &entry : perInstance) {
+        auto &windows = entry.second;
+        std::sort(windows.begin(), windows.end());
+        for (std::size_t i = 1; i < windows.size(); ++i)
+            if (windows[i].first < windows[i - 1].second)
+                reject("straggler windows overlap on instance " +
+                       std::to_string(entry.first));
+    }
+}
+
+void
+validateRetryPolicy(const RetryPolicy &policy)
+{
+    if (!policy.enabled)
+        return;
+    if (policy.backoffBaseNs < 1)
+        rejectRetry("backoff base must be >= 1 ns");
+    if (!(std::isfinite(policy.backoffMult)) || policy.backoffMult < 1.0)
+        rejectRetry("backoff multiplier must be finite and >= 1");
+    if (policy.maxBackoffNs > 0 &&
+        policy.maxBackoffNs < policy.backoffBaseNs)
+        rejectRetry("backoff cap below the backoff base");
+}
+
+std::uint64_t
+retryBackoffNs(const RetryPolicy &policy, std::uint32_t attempt)
+{
+    const double cap =
+        policy.maxBackoffNs > 0
+            ? static_cast<double>(policy.maxBackoffNs)
+            : static_cast<double>(std::numeric_limits<std::int64_t>::max());
+    double wait = static_cast<double>(policy.backoffBaseNs);
+    for (std::uint32_t k = 0; k < attempt && wait < cap; ++k)
+        wait *= policy.backoffMult;
+    wait = std::min(wait, cap);
+    return static_cast<std::uint64_t>(std::llround(wait));
+}
+
+std::vector<FaultEvent>
+materializeFaultEvents(const FaultProgram &program, std::size_t fleet_size)
+{
+    std::vector<FaultEvent> events;
+    if (!program.enabled)
+        return events;
+    validateFaultProgram(program);
+
+    for (const CrashWindow &c : program.crashes) {
+        if (c.instance >= fleet_size)
+            continue;
+        events.push_back(
+            FaultEvent{c.atNs, FaultEventKind::Crash, c.instance, 1.0});
+        if (c.downForNs > 0)
+            events.push_back(FaultEvent{c.atNs + c.downForNs,
+                                        FaultEventKind::Recover,
+                                        c.instance, 1.0});
+    }
+    for (const StragglerWindow &s : program.stragglers) {
+        if (s.instance >= fleet_size)
+            continue;
+        events.push_back(FaultEvent{s.atNs,
+                                    FaultEventKind::StragglerStart,
+                                    s.instance, s.slowdown});
+        events.push_back(FaultEvent{s.atNs + s.durationNs,
+                                    FaultEventKind::StragglerEnd,
+                                    s.instance, 1.0});
+    }
+
+    if (program.mtbfNs > 0) {
+        // One independent crash/recover sequence per instance, each
+        // from its own seed-derived stream, so the trace for instance
+        // i is stable however many instances the fleet fields (the
+        // capacity planner probes one program at many fleet sizes).
+        for (std::size_t i = 0; i < fleet_size; ++i) {
+            Rng rng(program.seed + 0x9e3779b97f4a7c15ULL *
+                                       (static_cast<std::uint64_t>(i) + 1));
+            double t = detail::exponentialDraw(
+                rng, static_cast<double>(program.mtbfNs));
+            while (t < static_cast<double>(program.horizonNs)) {
+                const std::uint64_t at =
+                    static_cast<std::uint64_t>(std::llround(t));
+                const double down = std::max(
+                    1.0, detail::exponentialDraw(
+                             rng, static_cast<double>(program.mttrNs)));
+                events.push_back(
+                    FaultEvent{at, FaultEventKind::Crash,
+                               static_cast<std::uint32_t>(i), 1.0});
+                events.push_back(FaultEvent{
+                    at + static_cast<std::uint64_t>(std::llround(down)),
+                    FaultEventKind::Recover,
+                    static_cast<std::uint32_t>(i), 1.0});
+                t += down + detail::exponentialDraw(
+                                rng, static_cast<double>(program.mtbfNs));
+            }
+        }
+    }
+
+    // Ties keep expansion order (scheduled before stochastic, windows
+    // in program order), so the list is a pure function of the
+    // (program, fleet_size) pair — the determinism every byte-identity
+    // gate downstream leans on.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.atNs < b.atNs;
+                     });
+    return events;
+}
+
+} // namespace pointacc

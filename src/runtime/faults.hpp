@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Fault injection and failure-aware serving for the fleet scheduler.
+ *
+ * Every layer below this one assumes perfect hardware: instances never
+ * crash or straggle and requests never time out. Real deployments —
+ * the paper's Jetson-class edge parts especially — fail routinely, so
+ * the serving simulator needs a first-class fault axis before any
+ * availability claim (N+1 sizing, retry budgets, hedging policies) can
+ * be trusted. This header defines that axis:
+ *
+ *  - FaultProgram: a deterministic schedule of instance crash/recover
+ *    events and transient straggler slowdowns on the ns event axis,
+ *    plus an optional stochastic MTBF/MTTR process (exponential draws
+ *    through the repository's portable Rng — equal seeds give
+ *    byte-identical fault traces). materializeFaultEvents() expands a
+ *    program against a concrete fleet into a sorted event list the
+ *    scheduler pushes into its heap alongside ScaleEval/SpinUp.
+ *  - RetryPolicy: what happens to the requests a crash kills mid
+ *    flight — bounded retries with exponential backoff priced in ns, a
+ *    per-request timeout, and optional hedged re-dispatch after a
+ *    fixed (typically p99-derived) delay. Exhausted retries land in
+ *    the report's `failed` terminal state, extending the conservation
+ *    identity to admitted = completed + failed + leftover.
+ *  - FaultStats: the fault_* / retry_* counter block ServingReport
+ *    carries upward (crashes, recoveries, straggler windows, retries,
+ *    hedges won/lost, failovers).
+ *
+ * Byte-identity contract: a disabled program — or an enabled one that
+ * materializes no events with retries off — injects nothing, consults
+ * nothing, and leaves the scheduler's event stream and serialized
+ * report byte-identical to a fault-free run (the `--sweep faults`
+ * gate pins this against the frozen reference engine; the property
+ * suite fuzzes it). Validation follows validateWorkloadSpec /
+ * readSchedule: malformed inputs throw std::invalid_argument at
+ * construction, never mid-simulation.
+ */
+
+#ifndef POINTACC_RUNTIME_FAULTS_HPP
+#define POINTACC_RUNTIME_FAULTS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pointacc {
+
+/** One scheduled instance outage on the ns event axis. */
+struct CrashWindow
+{
+    /** Fleet index of the instance that crashes. Windows naming an
+     *  instance outside the concrete fleet materialize to nothing, so
+     *  one program can drive capacity-planner probes of any size. */
+    std::uint32_t instance = 0;
+    std::uint64_t atNs = 0; ///< crash instant
+    /** Outage length; 0 = the instance never recovers. */
+    std::uint64_t downForNs = 0;
+};
+
+/** One transient slowdown window: the instance keeps serving, but its
+ *  effective clock drops (service times stretch by `slowdown`). */
+struct StragglerWindow
+{
+    std::uint32_t instance = 0;
+    std::uint64_t atNs = 0;
+    std::uint64_t durationNs = 0;
+    /** Service-time stretch factor (> 1; 3.0 = a 3x-slower instance —
+     *  thermal throttling, a noisy neighbour, a failing DIMM). */
+    double slowdown = 2.0;
+};
+
+/**
+ * Deterministic fault schedule for one simulation. Scheduled windows
+ * and the stochastic MTBF/MTTR process compose; everything is on the
+ * ns event axis. Disabled (the default) injects nothing.
+ */
+struct FaultProgram
+{
+    bool enabled = false;
+
+    std::vector<CrashWindow> crashes;
+    std::vector<StragglerWindow> stragglers;
+
+    /** Stochastic outages: per-instance mean time between failures in
+     *  ns (exponential inter-failure gaps). 0 = scheduled windows
+     *  only. Requires mttrNs > 0 and horizonNs > 0 when set. */
+    std::uint64_t mtbfNs = 0;
+    /** Mean time to recover in ns (exponential outage lengths). */
+    std::uint64_t mttrNs = 0;
+    /** Seed of the stochastic process; equal seeds materialize
+     *  byte-identical fault traces for a given fleet size. */
+    std::uint64_t seed = 1;
+    /** Generation window for the stochastic process, and the bound
+     *  scheduled windows are validated against (a crash scheduled
+     *  beyond the horizon can never fire; validation rejects it as a
+     *  program bug rather than silently ignoring it). 0 = no bound,
+     *  scheduled windows only. */
+    std::uint64_t horizonNs = 0;
+};
+
+/** What happens to requests a crash kills in flight. Disabled (the
+ *  default): crash victims fail terminally with no second chance. */
+struct RetryPolicy
+{
+    bool enabled = false;
+    /** Re-admissions allowed per request after its first dispatch;
+     *  a request crashing on attempt maxRetries fails terminally. */
+    std::uint32_t maxRetries = 2;
+    /** Backoff before retry k is backoffBaseNs * backoffMult^k,
+     *  capped at maxBackoffNs. Must be >= 1 ns when enabled. */
+    std::uint64_t backoffBaseNs = 1000;
+    double backoffMult = 2.0; ///< exponential backoff base (>= 1)
+    std::uint64_t maxBackoffNs = 0; ///< backoff cap; 0 = uncapped
+    /** Hedged re-dispatch: this long after a request's first dispatch,
+     *  if it has not completed, an uncounted duplicate re-enters
+     *  admission and the first copy to complete wins (the loser's
+     *  capacity is the hedge's price — duplicates are never
+     *  cancelled). Callers typically derive this from a measured p99.
+     *  0 = no hedging. */
+    std::uint64_t hedgeDelayNs = 0;
+    /** Per-request budget from arrival: a retry that cannot be
+     *  scheduled before arrival + timeoutNs fails terminally instead
+     *  (counted under retry_timeouts). 0 = no timeout. */
+    std::uint64_t timeoutNs = 0;
+};
+
+/**
+ * Validate a FaultProgram, throwing std::invalid_argument with a
+ * descriptive message on the first violation: nonpositive MTBF/MTTR
+ * pairing (either without the other), stochastic faults without a
+ * horizon, scheduled windows beyond the horizon, straggler slowdowns
+ * <= 1 or non-finite, zero-length straggler windows, or overlapping
+ * straggler windows on one instance (the per-instance slowdown factor
+ * would be ambiguous). Disabled programs validate vacuously.
+ */
+void validateFaultProgram(const FaultProgram &program);
+
+/**
+ * Validate a RetryPolicy, throwing std::invalid_argument on the first
+ * violation: backoff base < 1 ns, backoff multiplier < 1 or
+ * non-finite, or a backoff cap below the base. Disabled policies
+ * validate vacuously.
+ */
+void validateRetryPolicy(const RetryPolicy &policy);
+
+/** Backoff before retry `attempt` (0-based: the wait scheduled after
+ *  a request's first crash uses attempt 0), in ns — base * mult^k,
+ *  capped. Saturates instead of overflowing. */
+std::uint64_t retryBackoffNs(const RetryPolicy &policy,
+                             std::uint32_t attempt);
+
+/** Materialized fault-event kinds, in the order a window expands. */
+enum class FaultEventKind : std::uint8_t
+{
+    Crash,          ///< instance goes down; in-flight batches fail
+    Recover,        ///< instance comes back (empty, accepting work)
+    StragglerStart, ///< slowdown factor applies to new dispatches
+    StragglerEnd,   ///< slowdown factor lifts
+};
+
+/** One concrete fault event against a concrete fleet. */
+struct FaultEvent
+{
+    std::uint64_t atNs = 0;
+    FaultEventKind kind = FaultEventKind::Crash;
+    std::uint32_t instance = 0;
+    /** Slowdown factor (StragglerStart only). */
+    double factor = 1.0;
+};
+
+/**
+ * Expand `program` against a fleet of `fleet_size` instances into a
+ * list sorted by time (ties keep expansion order, so the result is a
+ * pure function of its inputs). Scheduled windows naming instances
+ * outside the fleet are skipped; the stochastic process draws one
+ * independent, seed-derived crash/recover sequence per instance over
+ * [0, horizonNs). A disabled program returns an empty list.
+ */
+std::vector<FaultEvent> materializeFaultEvents(const FaultProgram &program,
+                                               std::size_t fleet_size);
+
+/** Fault/retry counters a faulted run reports (the fault_* / retry_*
+ *  JSON block; omitted when `enabled` is false so fault-free reports
+ *  stay byte-identical to pre-fault builds). */
+struct FaultStats
+{
+    /** True when the run materialized >= 1 fault event or had retries
+     *  enabled — exactly the condition under which the block prints. */
+    bool enabled = false;
+
+    std::uint64_t crashes = 0;          ///< crash events applied
+    std::uint64_t recoveries = 0;       ///< recover events applied
+    std::uint64_t stragglerWindows = 0; ///< slowdown windows applied
+    /** Requests killed mid-flight by crashes (retried or failed). */
+    std::uint64_t inflightFailed = 0;
+    std::uint64_t failedBatches = 0; ///< dispatches killed by crashes
+    /** Crash victims that completed on a different instance than the
+     *  one they crashed on — successful failovers. */
+    std::uint64_t failovers = 0;
+
+    std::uint64_t retryAttempts = 0; ///< re-admissions scheduled
+    /** Retries shed because the admission queue was full at re-entry
+     *  (terminal: counted in `failed`, never in `dropped`). */
+    std::uint64_t retryShed = 0;
+    /** Requests that ran out of retry budget (terminal). */
+    std::uint64_t retryExhausted = 0;
+    /** Retries abandoned because the backoff landed past the
+     *  per-request timeout (terminal). */
+    std::uint64_t retryTimeouts = 0;
+    std::uint64_t retryBackoffNsTotal = 0; ///< summed backoff waits
+    std::uint64_t hedges = 0;     ///< hedged duplicates issued
+    std::uint64_t hedgesWon = 0;  ///< completions won by the hedge copy
+    /** Hedge copies that lost the race, died in a crash, or were shed
+     *  at re-admission — the capacity the hedging policy wasted. */
+    std::uint64_t hedgesLost = 0;
+};
+
+} // namespace pointacc
+
+#endif // POINTACC_RUNTIME_FAULTS_HPP

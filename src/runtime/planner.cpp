@@ -67,6 +67,14 @@ schedulerConfigFor(const PlanSearchSpace &space, const PlanProbe &probe)
     scfg.batcher.targetK = probe.targetK;
     scfg.batcher.maxWaitCycles = probe.maxWaitCycles;
     scfg.mapCache.enabled = probe.mapCacheOn;
+    // Availability mode: probe every candidate under the fault
+    // program, so only fleets that survive it count as meeting the
+    // SLO. Disabled programs leave the probe config untouched (and
+    // the resulting plan byte-identical to the fault-free search).
+    if (space.faults.enabled)
+        scfg.faults = space.faults;
+    if (space.retry.enabled)
+        scfg.retry = space.retry;
     return scfg;
 }
 

@@ -156,6 +156,17 @@ struct PlanSearchSpace
     std::vector<bool> mapCacheOptions = {false};
     SchedulerConfig base;
 
+    /** Availability mode: when enabled, every candidate is probed
+     *  under this fault program (and retry policy below), so the
+     *  search returns the cheapest fleet whose SLO survives the
+     *  faults — N+1 sizing falls out naturally: a fleet that meets
+     *  the SLO only with all instances healthy fails its probe and
+     *  the planner pays for the spare. Default-disabled: the plan is
+     *  then identical to the fault-free search (golden-pinned). */
+    FaultProgram faults;
+    /** Retry policy paired with `faults` in availability mode. */
+    RetryPolicy retry;
+
     /** Heterogeneous composition lattice. Empty (the default) keeps
      *  the legacy homogeneous axis: [minFleetSize, maxFleetSize]
      *  copies of the planner's instance config. Non-empty replaces

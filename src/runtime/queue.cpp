@@ -309,6 +309,17 @@ AdmissionQueue::push(const Request &r)
     return true;
 }
 
+bool
+AdmissionQueue::pushUncounted(const Request &r)
+{
+    if (impl->live.size() >= maxDepth)
+        return false; // shed, but never a second `dropped`
+    if (!impl->ranked)
+        impl->ensureIndexed(impl->indexedPolicy);
+    impl->insertItem(r);
+    return true;
+}
+
 const Request &
 AdmissionQueue::peek(QueuePolicy policy) const
 {

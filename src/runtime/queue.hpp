@@ -83,6 +83,18 @@ class AdmissionQueue
     /** Admit or drop (queue full). Returns true when admitted. */
     bool push(const Request &r);
 
+    /**
+     * Admit without touching the admitted/dropped counters, or return
+     * false (again uncounted) when the queue is full. This is the
+     * re-admission path for crash retries and hedged duplicates
+     * (runtime/faults): each offered request is counted exactly once
+     * at its first push, so the conservation identity generated =
+     * admitted + dropped keeps holding however many times a request
+     * re-enters — a shed retry is the scheduler's `failed` terminal
+     * state, never a second `dropped`.
+     */
+    bool pushUncounted(const Request &r);
+
     bool empty() const { return size() == 0; }
     std::size_t size() const;
     std::size_t depthLimit() const { return maxDepth; }

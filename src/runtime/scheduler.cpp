@@ -8,6 +8,7 @@
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -265,6 +266,12 @@ FleetScheduler::FleetScheduler(std::vector<AcceleratorConfig> fleet_,
     if (cfg.autoscaler.enabled)
         cfg.autoscaler =
             resolveAutoscalerConfig(cfg.autoscaler, fleet.size());
+    // The fault program and retry policy fail fast the same way
+    // (mirroring validateWorkloadSpec): malformed inputs throw
+    // std::invalid_argument at construction, never mid-simulation.
+    // Both validate vacuously when disabled.
+    validateFaultProgram(cfg.faults);
+    validateRetryPolicy(cfg.retry);
     for (const auto &acc : fleet) {
         // Frequencies may differ across members (each instance's
         // profiled cycles convert to the ns event axis at dispatch),
@@ -310,6 +317,13 @@ toString(OccupancyModel model)
 namespace {
 
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint32_t kNoInstance =
+    std::numeric_limits<std::uint32_t>::max();
+/** Hedged duplicates carry the original id with this bit set, so the
+ *  admission queue's id-uniqueness invariant survives a duplicate and
+ *  its (retried) original being queued at once. Generator ids are
+ *  dense from 0 and never reach the bit. */
+constexpr std::uint64_t kHedgeIdBit = 1ULL << 63;
 
 /** One dispatch resident on an instance, in either pipeline stage. */
 struct InFlight
@@ -364,10 +378,22 @@ struct AccelState
     AcceleratorUsage usage;
     Life life = Life::Active;
     std::uint64_t lifeStamp = 0;
+    /** Crashed by the fault program: accepts nothing until the
+     *  matching Recover event. Independent of Life — a crash is a
+     *  failure, not an autoscaler decision (though with the
+     *  autoscaler on, a crash also powers the instance off so the
+     *  policy sees the capacity loss and replaces it). */
+    bool crashed = false;
+    /** Straggler service-time stretch for new dispatches; exactly 1.0
+     *  outside windows, so fault-free pricing skips the float round
+     *  trip (the byte-identity gates rely on the == test). */
+    double slowdown = 1.0;
 
     bool
     canAccept(OccupancyModel model) const
     {
+        if (crashed)
+            return false;
         if (life != Life::Active)
             return false;
         return model == OccupancyModel::Pipelined
@@ -393,6 +419,9 @@ struct Event
         Arrival,   ///< the source's next request arrives
         ScaleEval, ///< periodic autoscaler policy evaluation
         SpinUp,    ///< a powering-on instance becomes Active
+        Fault,     ///< a materialized fault event fires (runtime/faults)
+        Retry,     ///< a crash victim's backoff expired; re-admit it
+        Hedge,     ///< hedge delay expired; duplicate the request
     };
 
     std::uint64_t at = 0;
@@ -508,6 +537,41 @@ FleetScheduler::run(RequestSource &source) const
         asStats.peakProvisioned = asCfg.initialInstances;
     }
 
+    // ---- Fault injection (runtime/faults) ------------------------- //
+    // Inactive (the default, or an enabled program that materializes
+    // no events with retries off): nothing enters the heap, no
+    // per-request state is consulted, and the run stays byte-identical
+    // to a fault-free build — the --sweep faults gate pins that
+    // against the frozen reference engine.
+    const RetryPolicy &retry = cfg.retry;
+    const std::vector<FaultEvent> faultEvents =
+        materializeFaultEvents(cfg.faults, fleet.size());
+    const bool faultsOn = !faultEvents.empty() || retry.enabled;
+    FaultStats fstats;
+    fstats.enabled = faultsOn;
+    // Per-request fault state, created lazily for crash victims and
+    // hedged requests only (the common unfaulted request never touches
+    // the map). Keyed by the original id (hedge duplicates strip
+    // kHedgeIdBit): `done` marks the winning completion so a losing
+    // copy can never complete a request twice, `failed` the terminal
+    // failure, `crashedOn` the instance whose crash last killed it
+    // (completing elsewhere is a counted failover).
+    struct ReqFaultState
+    {
+        bool done = false;
+        bool failed = false;
+        bool hedged = false;
+        std::uint32_t crashedOn = kNoInstance;
+    };
+    std::unordered_map<std::uint64_t, ReqFaultState> rstate;
+    const auto origId = [](const Request &r) {
+        return r.hedge ? (r.id & ~kHedgeIdBit) : r.id;
+    };
+    std::vector<Request> retrySlots; // Retry event stamp -> request
+    std::vector<Request> hedgeSlots; // Hedge event stamp -> duplicate
+    std::uint64_t pendingRetries = 0; // scheduled, not yet re-admitted
+    std::uint64_t hedgedInQueue = 0;  // duplicates sitting in admission
+
     // Accelerator class per instance: the index of the first fleet
     // member with the same config name. Dispatch prices a batch once
     // per class (the seed keyed the same memo by name strings).
@@ -576,7 +640,8 @@ FleetScheduler::run(RequestSource &source) const
     // (one episode per leader, however many events re-evaluate it).
     std::unordered_set<std::uint64_t> countedHolds;
 
-    const auto completeBack = [&](AccelState &acc) {
+    const auto completeBack = [&](std::size_t idx) {
+        AccelState &acc = accels[idx];
         const InFlight &unit = *acc.back;
         // Monolithic runs are one opaque interval — there is no
         // mapping-completion moment inside it to observe, so a miss's
@@ -587,6 +652,26 @@ FleetScheduler::run(RequestSource &source) const
             for (const auto &ins : unit.inserts)
                 mapCache.insert(ins.first, ins.second);
         for (const auto &r : unit.batch.requests) {
+            if (faultsOn) {
+                const auto it = rstate.find(origId(r));
+                if (it != rstate.end()) {
+                    ReqFaultState &st = it->second;
+                    if (st.done || st.failed) {
+                        // The race's loser (or a copy of a request
+                        // already declared failed): record only the
+                        // wasted hedge, never a second completion.
+                        if (r.hedge)
+                            fstats.hedgesLost += 1;
+                        continue;
+                    }
+                    st.done = true;
+                    if (r.hedge)
+                        fstats.hedgesWon += 1;
+                    if (st.crashedOn != kNoInstance &&
+                        st.crashedOn != static_cast<std::uint32_t>(idx))
+                        fstats.failovers += 1;
+                }
+            }
             report.latencyCycles.record(
                 static_cast<double>(unit.doneAt - r.arrivalCycle));
             report.completionCycles.push_back(unit.doneAt);
@@ -621,7 +706,7 @@ FleetScheduler::run(RequestSource &source) const
         AccelState &acc = accels[idx];
         for (;;) {
             if (acc.back && acc.back->doneAt <= now) {
-                completeBack(acc);
+                completeBack(idx);
                 continue;
             }
             if (acc.front && acc.front->mapDoneAt <= now) {
@@ -678,6 +763,126 @@ FleetScheduler::run(RequestSource &source) const
         return backStart + ph.backendCycles;
     };
 
+    // A crash just killed `r` mid-flight on `inst`: route it through
+    // the retry policy (bounded, exponential backoff priced in ns) or
+    // record the terminal failure. Hedged duplicates get no second
+    // chance — the original (or its own retry chain) is still the
+    // request of record.
+    const auto failRequest = [&](const Request &r, std::uint32_t inst,
+                                 std::uint64_t now) {
+        if (r.hedge) {
+            fstats.hedgesLost += 1;
+            return;
+        }
+        ReqFaultState &st = rstate[r.id];
+        if (st.done)
+            return; // a hedge copy already completed it
+        st.crashedOn = inst;
+        fstats.inflightFailed += 1;
+        bool timedOut = false;
+        if (retry.enabled && r.attempt < retry.maxRetries) {
+            const std::uint64_t backoff = retryBackoffNs(retry, r.attempt);
+            if (retry.timeoutNs > 0 &&
+                now + backoff > r.arrivalCycle + retry.timeoutNs) {
+                timedOut = true; // the wait alone would blow the budget
+            } else {
+                Request again = r;
+                again.attempt += 1;
+                retrySlots.push_back(again);
+                pendingRetries += 1;
+                fstats.retryAttempts += 1;
+                fstats.retryBackoffNsTotal += backoff;
+                pushEv(now + backoff, Event::Kind::Retry, 0,
+                       retrySlots.size() - 1);
+                return;
+            }
+        }
+        st.failed = true;
+        report.failed += 1;
+        if (timedOut)
+            fstats.retryTimeouts += 1;
+        else if (retry.enabled)
+            fstats.retryExhausted += 1;
+    };
+
+    // Apply one materialized fault event. Crash: both in-flight
+    // batches on the instance die — the busy counters give back the
+    // un-run remainders (so per-stage busy never exceeds the horizon),
+    // the residency union closes at the crash instant, victims route
+    // through the retry policy, and the slot stamps orphan any pending
+    // MapDone/RunDone heap entries. A batch completing at the crash
+    // instant completes: the service sweep runs before faults apply.
+    const auto applyFault = [&](const FaultEvent &f, std::uint64_t now) {
+        AccelState &a = accels[f.instance];
+        switch (f.kind) {
+          case FaultEventKind::Crash: {
+            if (a.crashed)
+                return; // overlapping outages coalesce
+            a.crashed = true;
+            fstats.crashes += 1;
+            if (a.back) {
+                const InFlight &u = *a.back;
+                fstats.failedBatches += 1;
+                if (u.doneAt > now)
+                    a.usage.backendBusyCycles -= u.doneAt - now;
+                const std::uint64_t start =
+                    std::max(u.dispatchedAt, a.coveredUntil);
+                if (now > start)
+                    a.usage.busyCycles += now - start;
+                a.coveredUntil = std::max(a.coveredUntil, now);
+                for (const auto &r : u.batch.requests)
+                    failRequest(r, f.instance, now);
+                a.back.reset();
+                a.backStamp += 1;
+            }
+            if (a.front) {
+                const InFlight &u = *a.front;
+                fstats.failedBatches += 1;
+                // An unmapped front gives back its un-run mapping; a
+                // mapped one (blocked on handoff) ran it all, and its
+                // back-end never started, so nothing else to return.
+                if (!u.mapped && u.mapDoneAt > now)
+                    a.usage.mapBusyCycles -= u.mapDoneAt - now;
+                const std::uint64_t start =
+                    std::max(u.dispatchedAt, a.coveredUntil);
+                if (now > start)
+                    a.usage.busyCycles += now - start;
+                a.coveredUntil = std::max(a.coveredUntil, now);
+                for (const auto &r : u.batch.requests)
+                    failRequest(r, f.instance, now);
+                a.front.reset();
+                a.frontStamp += 1;
+            }
+            // With the autoscaler on, a crash is a power loss: the
+            // policy sees provisioned capacity drop, and its existing
+            // spin-up path doubles as crash replacement. The crashed
+            // instance leaves the candidate pool until it recovers.
+            if (asEnabled && a.life != Life::Off) {
+                a.life = Life::Off;
+                a.lifeStamp += 1; // orphan a pending SpinUp
+                notePower(now, -1);
+            }
+            break;
+          }
+          case FaultEventKind::Recover:
+            if (!a.crashed)
+                return;
+            a.crashed = false;
+            fstats.recoveries += 1;
+            // Autoscaled fleets get the instance back as an Off pool
+            // candidate (powering it is the policy's call); static
+            // fleets resume dispatching to it immediately.
+            break;
+          case FaultEventKind::StragglerStart:
+            a.slowdown = f.factor;
+            fstats.stragglerWindows += 1;
+            break;
+          case FaultEventKind::StragglerEnd:
+            a.slowdown = 1.0;
+            break;
+        }
+    };
+
     const auto dispatch = [&](std::uint64_t now) {
         // The timer mirrors the *currently outstanding* holds: every
         // dispatch pass re-decides, so first disarm — a hold resolved
@@ -724,6 +929,13 @@ FleetScheduler::run(RequestSource &source) const
 
             Batch batch =
                 batcher.formLedBy(queue, *head, cfg.policy, inHeldGroup);
+            // Hedged duplicates leaving admission: leftoverQueued at
+            // the end must count only requests of record, so track how
+            // many copies are still sitting in the queue.
+            if (faultsOn && hedgedInQueue > 0)
+                for (const auto &r : batch.requests)
+                    if (r.hedge)
+                        hedgedInQueue -= 1;
 
             // Classify the batch against the map cache. The batcher's
             // extra rule keeps batches hit-pure or miss-pure; the
@@ -779,7 +991,21 @@ FleetScheduler::run(RequestSource &source) const
                     }
                     memo = ph;
                 }
-                const PhaseProfile &ph = *memo;
+                PhaseProfile ph = *memo;
+                // Straggler windows stretch this instance's service
+                // time (an effective frequency derate). The exact
+                // ==1.0 comparison keeps the fault-free path free of
+                // any float round-trip — byte-identity with the
+                // reference engine depends on it.
+                if (accels[i].slowdown != 1.0) {
+                    ph.mapCycles = static_cast<std::uint64_t>(
+                        std::llround(static_cast<double>(ph.mapCycles) *
+                                     accels[i].slowdown));
+                    ph.backendCycles = static_cast<std::uint64_t>(
+                        std::llround(
+                            static_cast<double>(ph.backendCycles) *
+                            accels[i].slowdown));
+                }
                 const std::uint64_t done =
                     estimateDone(accels[i], ph, now);
                 if (done < bestDone) {
@@ -836,6 +1062,29 @@ FleetScheduler::run(RequestSource &source) const
             for (const auto &r : batch.requests)
                 report.queueWaitCycles.record(
                     static_cast<double>(now - r.arrivalCycle));
+            // Hedged re-dispatch arms at first dispatch: if the
+            // original has not completed after the hedge delay, a
+            // duplicate re-enters admission and races it (tail-latency
+            // insurance against a crash or straggler eating the
+            // original). Copies live in a dedicated id range so the
+            // queue's unique-id invariant holds, and each request is
+            // hedged at most once.
+            if (retry.enabled && retry.hedgeDelayNs > 0) {
+                for (const auto &r : batch.requests) {
+                    if (r.hedge)
+                        continue;
+                    ReqFaultState &st = rstate[r.id];
+                    if (st.hedged)
+                        continue;
+                    st.hedged = true;
+                    Request copy = r;
+                    copy.id |= kHedgeIdBit;
+                    copy.hedge = true;
+                    hedgeSlots.push_back(copy);
+                    pushEv(now + retry.hedgeDelayNs, Event::Kind::Hedge,
+                           0, hedgeSlots.size() - 1);
+                }
+            }
             unit.batch = std::move(batch);
             acc.frontStamp += 1;
             if (unit.mapDoneAt > now)
@@ -855,6 +1104,8 @@ FleetScheduler::run(RequestSource &source) const
     const auto hasWork = [&]() {
         if (!queue.empty() || source.peek() != nullptr)
             return true;
+        if (pendingRetries > 0)
+            return true; // a scheduled retry will re-enter admission
         for (const auto &a : accels)
             if (a.front || a.back)
                 return true;
@@ -901,6 +1152,8 @@ FleetScheduler::run(RequestSource &source) const
                     AccelState &a = accels[i];
                     if (a.life != Life::Off)
                         continue;
+                    if (a.crashed)
+                        continue; // down hardware cannot be powered on
                     notePower(now, +1);
                     if (asCfg.spinUpCycles == 0) {
                         a.life = Life::Active;
@@ -987,6 +1240,21 @@ FleetScheduler::run(RequestSource &source) const
             return a.life == Life::SpinningUp &&
                    a.lifeStamp == e.stamp && hasWork();
           }
+          case Event::Kind::Fault:
+            // A fault program outliving the workload must not extend
+            // the horizon: trailing crash/recover events on a drained,
+            // idle fleet are dead.
+            return hasWork();
+          case Event::Kind::Retry:
+            // Always live: pendingRetries counts it as work, and the
+            // fire handler itself drops retries a hedge already won.
+            return true;
+          case Event::Kind::Hedge: {
+            const auto it =
+                rstate.find(hedgeSlots[e.stamp].id & ~kHedgeIdBit);
+            return it != rstate.end() && !it->second.done &&
+                   !it->second.failed;
+          }
         }
         return false;
     };
@@ -1003,9 +1271,15 @@ FleetScheduler::run(RequestSource &source) const
         pushEv(asCfg.evalIntervalCycles, Event::Kind::ScaleEval, 0,
                evalGen);
     }
+    // Prime the materialized fault timeline; the stamp indexes back
+    // into faultEvents (the vector is immutable once materialized).
+    for (std::size_t f = 0; f < faultEvents.size(); ++f)
+        pushEv(faultEvents[f].atNs, Event::Kind::Fault,
+               faultEvents[f].instance, f);
 
     std::uint64_t clock = 0;
     std::vector<std::uint32_t> due;
+    std::vector<std::uint64_t> faultDue;
     while (!events.empty()) {
         // The next event time is the first live entry's timestamp —
         // the heap's analogue of the seed loop's min() rescan over
@@ -1022,6 +1296,7 @@ FleetScheduler::run(RequestSource &source) const
         // the seed serviced every instance per iteration for the same
         // reason.
         due.clear();
+        faultDue.clear();
         bool evalDue = false;
         while (!events.empty() && events.top().at <= clock) {
             const Event e = events.top();
@@ -1050,6 +1325,40 @@ FleetScheduler::run(RequestSource &source) const
                 // work this cycle (power was counted at the decision).
                 accels[e.accel].life = Life::Active;
                 break;
+              case Event::Kind::Fault:
+                // Deferred past the service sweep: a batch completing
+                // at the crash instant completes (deterministic rule).
+                faultDue.push_back(e.stamp);
+                break;
+              case Event::Kind::Retry: {
+                pendingRetries -= 1;
+                const Request &rr = retrySlots[e.stamp];
+                ReqFaultState &st = rstate[rr.id];
+                if (st.done)
+                    break; // a hedge copy finished it while we waited
+                if (!queue.pushUncounted(rr)) {
+                    // Re-admission shed on a full queue is a terminal
+                    // failure, never a second `dropped` (satellite:
+                    // retries must not double-count drop accounting).
+                    st.failed = true;
+                    report.failed += 1;
+                    fstats.retryShed += 1;
+                }
+                break;
+              }
+              case Event::Kind::Hedge: {
+                const Request &hr = hedgeSlots[e.stamp];
+                const ReqFaultState &st =
+                    rstate[hr.id & ~kHedgeIdBit];
+                if (st.done || st.failed)
+                    break; // validEv raced a same-tick completion
+                fstats.hedges += 1;
+                if (queue.pushUncounted(hr))
+                    hedgedInQueue += 1;
+                else
+                    fstats.hedgesLost += 1; // shed copy, original lives
+                break;
+              }
             }
         }
 
@@ -1061,6 +1370,12 @@ FleetScheduler::run(RequestSource &source) const
         due.erase(std::unique(due.begin(), due.end()), due.end());
         for (const std::uint32_t a : due)
             service(a, clock);
+
+        // Faults land after the service sweep (same-tick completions
+        // win) and before scaling/dispatch, so the policy sees the
+        // capacity loss and no new work is placed on dead hardware.
+        for (const std::uint64_t f : faultDue)
+            applyFault(faultEvents[f], clock);
 
         // Scale decisions land before dispatch: a zero-spin-up
         // activation serves this very cycle, and a decommissioned
@@ -1094,7 +1409,11 @@ FleetScheduler::run(RequestSource &source) const
     report.horizonCycles = clock;
     report.admitted = queue.admitted();
     report.dropped = queue.dropped();
-    report.leftoverQueued = queue.size();
+    // Hedged duplicates still in admission are not requests of record:
+    // the conservation identity admitted = completed + failed +
+    // leftoverQueued counts each request exactly once.
+    report.leftoverQueued = queue.size() - hedgedInQueue;
+    report.faults = fstats;
     report.mapCache = mapCache.stats();
     for (auto &acc : accels)
         report.accelerators.push_back(acc.usage);

@@ -6,10 +6,12 @@
  * The per-inference simulator (sim/accelerator) prices one run of one
  * network; this layer composes those prices into a serving system. A
  * global wall-clock axis in nanoseconds (uint64_t ticks) advances
- * through a single binary-heap event queue over six event kinds — request arrivals (pulled lazily from
- * a RequestSource), mapping-phase completions, back-end completions,
- * batcher timers (wait-for-K holds), and — when the autoscaler is
- * enabled — policy evaluations and instance spin-ups; entries are
+ * through a single binary-heap event queue — request arrivals (pulled
+ * lazily from a RequestSource), mapping-phase completions, back-end
+ * completions, batcher timers (wait-for-K holds), autoscaler policy
+ * evaluations and instance spin-ups, and — when a fault program is
+ * configured — instance crashes/recoveries, straggler windows, retry
+ * re-admissions and hedge re-dispatches (runtime/faults); entries are
  * sequence-numbered and lazily invalidated by slot/timer generation
  * stamps, so the loop is O(log events) per step instead of the seed's
  * per-iteration rescan of every instance (the seed loop survives
@@ -58,7 +60,8 @@
  *
  * Invariants (fuzzed by test_runtime_properties): requests are
  * conserved (generated = admitted + dropped, admitted = completed +
- * leftover, and the simulation always drains to leftover == 0);
+ * failed + leftover with failed == 0 on a fault-free run, and a
+ * fault-free simulation always drains to leftover == 0);
  * per-stage busy cycles never exceed the simulated span; completion
  * timestamps are non-decreasing; equal seeds give byte-identical
  * reports; pipelined occupancy never finishes later than monolithic,
@@ -93,6 +96,7 @@
 #include "nn/network.hpp"
 #include "runtime/autoscaler.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/map_cache.hpp"
 #include "runtime/queue.hpp"
 #include "runtime/serving_stats.hpp"
@@ -295,6 +299,17 @@ struct SchedulerConfig
      *  default: the whole fleet serves from cycle 0 and the scheduler
      *  output is byte-identical to pre-autoscaler builds. */
     AutoscalerConfig autoscaler;
+    /** Fault injection (runtime/faults): scheduled/stochastic instance
+     *  crashes, recoveries and straggler slowdowns on the ns axis.
+     *  Disabled by default — and a program that materializes no
+     *  events injects nothing, so the fault-free path stays
+     *  byte-identical to pre-fault builds. */
+    FaultProgram faults;
+    /** What happens to requests a crash kills in flight: bounded
+     *  exponential-backoff retries, per-request timeout, optional
+     *  hedged duplicates (runtime/faults). Disabled: crash victims
+     *  fail terminally. */
+    RetryPolicy retry;
 };
 
 /** Discrete-event serving simulation over a fleet of accelerators. */

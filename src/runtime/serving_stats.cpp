@@ -26,8 +26,26 @@ mergeShardReports(const std::vector<ServingReport> &shards)
         merged.admitted += shard.admitted;
         merged.dropped += shard.dropped;
         merged.completed += shard.completed;
+        merged.failed += shard.failed;
         merged.leftoverQueued += shard.leftoverQueued;
         merged.deadlineMisses += shard.deadlineMisses;
+        merged.faults.enabled =
+            merged.faults.enabled || shard.faults.enabled;
+        merged.faults.crashes += shard.faults.crashes;
+        merged.faults.recoveries += shard.faults.recoveries;
+        merged.faults.stragglerWindows += shard.faults.stragglerWindows;
+        merged.faults.inflightFailed += shard.faults.inflightFailed;
+        merged.faults.failedBatches += shard.faults.failedBatches;
+        merged.faults.failovers += shard.faults.failovers;
+        merged.faults.retryAttempts += shard.faults.retryAttempts;
+        merged.faults.retryShed += shard.faults.retryShed;
+        merged.faults.retryExhausted += shard.faults.retryExhausted;
+        merged.faults.retryTimeouts += shard.faults.retryTimeouts;
+        merged.faults.retryBackoffNsTotal +=
+            shard.faults.retryBackoffNsTotal;
+        merged.faults.hedges += shard.faults.hedges;
+        merged.faults.hedgesWon += shard.faults.hedgesWon;
+        merged.faults.hedgesLost += shard.faults.hedgesLost;
         merged.latencyCycles.merge(shard.latencyCycles);
         merged.queueWaitCycles.merge(shard.queueWaitCycles);
         merged.batchSize.merge(shard.batchSize);
@@ -62,8 +80,10 @@ servingSummaryText(const ServingReport &report)
     std::ostringstream os;
     os << std::fixed << std::setprecision(3);
     os << report.completed << " completed / " << report.generated
-       << " offered (" << report.dropped << " dropped, "
-       << report.deadlineMisses << " deadline misses), "
+       << " offered (" << report.dropped << " dropped, ";
+    if (report.faults.enabled)
+        os << report.failed << " failed, ";
+    os << report.deadlineMisses << " deadline misses), "
        << std::setprecision(1) << report.throughputRps() << " req/s, "
        << std::setprecision(3) << "latency p50 " << report.p50Ms()
        << " / p95 " << report.p95Ms() << " / p99 " << report.p99Ms()
@@ -79,6 +99,12 @@ servingSummaryText(const ServingReport &report)
            << report.autoscaler.scaleDowns << " down (peak "
            << report.autoscaler.peakProvisioned << ", final "
            << report.autoscaler.finalProvisioned << ")";
+    }
+    if (report.faults.enabled) {
+        os << ", faults " << report.faults.crashes << " crashes / "
+           << report.faults.recoveries << " recoveries ("
+           << report.faults.retryAttempts << " retries, "
+           << report.faults.failovers << " failovers)";
     }
     if (!report.accelerators.empty()) {
         os << ", util";
@@ -108,9 +134,11 @@ writeServingJson(std::ostream &os, const ServingReport &report)
     w.field("admitted", report.admitted);
     w.field("dropped", report.dropped);
     w.field("completed", report.completed);
+    w.field("failed", report.failed);
     w.field("leftover_queued", report.leftoverQueued);
     w.field("deadline_misses", report.deadlineMisses);
     w.field("throughput_rps", report.throughputRps());
+    w.field("goodput_rps", report.goodputRps());
     w.field("drop_rate", report.dropRate());
     w.field("latency_ms_mean", report.meanMs());
     w.field("latency_ms_p50", report.p50Ms());
@@ -166,6 +194,23 @@ writeServingJson(std::ostream &os, const ServingReport &report)
             w.endObject();
         }
         w.endArray();
+    }
+    if (report.faults.enabled) {
+        const FaultStats &f = report.faults;
+        w.field("fault_crashes", f.crashes);
+        w.field("fault_recoveries", f.recoveries);
+        w.field("fault_straggler_windows", f.stragglerWindows);
+        w.field("fault_inflight_failed", f.inflightFailed);
+        w.field("fault_failed_batches", f.failedBatches);
+        w.field("fault_failovers", f.failovers);
+        w.field("retry_attempts", f.retryAttempts);
+        w.field("retry_shed", f.retryShed);
+        w.field("retry_exhausted", f.retryExhausted);
+        w.field("retry_timeouts", f.retryTimeouts);
+        w.field("retry_backoff_ns_total", f.retryBackoffNsTotal);
+        w.field("retry_hedges", f.hedges);
+        w.field("retry_hedges_won", f.hedgesWon);
+        w.field("retry_hedges_lost", f.hedgesLost);
     }
     w.key("accelerators").beginArray();
     for (const auto &acc : report.accelerators) {

@@ -35,6 +35,7 @@
 
 #include "core/stats.hpp"
 #include "runtime/autoscaler.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/map_cache.hpp"
 #include "runtime/traffic.hpp"
 
@@ -118,11 +119,17 @@ struct ServingReport
      *  reference engines. */
     std::uint64_t loopEvents = 0;
 
-    // Conservation counters.
+    // Conservation counters. With fault injection the admitted side
+    // extends to a three-way split: admitted = completed + failed +
+    // leftoverQueued (failed is always 0 on a fault-free run, so the
+    // legacy two-way identity is the same equation).
     std::uint64_t generated = 0; ///< requests offered by the workload
     std::uint64_t admitted = 0;  ///< accepted into the queue
     std::uint64_t dropped = 0;   ///< rejected at admission (queue full)
     std::uint64_t completed = 0; ///< served to completion
+    /** Terminal failures: crash victims whose retries were exhausted,
+     *  shed at re-admission, or timed out (runtime/faults). */
+    std::uint64_t failed = 0;
     std::uint64_t leftoverQueued = 0; ///< still queued when sim ended
     std::uint64_t deadlineMisses = 0; ///< completed after their deadline
 
@@ -144,6 +151,12 @@ struct ServingReport
      *  block is emitted only when enabled, so unscaled reports stay
      *  byte-identical to pre-autoscaler output. */
     AutoscalerStats autoscaler;
+
+    /** Fault/retry counters (runtime/faults); default-disabled. The
+     *  fault_* / retry_* JSON block is emitted only when the run
+     *  materialized fault events or had retries enabled, so
+     *  fault-free reports stay byte-identical to pre-fault output. */
+    FaultStats faults;
 
     /** Traffic-program shape the run served, when the caller drove a
      *  TrafficStream (filled by the bench/example harnesses, not the
@@ -180,6 +193,21 @@ struct ServingReport
         const double seconds =
             static_cast<double>(horizonCycles) / 1e9;
         return static_cast<double>(completed) / seconds;
+    }
+
+    /** Useful completions per second: requests that finished within
+     *  their deadline. Deadline misses are counted among completions,
+     *  so goodput <= throughput always (the property suite pins the
+     *  invariant); on a best-effort mix the two are equal. */
+    double
+    goodputRps() const
+    {
+        if (horizonCycles == 0)
+            return 0.0;
+        const double seconds =
+            static_cast<double>(horizonCycles) / 1e9;
+        return static_cast<double>(completed - deadlineMisses) /
+               seconds;
     }
 
     double

@@ -125,6 +125,15 @@ struct Request
     /** Service-time estimate, filled at admission by the scheduler
      *  (drives shortest-job-first ordering; 0 until admitted). */
     std::uint64_t estimatedCycles = 0;
+    /** Crash-retry attempt number (0 = first dispatch). Bumped when a
+     *  crash victim re-enters admission under a RetryPolicy
+     *  (runtime/faults); the frozen reference engine ignores it. */
+    std::uint32_t attempt = 0;
+    /** True on a hedged duplicate (runtime/faults): an uncounted
+     *  re-admission of an outstanding request, carrying a dedicated
+     *  id range so queue ids stay unique; the first copy to complete
+     *  wins. Never set on generator-produced traffic. */
+    bool hedge = false;
 };
 
 /**

@@ -136,6 +136,35 @@ fixedAutoscaledServingReport()
     return report;
 }
 
+/** fixedServingReport plus the conditional fault_* / retry_* block —
+ *  the golden for a fault-injected run with retries and hedging.
+ *  (fixedServingReport itself stays fault-free, pinning that the
+ *  `failed`/`goodput_rps` counters alone — emitted unconditionally —
+ *  are the only schema change a fault-free report sees.) */
+ServingReport
+fixedFaultedServingReport()
+{
+    ServingReport report = fixedServingReport();
+    report.failed = 1;
+    FaultStats &f = report.faults;
+    f.enabled = true;
+    f.crashes = 2;
+    f.recoveries = 1;
+    f.stragglerWindows = 1;
+    f.inflightFailed = 3;
+    f.failedBatches = 2;
+    f.failovers = 1;
+    f.retryAttempts = 2;
+    f.retryShed = 0;
+    f.retryExhausted = 1;
+    f.retryTimeouts = 0;
+    f.retryBackoffNsTotal = 3000;
+    f.hedges = 1;
+    f.hedgesWon = 1;
+    f.hedgesLost = 0;
+    return report;
+}
+
 PlanReport
 fixedPlanReport()
 {
@@ -294,8 +323,9 @@ TEST(ReportGolden, ServingJsonMatchesGolden)
         "\"horizon_ns\":1000000,"
         "\"occupancy\":\"pipelined\",\"batch_holds\":3,"
         "\"generated\":4,\"admitted\":4,\"dropped\":0,"
-        "\"completed\":4,\"leftover_queued\":0,\"deadline_misses\":1,"
-        "\"throughput_rps\":4000,\"drop_rate\":0,"
+        "\"completed\":4,\"failed\":0,"
+        "\"leftover_queued\":0,\"deadline_misses\":1,"
+        "\"throughput_rps\":4000,\"goodput_rps\":3000,\"drop_rate\":0,"
         "\"latency_ms_mean\":0.0025,\"latency_ms_p50\":0.003,"
         "\"latency_ms_p95\":0.004,\"latency_ms_p99\":0.004,"
         "\"latency_ns_p50\":3000,\"latency_ns_p95\":4000,"
@@ -326,8 +356,9 @@ TEST(ReportGolden, AutoscaledServingJsonMatchesGolden)
         "\"horizon_ns\":1000000,"
         "\"occupancy\":\"pipelined\",\"batch_holds\":3,"
         "\"generated\":4,\"admitted\":4,\"dropped\":0,"
-        "\"completed\":4,\"leftover_queued\":0,\"deadline_misses\":1,"
-        "\"throughput_rps\":4000,\"drop_rate\":0,"
+        "\"completed\":4,\"failed\":0,"
+        "\"leftover_queued\":0,\"deadline_misses\":1,"
+        "\"throughput_rps\":4000,\"goodput_rps\":3000,\"drop_rate\":0,"
         "\"latency_ms_mean\":0.0025,\"latency_ms_p50\":0.003,"
         "\"latency_ms_p95\":0.004,\"latency_ms_p99\":0.004,"
         "\"latency_ns_p50\":3000,\"latency_ns_p95\":4000,"
@@ -365,6 +396,75 @@ TEST(ReportGolden, AutoscaledServingJsonMatchesGolden)
         "\"backend_utilization\":0.45}]}\n";
     EXPECT_EQ(os.str(), expected);
     checkNumericRoundTrip(os.str());
+}
+
+TEST(ReportGolden, FaultedServingJsonMatchesGolden)
+{
+    std::ostringstream os;
+    writeServingJson(os, fixedFaultedServingReport());
+    const std::string expected =
+        "{\"freq_ghz\":1,\"horizon_cycles\":1000000,"
+        "\"horizon_ns\":1000000,"
+        "\"occupancy\":\"pipelined\",\"batch_holds\":3,"
+        "\"generated\":4,\"admitted\":4,\"dropped\":0,"
+        "\"completed\":4,\"failed\":1,"
+        "\"leftover_queued\":0,\"deadline_misses\":1,"
+        "\"throughput_rps\":4000,\"goodput_rps\":3000,\"drop_rate\":0,"
+        "\"latency_ms_mean\":0.0025,\"latency_ms_p50\":0.003,"
+        "\"latency_ms_p95\":0.004,\"latency_ms_p99\":0.004,"
+        "\"latency_ns_p50\":3000,\"latency_ns_p95\":4000,"
+        "\"latency_ns_p99\":4000,"
+        "\"queue_wait_cycles_mean\":250,\"queue_wait_ns_mean\":250,"
+        "\"batch_size_mean\":2,"
+        "\"map_cache_hits\":3,\"map_cache_misses\":1,"
+        "\"map_cache_insertions\":1,\"map_cache_evictions\":0,"
+        "\"map_cache_bytes_saved\":1536,\"map_cache_cycles_saved\":2700,"
+        "\"map_cache_hit_rate\":0.75,"
+        "\"fault_crashes\":2,\"fault_recoveries\":1,"
+        "\"fault_straggler_windows\":1,\"fault_inflight_failed\":3,"
+        "\"fault_failed_batches\":2,\"fault_failovers\":1,"
+        "\"retry_attempts\":2,\"retry_shed\":0,"
+        "\"retry_exhausted\":1,\"retry_timeouts\":0,"
+        "\"retry_backoff_ns_total\":3000,\"retry_hedges\":1,"
+        "\"retry_hedges_won\":1,\"retry_hedges_lost\":0,"
+        "\"accelerators\":[{\"name\":\"PointAcc#0\",\"freq_ghz\":1,"
+        "\"busy_cycles\":500000,\"busy_ns\":500000,"
+        "\"map_busy_cycles\":100000,\"map_busy_ns\":100000,"
+        "\"backend_busy_cycles\":450000,\"backend_busy_ns\":450000,"
+        "\"batches\":2,\"requests\":4,"
+        "\"utilization\":0.5,\"map_utilization\":0.1,"
+        "\"backend_utilization\":0.45}]}\n";
+    EXPECT_EQ(os.str(), expected);
+    checkNumericRoundTrip(os.str());
+}
+
+TEST(ReportGolden, FaultedServingJsonSchemaKeysPresent)
+{
+    std::ostringstream os;
+    writeServingJson(os, fixedFaultedServingReport());
+    const std::string json = os.str();
+    const std::vector<std::string> keys = {
+        "failed",                "goodput_rps",
+        "fault_crashes",         "fault_recoveries",
+        "fault_straggler_windows", "fault_inflight_failed",
+        "fault_failed_batches",  "fault_failovers",
+        "retry_attempts",        "retry_shed",
+        "retry_exhausted",       "retry_timeouts",
+        "retry_backoff_ns_total", "retry_hedges",
+        "retry_hedges_won",      "retry_hedges_lost"};
+    for (const auto &key : keys)
+        EXPECT_NE(json.find("\"" + key + "\":"), std::string::npos)
+            << "missing key: " << key;
+
+    // The block really is conditional: a fault-free report must not
+    // leak a single fault_*/retry_* key (only the unconditional
+    // `failed`/`goodput_rps` counters appear).
+    std::ostringstream plain;
+    writeServingJson(plain, fixedServingReport());
+    EXPECT_EQ(plain.str().find("fault_"), std::string::npos);
+    EXPECT_EQ(plain.str().find("retry_"), std::string::npos);
+    EXPECT_NE(plain.str().find("\"failed\":"), std::string::npos);
+    EXPECT_NE(plain.str().find("\"goodput_rps\":"), std::string::npos);
 }
 
 TEST(ReportGolden, AutoscaledServingJsonSchemaKeysPresent)
@@ -503,8 +603,10 @@ TEST(ReportGolden, ServingJsonSchemaKeysPresent)
         "horizon_ns",        "occupancy",
         "batch_holds",       "generated",
         "admitted",          "dropped",
-        "completed",         "leftover_queued",
+        "completed",         "failed",
+        "leftover_queued",
         "deadline_misses",   "throughput_rps",
+        "goodput_rps",
         "drop_rate",         "latency_ms_mean",
         "latency_ms_p50",    "latency_ms_p95",
         "latency_ms_p99",    "latency_ns_p50",

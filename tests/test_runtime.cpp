@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -20,6 +21,7 @@
 #include "nn/zoo.hpp"
 #include "runtime/autoscaler.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/map_cache.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/queue.hpp"
@@ -204,6 +206,202 @@ TEST(AdmissionQueue, BoundedDepthDropsAndCounts)
     EXPECT_EQ(q.admitted(), 2u);
     EXPECT_EQ(q.dropped(), 1u);
     EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(AdmissionQueue, PushUncountedNeverTouchesDropAccounting)
+{
+    // The crash-retry re-admission path: a request already counted as
+    // admitted at its first push must not inflate `admitted` when it
+    // re-enters, and a shed retry must not become a second `dropped` —
+    // the conservation identities count each request exactly once.
+    AdmissionQueue q(2);
+    EXPECT_TRUE(q.push(makeRequest(0, 0)));
+    EXPECT_TRUE(q.pushUncounted(makeRequest(1, 1)));
+    EXPECT_EQ(q.admitted(), 1u);
+    EXPECT_EQ(q.dropped(), 0u);
+    EXPECT_EQ(q.size(), 2u);
+
+    // Full queue: the uncounted push sheds, with no drop recorded.
+    EXPECT_FALSE(q.pushUncounted(makeRequest(2, 2)));
+    EXPECT_EQ(q.admitted(), 1u);
+    EXPECT_EQ(q.dropped(), 0u);
+    EXPECT_EQ(q.size(), 2u);
+
+    // The counted path still counts normally afterwards.
+    EXPECT_FALSE(q.push(makeRequest(3, 3)));
+    EXPECT_EQ(q.dropped(), 1u);
+
+    // Re-admitted requests drain through the policies like any other.
+    EXPECT_EQ(q.pop(QueuePolicy::Fifo).id, 0u);
+    EXPECT_EQ(q.pop(QueuePolicy::Fifo).id, 1u);
+    EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------- //
+//                       Fault validation                            //
+// ---------------------------------------------------------------- //
+
+TEST(FaultValidation, DisabledProgramAndPolicyAreVacuouslyValid)
+{
+    // Disabled carriers validate vacuously even with absurd fields —
+    // the off switch must never be able to throw.
+    FaultProgram program;
+    program.mtbfNs = 5;
+    program.crashes.push_back(CrashWindow{0, 999, 0});
+    EXPECT_NO_THROW(validateFaultProgram(program));
+
+    RetryPolicy policy;
+    policy.backoffBaseNs = 0;
+    policy.backoffMult = 0.0;
+    EXPECT_NO_THROW(validateRetryPolicy(policy));
+}
+
+TEST(FaultValidation, StochasticRatesMustBePairedWithAHorizon)
+{
+    FaultProgram program;
+    program.enabled = true;
+    program.horizonNs = 1'000'000;
+    program.mtbfNs = 10'000;
+    program.mttrNs = 1'000;
+    EXPECT_NO_THROW(validateFaultProgram(program));
+
+    program.mttrNs = 0; // MTBF without MTTR: outage length undefined
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+
+    program.mtbfNs = 0; // MTTR without MTBF: nothing ever fails
+    program.mttrNs = 1'000;
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+
+    program.mtbfNs = 10'000; // paired again, but no generation window
+    program.horizonNs = 0;
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+}
+
+TEST(FaultValidation, ScheduledWindowsBeyondTheHorizonThrow)
+{
+    FaultProgram program;
+    program.enabled = true;
+    program.horizonNs = 1'000;
+    program.crashes.push_back(CrashWindow{0, 500, 100});
+    EXPECT_NO_THROW(validateFaultProgram(program));
+
+    program.crashes.push_back(CrashWindow{1, 2'000, 0});
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+
+    program.crashes.pop_back();
+    program.stragglers.push_back(StragglerWindow{0, 5'000, 10, 2.0});
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+
+    // horizonNs == 0 means "no bound": the same windows are fine.
+    program.crashes.push_back(CrashWindow{1, 2'000, 0});
+    program.horizonNs = 0;
+    EXPECT_NO_THROW(validateFaultProgram(program));
+}
+
+TEST(FaultValidation, StragglerWindowsNeedRealSlowdownsAndDurations)
+{
+    FaultProgram program;
+    program.enabled = true;
+    program.stragglers.push_back(StragglerWindow{0, 100, 50, 2.0});
+    EXPECT_NO_THROW(validateFaultProgram(program));
+
+    program.stragglers[0].slowdown = 1.0; // not a slowdown at all
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+
+    program.stragglers[0].slowdown =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+
+    program.stragglers[0].slowdown = 2.0;
+    program.stragglers[0].durationNs = 0; // empty window
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+}
+
+TEST(FaultValidation, OverlappingStragglerWindowsPerInstanceThrow)
+{
+    FaultProgram program;
+    program.enabled = true;
+    program.stragglers.push_back(StragglerWindow{0, 100, 100, 2.0});
+    program.stragglers.push_back(StragglerWindow{0, 150, 100, 3.0});
+    EXPECT_THROW(validateFaultProgram(program),
+                 std::invalid_argument);
+
+    // The same two windows on different instances are fine.
+    program.stragglers[1].instance = 1;
+    EXPECT_NO_THROW(validateFaultProgram(program));
+}
+
+TEST(FaultValidation, RetryBackoffParametersAreBounded)
+{
+    RetryPolicy policy;
+    policy.enabled = true;
+    EXPECT_NO_THROW(validateRetryPolicy(policy));
+
+    policy.backoffBaseNs = 0;
+    EXPECT_THROW(validateRetryPolicy(policy), std::invalid_argument);
+
+    policy.backoffBaseNs = 1'000;
+    policy.backoffMult = 0.5; // shrinking "backoff"
+    EXPECT_THROW(validateRetryPolicy(policy), std::invalid_argument);
+
+    policy.backoffMult = 2.0;
+    policy.maxBackoffNs = 500; // cap below the base
+    EXPECT_THROW(validateRetryPolicy(policy), std::invalid_argument);
+}
+
+TEST(FaultValidation, RetryBackoffGrowsGeometricallyAndSaturates)
+{
+    RetryPolicy policy;
+    policy.enabled = true;
+    policy.backoffBaseNs = 1'000;
+    policy.backoffMult = 2.0;
+    EXPECT_EQ(retryBackoffNs(policy, 0), 1'000u);
+    EXPECT_EQ(retryBackoffNs(policy, 1), 2'000u);
+    EXPECT_EQ(retryBackoffNs(policy, 3), 8'000u);
+
+    policy.maxBackoffNs = 3'000;
+    EXPECT_EQ(retryBackoffNs(policy, 3), 3'000u);
+
+    // A huge attempt index saturates instead of overflowing.
+    policy.maxBackoffNs = 0;
+    EXPECT_GT(retryBackoffNs(policy, 200), retryBackoffNs(policy, 3));
+}
+
+TEST(FaultValidation, MaterializeIsDeterministicAndFleetBounded)
+{
+    FaultProgram program;
+    program.enabled = true;
+    program.horizonNs = 10'000'000;
+    program.mtbfNs = 1'000'000;
+    program.mttrNs = 100'000;
+    program.seed = 7;
+    program.crashes.push_back(CrashWindow{5, 1'000, 500});
+
+    const auto a = materializeFaultEvents(program, 2);
+    const auto b = materializeFaultEvents(program, 2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].atNs, b[i].atNs);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].instance, b[i].instance);
+    }
+    // Sorted by time, and the out-of-fleet scheduled window (instance
+    // 5 against a 2-instance fleet) materialized to nothing.
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_GE(a[i].atNs, a[i - 1].atNs);
+    for (const auto &e : a)
+        EXPECT_LT(e.instance, 2u);
+
+    FaultProgram off;
+    EXPECT_TRUE(materializeFaultEvents(off, 4).empty());
 }
 
 TEST(AdmissionQueue, PopCompatibleHonorsPredicateAndBound)
@@ -529,6 +727,26 @@ denseTrace(std::size_t count, std::uint64_t gap)
     return trace;
 }
 
+TEST(FleetScheduler, ConstructorRejectsBadFaultPrograms)
+{
+    // The scheduler validates fault/retry configs at construction,
+    // never mid-simulation — the validateWorkloadSpec idiom.
+    const FixedServiceModel model(10'000);
+    SchedulerConfig cfg;
+    cfg.faults.enabled = true;
+    cfg.faults.mtbfNs = 1'000; // MTBF without MTTR
+    EXPECT_THROW(
+        FleetScheduler({pointAccConfig()}, model, {1.0}, cfg),
+        std::invalid_argument);
+
+    SchedulerConfig cfg2;
+    cfg2.retry.enabled = true;
+    cfg2.retry.backoffBaseNs = 0;
+    EXPECT_THROW(
+        FleetScheduler({pointAccConfig()}, model, {1.0}, cfg2),
+        std::invalid_argument);
+}
+
 TEST(FleetScheduler, ConservationUnderOverload)
 {
     const FixedServiceModel model(10'000);
@@ -616,6 +834,79 @@ TEST(FleetScheduler, DeadlineMissesAreCounted)
     const auto report = sched.run({a, b});
     EXPECT_EQ(report.completed, 2u);
     EXPECT_EQ(report.deadlineMisses, 1u);
+}
+
+TEST(FleetScheduler, CrashRetryFailoverOracle)
+{
+    // One request, two instances, phases 100 + 900. Dispatched to
+    // instance 0 at t=0 (due at 1000); the scheduled crash at 500
+    // kills it mid-flight. The retry waits its 100 ns backoff, re-
+    // enters admission at 600, and lands on the healthy instance 1,
+    // completing at 1600 — a counted failover.
+    const PhasedServiceModel model({{100, 900}});
+    SchedulerConfig scfg;
+    scfg.faults.enabled = true;
+    scfg.faults.crashes.push_back(CrashWindow{0, 500, 0});
+    scfg.retry.enabled = true;
+    scfg.retry.backoffBaseNs = 100;
+    FleetScheduler sched({pointAccConfig(), pointAccConfig()}, model,
+                         {1.0}, scfg);
+    const auto report = sched.run({makeRequest(0, 0)});
+
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.faults.crashes, 1u);
+    EXPECT_EQ(report.faults.inflightFailed, 1u);
+    EXPECT_EQ(report.faults.failedBatches, 1u);
+    EXPECT_EQ(report.faults.retryAttempts, 1u);
+    EXPECT_EQ(report.faults.failovers, 1u);
+    EXPECT_EQ(report.horizonCycles, 1600u);
+    EXPECT_EQ(report.latencyCycles.mean(), 1600.0);
+    EXPECT_EQ(report.admitted, report.completed + report.failed +
+                                   report.leftoverQueued);
+}
+
+TEST(FleetScheduler, CrashWithoutRetryFailsTerminallyAndRecovers)
+{
+    // No retry policy: the crash victim fails terminally. The single
+    // instance recovers at 700 and serves the second arrival (queued
+    // while it was down) to completion at 1700.
+    const PhasedServiceModel model({{100, 900}});
+    SchedulerConfig scfg;
+    scfg.faults.enabled = true;
+    scfg.faults.crashes.push_back(CrashWindow{0, 500, 200});
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+    const auto report =
+        sched.run({makeRequest(0, 0), makeRequest(1, 600)});
+
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.faults.crashes, 1u);
+    EXPECT_EQ(report.faults.recoveries, 1u);
+    EXPECT_EQ(report.faults.retryAttempts, 0u);
+    EXPECT_EQ(report.horizonCycles, 1700u);
+    EXPECT_EQ(report.admitted, 2u);
+    EXPECT_EQ(report.admitted, report.completed + report.failed +
+                                   report.leftoverQueued);
+}
+
+TEST(FleetScheduler, StragglerWindowStretchesServiceTime)
+{
+    // The window covers the dispatch instant, so the 2x slowdown
+    // prices the batch at 200 + 1800 instead of 100 + 900; a second
+    // request dispatched after the window ends runs at full speed.
+    const PhasedServiceModel model({{100, 900}});
+    SchedulerConfig scfg;
+    scfg.faults.enabled = true;
+    scfg.faults.stragglers.push_back(StragglerWindow{0, 0, 1000, 2.0});
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+    const auto report =
+        sched.run({makeRequest(0, 0), makeRequest(1, 2000)});
+
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.faults.stragglerWindows, 1u);
+    // First: 0 -> 2000 (slowed). Second: 2000 -> 3000 (full speed).
+    EXPECT_EQ(report.horizonCycles, 3000u);
 }
 
 TEST(ServiceModelBatching, AmortizesWeightLoadWithFloor)

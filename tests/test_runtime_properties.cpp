@@ -97,6 +97,7 @@
 #include "core/rng.hpp"
 #include "nn/zoo.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/reference.hpp"
 #include "runtime/scheduler.hpp"
@@ -448,6 +449,215 @@ TEST(RuntimeProperties, ServingStatsAreByteIdenticalAcrossRuns)
             }
         }
     }
+}
+
+/** Random fault program against `horizon` ns and `fleet_size`
+ *  instances: a stochastic MTBF/MTTR process on half the scenarios,
+ *  up to two scheduled crash windows, and at most one straggler
+ *  window per instance (the validator rejects overlap). */
+FaultProgram
+randomFaultProgram(Rng &rng, std::uint64_t horizon,
+                   std::size_t fleet_size)
+{
+    FaultProgram program;
+    program.enabled = true;
+    program.horizonNs = horizon;
+    program.seed = rng.range(1 << 20) + 1;
+    if (rng.range(2) == 0) {
+        program.mtbfNs = horizon / (2 + rng.range(6)) + 1;
+        program.mttrNs = program.mtbfNs / (2 + rng.range(8)) + 1;
+    }
+    const std::size_t crashes = rng.range(3);
+    for (std::size_t i = 0; i < crashes; ++i) {
+        CrashWindow w;
+        w.instance = static_cast<std::uint32_t>(rng.range(fleet_size));
+        w.atNs = rng.range(horizon);
+        w.downForNs = rng.range(2) == 0 ? 0 : horizon / 8 + 1;
+        program.crashes.push_back(w);
+    }
+    for (std::size_t i = 0; i < fleet_size; ++i) {
+        if (rng.range(3) != 0)
+            continue;
+        StragglerWindow w;
+        w.instance = static_cast<std::uint32_t>(i);
+        w.atNs = rng.range(horizon / 2);
+        w.durationNs = 1 + rng.range(horizon / 4);
+        w.slowdown = rng.uniform(1.5, 4.0);
+        program.stragglers.push_back(w);
+    }
+    return program;
+}
+
+RetryPolicy
+randomRetryPolicy(Rng &rng)
+{
+    RetryPolicy retry;
+    retry.enabled = rng.range(4) != 0;
+    retry.maxRetries = 1 + static_cast<std::uint32_t>(rng.range(4));
+    retry.backoffBaseNs = 1 + rng.range(50'000);
+    retry.backoffMult = rng.uniform(1.0, 3.0);
+    retry.maxBackoffNs =
+        rng.range(2) == 0 ? 0 : retry.backoffBaseNs * 4;
+    retry.hedgeDelayNs =
+        rng.range(3) == 0 ? 100'000 + rng.range(400'000) : 0;
+    retry.timeoutNs =
+        rng.range(4) == 0 ? 1'000'000 + rng.range(4'000'000) : 0;
+    return retry;
+}
+
+/** The fault-mode analogue of checkInvariants: conservation extends
+ *  to the three-way admitted split, leftovers may be nonzero (a fleet
+ *  crashed for good strands its backlog), and dispatch counters hold
+ *  "dispatched" semantics (retries and hedges re-dispatch, so sums
+ *  bound completions from above instead of equalling them). */
+void
+checkFaultInvariants(const ServingReport &report, std::uint64_t seed)
+{
+    SCOPED_TRACE("fault seed " + std::to_string(seed));
+
+    EXPECT_EQ(report.generated, report.admitted + report.dropped);
+    EXPECT_EQ(report.admitted, report.completed + report.failed +
+                                   report.leftoverQueued);
+
+    ASSERT_EQ(report.completionCycles.size(), report.completed);
+    EXPECT_EQ(report.latencyCycles.count(), report.completed);
+    for (std::size_t i = 1; i < report.completionCycles.size(); ++i)
+        ASSERT_GE(report.completionCycles[i],
+                  report.completionCycles[i - 1])
+            << "completion order regressed at index " << i;
+    if (!report.completionCycles.empty())
+        EXPECT_LE(report.completionCycles.back(), report.horizonCycles);
+
+    // Goodput can never exceed throughput: deadline misses are a
+    // subset of completions.
+    EXPECT_LE(report.goodputRps(), report.throughputRps());
+
+    // Every terminal failure traces back to a crash victim, and each
+    // victim is counted per crash incident, so failures are bounded
+    // by incidents.
+    EXPECT_LE(report.failed, report.faults.inflightFailed);
+    EXPECT_EQ(report.faults.hedgesWon + report.faults.hedgesLost <=
+                  report.faults.hedges,
+              true);
+
+    std::uint64_t served = 0;
+    for (const auto &acc : report.accelerators) {
+        EXPECT_LE(acc.busyCycles, report.horizonCycles) << acc.name;
+        EXPECT_LE(acc.mapBusyCycles, report.horizonCycles) << acc.name;
+        EXPECT_LE(acc.backendBusyCycles, report.horizonCycles)
+            << acc.name;
+        EXPECT_GE(acc.busyCycles, acc.mapBusyCycles) << acc.name;
+        EXPECT_GE(acc.busyCycles, acc.backendBusyCycles) << acc.name;
+        served += acc.requests;
+    }
+    // Dispatched >= completed: crash victims and hedge duplicates
+    // consumed capacity without (each) producing a completion.
+    EXPECT_GE(served, report.completed);
+    EXPECT_GE(static_cast<std::uint64_t>(report.batchSize.sum()),
+              report.completed);
+}
+
+TEST(RuntimeProperties, FaultSweepsHoldExtendedInvariants)
+{
+    // 24 seeded fault scenarios across the whole config space:
+    // stochastic and scheduled crashes, stragglers, retries with
+    // backoff, hedging and timeouts, over random fleets and policies.
+    // Each scenario must keep the extended conservation identity and
+    // be byte-identical across reruns.
+    forEachSeed(3000, 3024, [](std::uint64_t seed) {
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        const auto fleet = randomFleet(rng);
+        auto scfg = randomConfig(rng);
+        scfg.faults =
+            randomFaultProgram(rng, spec.horizonCycles, fleet.size());
+        scfg.retry = randomRetryPolicy(rng);
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        std::string dumps[2];
+        ServingReport report;
+        for (auto &dump : dumps) {
+            FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+            report = sched.run(trace);
+            std::ostringstream os;
+            writeServingJson(os, report);
+            dump = os.str();
+        }
+        EXPECT_EQ(dumps[0], dumps[1])
+            << "faulted run is not repeatable, seed " << seed;
+        EXPECT_EQ(report.generated, trace.size());
+        EXPECT_TRUE(report.faults.enabled);
+        checkFaultInvariants(report, seed);
+    });
+}
+
+TEST(RuntimeProperties, EmptyFaultProgramIsByteIdenticalToFaultFree)
+{
+    // The off switch is absolute: an enabled program that materializes
+    // no events (and no retry policy) must leave the serialized report
+    // byte-identical to a run with no fault config at all.
+    forEachSeed(3100, 3112, [](std::uint64_t seed) {
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        const auto scfg = randomConfig(rng);
+        const auto fleet = randomFleet(rng);
+        const auto trace = WorkloadGenerator(spec).generate();
+
+        SchedulerConfig withEmpty = scfg;
+        withEmpty.faults.enabled = true; // enabled, nothing to inject
+
+        std::string dumps[2];
+        {
+            FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+            std::ostringstream os;
+            writeServingJson(os, sched.run(trace));
+            dumps[0] = os.str();
+        }
+        {
+            FleetScheduler sched(fleet, model, {1.0, 2.0}, withEmpty);
+            std::ostringstream os;
+            writeServingJson(os, sched.run(trace));
+            dumps[1] = os.str();
+        }
+        EXPECT_EQ(dumps[0], dumps[1])
+            << "empty fault program perturbed the run, seed " << seed;
+    });
+}
+
+TEST(RuntimeProperties, RetryPolicyWithoutFaultsChangesOnlyTheBlock)
+{
+    // Retries (without hedging) never fire when nothing crashes: the
+    // run's behaviour is untouched, only the fault_*/retry_* block
+    // appears — with every counter zero.
+    forEachSeed(3200, 3208, [](std::uint64_t seed) {
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        const auto scfg = randomConfig(rng);
+        const auto fleet = randomFleet(rng);
+        const auto trace = WorkloadGenerator(spec).generate();
+
+        SchedulerConfig withRetry = scfg;
+        withRetry.retry.enabled = true;
+        withRetry.retry.backoffBaseNs = 1'000;
+
+        FleetScheduler plain(fleet, model, {1.0, 2.0}, scfg);
+        FleetScheduler retried(fleet, model, {1.0, 2.0}, withRetry);
+        const auto a = plain.run(trace);
+        const auto b = retried.run(trace);
+
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_EQ(a.completed, b.completed);
+        EXPECT_EQ(a.dropped, b.dropped);
+        EXPECT_EQ(a.horizonCycles, b.horizonCycles);
+        EXPECT_EQ(b.failed, 0u);
+        EXPECT_TRUE(b.faults.enabled);
+        EXPECT_EQ(b.faults.crashes, 0u);
+        EXPECT_EQ(b.faults.retryAttempts, 0u);
+        EXPECT_EQ(b.faults.hedges, 0u);
+    });
 }
 
 TEST(RuntimeProperties, MapCacheNeverSlowsASingleInstance)
