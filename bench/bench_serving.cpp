@@ -68,6 +68,19 @@
  *     throughput. `--smoke` keeps the rows and identity gate but
  *     relaxes (b) to structural checks (short horizons make the
  *     nominal fleet's SLO miss a coin flip).
+ * 11. run-ahead + cost-aware dispatch (`--sweep runahead`, opt-in
+ *     like plan): two grids. (a) The dispatch trio — pure-eager
+ *     (target K 1), pure-hold (wait-for-K with the blind timer) and
+ *     the cost-aware hold-vs-dispatch — on Poisson single-network
+ *     traffic at the amortized capacity knee, gated on cost-aware
+ *     winning throughput or p99 against BOTH baselines. (b) A
+ *     run-ahead depth ladder (k = 1/2/4, batching off, unbounded
+ *     queue) where deepening the mapped-output buffer must never
+ *     lose throughput or p99 (each map can only start earlier).
+ *     Plus the byte-identity gate: depth 1 with cost-aware off is
+ *     byte-identical to the frozen reference engine. `--smoke`
+ *     keeps rows and identity but relaxes the perf gates to
+ *     structural checks.
  *
  * Results print as a table and are dumped to BENCH_serving.json for
  * the machine-readable perf trajectory (a `plan` object is appended
@@ -75,7 +88,8 @@
  * ran, a `hetero_plan` object when the hetero sweep ran, a `faults`
  * object when the faults sweep ran).
  * `--sweep <name>` (fleet, policy, batching, pipeline,
- * wait-for-k, cache, plan, hetero, traffic, faults, all) restricts the run — CI uses
+ * wait-for-k, cache, plan, hetero, traffic, faults, runahead, all)
+ * restricts the run — CI uses
  * `--sweep cache --quick` for the sanitized pass — and `--quick`
  * shrinks the arrival horizon. The exit code reflects only the
  * acceptance gates of the sweeps that actually ran.
@@ -295,6 +309,15 @@ writeRows(std::ostream &os, const std::vector<Row> &rows,
         w.field("map_cache_evictions", r.report.mapCache.evictions);
         w.field("map_cache_bytes_saved", r.report.mapCache.bytesSaved);
         w.field("map_cache_hit_rate", r.report.mapCache.hitRate());
+        if (r.report.runAheadDepth != 1) {
+            w.field("run_ahead_depth", r.report.runAheadDepth);
+            w.field("run_ahead_staged", r.report.runAheadStaged);
+            w.field("run_ahead_peak_staged", r.report.runAheadPeakStaged);
+        }
+        if (r.report.costAware) {
+            w.field("cost_aware_holds", r.report.costHolds);
+            w.field("cost_aware_dispatches", r.report.costDispatches);
+        }
         if (r.report.faults.enabled) {
             w.field("fault_crashes", r.report.faults.crashes);
             w.field("fault_recoveries", r.report.faults.recoveries);
@@ -426,7 +449,7 @@ main(int argc, char **argv)
                                           "pipeline", "wait-for-k",
                                           "cache",    "plan",
                                           "hetero",   "traffic",
-                                          "faults"};
+                                          "faults",   "runahead"};
     bool knownSweep = false;
     for (const char *const s : kSweeps)
         knownSweep = knownSweep || sweepSel == s;
@@ -434,15 +457,17 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "error: unknown --sweep '%s' (expected fleet, "
                      "policy, batching, pipeline, wait-for-k, cache, "
-                     "plan, hetero, traffic, faults or all)\n",
+                     "plan, hetero, traffic, faults, runahead or all)\n",
                      sweepSel.c_str());
         return 2;
     }
     if (smoke && sweepSel != "plan" && sweepSel != "hetero" &&
-        sweepSel != "traffic" && sweepSel != "faults") {
+        sweepSel != "traffic" && sweepSel != "faults" &&
+        sweepSel != "runahead") {
         std::fprintf(stderr,
                      "error: --smoke applies to --sweep plan, --sweep "
-                     "hetero, --sweep traffic or --sweep faults only\n");
+                     "hetero, --sweep traffic, --sweep faults or "
+                     "--sweep runahead only\n");
         return 2;
     }
     const auto selected = [&](const char *name) {
@@ -456,6 +481,7 @@ main(int argc, char **argv)
     const bool heteroSelected = sweepSel == "hetero";
     const bool trafficSelected = sweepSel == "traffic";
     const bool faultsSelected = sweepSel == "faults";
+    const bool runaheadSelected = sweepSel == "runahead";
 
     bench::banner("Serving runtime: fleets of PointAcc under open load",
                   "runtime/ subsystem (beyond the paper)");
@@ -1257,6 +1283,115 @@ main(int argc, char **argv)
         bench::rule(122);
     }
 
+    // Sweep 11 (opt-in): run-ahead depth + cost-aware hold-vs-dispatch.
+    // Two grids. The dispatch trio prices hold-vs-dispatch on Poisson
+    // single-network traffic just past the amortized capacity knee —
+    // bursty traffic would deliver batch partners simultaneously and
+    // make the hold decision vacuous, and a mixed-network stream would
+    // dilute the weight-reload amortization the hold buys. The depth
+    // ladder isolates the mapped-output buffer: batching off, one
+    // instance, FIFO, a queue deep enough that nothing drops, so the
+    // only effect of a deeper buffer is that maps start earlier.
+    std::vector<Row> raTrioRows;  // [0]=eager, [1]=hold, [2]=cost-aware
+    std::vector<Row> raDepthRows; // k = 1, 2, 4
+    bool runaheadIdentical = false;
+    bool runaheadRan = false;
+    if (runaheadSelected) {
+        const std::uint64_t H =
+            smoke ? 5'000'000 : (quick ? 30'000'000 : 100'000'000);
+
+        // Dispatch trio: all-PointNet++-small Poisson arrivals at 1.0x
+        // one instance's solo capacity. That network has the fattest
+        // weight-reload share of the catalog (~21% of solo service),
+        // so a caught batch partner pays best; at the capacity knee
+        // the backend alternates between committed backlog (where
+        // eager dispatch forfeits amortization a free hold would have
+        // caught) and idle spells (where the blind timer queues waits
+        // for nothing) — the regime where pricing the decision beats
+        // both fixed policies.
+        const double ppCycles = static_cast<double>(
+            model.profile(cfgServer, 1, 0).totalCycles);
+        WorkloadSpec trioSpec = frozenBase;
+        trioSpec.horizonCycles = H;
+        trioSpec.mix = {{1, 0, 1.0, 0}};
+        trioSpec.requestsPerMCycle = 1e6 / ppCycles;
+
+        const std::uint64_t holdWait =
+            static_cast<std::uint64_t>(2.0 * ppCycles);
+        SchedulerConfig eagerCfg = makeConfig(
+            QueuePolicy::Fifo, true, OccupancyModel::Pipelined, 1, 0);
+        SchedulerConfig holdCfg =
+            makeConfig(QueuePolicy::Fifo, true, OccupancyModel::Pipelined,
+                       2, holdWait);
+        SchedulerConfig costCfg = holdCfg;
+        costCfg.batcher.costAware = true;
+
+        // Depth ladder: the two-batch stall scenario at fleet 1 under
+        // the standard mix. queueDepth is raised so no request drops;
+        // with an identical admitted set, a deeper mapped-output
+        // buffer can only start maps earlier.
+        WorkloadSpec depthSpec = frozenBase;
+        depthSpec.horizonCycles = H;
+        depthSpec.requestsPerMCycle = 1.5 * capacityPerMCycle;
+        SchedulerConfig depthBase = makeConfig(QueuePolicy::Fifo, false);
+        depthBase.queueDepth = std::size_t{1} << 20;
+
+        std::vector<std::function<Row()>> tasks;
+        tasks.push_back([&model, trioSpec, eagerCfg] {
+            return runScenario("ra-eager", model, 1, trioSpec, eagerCfg);
+        });
+        tasks.push_back([&model, trioSpec, holdCfg] {
+            return runScenario("ra-hold", model, 1, trioSpec, holdCfg);
+        });
+        tasks.push_back([&model, trioSpec, costCfg] {
+            return runScenario("ra-cost", model, 1, trioSpec, costCfg);
+        });
+        for (const std::uint32_t depth : {1u, 2u, 4u})
+            tasks.push_back([&model, depthSpec, depthBase, depth] {
+                SchedulerConfig scfg = depthBase;
+                scfg.runAheadDepth = depth;
+                char name[8];
+                std::snprintf(name, sizeof name, "ra-k%u", depth);
+                return runScenario(name, model, 1, depthSpec, scfg);
+            });
+        std::vector<Row> raRows = pool.map(std::move(tasks));
+        raTrioRows.assign(raRows.begin(), raRows.begin() + 3);
+        raDepthRows.assign(raRows.begin() + 3, raRows.end());
+        for (const Row &row : raRows) {
+            rows.push_back(row);
+            printRow(row);
+        }
+
+        // Gate (a): the run-ahead buffer at depth 1 with cost-aware
+        // dispatch off is the seed engine — byte-identical serving
+        // JSON against the frozen reference on a shared trace.
+        {
+            const std::vector<AcceleratorConfig> pair{pointAccConfig(),
+                                                      pointAccConfig()};
+            WorkloadSpec idSpec = frozenBase;
+            idSpec.horizonCycles = smoke ? 5'000'000 : 20'000'000;
+            idSpec.requestsPerMCycle = 1.5 * capacityPerMCycle;
+            const auto idTrace = WorkloadGenerator(idSpec).generate();
+            SchedulerConfig inertCfg =
+                makeConfig(QueuePolicy::Fifo, true,
+                           OccupancyModel::Pipelined, 4, holdWait);
+            inertCfg.runAheadDepth = 1;
+            inertCfg.batcher.costAware = false;
+            FleetScheduler sched(pair, model,
+                                 model.catalog().bucketScales, inertCfg);
+            const ServingReport prod = sched.run(idTrace);
+            const ServingReport ref = runServingReference(
+                pair, model, model.catalog().bucketScales, inertCfg,
+                idTrace);
+            std::ostringstream prodJson, refJson;
+            writeServingJson(prodJson, prod);
+            writeServingJson(refJson, ref);
+            runaheadIdentical = prodJson.str() == refJson.str();
+        }
+        runaheadRan = true;
+        bench::rule(122);
+    }
+
     bool ok = true;
 
     // Acceptance check 0: profiling is memoized across sweep rows —
@@ -1651,6 +1786,87 @@ main(int argc, char **argv)
                     (pointAccConfig().freqGHz * 1e6),
                 premium && decisive ? "OK" : "VIOLATED");
         }
+    }
+
+    // Acceptance check 8 (runahead sweep): (a) inert-defaults
+    // byte-identity against the frozen reference engine; (b) the
+    // cost-aware policy must dominate *both* blind endpoints of the
+    // hold spectrum (win throughput or p99 vs pure-eager, and again
+    // vs pure-hold); (c) the depth ladder must be monotone — with an
+    // unbounded queue a deeper mapped-output buffer only starts maps
+    // earlier, so throughput must not drop and p99 must not rise.
+    // --smoke keeps (a) and (c) (the monotonicity argument is
+    // horizon-independent) and relaxes (b) to structural echoes.
+    if (runaheadRan) {
+        ok = ok && runaheadIdentical;
+        std::printf("runahead depth-1/cost-off byte-identity vs "
+                    "reference engine: %s\n",
+                    runaheadIdentical ? "OK" : "VIOLATED");
+
+        const Row &eager = raTrioRows[0];
+        const Row &hold = raTrioRows[1];
+        const Row &cost = raTrioRows[2];
+        const bool priced = cost.report.costAware &&
+                            cost.report.costHolds +
+                                    cost.report.costDispatches >
+                                0;
+        ok = ok && priced;
+        std::printf("runahead cost model engaged: %llu holds / %llu "
+                    "dispatches priced: %s\n",
+                    static_cast<unsigned long long>(
+                        cost.report.costHolds),
+                    static_cast<unsigned long long>(
+                        cost.report.costDispatches),
+                    priced ? "OK" : "VIOLATED");
+        if (!smoke) {
+            const bool beatsEager =
+                cost.report.throughputRps() >
+                    eager.report.throughputRps() ||
+                cost.report.p99Ms() < eager.report.p99Ms();
+            const bool beatsHold =
+                cost.report.throughputRps() >
+                    hold.report.throughputRps() ||
+                cost.report.p99Ms() < hold.report.p99Ms();
+            ok = ok && beatsEager && beatsHold;
+            std::printf(
+                "runahead hold-vs-dispatch: cost-aware %.0f r/s / "
+                "p99 %.3f ms vs eager %.0f / %.3f (%s) and vs hold "
+                "%.0f / %.3f (%s): %s\n",
+                cost.report.throughputRps(), cost.report.p99Ms(),
+                eager.report.throughputRps(), eager.report.p99Ms(),
+                beatsEager ? "wins" : "loses",
+                hold.report.throughputRps(), hold.report.p99Ms(),
+                beatsHold ? "wins" : "loses",
+                beatsEager && beatsHold ? "OK" : "VIOLATED");
+        }
+
+        bool depthsEcho = true;
+        for (std::size_t i = 0; i < raDepthRows.size(); ++i) {
+            const std::uint32_t want = i == 0 ? 1 : (i == 1 ? 2 : 4);
+            depthsEcho = depthsEcho &&
+                         raDepthRows[i].report.runAheadDepth == want &&
+                         raDepthRows[i].report.dropRate() == 0.0;
+        }
+        bool depthMonotone = true;
+        for (std::size_t i = 1; i < raDepthRows.size(); ++i) {
+            const auto &shallow = raDepthRows[i - 1].report;
+            const auto &deep = raDepthRows[i].report;
+            depthMonotone = depthMonotone &&
+                            deep.throughputRps() >=
+                                shallow.throughputRps() &&
+                            deep.p99Ms() <= shallow.p99Ms();
+        }
+        ok = ok && depthsEcho && depthMonotone;
+        std::printf("runahead depth ladder k=1/2/4: thru %.0f/%.0f/%.0f "
+                    "r/s non-decreasing, p99 %.3f/%.3f/%.3f ms "
+                    "non-increasing, no drops: %s\n",
+                    raDepthRows[0].report.throughputRps(),
+                    raDepthRows[1].report.throughputRps(),
+                    raDepthRows[2].report.throughputRps(),
+                    raDepthRows[0].report.p99Ms(),
+                    raDepthRows[1].report.p99Ms(),
+                    raDepthRows[2].report.p99Ms(),
+                    depthsEcho && depthMonotone ? "OK" : "VIOLATED");
     }
 
     if (!jsonPath.empty()) {

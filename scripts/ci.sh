@@ -13,15 +13,19 @@
 # injection gate (bench_serving --sweep faults: crash/straggler/
 # retry/hedge scenarios, empty-program byte-identity with the frozen
 # reference, extended conservation, and an availability plan whose
-# spare rides out a crash the nominal fleet fails), a
+# spare rides out a crash the nominal fleet fails), the run-ahead gate
+# (bench_serving --sweep runahead: cost-aware hold-vs-dispatch must
+# dominate pure-eager and pure-hold, the k=1/2/4 depth ladder must be
+# monotone, and depth-1/cost-off output must be byte-identical to the
+# frozen reference), a
 # schema-doc check that
 # keeps docs/SERVING_JSON.md in lockstep with writeServingJson and
 # writePlanJson, followed by an ASan+UBSan build that re-runs the
 # runtime test suites (the event loop and the property/fuzz sweeps are
 # where lifetime/overflow bugs would hide), the map-cache bench sweep,
 # a sanitized 10^5-request smoke of the discrete-event core, 2-probe
-# planner, hetero-lattice, traffic/autoscaler and fault-injection
-# smokes, and finally a
+# planner, hetero-lattice, traffic/autoscaler, fault-injection and
+# run-ahead smokes, and finally a
 # TSan build that runs the executor unit suite, the sharded property
 # sweeps and a threaded hetero-lattice smoke with a 4-worker pool (the
 # only stage that exercises real thread interleavings — Release gates
@@ -123,6 +127,15 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 "${BUILD_DIR}/bench_serving" --sweep faults --quick --threads 4 \
     --json "${BUILD_DIR}/BENCH_serving_faults.json"
 
+# Run-ahead gate: the cost-aware hold-vs-dispatch policy must dominate
+# both blind endpoints of the hold spectrum (pure-eager and pure-hold)
+# at the capacity knee, the k=1/2/4 mapped-output-buffer ladder must
+# be monotone (throughput never drops, p99 never rises), and depth 1
+# with pricing off must serve byte-identically to the frozen reference
+# engine.
+"${BUILD_DIR}/bench_serving" --sweep runahead --quick --threads 4 \
+    --json "${BUILD_DIR}/BENCH_serving_runahead.json"
+
 # Schema-doc check: every JSON key writeServingJson and writePlanJson
 # emit must be documented (in backticks) in docs/SERVING_JSON.md, so
 # the published schemas can never silently drift from the writers.
@@ -198,14 +211,22 @@ ctest --test-dir "${SAN_BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 # gate above enforced the availability outcome).
 "${SAN_BUILD_DIR}/bench_serving" --sweep faults --smoke --no-json
 
+# Sanitized smoke of run-ahead + cost-aware dispatch: short-horizon
+# trio and depth-ladder rows through the staged-buffer cascade, the
+# priced hold path and the reference byte-identity check under
+# ASan+UBSan (structural checks only; the unsanitized runahead gate
+# above enforced dominance).
+"${SAN_BUILD_DIR}/bench_serving" --sweep runahead --smoke --no-json
+
 # TSan pass over the threaded paths: the executor unit suite (steal
 # races, exception propagation, nested get, destructor drain), the
 # property sweeps with a 4-worker pool (the seed loops shard, and
 # PlannerProperties runs speculative planning — including the hetero
 # composition lattice — against SimServiceModel's shared_mutex-guarded
-# memo caches), and a threaded hetero-lattice smoke, which is the one
+# memo caches), a threaded hetero-lattice smoke, which is the one
 # path where concurrent probes profile two accelerator classes plus an
-# overclocked variant through the shared memo. TSan excludes ASan by
+# overclocked variant through the shared memo, and a threaded
+# run-ahead smoke covering the staged cascade and priced hold paths. TSan excludes ASan by
 # construction, so it needs its own tree; the remaining benches and
 # the examples are skipped (their byte-identity gates ran above, and a
 # TSan'd 10^7-request tier would dominate CI wall-clock without adding
@@ -225,4 +246,10 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
 "${TSAN_BUILD_DIR}/test_runtime_properties" --threads 4
 
 "${TSAN_BUILD_DIR}/bench_serving" --sweep hetero --smoke --threads 4 \
+    --no-json
+
+# Threaded run-ahead smoke under TSan: the trio and depth-ladder rows
+# run as pool tasks, so concurrent schedulers exercise the staged
+# cascade and the priced hold path against the shared profiling memo.
+"${TSAN_BUILD_DIR}/bench_serving" --sweep runahead --smoke --threads 4 \
     --no-json

@@ -1,6 +1,7 @@
 #include "runtime/batcher.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/logging.hpp"
 
@@ -54,6 +55,45 @@ Batcher::allowedBuckets(const Request &head) const
     return out;
 }
 
+Batcher::GroupProbe
+Batcher::probeGroup(
+    const AdmissionQueue &queue, const Request &head, std::size_t want,
+    const std::function<bool(const Request &)> &excluded) const
+{
+    // Count queued requests that would actually join a batch led by
+    // the head (the head itself included; excluded requests — members
+    // of other held groups — would not, so they must not count), and
+    // find the group's oldest arrival: the wait bound anchors there,
+    // not at the current leader — under SJF/EDF the leader can change
+    // as newer requests outrank it, and a sliding anchor would let an
+    // old member wait far past the hold bound.
+    //
+    // Only the head's network's size-compatible class sub-queues can
+    // contain group members, so the probe visits those instead of
+    // scanning the whole queue; the probe's outcome (count reaching K,
+    // or the group-wide oldest arrival) is visit-order independent.
+    GroupProbe probe;
+    probe.oldest = head.arrivalCycle;
+    for (const std::uint32_t b : allowedBuckets(head)) {
+        queue.visitClass(head.networkId, b, [&](const Request &r) {
+            if (r.id == head.id ||
+                (compatible(head, r) &&
+                 !(excluded && excluded(r)))) {
+                probe.have += 1;
+                probe.oldest = std::min(probe.oldest, r.arrivalCycle);
+                if (probe.have >= want) {
+                    probe.reached = true;
+                    return false;
+                }
+            }
+            return true;
+        });
+        if (probe.reached)
+            break;
+    }
+    return probe;
+}
+
 BatchHold
 Batcher::holdForHead(
     const AdmissionQueue &queue, const Request &head, std::uint64_t now,
@@ -63,47 +103,80 @@ Batcher::holdForHead(
     if (!cfg.enabled || cfg.targetK <= 1 || cfg.maxWaitCycles == 0)
         return decision;
 
-    // Count queued requests that would actually join a batch led by
-    // the head (the head itself included; excluded requests — members
-    // of other held groups — would not, so they must not count), and
-    // find the group's oldest arrival: the wait bound anchors there,
-    // not at the current leader — under SJF/EDF the leader can change
-    // as newer requests outrank it, and a sliding anchor would let an
-    // old member wait far past maxWaitCycles.
-    //
-    // Only the head's network's size-compatible class sub-queues can
-    // contain group members, so the probe visits those instead of
-    // scanning the whole queue; the probe's outcome (count reaching K,
-    // or the group-wide oldest arrival) is visit-order independent.
     const std::size_t want =
         std::min<std::size_t>(cfg.targetK, cfg.maxBatchSize);
-    std::size_t have = 0;
-    std::uint64_t oldest = head.arrivalCycle;
-    bool reached = false;
-    for (const std::uint32_t b : allowedBuckets(head)) {
-        queue.visitClass(head.networkId, b, [&](const Request &r) {
-            if (r.id == head.id ||
-                (compatible(head, r) &&
-                 !(excluded && excluded(r)))) {
-                have += 1;
-                oldest = std::min(oldest, r.arrivalCycle);
-                if (have >= want) {
-                    reached = true;
-                    return false;
-                }
-            }
-            return true;
-        });
-        if (reached)
-            return decision; // K reached: dispatch now
-    }
+    const GroupProbe probe = probeGroup(queue, head, want, excluded);
+    if (probe.reached)
+        return decision; // K reached: dispatch now
 
-    const std::uint64_t deadline = oldest + cfg.maxWaitCycles;
+    const std::uint64_t deadline = probe.oldest + cfg.maxWaitCycles;
     if (now >= deadline)
         return decision; // waited long enough: dispatch undersized
 
     decision.hold = true;
     decision.until = deadline;
+    return decision;
+}
+
+BatchHold
+Batcher::costAwareHold(
+    const AdmissionQueue &queue, const Request &head, std::uint64_t now,
+    const DispatchCost &price,
+    const std::function<bool(const Request &)> &excluded) const
+{
+    BatchHold decision;
+    if (!cfg.enabled || cfg.targetK <= 1)
+        return decision;
+    // No observed arrival cadence means no basis to price waiting:
+    // dispatch eagerly rather than hold on a guess.
+    if (price.arrivalGapNs == 0)
+        return decision;
+
+    const std::size_t want =
+        std::min<std::size_t>(cfg.targetK, cfg.maxBatchSize);
+    const GroupProbe probe = probeGroup(queue, head, want, excluded);
+    if (probe.reached)
+        return decision; // K reached: dispatch now
+
+    // Optional hard cap: with maxWaitCycles configured, the priced
+    // hold still honors the operator's absolute latency bound.
+    const std::uint64_t hardCap =
+        cfg.maxWaitCycles > 0 ? probe.oldest + cfg.maxWaitCycles
+                              : std::numeric_limits<std::uint64_t>::max();
+    if (now >= hardCap)
+        return decision;
+
+    // The trade, priced in event-axis ns. Each member still missing
+    // from K amortizes away one weight reload (the cost model credits
+    // min-weight-load per extra member — see batchServiceCycles):
+    const std::uint64_t missing =
+        static_cast<std::uint64_t>(want - probe.have);
+    const std::uint64_t gain = missing * price.weightLoadNs;
+    // Waiting forfeits front/back overlap only once the back-end's
+    // committed backlog (running remainder + staged run-ahead batches)
+    // is thinner than the mapping a dispatch would overlap with it:
+    const std::uint64_t slack =
+        price.backlogNs > price.mapNs ? price.backlogNs - price.mapNs
+                                      : 0;
+    // Expected cost of reaching K: the group has already waited since
+    // its oldest arrival, and filling the gap takes an expected
+    // missing * gap more — minus the slack that was forfeited anyway.
+    const std::uint64_t spent =
+        (now - probe.oldest) + missing * price.arrivalGapNs;
+    const std::uint64_t cost = spent > slack ? spent - slack : 0;
+    if (gain <= cost)
+        return decision; // amortization no longer pays: dispatch
+
+    // Re-evaluate at the earliest decision-changing moment: the
+    // expected next arrival (fresh K count), the break-even time at
+    // which the growing cost catches the gain, or the hard cap.
+    // gain > cost implies breakEven > now, so every candidate is
+    // strictly in the future and the hold can never arm a stale timer.
+    const std::uint64_t breakEven =
+        probe.oldest + slack + gain - missing * price.arrivalGapNs;
+    decision.hold = true;
+    decision.until = std::min({now + price.arrivalGapNs, breakEven,
+                               hardCap});
     return decision;
 }
 

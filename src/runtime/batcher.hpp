@@ -37,6 +37,15 @@
  *    dispatching around a held group, they are never frozen behind
  *    it.
  *
+ * On top of wait-for-K, the opt-in cost-aware mode (costAware) prices
+ * the hold decision instead of timing it: hold exactly while the
+ * weight-reload amortization still expected from filling the batch to
+ * K exceeds the pipeline-overlap time the wait forfeits, with the
+ * back-end's committed backlog counted as free slack (holding the
+ * front-end costs nothing while the back-end could not have started
+ * the work anyway — the run-ahead buffer deepens that slack). See
+ * costAwareHold.
+ *
  * Invariants (fuzzed by test_runtime_properties): every batch formLedBy
  * returns is non-empty, within maxBatchSize, led by the given head, and
  * pairwise compatible with it; holdForHead never holds past the group's
@@ -74,6 +83,13 @@ struct BatcherConfig
      *  extend the wait); when the deadline passes the batch
      *  dispatches undersized. */
     std::uint64_t maxWaitCycles = 0;
+    /** Cost-aware dispatch: replace the blind maxWaitCycles timer with
+     *  a priced hold-vs-dispatch decision (costAwareHold) — hold only
+     *  while the weight-reload amortization still expected from
+     *  reaching K exceeds the pipeline-overlap time forfeited by
+     *  waiting. maxWaitCycles then acts only as an optional hard cap
+     *  (0 = uncapped); targetK > 1 is still required for any hold. */
+    bool costAware = false;
 };
 
 /** One dispatch unit: >= 1 compatible requests for a single network. */
@@ -98,6 +114,30 @@ struct BatchHold
     bool hold = false;
     /** Absolute cycle at which the hold expires (valid when hold). */
     std::uint64_t until = 0;
+};
+
+/**
+ * Dispatch-time inputs to the cost-aware hold decision, priced by the
+ * scheduler on the event axis (ns) for the head's (network, bucket)
+ * class. The batcher owns the decision rule; the scheduler owns the
+ * simulator state the rule prices against.
+ */
+struct DispatchCost
+{
+    /** One weight-reload interval for the head's class: what each
+     *  additional batch member amortizes away. */
+    std::uint64_t weightLoadNs = 0;
+    /** The head's full mapping phase: the front-end time a dispatch
+     *  issued right now would overlap with the back-end backlog. */
+    std::uint64_t mapNs = 0;
+    /** Back-end work already committed on the least-loaded accepting
+     *  instance (running remainder plus staged run-ahead batches):
+     *  while the back-end is this busy, holding the front-end is
+     *  free — the overlap is forfeited anyway. */
+    std::uint64_t backlogNs = 0;
+    /** Mean inter-arrival gap of the head's network (0 = unknown:
+     *  fewer than two arrivals seen, no basis to price waiting). */
+    std::uint64_t arrivalGapNs = 0;
 };
 
 /** Groups queue heads into batches under a compatibility rule. */
@@ -147,6 +187,29 @@ class Batcher
                           const std::function<bool(const Request &)>
                               &excluded = nullptr) const;
 
+    /**
+     * Cost-aware hold-vs-dispatch probe (BatcherConfig::costAware):
+     * instead of holding blindly until maxWaitCycles, price the trade
+     * directly in event-axis ns —
+     *
+     *   gain = (K - have) * weightLoadNs      amortization still to win
+     *   slack = max(0, backlogNs - mapNs)     overlap forfeited anyway
+     *   cost = max(0, waited + (K - have) * gapNs - slack)
+     *
+     * and hold only while gain > cost and the arrival gap is known
+     * (two arrivals seen). The returned deadline is the earliest of
+     * the expected next arrival (re-evaluate with fresh facts), the
+     * break-even time at which cost catches gain, and the optional
+     * maxWaitCycles hard cap — each strictly in the future, and cost
+     * grows with the clock while gain cannot grow without new
+     * arrivals, so every held group still dispatches eventually.
+     */
+    BatchHold costAwareHold(const AdmissionQueue &queue,
+                            const Request &head, std::uint64_t now,
+                            const DispatchCost &price,
+                            const std::function<bool(const Request &)>
+                                &excluded = nullptr) const;
+
     /** holdForHead anchored at the queue's policy head (non-empty). */
     BatchHold holdFor(const AdmissionQueue &queue, QueuePolicy policy,
                       std::uint64_t now) const;
@@ -175,6 +238,21 @@ class Batcher
      *  the exact set of class sub-queues a batch led by `head` can
      *  draw from. */
     std::vector<std::uint32_t> allowedBuckets(const Request &head) const;
+
+    /** What a hold probe needs to know about the head's group: how
+     *  many queued requests would join a batch led by `head` (capped
+     *  at `want` — `reached` short-circuits the walk there) and the
+     *  group-wide oldest arrival. */
+    struct GroupProbe
+    {
+        std::size_t have = 0;
+        std::uint64_t oldest = 0;
+        bool reached = false;
+    };
+    GroupProbe probeGroup(const AdmissionQueue &queue,
+                          const Request &head, std::size_t want,
+                          const std::function<bool(const Request &)>
+                              &excluded) const;
 
     BatcherConfig cfg;
     std::vector<double> bucketScales;

@@ -29,8 +29,7 @@ MapCache::contains(const MapCacheKey &key) const
 }
 
 void
-MapCache::recordHit(const MapCacheKey &key,
-                    std::uint64_t mapCyclesAvoided)
+MapCache::recordHit(const MapCacheKey &key)
 {
     const auto it = entries.find(key);
     simAssert(it != entries.end(), "recordHit on a non-resident key");
@@ -38,12 +37,12 @@ MapCache::recordHit(const MapCacheKey &key,
     it->second.uses += 1;
     counters.hits += 1;
     counters.bytesSaved += it->second.entry.mapBytes;
-    // Net savings: the mapping the hit skipped minus the modelled read
-    // that replaced it. The scheduler clamps the read into the map
-    // phase, so the difference is never negative in the schedule; the
-    // counter mirrors that clamp.
-    if (mapCyclesAvoided > cfg.hitReadCycles)
-        counters.cyclesSaved += mapCyclesAvoided - cfg.hitReadCycles;
+}
+
+void
+MapCache::creditSavedCycles(std::uint64_t saved)
+{
+    counters.cyclesSaved += saved;
 }
 
 void

@@ -114,9 +114,11 @@ struct MapCacheStats
     std::uint64_t evictions = 0;
     /** Kernel-map bytes whose recomputation a hit avoided. */
     std::uint64_t bytesSaved = 0;
-    /** Mapping-phase event-axis ns hits avoided (net of the read
-     *  cost); the scheduler converts the skipped mapping from the
-     *  dispatched instance's cycles before crediting. */
+    /** Mapping-phase event-axis ns hits actually removed from the
+     *  schedule: the scheduler credits, once per hit batch, exactly
+     *  the batch-level mapping it skipped net of the clamped read
+     *  cost (see creditSavedCycles) — so this counter matches the
+     *  simulated schedule, not a per-request approximation. */
     std::uint64_t cyclesSaved = 0;
 
     double
@@ -155,16 +157,23 @@ class MapCache
 
     /**
      * Count a priced hit on `key` (which must be resident): bumps
-     * recency/frequency and the hits / bytesSaved / cyclesSaved
-     * counters. `mapCyclesAvoided` is the mapping-phase cost the hit
-     * skipped *on the instance it was dispatched to* (a heterogeneous
-     * fleet prices mapping differently per class, so the saving is
-     * known only at hit time, not at insertion); cyclesSaved is
-     * credited net of the configured read cost, mirroring the
-     * scheduler's clamp.
+     * recency/frequency and the hits / bytesSaved counters. Cycle
+     * savings are *not* booked here — hits batch together, and the
+     * schedule skips mapping at batch granularity, so the scheduler
+     * credits the batch-level saving once via creditSavedCycles.
      */
-    void recordHit(const MapCacheKey &key,
-                   std::uint64_t mapCyclesAvoided);
+    void recordHit(const MapCacheKey &key);
+
+    /**
+     * Credit `saved` event-axis ns to cyclesSaved: the batch-level
+     * mapping a hit dispatch skipped, net of the clamped read cost,
+     * priced against the instance it dispatched to (a heterogeneous
+     * fleet prices mapping differently per class, so the saving is
+     * known only at dispatch time, not at insertion). Called once per
+     * hit batch so the counter equals what the simulation actually
+     * removed from the schedule.
+     */
+    void creditSavedCycles(std::uint64_t saved);
 
     /** Count a priced miss (no key state changes; insertion happens
      *  later, when the mapping phase actually completes). */

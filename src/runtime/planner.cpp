@@ -66,7 +66,9 @@ schedulerConfigFor(const PlanSearchSpace &space, const PlanProbe &probe)
     scfg.batcher.enabled = probe.batching;
     scfg.batcher.targetK = probe.targetK;
     scfg.batcher.maxWaitCycles = probe.maxWaitCycles;
+    scfg.batcher.costAware = probe.costAware;
     scfg.mapCache.enabled = probe.mapCacheOn;
+    scfg.runAheadDepth = probe.runAheadDepth;
     // Availability mode: probe every candidate under the fault
     // program, so only fleets that survive it count as meeting the
     // SLO. Disabled programs leave the probe config untouched (and
@@ -86,11 +88,12 @@ struct Combo
     QueuePolicy policy = QueuePolicy::Fifo;
     BatcherAxisPoint batcher;
     bool cacheOn = false;
+    std::uint32_t runAheadDepth = 1;
 };
 
 /** Axis order is the tie-break order: policies outermost, then
- *  batcher points, then cache options — "first combo wins a fleet-size
- *  tie" means first in this enumeration. */
+ *  batcher points, then cache options, then run-ahead depths — "first
+ *  combo wins a fleet-size tie" means first in this enumeration. */
 std::vector<Combo>
 enumerateCombos(const PlanSearchSpace &space)
 {
@@ -99,7 +102,9 @@ enumerateCombos(const PlanSearchSpace &space)
     for (const QueuePolicy policy : space.policies)
         for (const BatcherAxisPoint &batcher : space.batchers)
             for (const bool cacheOn : space.mapCacheOptions)
-                combos.push_back(Combo{policy, batcher, cacheOn});
+                for (const std::uint32_t depth : space.runAheadDepths)
+                    combos.push_back(
+                        Combo{policy, batcher, cacheOn, depth});
     return combos;
 }
 
@@ -113,7 +118,9 @@ probeOf(const Combo &combo)
     p.batching = combo.batcher.enabled;
     p.targetK = combo.batcher.targetK;
     p.maxWaitCycles = combo.batcher.maxWaitCycles;
+    p.costAware = combo.batcher.costAware;
     p.mapCacheOn = combo.cacheOn;
+    p.runAheadDepth = combo.runAheadDepth;
     return p;
 }
 
@@ -226,8 +233,11 @@ void
 validate(const SloSpec &, const PlanSearchSpace &space)
 {
     if (space.policies.empty() || space.batchers.empty() ||
-        space.mapCacheOptions.empty())
+        space.mapCacheOptions.empty() || space.runAheadDepths.empty())
         fatal("plan search space axes must be non-empty");
+    for (const std::uint32_t depth : space.runAheadDepths)
+        if (depth < 1)
+            fatal("plan run-ahead depths must be >= 1");
     if (space.kinds.empty()) {
         if (space.minFleetSize == 0)
             fatal("plan search space needs minFleetSize >= 1");
@@ -795,7 +805,14 @@ writeProbeObject(JsonWriter &w, const PlanProbe &p)
     w.field("batching", p.batching);
     w.field("target_k", p.targetK);
     w.field("max_wait_cycles", p.maxWaitCycles);
+    // Conditional keys: legacy probes (blind timer, blocking handoff)
+    // serialize exactly as before these axes existed, so archived plan
+    // JSON and the golden tests diff cleanly.
+    if (p.costAware)
+        w.field("cost_aware", p.costAware);
     w.field("map_cache", p.mapCacheOn);
+    if (p.runAheadDepth != 1)
+        w.field("run_ahead_depth", p.runAheadDepth);
     w.field("p99_cycles", p.p99Cycles);
     w.field("throughput_rps", p.throughputRps);
     w.field("drop_rate", p.dropRate);

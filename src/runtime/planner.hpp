@@ -25,8 +25,10 @@
  *    (instances, nominal watts through the EnergyModel constants, or
  *    price), optionally capped by a cost budget;
  *  - admission policy (FIFO / SJF / EDF);
- *  - batcher discipline (enabled, targetK, maxWaitCycles);
- *  - kernel-map cache on/off.
+ *  - batcher discipline (enabled, targetK, maxWaitCycles, cost-aware);
+ *  - kernel-map cache on/off;
+ *  - run-ahead depth (SchedulerConfig::runAheadDepth — how far the
+ *    Mapping Unit runs ahead of the back-end).
  *
  * Search strategy: the categorical axes are enumerated exhaustively
  * (they are small by construction). The lattice is decomposed into
@@ -105,6 +107,9 @@ struct BatcherAxisPoint
     bool enabled = false;
     std::uint32_t targetK = 1;
     std::uint64_t maxWaitCycles = 0;
+    /** Priced hold-vs-dispatch instead of the blind wait timer
+     *  (BatcherConfig::costAware). */
+    bool costAware = false;
 };
 
 /** What the lattice search minimizes. Instances is the legacy cost
@@ -154,6 +159,11 @@ struct PlanSearchSpace
     std::vector<QueuePolicy> policies = {QueuePolicy::Fifo};
     std::vector<BatcherAxisPoint> batchers = {BatcherAxisPoint{}};
     std::vector<bool> mapCacheOptions = {false};
+    /** Run-ahead buffer depths to search (SchedulerConfig::
+     *  runAheadDepth; every entry must be >= 1). The default {1} is
+     *  the blocking handoff, so legacy spaces enumerate exactly the
+     *  grid they always did. */
+    std::vector<std::uint32_t> runAheadDepths = {1};
     SchedulerConfig base;
 
     /** Availability mode: when enabled, every candidate is probed
@@ -182,11 +192,13 @@ struct PlanSearchSpace
      *  lattice entirely. 0 = unbounded. Lattice only. */
     double maxCostBudget = 0.0;
 
-    /** Categorical combinations (policies x batchers x cache). */
+    /** Categorical combinations (policies x batchers x cache x
+     *  run-ahead depths). */
     std::size_t
     comboCount() const
     {
-        return policies.size() * batchers.size() * mapCacheOptions.size();
+        return policies.size() * batchers.size() *
+               mapCacheOptions.size() * runAheadDepths.size();
     }
 
     /** Lattice points: fleet sizes on the homogeneous axis, or valid
@@ -224,7 +236,10 @@ struct PlanProbe
     bool batching = false;
     std::uint32_t targetK = 1;
     std::uint64_t maxWaitCycles = 0;
+    bool costAware = false;
     bool mapCacheOn = false;
+    /** Run-ahead buffer depth (1 = blocking handoff). */
+    std::uint32_t runAheadDepth = 1;
     double p99Cycles = 0.0;
     double throughputRps = 0.0;
     double dropRate = 0.0;

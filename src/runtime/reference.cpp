@@ -414,12 +414,19 @@ runServingReference(const std::vector<AcceleratorConfig> &fleet,
             unit.mapDoneAt = now + bestPhases.mapCycles;
             if (mapCache.enabled()) {
                 if (hitBatch) {
-                    for (const auto &r : batch.requests) {
-                        const auto p = model.profile(
-                            fleet[best], r.networkId, r.sizeBucket);
-                        mapCache.recordHit(keyOf(r),
-                                           p.phases().mapCycles);
-                    }
+                    // Counter-accounting fix in lockstep with the
+                    // production engine (MapCache::recordHit lost its
+                    // savings argument; the batch-level net credit
+                    // moved to creditSavedCycles): the engine's
+                    // timing arithmetic stays the frozen cycle-domain
+                    // seed loop.
+                    for (const auto &r : batch.requests)
+                        mapCache.recordHit(keyOf(r));
+                    const std::uint64_t batchMap =
+                        model.batchPhases(fleet[best], batch)
+                            .mapCycles;
+                    mapCache.creditSavedCycles(
+                        batchMap - std::min(batchMap, readCost));
                 } else {
                     for (const auto &r : batch.requests) {
                         mapCache.recordMiss();

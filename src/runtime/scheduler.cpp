@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <deque>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -272,6 +273,8 @@ FleetScheduler::FleetScheduler(std::vector<AcceleratorConfig> fleet_,
     // Both validate vacuously when disabled.
     validateFaultProgram(cfg.faults);
     validateRetryPolicy(cfg.retry);
+    if (cfg.runAheadDepth < 1)
+        fatal("runAheadDepth must be >= 1 (1 is the blocking handoff)");
     for (const auto &acc : fleet) {
         // Frequencies may differ across members (each instance's
         // profiled cycles convert to the ns event axis at dispatch),
@@ -368,6 +371,15 @@ enum class Life : std::uint8_t
 struct AccelState
 {
     std::optional<InFlight> front;
+    /** Run-ahead staging FIFO (capacity runAheadDepth - 1): mapped
+     *  batches the front-end finished while the back-end was still
+     *  busy, queued in mapping-completion order for promotion as the
+     *  back-end drains. Empty forever at the default depth 1, where
+     *  the handoff blocks exactly as the frozen reference engine's
+     *  does. Staged batches hold no pending heap events (their
+     *  MapDone fired before parking; their RunDone is pushed at
+     *  promotion), so no stamp guards them. */
+    std::deque<InFlight> staged;
     std::optional<InFlight> back;
     std::uint64_t frontStamp = 0;
     std::uint64_t backStamp = 0;
@@ -456,6 +468,8 @@ FleetScheduler::run(RequestSource &source) const
     ServingReport report;
     report.freqGHz = fleet.front().freqGHz;
     report.occupancy = toString(cfg.occupancy);
+    report.runAheadDepth = cfg.runAheadDepth;
+    report.costAware = cfg.batcher.costAware;
 
     AdmissionQueue queue(cfg.queueDepth);
     Batcher batcher(cfg.batcher, bucketScales);
@@ -612,6 +626,67 @@ FleetScheduler::run(RequestSource &source) const
         return it->second;
     };
 
+    // ---- Cost-aware dispatch (BatcherConfig::costAware) ----------- //
+    // Off (the default): none of this state is touched and the run
+    // stays byte-identical to the frozen reference engine. On: each
+    // hold decision is priced (Batcher::costAwareHold) from three
+    // simulator facts — the head's class prices, the head network's
+    // observed arrival cadence, and the back-end backlog of the
+    // least-loaded accepting instance.
+    const bool costAwareOn = cfg.batcher.enabled &&
+                             cfg.batcher.costAware &&
+                             cfg.batcher.targetK > 1;
+    struct ArrivalCadence
+    {
+        std::uint64_t count = 0;
+        std::uint64_t firstNs = 0;
+        std::uint64_t lastNs = 0;
+    };
+    std::map<std::uint32_t, ArrivalCadence> cadence;
+    const auto noteArrival = [&](const Request &r) {
+        ArrivalCadence &c = cadence[r.networkId];
+        if (c.count == 0)
+            c.firstNs = r.arrivalCycle;
+        c.lastNs = r.arrivalCycle;
+        c.count += 1;
+    };
+    // Mean inter-arrival gap of one network's requests; 0 until two
+    // arrivals have been seen (no cadence, no priced hold).
+    const auto gapOf = [&](std::uint32_t network_id) -> std::uint64_t {
+        const auto it = cadence.find(network_id);
+        if (it == cadence.end() || it->second.count < 2)
+            return 0;
+        return (it->second.lastNs - it->second.firstNs) /
+               (it->second.count - 1);
+    };
+    // Weight-reload and mapping prices per (network, bucket), against
+    // the reference instance like the SJF/EDF estimates — the decision
+    // compares magnitudes, and cost ratios are stable across classes.
+    struct ClassPrice
+    {
+        std::uint64_t weightLoadNs = 0;
+        std::uint64_t mapNs = 0;
+    };
+    std::map<std::pair<std::uint32_t, std::uint32_t>, ClassPrice>
+        priceCache;
+    const auto priceOf = [&](const Request &r) {
+        const auto key = std::make_pair(r.networkId, r.sizeBucket);
+        auto it = priceCache.find(key);
+        if (it == priceCache.end()) {
+            const auto p =
+                model.profile(reference, r.networkId, r.sizeBucket);
+            it = priceCache
+                     .emplace(key,
+                              ClassPrice{
+                                  cyclesToNs(p.weightLoadCycles,
+                                             reference.freqGHz),
+                                  cyclesToNs(p.phases().mapCycles,
+                                             reference.freqGHz)})
+                     .first;
+        }
+        return it->second;
+    };
+
     // The global event heap (arrivals, map-done, run-done, batch-hold
     // timer) with lazy invalidation; see Event above. Replaces the
     // seed loop's per-iteration rescan of every instance.
@@ -696,17 +771,50 @@ FleetScheduler::run(RequestSource &source) const
         acc.back.reset();
     };
 
+    // Start a batch on the empty back-end at `now` — the moment the
+    // handoff (or staged promotion) became possible is itself an
+    // event, so `now` is exactly the back-end start.
+    const auto startBack = [&](std::size_t idx, InFlight unit,
+                               std::uint64_t now) {
+        AccelState &acc = accels[idx];
+        unit.doneAt = now + unit.phases.backendCycles;
+        acc.usage.backendBusyCycles += unit.phases.backendCycles;
+        acc.backStamp += 1;
+        if (unit.doneAt > now)
+            pushEv(unit.doneAt, Event::Kind::RunDone,
+                   static_cast<std::uint32_t>(idx), acc.backStamp);
+        acc.back.emplace(std::move(unit));
+    };
+
+    // Staging-FIFO capacity: runAheadDepth - 1 mapped batches may park
+    // between the stages under Pipelined occupancy (Monolithic never
+    // overlaps stages, so its buffer is always 0 — same as depth 1).
+    const std::size_t stagedCap =
+        cfg.occupancy == OccupancyModel::Pipelined
+            ? static_cast<std::size_t>(cfg.runAheadDepth) - 1
+            : 0;
+
     // Apply every stage transition due at `now` on one instance:
-    // back-end completions, then the front->back handoff (which may
-    // itself complete immediately when a back-end phase is empty).
-    // Transitions landing strictly in the future enqueue heap events;
-    // same-cycle ones cascade right here, so every pending transition
-    // always has a live heap entry or resolves synchronously.
+    // back-end completions, staged run-ahead promotions, then the
+    // front->back handoff (which may itself complete immediately when
+    // a back-end phase is empty). Transitions landing strictly in the
+    // future enqueue heap events; same-cycle ones cascade right here,
+    // so every pending transition always has a live heap entry or
+    // resolves synchronously.
     const auto service = [&](std::size_t idx, std::uint64_t now) {
         AccelState &acc = accels[idx];
         for (;;) {
             if (acc.back && acc.back->doneAt <= now) {
                 completeBack(idx);
+                continue;
+            }
+            // Promote from the staging FIFO first: staged batches
+            // finished mapping before anything still in the front
+            // slot, and the back-end serves in dispatch order.
+            if (!acc.back && !acc.staged.empty()) {
+                InFlight unit = std::move(acc.staged.front());
+                acc.staged.pop_front();
+                startBack(idx, std::move(unit), now);
                 continue;
             }
             if (acc.front && acc.front->mapDoneAt <= now) {
@@ -721,20 +829,25 @@ FleetScheduler::run(RequestSource &source) const
                         mapCache.insert(ins.first, ins.second);
                 acc.front->mapped = true;
                 if (!acc.back) {
+                    // The staged FIFO is empty here (promotion above
+                    // ran first): direct handoff, the depth-1 path.
                     InFlight unit = std::move(*acc.front);
                     acc.front.reset();
-                    // The handoff-enabling moment (the later of map
-                    // completion and back-end drain) is itself an
-                    // event, so `now` is exactly the back-end start.
-                    unit.doneAt = now + unit.phases.backendCycles;
-                    acc.usage.backendBusyCycles +=
-                        unit.phases.backendCycles;
-                    acc.backStamp += 1;
-                    if (unit.doneAt > now)
-                        pushEv(unit.doneAt, Event::Kind::RunDone,
-                               static_cast<std::uint32_t>(idx),
-                               acc.backStamp);
-                    acc.back.emplace(std::move(unit));
+                    startBack(idx, std::move(unit), now);
+                    continue;
+                }
+                if (acc.staged.size() < stagedCap) {
+                    // Run ahead: park the mapped batch and free the
+                    // front slot — the Mapping Unit may accept the
+                    // next dispatch while the back-end works through
+                    // its backlog.
+                    acc.staged.push_back(std::move(*acc.front));
+                    acc.front.reset();
+                    report.runAheadStaged += 1;
+                    report.runAheadPeakStaged =
+                        std::max(report.runAheadPeakStaged,
+                                 static_cast<std::uint64_t>(
+                                     acc.staged.size()));
                     continue;
                 }
             }
@@ -744,7 +857,7 @@ FleetScheduler::run(RequestSource &source) const
         // empties — graceful drain complete, every in-flight batch
         // finished and recorded.
         if (asEnabled && acc.life == Life::Draining && !acc.front &&
-            !acc.back) {
+            acc.staged.empty() && !acc.back) {
             acc.life = Life::Off;
             notePower(now, -1);
         }
@@ -753,13 +866,17 @@ FleetScheduler::run(RequestSource &source) const
     // Exact completion time of `ph` were it dispatched to `acc` now:
     // mapping starts immediately (the front slot is free by
     // precondition), the back-end starts at the later of mapping
-    // completion and the current back-end batch draining.
+    // completion and the back-end's committed backlog draining — the
+    // running batch's remainder plus every staged run-ahead batch
+    // (the FIFO serves strictly before a new dispatch can).
     const auto estimateDone = [](const AccelState &acc,
                                  const PhaseProfile &ph,
                                  std::uint64_t now) {
         const std::uint64_t mapDone = now + ph.mapCycles;
-        const std::uint64_t backStart =
-            std::max(mapDone, acc.back ? acc.back->doneAt : now);
+        std::uint64_t backFree = acc.back ? acc.back->doneAt : now;
+        for (const auto &s : acc.staged)
+            backFree += s.phases.backendCycles;
+        const std::uint64_t backStart = std::max(mapDone, backFree);
         return backStart + ph.backendCycles;
     };
 
@@ -835,6 +952,23 @@ FleetScheduler::run(RequestSource &source) const
                 a.back.reset();
                 a.backStamp += 1;
             }
+            while (!a.staged.empty()) {
+                // Staged run-ahead batches mapped to completion (their
+                // map busy time is honest) and never started the
+                // back-end (nothing to give back there): only their
+                // residency closes out at the crash instant. FIFO
+                // order keeps the dispatch-order residency invariant.
+                const InFlight &u = a.staged.front();
+                fstats.failedBatches += 1;
+                const std::uint64_t start =
+                    std::max(u.dispatchedAt, a.coveredUntil);
+                if (now > start)
+                    a.usage.busyCycles += now - start;
+                a.coveredUntil = std::max(a.coveredUntil, now);
+                for (const auto &r : u.batch.requests)
+                    failRequest(r, f.instance, now);
+                a.staged.pop_front();
+            }
             if (a.front) {
                 const InFlight &u = *a.front;
                 fstats.failedBatches += 1;
@@ -883,6 +1017,35 @@ FleetScheduler::run(RequestSource &source) const
         }
     };
 
+    // Price one hold-vs-dispatch decision for a batch led by `head`.
+    // The backlog is the committed back-end work (running remainder +
+    // staged run-ahead batches) on the least-loaded accepting instance
+    // — the one the dispatch would plausibly land on; while that
+    // backlog outlasts the head's mapping, holding the front-end
+    // forfeits no overlap, so a deeper run-ahead buffer makes holding
+    // cheaper exactly when the back-end is the bottleneck.
+    const auto dispatchCostOf = [&](const Request &head,
+                                    std::uint64_t now) {
+        DispatchCost price;
+        const ClassPrice cp = priceOf(head);
+        price.weightLoadNs = cp.weightLoadNs;
+        price.mapNs = cp.mapNs;
+        price.arrivalGapNs = gapOf(head.networkId);
+        std::uint64_t backlog = kNever;
+        for (const auto &acc : accels) {
+            if (!acc.canAccept(cfg.occupancy))
+                continue;
+            std::uint64_t b = 0;
+            if (acc.back && acc.back->doneAt > now)
+                b = acc.back->doneAt - now;
+            for (const auto &s : acc.staged)
+                b += s.phases.backendCycles;
+            backlog = std::min(backlog, b);
+        }
+        price.backlogNs = backlog == kNever ? 0 : backlog;
+        return price;
+    };
+
     const auto dispatch = [&](std::uint64_t now) {
         // The timer mirrors the *currently outstanding* holds: every
         // dispatch pass re-decides, so first disarm — a hold resolved
@@ -914,14 +1077,27 @@ FleetScheduler::run(RequestSource &source) const
                 return; // everything queued belongs to a held group
 
             // Wait-for-K: hold this group and arm a timer instead of
-            // dispatching undersized, unless the deadline passed.
-            // Held-group members are excluded from the K count just
-            // as formLedBy excludes them from the batch.
+            // dispatching undersized, unless the deadline passed (or,
+            // cost-aware, unless waiting no longer pays). Held-group
+            // members are excluded from the K count just as formLedBy
+            // excludes them from the batch.
             const BatchHold hold =
-                batcher.holdForHead(queue, *head, now, inHeldGroup);
+                costAwareOn
+                    ? batcher.costAwareHold(queue, *head, now,
+                                            dispatchCostOf(*head, now),
+                                            inHeldGroup)
+                    : batcher.holdForHead(queue, *head, now,
+                                          inHeldGroup);
             if (hold.hold) {
-                if (countedHolds.insert(head->id).second)
+                if (costAwareOn)
+                    report.costHolds += 1;
+                if (countedHolds.insert(head->id).second) {
                     report.batchHolds += 1;
+                    report.holdTrackingPeak = std::max(
+                        report.holdTrackingPeak,
+                        static_cast<std::uint64_t>(
+                            countedHolds.size()));
+                }
                 timerAt = std::min(timerAt, hold.until);
                 heldLeaders.push_back(*head);
                 continue; // other groups may still dispatch
@@ -929,12 +1105,27 @@ FleetScheduler::run(RequestSource &source) const
 
             Batch batch =
                 batcher.formLedBy(queue, *head, cfg.policy, inHeldGroup);
+            // Hold episodes end at dispatch: dropping the members'
+            // ids keeps the dedup set bounded by queue depth however
+            // long the trace runs (a re-queued id later starts a
+            // fresh, separately counted episode).
+            if (!countedHolds.empty())
+                for (const auto &r : batch.requests)
+                    countedHolds.erase(r.id);
+            if (costAwareOn &&
+                batch.size() <
+                    std::min<std::size_t>(cfg.batcher.targetK,
+                                          cfg.batcher.maxBatchSize))
+                report.costDispatches += 1;
             // Hedged duplicates leaving admission: leftoverQueued at
             // the end must count only requests of record, so track how
-            // many copies are still sitting in the queue.
-            if (faultsOn && hedgedInQueue > 0)
+            // many copies are still sitting in the queue. The guard
+            // sits inside the loop: one batch can carry several hedge
+            // copies, and the counter must saturate per copy, never
+            // underflow past the copies actually counted in.
+            if (faultsOn)
                 for (const auto &r : batch.requests)
-                    if (r.hedge)
+                    if (r.hedge && hedgedInQueue > 0)
                         hedgedInQueue -= 1;
 
             // Classify the batch against the map cache. The batcher's
@@ -1022,18 +1213,23 @@ FleetScheduler::run(RequestSource &source) const
             unit.mapDoneAt = now + bestPhases.mapCycles;
             if (mapCache.enabled()) {
                 if (hitBatch) {
-                    // Savings are priced against the instance the hit
-                    // actually dispatched to — on a heterogeneous
-                    // fleet the skipped mapping differs per class —
-                    // and land in the counters as event-axis ns.
-                    for (const auto &r : batch.requests) {
-                        const auto p = model.profile(
-                            fleet[best], r.networkId, r.sizeBucket);
-                        mapCache.recordHit(
-                            keyOf(r),
-                            cyclesToNs(p.phases().mapCycles,
-                                       fleet[best].freqGHz));
-                    }
+                    // Recency/frequency and byte savings book per
+                    // member; the cycle savings book once per batch
+                    // as exactly what this dispatch skipped — the
+                    // batch-level mapping net of the clamped read
+                    // cost, priced against the instance the hit
+                    // dispatched to (on a heterogeneous fleet the
+                    // skipped mapping differs per class), in
+                    // event-axis ns.
+                    for (const auto &r : batch.requests)
+                        mapCache.recordHit(keyOf(r));
+                    const std::uint64_t batchMap =
+                        phasesToNs(model.batchPhases(fleet[best],
+                                                     batch),
+                                   fleet[best].freqGHz)
+                            .mapCycles;
+                    mapCache.creditSavedCycles(
+                        batchMap - std::min(batchMap, readCost));
                 } else {
                     // Misses publish their maps at mapping completion;
                     // price the entries against the chosen instance.
@@ -1107,7 +1303,7 @@ FleetScheduler::run(RequestSource &source) const
         if (pendingRetries > 0)
             return true; // a scheduled retry will re-enter admission
         for (const auto &a : accels)
-            if (a.front || a.back)
+            if (a.front || a.back || !a.staged.empty())
                 return true;
         return false;
     };
@@ -1188,7 +1384,7 @@ FleetScheduler::run(RequestSource &source) const
                     AccelState &a = accels[i];
                     if (a.life != Life::Active)
                         continue;
-                    if (!a.front && !a.back) {
+                    if (!a.front && a.staged.empty() && !a.back) {
                         a.life = Life::Off; // idle: off immediately
                         notePower(now, -1);
                     } else {
@@ -1394,6 +1590,11 @@ FleetScheduler::run(RequestSource &source) const
             Request r = source.take();
             report.generated += 1;
             r.estimatedCycles = estimateOf(r);
+            // The cadence tracks the offered arrival process (drops
+            // included; retries and hedges are re-admissions, not
+            // arrivals, and never pass through here).
+            if (costAwareOn)
+                noteArrival(r);
             queue.push(r); // drop accounting lives in the queue
         }
         if (!arrivalQueued && source.peek() != nullptr) {

@@ -26,15 +26,22 @@
  * Each instance is modeled as the two decoupled resources PointAcc
  * actually has (Section 5 of the paper): a Mapping Unit front-end and
  * a Matrix Unit + memory back-end. A batch first occupies the front
- * end for its mapping phase, then hands off to the back-end for
- * compute + exposed DRAM; the handoff blocks (no intermediate buffer
- * beyond the front-end itself), so at most two batches are in flight
- * per instance — one mapping, one executing. That overlap is exactly
- * the paper's decoupled orchestration lifted across requests: the
- * mapping of request i+1 hides behind the back-end of request i.
- * OccupancyModel::Monolithic disables the overlap (whole-run busy
- * interval, the pre-pipelining behavior) for apples-to-apples
- * comparisons.
+ * end for its mapping phase, then hands its mapped output to the
+ * back-end for compute + exposed DRAM. The handoff buffer is bounded
+ * by SchedulerConfig::runAheadDepth: at the default depth 1 there is
+ * no buffer beyond the front-end itself, the handoff blocks, and at
+ * most two batches are in flight per instance — one mapping, one
+ * executing (the frozen reference engine's behavior, byte-identical).
+ * At depth k the front-end runs up to k batches ahead: mapped-but-
+ * not-executed batches queue in a k-1 deep staging FIFO (the
+ * buffer-sizing question PointAcc answers in hardware, exposed as a
+ * knob), so a long back-end run no longer stalls the Mapping Unit.
+ * That overlap is exactly the paper's decoupled orchestration lifted
+ * across requests: the mapping of request i+1 hides behind the
+ * back-end of request i. OccupancyModel::Monolithic disables the
+ * overlap (whole-run busy interval, the pre-pipelining behavior) for
+ * apples-to-apples comparisons; the staging buffer only ever engages
+ * under Pipelined occupancy.
  *
  * Service times come from a ServiceModel: the production implementation
  * (SimServiceModel) runs sim::Accelerator once per (network, cloud-size
@@ -295,6 +302,14 @@ struct SchedulerConfig
     MapCacheConfig mapCache;
     /** Admission queue bound; overload beyond it sheds load. */
     std::size_t queueDepth = 1024;
+    /** How many batches the Mapping Unit front-end may run ahead of
+     *  the back-end under Pipelined occupancy: 1 (the default) is the
+     *  blocking handoff — one mapping + one executing, byte-identical
+     *  to the frozen reference engine — and depth k adds a k-1 deep
+     *  FIFO of mapped-but-not-executed batches between the stages.
+     *  Must be >= 1 (validated at construction); ignored under
+     *  Monolithic occupancy, which never overlaps stages. */
+    std::uint32_t runAheadDepth = 1;
     /** Reactive fleet scaling (runtime/autoscaler). Disabled by
      *  default: the whole fleet serves from cycle 0 and the scheduler
      *  output is byte-identical to pre-autoscaler builds. */

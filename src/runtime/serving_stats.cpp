@@ -22,6 +22,17 @@ mergeShardReports(const std::vector<ServingReport> &shards)
             std::max(merged.horizonCycles, shard.horizonCycles);
         merged.batchHolds += shard.batchHolds;
         merged.loopEvents += shard.loopEvents;
+        merged.holdTrackingPeak =
+            std::max(merged.holdTrackingPeak, shard.holdTrackingPeak);
+        // Shards run one scheduler config, so the depth/mode echoes
+        // agree across them; counters sum, the peak is a max.
+        merged.runAheadDepth = shard.runAheadDepth;
+        merged.runAheadStaged += shard.runAheadStaged;
+        merged.runAheadPeakStaged = std::max(merged.runAheadPeakStaged,
+                                             shard.runAheadPeakStaged);
+        merged.costAware = merged.costAware || shard.costAware;
+        merged.costHolds += shard.costHolds;
+        merged.costDispatches += shard.costDispatches;
         merged.generated += shard.generated;
         merged.admitted += shard.admitted;
         merged.dropped += shard.dropped;
@@ -157,10 +168,20 @@ writeServingJson(std::ostream &os, const ServingReport &report)
     w.field("map_cache_bytes_saved", report.mapCache.bytesSaved);
     w.field("map_cache_cycles_saved", report.mapCache.cyclesSaved);
     w.field("map_cache_hit_rate", report.mapCache.hitRate());
-    // Conditional blocks: a run without a traffic program or an
-    // autoscaler emits neither, keeping stationary fixed-fleet output
-    // byte-identical to pre-traffic builds (golden + differential
-    // fuzz both pin that).
+    // Conditional blocks: a run without a traffic program, an
+    // autoscaler, a deepened run-ahead buffer or cost-aware dispatch
+    // emits none of them, keeping stationary fixed-fleet output
+    // byte-identical to earlier builds (golden + differential fuzz
+    // both pin that).
+    if (report.runAheadDepth != 1) {
+        w.field("run_ahead_depth", report.runAheadDepth);
+        w.field("run_ahead_staged", report.runAheadStaged);
+        w.field("run_ahead_peak_staged", report.runAheadPeakStaged);
+    }
+    if (report.costAware) {
+        w.field("cost_aware_holds", report.costHolds);
+        w.field("cost_aware_dispatches", report.costDispatches);
+    }
     if (report.traffic.present) {
         w.field("traffic_program", report.traffic.program);
         w.field("traffic_segments", report.traffic.segments);

@@ -110,14 +110,45 @@ struct ServingReport
     /** Occupancy model the scheduler ran ("monolithic"/"pipelined"). */
     std::string occupancy;
     /** Wait-for-K hold episodes: distinct batch leaders the batcher
-     *  held hoping for more compatible requests (each leader counts
-     *  once, however many events re-evaluate its hold). */
+     *  held hoping for more compatible requests (one per episode — a
+     *  leader's id leaves the dedup set when it dispatches, so the
+     *  set is bounded by queue depth and a later re-queued request
+     *  starts a fresh episode). */
     std::uint64_t batchHolds = 0;
     /** Main-loop iterations (distinct event times processed). Not
      *  serialized — a wall-clock denominator for bench_simperf's
      *  events-per-second metric, identical across the production and
      *  reference engines. */
     std::uint64_t loopEvents = 0;
+    /** Peak size of the scheduler's hold-dedup set. Not serialized —
+     *  the --scale tier asserts it stays bounded by queue depth on
+     *  10^5-request wait-for-K traces (the set must never grow with
+     *  trace length). */
+    std::uint64_t holdTrackingPeak = 0;
+
+    // Run-ahead buffer telemetry (SchedulerConfig::runAheadDepth).
+    // The run_ahead_* JSON block is emitted only at depth != 1, so
+    // default-depth reports stay byte-identical to pre-run-ahead
+    // output.
+    /** Echo of SchedulerConfig::runAheadDepth. */
+    std::uint32_t runAheadDepth = 1;
+    /** Mapped batches parked in the staging FIFO because the back-end
+     *  was still busy (each park is one batch the blocking handoff
+     *  would have stalled the front-end on). */
+    std::uint64_t runAheadStaged = 0;
+    /** Peak staging-FIFO occupancy across the fleet; <= depth - 1. */
+    std::uint64_t runAheadPeakStaged = 0;
+
+    // Cost-aware dispatch telemetry (BatcherConfig::costAware). The
+    // cost_aware_* JSON block is emitted only when the mode is on.
+    /** Echo of BatcherConfig::costAware. */
+    bool costAware = false;
+    /** Hold decisions where the priced amortization gain beat the
+     *  forfeited overlap (one per dispatch-pass evaluation). */
+    std::uint64_t costHolds = 0;
+    /** Batches the cost model released undersized (below target K)
+     *  because waiting longer no longer paid. */
+    std::uint64_t costDispatches = 0;
 
     // Conservation counters. With fault injection the admitted side
     // extends to a three-way split: admitted = completed + failed +

@@ -497,6 +497,38 @@ TEST(ReportGolden, AutoscaledServingJsonSchemaKeysPresent)
     EXPECT_EQ(plain.str().find("autoscaler_"), std::string::npos);
 }
 
+TEST(ReportGolden, RunAheadAndCostAwareBlocksAreConditional)
+{
+    // Defaults (depth 1, cost-aware off) must keep every existing
+    // golden byte-identical: not one run_ahead_*/cost_aware_* key may
+    // appear. A deepened buffer or the cost-aware batcher switches
+    // its block on, right after the map-cache counters.
+    std::ostringstream plain;
+    writeServingJson(plain, fixedServingReport());
+    EXPECT_EQ(plain.str().find("run_ahead_"), std::string::npos);
+    EXPECT_EQ(plain.str().find("cost_aware_"), std::string::npos);
+
+    ServingReport report = fixedServingReport();
+    report.runAheadDepth = 2;
+    report.runAheadStaged = 5;
+    report.runAheadPeakStaged = 1;
+    report.costAware = true;
+    report.costHolds = 7;
+    report.costDispatches = 4;
+    std::ostringstream os;
+    writeServingJson(os, report);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"map_cache_hit_rate\":0.75,"
+                        "\"run_ahead_depth\":2,"
+                        "\"run_ahead_staged\":5,"
+                        "\"run_ahead_peak_staged\":1,"
+                        "\"cost_aware_holds\":7,"
+                        "\"cost_aware_dispatches\":4,"),
+              std::string::npos)
+        << json;
+    checkNumericRoundTrip(json);
+}
+
 TEST(ReportGolden, PlanJsonMatchesGolden)
 {
     std::ostringstream os;

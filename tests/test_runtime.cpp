@@ -591,7 +591,7 @@ TEST(MapCache, LruEvictsLeastRecentlyUsed)
 
     cache.insert(cloudKey(1), {100, 64});
     cache.insert(cloudKey(2), {100, 64});
-    cache.recordHit(cloudKey(1), 100); // 1 is now the most recent
+    cache.recordHit(cloudKey(1)); // 1 is now the most recent
     cache.insert(cloudKey(3), {100, 64});
     EXPECT_TRUE(cache.contains(cloudKey(1)));
     EXPECT_FALSE(cache.contains(cloudKey(2)));
@@ -610,9 +610,9 @@ TEST(MapCache, LfuEvictsLeastFrequentlyUsed)
 
     cache.insert(cloudKey(1), {100, 64});
     cache.insert(cloudKey(2), {100, 64});
-    cache.recordHit(cloudKey(1), 100);
-    cache.recordHit(cloudKey(1), 100);
-    cache.recordHit(cloudKey(2), 100); // 2 used once, 1 used twice
+    cache.recordHit(cloudKey(1));
+    cache.recordHit(cloudKey(1));
+    cache.recordHit(cloudKey(2)); // 2 used once, 1 used twice
     cache.insert(cloudKey(3), {100, 64});
     EXPECT_TRUE(cache.contains(cloudKey(1)));
     EXPECT_FALSE(cache.contains(cloudKey(2)));
@@ -635,12 +635,18 @@ TEST(MapCache, CountersAndIdempotentInsert)
     cache.insert(cloudKey(1), {100, 64});
     EXPECT_EQ(cache.stats().insertions, 1u);
 
-    cache.recordHit(cloudKey(1), 100);
-    cache.recordHit(cloudKey(1), 100);
+    cache.recordHit(cloudKey(1));
+    cache.recordHit(cloudKey(1));
     const auto &s = cache.stats();
     EXPECT_EQ(s.hits, 2u);
     EXPECT_EQ(s.misses, 1u);
     EXPECT_EQ(s.bytesSaved, 128u);          // 2 hits x 64 bytes
+    // recordHit books no cycle savings: the scheduler credits the
+    // batch-level skipped mapping explicitly, so the counter matches
+    // the simulated schedule instead of a per-hit approximation.
+    EXPECT_EQ(s.cyclesSaved, 0u);
+    cache.creditSavedCycles(100 - 10);
+    cache.creditSavedCycles(100 - 10);
     EXPECT_EQ(s.cyclesSaved, 2u * (100 - 10));
     EXPECT_DOUBLE_EQ(s.hitRate(), 2.0 / 3.0);
 
@@ -909,6 +915,37 @@ TEST(FleetScheduler, StragglerWindowStretchesServiceTime)
     EXPECT_EQ(report.horizonCycles, 3000u);
 }
 
+TEST(FleetScheduler, BatchOfSeveralHedgesKeepsAdmissionAccounting)
+{
+    // Regression: one batch can carry several hedge copies, and the
+    // in-queue hedge counter must come down once per copy, not once
+    // per batch — a stuck counter wraps leftoverQueued below zero at
+    // the end of the run. Two originals batch at t=0 (map 20, long
+    // backend), both arm hedges at t=100; the copies batch together
+    // and lose to the originals.
+    const PhasedServiceModel model({{10, 10'000}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.maxBatchSize = 2;
+    scfg.retry.enabled = true;
+    scfg.retry.backoffBaseNs = 1;
+    scfg.retry.hedgeDelayNs = 100;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+    const auto report =
+        sched.run({makeRequest(0, 0), makeRequest(1, 0)});
+
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.faults.hedges, 2u);
+    EXPECT_EQ(report.faults.hedgesWon, 0u);
+    EXPECT_EQ(report.faults.hedgesLost, 2u);
+    // The conservation identity only holds if both copies left the
+    // in-queue count at their shared dispatch.
+    EXPECT_EQ(report.leftoverQueued, 0u);
+    EXPECT_EQ(report.admitted, report.completed + report.failed +
+                                   report.leftoverQueued);
+}
+
 TEST(ServiceModelBatching, AmortizesWeightLoadWithFloor)
 {
     const FixedServiceModel model(10'000, 3'000);
@@ -1144,6 +1181,105 @@ TEST(FleetScheduler, HeldGroupDoesNotBlockOtherGroups)
 }
 
 // ---------------------------------------------------------------- //
+//                  Cost-aware hold-vs-dispatch                      //
+// ---------------------------------------------------------------- //
+
+/**
+ * Hand-computed cost-aware schedule. One pipelined FIFO instance,
+ * network 0 has map 100 + backend 100 with a 150-cycle weight load,
+ * targetK = maxBatchSize = 2, no wait-deadline (the cost model alone
+ * decides). Arrivals at 0 / 50 / 100 give a 50 ns observed cadence.
+ *
+ *   t=0:   r0's class has no cadence yet (one arrival) -> eager solo
+ *          dispatch. mapDone=100, handoff, backDone=200.
+ *   t=50:  r1 arrives; the front is busy until 100, nothing to price.
+ *   t=100: front frees. Hold r1? missing=1, gain=150 (one forfeited
+ *          weight load). Backlog is r0's remaining backend (100),
+ *          which exactly covers r1's own map (100) -> slack=0. Spent
+ *          so far: 50 waited + 50 more to the predicted partner =
+ *          100. gain 150 > cost 100 -> hold until min(next-arrival
+ *          150, break-even 150). Same tick, r2 is admitted: the group
+ *          reaches K=2 and dispatches. Batch price: 2x200 - 150
+ *          amortized = 250 total, map phase 200, backend 50:
+ *          mapDone=300, backStart=max(300, 200), backDone=350.
+ */
+TEST(FleetScheduler, CostAwareOracleHoldsThenJoins)
+{
+    const PhasedServiceModel model({{100, 100, 150}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.costAware = true;
+    scfg.batcher.targetK = 2;
+    scfg.batcher.maxBatchSize = 2;
+    scfg.batcher.maxWaitCycles = 0; // no deadline: pure cost model
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+
+    const auto report = sched.run(
+        {makeRequest(0, 0), makeRequest(1, 50), makeRequest(2, 100)});
+    ASSERT_EQ(report.completionCycles.size(), 3u);
+    EXPECT_EQ(report.completionCycles[0], 200u);
+    EXPECT_EQ(report.completionCycles[1], 350u);
+    EXPECT_EQ(report.completionCycles[2], 350u);
+    EXPECT_TRUE(report.costAware);
+    EXPECT_EQ(report.costHolds, 1u);      // r1's one priced hold
+    EXPECT_EQ(report.costDispatches, 1u); // r0's undersized solo
+    EXPECT_EQ(report.batchHolds, 1u);
+}
+
+TEST(FleetScheduler, CostAwareDispatchesAtBreakEven)
+{
+    // Same class and cadence, but the predicted partner never comes:
+    // after the hold at t=100 (gain 150 > cost 100), waiting accrues
+    // cost at 1/ns with no further slack — the break-even timer fires
+    // at 150, where cost reaches gain, and r1 dispatches undersized
+    // instead of waiting on a wall-clock deadline that does not exist.
+    const PhasedServiceModel model({{100, 100, 150}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.costAware = true;
+    scfg.batcher.targetK = 2;
+    scfg.batcher.maxBatchSize = 2;
+    scfg.batcher.maxWaitCycles = 0;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+
+    const auto report =
+        sched.run({makeRequest(0, 0), makeRequest(1, 50)});
+    ASSERT_EQ(report.completionCycles.size(), 2u);
+    EXPECT_EQ(report.completionCycles[0], 200u);
+    // r1 solo at 150: mapDone 250, backStart max(250, 200), done 350.
+    EXPECT_EQ(report.completionCycles[1], 350u);
+    // costHolds counts priced hold decisions, and t=100 prices twice
+    // (the dispatch pass runs before and after arrival admission).
+    EXPECT_EQ(report.costHolds, 2u);
+    EXPECT_EQ(report.costDispatches, 2u); // both ran undersized
+    EXPECT_EQ(report.batchHolds, 1u);     // but one hold episode
+}
+
+TEST(FleetScheduler, CostAwareHonorsTheHardDeadline)
+{
+    // maxWaitCycles stays a hard cap on top of the cost model: r1's
+    // group deadline (arrival 50 + 30) has already passed when the
+    // front frees at t=100, so it dispatches without a priced hold.
+    const PhasedServiceModel model({{100, 100, 150}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.costAware = true;
+    scfg.batcher.targetK = 2;
+    scfg.batcher.maxBatchSize = 2;
+    scfg.batcher.maxWaitCycles = 30;
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+
+    const auto report =
+        sched.run({makeRequest(0, 0), makeRequest(1, 50)});
+    ASSERT_EQ(report.completionCycles.size(), 2u);
+    EXPECT_EQ(report.completionCycles[0], 200u);
+    // r1 solo at 100: mapDone 200, backStart 200, done 300.
+    EXPECT_EQ(report.completionCycles[1], 300u);
+    EXPECT_EQ(report.costHolds, 0u);
+    EXPECT_EQ(report.costDispatches, 2u);
+}
+
+// ---------------------------------------------------------------- //
 //               Two-stage pipeline vs oracle                        //
 // ---------------------------------------------------------------- //
 
@@ -1245,6 +1381,70 @@ TEST(FleetScheduler, PipelineOracleMixedTraceWithGaps)
     EXPECT_EQ(acc.busyCycles, 220u);
 }
 
+/**
+ * Hand-computed run-ahead schedule pinning the two-batch stall and
+ * its fix. Three networks, all arriving at t=0, FIFO, no batching:
+ *   net 0: m=10  b=200   net 1: m=10 b=10   net 2: m=100 b=10
+ *
+ * Depth 1 (blocking handoff): r1's mapped output occupies the front
+ * until the back frees at 210, so r2's long map cannot start before
+ * then and the back idles waiting for it:
+ *   r0: d=0,   mapDone=10,  backStart=10,  backDone=210
+ *   r1: d=10,  mapDone=20,  backStart=210, backDone=220
+ *   r2: d=210, mapDone=310, backStart=310, backDone=320
+ *
+ * Depth 2 (one staged slot): r1 parks at 20, freeing the front for
+ * r2 at 20 — its map finishes at 120, well inside r0's backend run,
+ * and the back never idles:
+ *   r0: d=0,  mapDone=10,  backStart=10,  backDone=210
+ *   r1: d=10, mapDone=20 -> staged;       backStart=210, backDone=220
+ *   r2: d=20, mapDone=120 (front-held);   backStart=220, backDone=230
+ */
+TEST(FleetScheduler, RunAheadOracleBreaksTheTwoBatchStall)
+{
+    const PhasedServiceModel model({{10, 200}, {10, 10}, {100, 10}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+
+    std::vector<Request> trace;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        auto r = makeRequest(i, 0);
+        r.networkId = static_cast<std::uint32_t>(i);
+        trace.push_back(r);
+    }
+
+    scfg.runAheadDepth = 1;
+    FleetScheduler shallow({pointAccConfig()}, model, {1.0, 1.0, 1.0},
+                           scfg);
+    const auto d1 = shallow.run(trace);
+    ASSERT_EQ(d1.completionCycles.size(), 3u);
+    EXPECT_EQ(d1.completionCycles[0], 210u);
+    EXPECT_EQ(d1.completionCycles[1], 220u);
+    EXPECT_EQ(d1.completionCycles[2], 320u);
+    EXPECT_EQ(d1.runAheadDepth, 1u);
+    EXPECT_EQ(d1.runAheadStaged, 0u);
+
+    scfg.runAheadDepth = 2;
+    FleetScheduler deep({pointAccConfig()}, model, {1.0, 1.0, 1.0},
+                        scfg);
+    const auto d2 = deep.run(trace);
+    ASSERT_EQ(d2.completionCycles.size(), 3u);
+    EXPECT_EQ(d2.completionCycles[0], 210u);
+    EXPECT_EQ(d2.completionCycles[1], 220u);
+    EXPECT_EQ(d2.completionCycles[2], 230u);
+    EXPECT_EQ(d2.horizonCycles, 230u);
+    EXPECT_EQ(d2.runAheadDepth, 2u);
+    // r1 parked at 20 and r2 parked at 210; never more than one slot.
+    EXPECT_EQ(d2.runAheadStaged, 2u);
+    EXPECT_EQ(d2.runAheadPeakStaged, 1u);
+    // Stage accounting: maps 10+10+100, backends 200+10+10, and the
+    // instance is busy without a gap from 0 to 230.
+    ASSERT_EQ(d2.accelerators.size(), 1u);
+    EXPECT_EQ(d2.accelerators[0].mapBusyCycles, 120u);
+    EXPECT_EQ(d2.accelerators[0].backendBusyCycles, 220u);
+    EXPECT_EQ(d2.accelerators[0].busyCycles, 230u);
+}
+
 /** Per-accelerator-class phase table in each class's OWN clock
  *  domain (cycles), keyed by config name — the scheduler converts to
  *  the wall-clock ns axis at dispatch, which is exactly what the
@@ -1341,6 +1541,36 @@ TEST(FleetScheduler, HeterogeneousFleetWallClockOracle)
     EXPECT_EQ(edg.busyCycles, 360u);
 }
 
+TEST(FleetScheduler, HeterogeneousTieBreaksToLowestIndex)
+{
+    // Two classes that price identically on the ns axis: 100+900
+    // cycles at 1 GHz and 200+1800 cycles at 2 GHz are both 1000 ns.
+    // A strict done < bestDone comparison keeps the first-indexed
+    // instance on ties — whichever class sits at index 0 — so fleet
+    // order, not clock rate or name, decides.
+    AcceleratorConfig slow = pointAccConfig();
+    slow.name = "Slow@1GHz";
+    AcceleratorConfig fast = pointAccConfig();
+    fast.name = "Fast@2GHz";
+    fast.freqGHz = 2.0;
+    const ClassPhasedServiceModel model(
+        {{slow.name, {100, 900}}, {fast.name, {200, 1800}}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = false;
+
+    for (const auto &fleet :
+         {std::vector<AcceleratorConfig>{slow, fast},
+          std::vector<AcceleratorConfig>{fast, slow}}) {
+        FleetScheduler sched(fleet, model, {1.0}, scfg);
+        const auto report = sched.run({makeRequest(0, 0)});
+        SCOPED_TRACE(fleet.front().name + " first");
+        ASSERT_EQ(report.accelerators.size(), 2u);
+        EXPECT_EQ(report.accelerators[0].requests, 1u);
+        EXPECT_EQ(report.accelerators[1].requests, 0u);
+        EXPECT_EQ(report.horizonCycles, 1000u);
+    }
+}
+
 // ---------------------------------------------------------------- //
 //                Kernel-map cache through the scheduler             //
 // ---------------------------------------------------------------- //
@@ -1394,6 +1624,44 @@ TEST(FleetScheduler, MapCacheOracleHitMissTrace)
     EXPECT_EQ(offReport.completionCycles[1], 250u);
     EXPECT_EQ(offReport.completionCycles[2], 350u);
     EXPECT_EQ(offReport.mapCache.hits + offReport.mapCache.misses, 0u);
+}
+
+TEST(FleetScheduler, MapCacheBatchSavingsMatchTheSimulatedSchedule)
+{
+    // Batched-hit savings are priced at batch level, against what the
+    // simulation actually skipped. Network 0: map 100 + backend 50
+    // with a 150-cycle weight load, so a 2-batch prices at
+    // max(2x150 - 150, 150) = 150 total — the batch map phase clamps
+    // to 150, not the 200 sum of member maps. A 2-hit batch replaces
+    // that with 2x30 = 60 of reads: the honest credit is 150 - 60 =
+    // 90. Per-request accounting would claim 2x(100 - 30) = 140,
+    // savings the schedule never saw.
+    const PhasedServiceModel model({{100, 50, 150}});
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.maxBatchSize = 2;
+    scfg.mapCache.enabled = true;
+    scfg.mapCache.hitReadCycles = 30;
+
+    // Prime with a miss-pure 2-batch (clouds 1, 2), then replay the
+    // same clouds after the maps publish at t=150.
+    auto r0 = makeRequest(0, 0);
+    auto r1 = makeRequest(1, 0);
+    auto r2 = makeRequest(2, 200);
+    auto r3 = makeRequest(3, 200);
+    r0.cloudId = r2.cloudId = 1;
+    r1.cloudId = r3.cloudId = 2;
+
+    FleetScheduler sched({pointAccConfig()}, model, {1.0}, scfg);
+    const auto report = sched.run({r0, r1, r2, r3});
+    EXPECT_EQ(report.mapCache.hits, 2u);
+    EXPECT_EQ(report.mapCache.misses, 2u);
+    EXPECT_EQ(report.mapCache.cyclesSaved, 90u);
+    // The hit batch dispatches at 200, reads both maps back by 260
+    // and has no residual backend phase: completions at 260.
+    ASSERT_EQ(report.completionCycles.size(), 4u);
+    EXPECT_EQ(report.completionCycles[2], 260u);
+    EXPECT_EQ(report.completionCycles[3], 260u);
 }
 
 TEST(FleetScheduler, MapCacheHitNeverSlowerThanMissEvenWithCostlyReads)

@@ -749,6 +749,150 @@ TEST(RuntimeEquivalence, ProductionEngineMatchesSeedEngineByteForByte)
     });
 }
 
+TEST(RuntimeEquivalence, InertRunAheadDefaultsMatchSeedEngine)
+{
+    // The run-ahead buffer and the cost-aware hold are strict
+    // supersets of the frozen behaviour: with runAheadDepth pinned to
+    // 1 and costAware off, every new code path (staged promotion,
+    // arrival-cadence tracking, class-price memos) must be completely
+    // inert, leaving the production engine byte-identical to the seed
+    // loop across the fuzz space.
+    forEachSeed(4000, 4030, [](std::uint64_t seed) {
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        auto scfg = randomConfig(rng);
+        scfg.runAheadDepth = 1;
+        scfg.batcher.costAware = false;
+        const auto fleet = randomFleet(rng);
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+        const auto production = sched.run(trace);
+        const auto reference = runServingReference(fleet, model,
+                                                   {1.0, 2.0}, scfg,
+                                                   trace);
+        ASSERT_EQ(servingJsonOf(production), servingJsonOf(reference))
+            << "inert run-ahead defaults diverged at seed " << seed;
+    });
+}
+
+TEST(RuntimeProperties, RunAheadDepthsHoldInvariants)
+{
+    // Depths 2..4 across the fuzz space: conservation, utilization
+    // and drain invariants must survive the staged handoff buffer,
+    // repeat runs must stay byte-identical, and the observed peak
+    // staged occupancy can never exceed the buffer's capacity of
+    // depth - 1 slots.
+    forEachSeed(4100, 4130, [](std::uint64_t seed) {
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        auto scfg = randomConfig(rng);
+        scfg.occupancy = OccupancyModel::Pipelined;
+        scfg.runAheadDepth =
+            2 + static_cast<std::uint32_t>(rng.range(3));
+        const auto fleet = randomFleet(rng);
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        std::string dumps[2];
+        ServingReport report;
+        for (auto &dump : dumps) {
+            FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+            report = sched.run(trace);
+            dump = servingJsonOf(report);
+        }
+        SCOPED_TRACE("depth " + std::to_string(scfg.runAheadDepth));
+        EXPECT_EQ(dumps[0], dumps[1]) << "run-ahead is not repeatable";
+        EXPECT_EQ(report.generated, trace.size());
+        checkInvariants(report, seed);
+        EXPECT_EQ(report.runAheadDepth, scfg.runAheadDepth);
+        EXPECT_LE(report.runAheadPeakStaged,
+                  static_cast<std::uint64_t>(scfg.runAheadDepth) - 1);
+        if (report.runAheadStaged == 0)
+            EXPECT_EQ(report.runAheadPeakStaged, 0u);
+    });
+}
+
+TEST(RuntimeProperties, RunAheadNeverDelaysAFifoSingleInstance)
+{
+    // On a FIFO single instance without batching, deepening the
+    // handoff buffer only lets the mapper start earlier: each map
+    // finishes no later, so each backend start — max(previous backend
+    // done, map done) under either depth — and with it every
+    // completion timestamp is monotonically no later than at depth 1,
+    // request by request.
+    forEachSeed(4200, 4230, [](std::uint64_t seed) {
+        Rng rng(seed);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+
+        SchedulerConfig scfg;
+        scfg.batcher.enabled = false;
+        scfg.queueDepth = 1 << 20; // no drops
+        scfg.occupancy = OccupancyModel::Pipelined;
+        scfg.runAheadDepth = 1;
+        FleetScheduler shallow({pointAccConfig()}, model, {1.0, 2.0},
+                               scfg);
+        scfg.runAheadDepth = 4;
+        FleetScheduler deep({pointAccConfig()}, model, {1.0, 2.0},
+                            scfg);
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        const auto shallowReport = shallow.run(trace);
+        const auto deepReport = deep.run(trace);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        ASSERT_EQ(deepReport.completed, shallowReport.completed);
+        ASSERT_EQ(deepReport.completionCycles.size(),
+                  shallowReport.completionCycles.size());
+        for (std::size_t i = 0; i < deepReport.completionCycles.size();
+             ++i)
+            ASSERT_LE(deepReport.completionCycles[i],
+                      shallowReport.completionCycles[i])
+                << "request index " << i;
+        EXPECT_LE(deepReport.horizonCycles,
+                  shallowReport.horizonCycles);
+    });
+}
+
+TEST(RuntimeProperties, CostAwareDispatchHoldsInvariants)
+{
+    // The cost-aware hold is a scheduling heuristic, not a semantics
+    // change: whatever it decides, conservation and drain must hold
+    // (the bounded hold deadline guarantees the queue always makes
+    // progress), repeat runs must stay byte-identical, and the
+    // hold-episode ledger stays within the queue bound.
+    forEachSeed(4300, 4330, [](std::uint64_t seed) {
+        Rng rng(seed * 0x9e3779b9ULL);
+        const RandomPhasedServiceModel model(seed);
+        const auto spec = randomSpec(rng, seed);
+        auto scfg = randomConfig(rng);
+        scfg.batcher.enabled = true;
+        scfg.batcher.costAware = true;
+        scfg.batcher.targetK =
+            2 + static_cast<std::uint32_t>(rng.range(3));
+        scfg.runAheadDepth =
+            1 + static_cast<std::uint32_t>(rng.range(3));
+        const auto fleet = randomFleet(rng);
+
+        const auto trace = WorkloadGenerator(spec).generate();
+        std::string dumps[2];
+        ServingReport report;
+        for (auto &dump : dumps) {
+            FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+            report = sched.run(trace);
+            dump = servingJsonOf(report);
+        }
+        EXPECT_EQ(dumps[0], dumps[1])
+            << "cost-aware run is not repeatable";
+        EXPECT_EQ(report.generated, trace.size());
+        checkInvariants(report, seed);
+        EXPECT_TRUE(report.costAware);
+        EXPECT_LE(report.holdTrackingPeak,
+                  static_cast<std::uint64_t>(scfg.queueDepth));
+    });
+}
+
 /** Replica of the seed's materializing generator (pre-streaming),
  *  kept in the test as the draw-order oracle for WorkloadStream. */
 std::vector<Request>
@@ -1785,6 +1929,34 @@ TEST(RuntimePropertiesScale, HundredThousandRequestsHoldInvariants)
         ASSERT_EQ(servingJsonOf(report), servingJsonOf(reference))
             << "engines diverged at scale";
     }
+}
+
+TEST(RuntimePropertiesScale, WaitForKHoldTrackingStaysBounded)
+{
+    POINTACC_REQUIRE_SCALE();
+    // Guard for the hold-episode ledger: 10^5 requests through a
+    // wait-for-K batcher must keep the dedup set's peak within the
+    // queue bound — dispatch erases what the hold path inserted, so
+    // the set tracks live leaders, not trace length.
+    const RandomPhasedServiceModel model(7);
+    const auto spec = scaleSpec(100'000);
+    const auto trace = WorkloadGenerator(spec).generate();
+
+    SchedulerConfig scfg;
+    scfg.batcher.enabled = true;
+    scfg.batcher.maxBatchSize = 8;
+    scfg.batcher.targetK = 4;
+    scfg.batcher.maxWaitCycles = 50'000;
+    scfg.queueDepth = 512;
+    const std::vector<AcceleratorConfig> fleet(4, pointAccConfig());
+
+    FleetScheduler sched(fleet, model, {1.0, 2.0}, scfg);
+    const auto report = sched.run(trace);
+    checkInvariants(report, 7);
+    EXPECT_GT(report.batchHolds, 0u);
+    EXPECT_GT(report.holdTrackingPeak, 0u);
+    EXPECT_LE(report.holdTrackingPeak,
+              static_cast<std::uint64_t>(scfg.queueDepth));
 }
 
 TEST(RuntimePropertiesScale, MillionRequestStreamStaysBounded)
